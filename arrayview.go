@@ -1,0 +1,299 @@
+// Package arrayview implements materialized array views with incremental
+// maintenance under batch updates, reproducing Zhao, Rusu, Dong, Wu and
+// Nugent, "Incremental View Maintenance over Array Data" (SIGMOD 2017).
+//
+// The library provides:
+//
+//   - a multi-dimensional sparse array data model with regular chunking;
+//   - shape-based array similarity joins (a generalization of array
+//     equi-join and distance-based similarity join);
+//   - materialized array views defined by a similarity join plus group-by
+//     aggregation, evaluated eagerly over a simulated shared-nothing
+//     cluster;
+//   - incremental view maintenance of batch insertions with three
+//     strategies: the relational-style baseline, the greedy differential
+//     join plan (Algorithm 1), and the full three-stage heuristic with
+//     continuous view/array chunk reassignment (Algorithms 1-3);
+//   - query integration: answering similarity join queries either from the
+//     view via the Δ shape or from scratch, chosen by an analytical cost
+//     model.
+//
+// # Quick start
+//
+//	schema := arrayview.MustSchema("catalog",
+//		[]arrayview.Dimension{
+//			{Name: "x", Start: 0, End: 999, ChunkSize: 50},
+//			{Name: "y", Start: 0, End: 999, ChunkSize: 50},
+//		},
+//		[]arrayview.Attribute{{Name: "flux", Type: arrayview.Float64}})
+//	data := arrayview.NewArray(schema)
+//	// ... data.Set(point, tuple) ...
+//
+//	db, _ := arrayview.Open(8)
+//	_ = db.Load(data)
+//	def, _ := arrayview.NewDefinition("neighbors", schema, schema,
+//		arrayview.Pred(arrayview.L1(2, 1), nil),
+//		[]string{"x", "y"},
+//		[]arrayview.Aggregate{{Kind: arrayview.Count, As: "cnt"}}, nil)
+//	mv, _ := db.CreateView(def, arrayview.StrategyReassign, nil)
+//	report, _ := mv.Update(batch) // incremental maintenance
+//	answer, _ := mv.Query(arrayview.Linf(2, 1), arrayview.Auto)
+package arrayview
+
+import (
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Core array model.
+type (
+	// Schema describes an array: named dimensions plus attributes.
+	Schema = array.Schema
+	// Dimension is one ordered dimension with regular chunking.
+	Dimension = array.Dimension
+	// Attribute is one named cell attribute.
+	Attribute = array.Attribute
+	// Array is an in-memory sparse multi-dimensional array.
+	Array = array.Array
+	// Point addresses one cell.
+	Point = array.Point
+	// Tuple holds one cell's attribute values.
+	Tuple = array.Tuple
+	// Region is an axis-aligned box of cells with inclusive bounds.
+	Region = array.Region
+	// AttrType is the declared type of an attribute.
+	AttrType = array.AttrType
+)
+
+// Attribute types.
+const (
+	// Float64 declares a double-precision attribute.
+	Float64 = array.Float64
+	// Int64 declares an integer attribute.
+	Int64 = array.Int64
+)
+
+// Shapes and join predicates.
+type (
+	// Shape is a finite set of integer offsets applied around each cell.
+	Shape = shape.Shape
+	// Mapping transforms α coordinates into β space (identity, translate,
+	// regrid).
+	Mapping = simjoin.Mapping
+	// JoinPred bundles a shape and a mapping.
+	JoinPred = simjoin.Pred
+	// Identity is the identity mapping.
+	Identity = simjoin.Identity
+	// Translate shifts coordinates by a fixed offset.
+	Translate = simjoin.Translate
+	// Regrid coarsens coordinates by integer factors.
+	Regrid = simjoin.Regrid
+)
+
+// Views.
+type (
+	// Definition is a materialized array view definition: similarity join
+	// plus group-by aggregation.
+	Definition = view.Definition
+	// Aggregate is one aggregation of the view's SELECT list.
+	Aggregate = view.Aggregate
+	// AggKind enumerates COUNT, SUM, AVG.
+	AggKind = view.AggKind
+)
+
+// Aggregate kinds.
+const (
+	// Count is COUNT(*).
+	Count = view.Count
+	// Sum is SUM(attr).
+	Sum = view.Sum
+	// Avg is AVG(attr).
+	Avg = view.Avg
+	// Min is MIN(attr) (insert-only maintenance).
+	Min = view.Min
+	// Max is MAX(attr) (insert-only maintenance).
+	Max = view.Max
+)
+
+// Maintenance.
+type (
+	// Params tunes the maintenance optimization (λ, window, decay, seed).
+	Params = maintain.Params
+	// Report summarizes one maintained batch.
+	Report = maintain.Report
+	// Planner is a maintenance planning strategy.
+	Planner = maintain.Planner
+	// Placement assigns new chunks to nodes.
+	Placement = cluster.Placement
+	// RoundRobin places chunks cyclically.
+	RoundRobin = cluster.RoundRobin
+	// HashPlacement places chunks by key hash.
+	HashPlacement = cluster.HashPlacement
+	// CostModel holds the calibrated Tntwk/Tcpu constants.
+	CostModel = cluster.CostModel
+)
+
+// Query integration.
+type (
+	// QueryMode selects the evaluation path of a query.
+	QueryMode = query.Mode
+	// QueryChoice records the cost model's verdict.
+	QueryChoice = query.Choice
+	// QueryResult is an answered query.
+	QueryResult = query.Result
+)
+
+// Query modes.
+const (
+	// Auto lets the cost model pick between view and complete join.
+	Auto = query.Auto
+	// ForceComplete always computes from scratch.
+	ForceComplete = query.ForceComplete
+	// ForceView always answers from the view.
+	ForceView = query.ForceView
+)
+
+// Strategy names a maintenance planning strategy.
+type Strategy string
+
+// Built-in strategies.
+const (
+	// StrategyBaseline is the relational-style baseline (Section 4.1).
+	StrategyBaseline Strategy = "baseline"
+	// StrategyDifferential optimizes the join plan only (Algorithm 1).
+	StrategyDifferential Strategy = "differential"
+	// StrategyReassign is the full three-stage heuristic (Algorithms 1-3).
+	StrategyReassign Strategy = "reassign"
+)
+
+// NewSchema builds and validates a schema.
+func NewSchema(name string, dims []Dimension, attrs []Attribute) (*Schema, error) {
+	return array.NewSchema(name, dims, attrs)
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(name string, dims []Dimension, attrs []Attribute) *Schema {
+	return array.MustSchema(name, dims, attrs)
+}
+
+// NewArray creates an empty array with the given schema.
+func NewArray(s *Schema) *Array { return array.New(s) }
+
+// L1 returns the L1-norm ball of radius r in dims dimensions (center
+// included); L1(2, 1) is the paper's 5-cell cross.
+func L1(dims int, r int64) *Shape { return shape.L1(dims, r) }
+
+// L2 returns the Euclidean-norm ball of radius r.
+func L2(dims int, r int64) *Shape { return shape.L2(dims, r) }
+
+// Linf returns the L∞-norm ball of radius r (the full cube).
+func Linf(dims int, r int64) *Shape { return shape.Linf(dims, r) }
+
+// ShapeFromOffsets builds a custom shape from explicit offsets.
+func ShapeFromOffsets(name string, offs [][]int64) (*Shape, error) {
+	return shape.FromOffsets(name, offs)
+}
+
+// EmbedShape lifts a low-dimensional shape into ndims dimensions; see
+// shape.Embed. Example: L1(1) on (ra, dec) over the previous 200 time
+// steps is EmbedShape(L1(2,1), 3, []int{1,2}, map[int][2]int64{0:{-200,0}}).
+func EmbedShape(inner *Shape, ndims int, dims []int, window map[int][2]int64) (*Shape, error) {
+	return shape.Embed(inner, ndims, dims, window)
+}
+
+// DeltaShape returns the positional symmetric difference of two shapes
+// (nil when identical) — the Δ shape of differential query answering.
+func DeltaShape(viewShape, queryShape *Shape) *Shape {
+	return shape.Delta(viewShape, queryShape)
+}
+
+// Pred bundles a shape and mapping into a join predicate; a nil mapping
+// means identity.
+func Pred(s *Shape, m Mapping) JoinPred { return simjoin.NewPred(s, m) }
+
+// NewDefinition builds and validates a view definition.
+func NewDefinition(name string, alpha, beta *Schema, pred JoinPred, groupBy []string, aggs []Aggregate, chunking []int64) (*Definition, error) {
+	return view.NewDefinition(name, alpha, beta, pred, groupBy, aggs, chunking)
+}
+
+// DefaultParams returns the paper's maintenance parameters (λ=0.5, window
+// 5, exponential decay).
+func DefaultParams() Params { return maintain.DefaultParams() }
+
+// DefaultCostModel returns the calibrated per-byte network/CPU constants.
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// MaterializeLocal evaluates a view definition over in-memory arrays on a
+// single node — the reference evaluator (beta may equal alpha for self
+// joins).
+func MaterializeLocal(def *Definition, alpha, beta *Array) (*Array, error) {
+	return view.Materialize(def, alpha, beta)
+}
+
+// DisjointInsert verifies a batch contains no cell already in the base —
+// the precondition for additive delta maintenance.
+func DisjointInsert(base, delta *Array) error { return view.DisjointInsert(base, delta) }
+
+// SubsetOf verifies every cell of del exists in base — the precondition
+// for delta maintenance of deletions.
+func SubsetOf(base, del *Array) error { return view.SubsetOf(base, del) }
+
+// ChainDefinition is a view over a chain of n similarity joins (the full
+// Definition 1 of the paper), maintained recursively under single-input
+// updates.
+type ChainDefinition = view.ChainDefinition
+
+// NewChain builds and validates an n-array chain view definition:
+// Preds[i] relates Inputs[i] to Inputs[i+1]; GroupBy lists dimensions of
+// the first input and Aggs aggregate attributes of the last.
+func NewChain(name string, inputs []*Schema, preds []JoinPred, groupBy []string, aggs []Aggregate) (*ChainDefinition, error) {
+	return view.NewChain(name, inputs, preds, groupBy, aggs)
+}
+
+// MergeDeltaLocal folds a differential view into a materialized view
+// in-place (both hold state tuples of the same definition).
+func MergeDeltaLocal(def *Definition, v, dv *Array) error {
+	return view.MergeDelta(def, v, dv)
+}
+
+// Attribute filters (the view class's "filtering" unary operator).
+type (
+	// Condition is one declarative attribute predicate, e.g.
+	// {Attr: "mag", Op: Lt, Value: 19}.
+	Condition = view.Condition
+	// CmpOp is a comparison operator.
+	CmpOp = view.CmpOp
+)
+
+// Comparison operators.
+const (
+	// Lt is <.
+	Lt = view.Lt
+	// Le is <=.
+	Le = view.Le
+	// Eq is ==.
+	Eq = view.Eq
+	// Ne is !=.
+	Ne = view.Ne
+	// Ge is >=.
+	Ge = view.Ge
+	// Gt is >.
+	Gt = view.Gt
+)
+
+// chunkAlias aliases the internal chunk type for the facade's chunk-level
+// helpers.
+type chunkAlias = array.Chunk
+
+// mergeStateChunksOf returns the additive state merge for a definition.
+func mergeStateChunksOf(def *Definition) func(dst, src *chunkAlias) error {
+	return view.MergeStateChunks(def)
+}
+
+// mergeChunkCells inserts src's cells into dst.
+func mergeChunkCells(dst, src *chunkAlias) error { return dst.MergeFrom(src) }

@@ -1,0 +1,258 @@
+package arrayview
+
+// Macro-benchmarks: one per table/figure of the paper's evaluation. Each
+// benchmark runs the corresponding experiment at the paper-shaped default
+// scale and reports the headline quantities as custom metrics
+// (seconds of simulated maintenance time per strategy). The ivmbench CLI
+// prints the full row/series tables; see EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/bench"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// benchSpec picks the experiment scale: default (paper-shaped) normally,
+// small under -short.
+func benchSpec(b *testing.B, ds bench.Dataset, mode workload.BatchMode) bench.Spec {
+	b.Helper()
+	if testing.Short() {
+		return bench.SmallSpec(ds, mode)
+	}
+	return bench.DefaultSpec(ds, mode)
+}
+
+func runFig3(b *testing.B, ds bench.Dataset, mode workload.BatchMode) {
+	spec := benchSpec(b, ds, mode)
+	var last *bench.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig3(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for name, r := range last.Results {
+		b.ReportMetric(r.TotalMaintenance(), name+"-s")
+	}
+	b.ReportMetric(
+		last.Results["baseline"].TotalMaintenance()/last.Results["reassign"].TotalMaintenance(),
+		"speedup-x")
+}
+
+func BenchmarkFig3PTF5Real(b *testing.B)        { runFig3(b, bench.PTF5, workload.Real) }
+func BenchmarkFig3PTF5Correlated(b *testing.B)  { runFig3(b, bench.PTF5, workload.Correlated) }
+func BenchmarkFig3PTF5Periodic(b *testing.B)    { runFig3(b, bench.PTF5, workload.Periodic) }
+func BenchmarkFig3PTF25Real(b *testing.B)       { runFig3(b, bench.PTF25, workload.Real) }
+func BenchmarkFig3PTF25Correlated(b *testing.B) { runFig3(b, bench.PTF25, workload.Correlated) }
+func BenchmarkFig3PTF25Periodic(b *testing.B)   { runFig3(b, bench.PTF25, workload.Periodic) }
+func BenchmarkFig3GEORandom(b *testing.B)       { runFig3(b, bench.GEO, workload.Random) }
+func BenchmarkFig3GEOCorrelated(b *testing.B)   { runFig3(b, bench.GEO, workload.Correlated) }
+func BenchmarkFig3GEOPeriodic(b *testing.B)     { runFig3(b, bench.GEO, workload.Periodic) }
+
+func runFig5(b *testing.B, ds bench.Dataset, mode workload.BatchMode) {
+	spec := benchSpec(b, ds, mode)
+	var last *bench.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig5(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Results["baseline"].AvgTripleGen(), "baseline-opt-s")
+	b.ReportMetric(last.Results["differential"].AvgOptimization(), "differential-opt-s")
+	b.ReportMetric(last.Results["reassign"].AvgOptimization(), "reassign-opt-s")
+}
+
+func BenchmarkFig5PTF5(b *testing.B)  { runFig5(b, bench.PTF5, workload.Real) }
+func BenchmarkFig5PTF25(b *testing.B) { runFig5(b, bench.PTF25, workload.Real) }
+func BenchmarkFig5GEO(b *testing.B)   { runFig5(b, bench.GEO, workload.Random) }
+
+func BenchmarkFig6QueryIntegration(b *testing.B) {
+	spec := benchSpec(b, bench.PTF5, workload.Real)
+	spec.PTF.NumBatches = 1
+	var rows []bench.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig6(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		_ = r
+	}
+	// The two calibration bars of the paper's discussion.
+	for _, r := range rows {
+		switch r.Name {
+		case "Linf(1)<-L1(1)":
+			b.ReportMetric(r.CompleteSeconds/r.ViewSeconds, "view-wins-x")
+		case "Linf(1)<-Linf(2)":
+			b.ReportMetric(r.ViewSeconds/r.CompleteSeconds, "complete-wins-x")
+		}
+	}
+}
+
+func runFig9(b *testing.B, ds bench.Dataset, mode workload.BatchMode) {
+	spec := benchSpec(b, ds, mode)
+	var last *bench.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig9(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for name, r := range last.Results {
+		b.ReportMetric(r.TotalMaintenance()+r.TotalOptimization(), name+"-total-s")
+	}
+}
+
+func BenchmarkFig9PTF5Correlated(b *testing.B)  { runFig9(b, bench.PTF5, workload.Correlated) }
+func BenchmarkFig9PTF25Correlated(b *testing.B) { runFig9(b, bench.PTF25, workload.Correlated) }
+func BenchmarkFig9GEOCorrelated(b *testing.B)   { runFig9(b, bench.GEO, workload.Correlated) }
+
+func BenchmarkFig10aBatchSize(b *testing.B) {
+	spec := benchSpec(b, bench.PTF25, workload.Real)
+	sizes := []int{50, 100, 200, 400, 800, 1600}
+	if testing.Short() {
+		sizes = []int{50, 100, 200}
+	}
+	var rows []bench.Fig10aRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig10a(io.Discard, spec, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Maintenance["baseline"], "largest-baseline-s")
+	b.ReportMetric(last.Maintenance["reassign"], "largest-reassign-s")
+}
+
+func BenchmarkFig10bNumBatches(b *testing.B) {
+	spec := benchSpec(b, bench.PTF25, workload.Real)
+	total := 4000
+	counts := []int{1, 2, 5, 10, 20}
+	if testing.Short() {
+		total = 800
+		counts = []int{1, 2, 5}
+	}
+	var rows []bench.Fig10bRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig10b(io.Discard, spec, total, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Maintenance["reassign"], "most-batches-reassign-s")
+}
+
+func BenchmarkFig10cSpread(b *testing.B) {
+	spec := benchSpec(b, bench.PTF25, workload.Real)
+	spreads := []float64{0.1, 0.2, 0.8}
+	var rows []bench.Fig10cRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig10c(io.Discard, spec, spreads)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Maintenance["reassign"], "widest-reassign-s")
+}
+
+// Ablations of DESIGN.md §5.
+
+func BenchmarkAblationPairOrder(b *testing.B) {
+	spec := benchSpec(b, bench.PTF5, workload.Real)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationPairOrder(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalMaintenance, "random-order-s")
+	b.ReportMetric(rows[1].TotalMaintenance, "sorted-order-s")
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	spec := benchSpec(b, bench.GEO, workload.Correlated)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationWindow(io.Discard, spec, []int{0, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalMaintenance, "window0-s")
+	b.ReportMetric(rows[1].TotalMaintenance, "window5-s")
+}
+
+func BenchmarkAblationCPUQuota(b *testing.B) {
+	spec := benchSpec(b, bench.GEO, workload.Correlated)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationCPUQuota(io.Discard, spec, []float64{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalMaintenance, "quota0-s")
+	b.ReportMetric(rows[1].TotalMaintenance, "quota1-s")
+}
+
+func BenchmarkAblationCellPruning(b *testing.B) {
+	spec := benchSpec(b, bench.PTF5, workload.Real)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationCellPruning(io.Discard, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalMaintenance, "chunk-gran-s")
+	b.ReportMetric(rows[1].TotalMaintenance, "cell-gran-s")
+}
+
+func BenchmarkAblationLambda(b *testing.B) {
+	spec := benchSpec(b, bench.GEO, workload.Correlated)
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationLambda(io.Discard, spec, []float64{0.1, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalMaintenance, "lambda0.1-s")
+	b.ReportMetric(rows[1].TotalMaintenance, "lambda0.9-s")
+}
+
+func BenchmarkScalingNodes(b *testing.B) {
+	spec := benchSpec(b, bench.PTF5, workload.Real)
+	counts := []int{2, 4, 8, 16}
+	if testing.Short() {
+		counts = []int{2, 4}
+	}
+	var rows []bench.ScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Scaling(io.Discard, spec, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.Maintenance["reassign"]/last.Maintenance["reassign"], "scaleup-x")
+}

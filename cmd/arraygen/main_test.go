@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/arrayio"
+)
+
+func TestRunGeneratesReadableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("geo", "random", dir, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.Open(filepath.Join(dir, "base.arr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	a, err := arrayio.Read(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() == 0 {
+		t.Error("generated base is empty")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "batch-01.arr")); err != nil {
+		t.Errorf("batch file missing: %v", err)
+	}
+}
+
+func TestRunPTFSmall(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("ptf", "correlated", dir, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "base.arr")); err != nil {
+		t.Errorf("base file missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "random", t.TempDir(), 0, true); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run("geo", "nope", t.TempDir(), 0, true); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}

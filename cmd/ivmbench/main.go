@@ -1,0 +1,171 @@
+// Command ivmbench regenerates the tables and figures of the paper's
+// evaluation (Section 6 and Appendix C) on the simulated cluster.
+//
+// Usage:
+//
+//	ivmbench -experiment fig3 -dataset PTF-5 -mode correlated
+//	ivmbench -experiment all -scale small
+//	ivmbench -experiment fig6
+//
+// Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, ablations,
+// all. Datasets: PTF-5, PTF-25, GEO. Modes: real, random, correlated,
+// periodic ("real" maps to "random" for GEO, as in the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/arrayview/arrayview/internal/bench"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|all")
+		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
+		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
+		scale      = flag.String("scale", "default", "default|small")
+		nodes      = flag.Int("nodes", 0, "override worker node count (default: 8)")
+		seed       = flag.Int64("seed", 0, "override dataset seed")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *dataset, *mode, *scale, *nodes, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ivmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, dataset, mode, scale string, nodes int, seed int64) error {
+	mkSpec := func(ds bench.Dataset, m workload.BatchMode) bench.Spec {
+		var s bench.Spec
+		if scale == "small" {
+			s = bench.SmallSpec(ds, m)
+		} else {
+			s = bench.DefaultSpec(ds, m)
+		}
+		if nodes > 0 {
+			s.Nodes = nodes
+		}
+		if seed != 0 {
+			s.PTF.Seed = seed
+			s.GEO.Seed = seed
+		}
+		return s
+	}
+
+	datasets := bench.Datasets()
+	if dataset != "" {
+		ds, err := bench.ParseDataset(dataset)
+		if err != nil {
+			return err
+		}
+		datasets = []bench.Dataset{ds}
+	}
+	modesFor := func(ds bench.Dataset) []workload.BatchMode {
+		if mode != "" {
+			m, err := workload.ParseMode(mode)
+			if err != nil {
+				return nil
+			}
+			return []workload.BatchMode{m}
+		}
+		if ds == bench.GEO {
+			return []workload.BatchMode{workload.Random, workload.Correlated, workload.Periodic}
+		}
+		return []workload.BatchMode{workload.Real, workload.Correlated, workload.Periodic}
+	}
+
+	out := os.Stdout
+	perPanel := func(fn func(spec bench.Spec) error) error {
+		for _, ds := range datasets {
+			ms := modesFor(ds)
+			if ms == nil {
+				return fmt.Errorf("bad mode %q", mode)
+			}
+			for _, m := range ms {
+				if err := fn(mkSpec(ds, m)); err != nil {
+					return err
+				}
+				fmt.Fprintln(out)
+			}
+		}
+		return nil
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "fig3":
+			return perPanel(func(s bench.Spec) error { _, err := bench.Fig3(out, s); return err })
+		case "fig5":
+			return perPanel(func(s bench.Spec) error { _, err := bench.Fig5(out, s); return err })
+		case "fig9":
+			return perPanel(func(s bench.Spec) error { _, err := bench.Fig9(out, s); return err })
+		case "fig6":
+			spec := mkSpec(bench.PTF5, workload.Real)
+			spec.PTF.NumBatches = 1
+			_, err := bench.Fig6(out, spec)
+			return err
+		case "fig10a":
+			sizes := []int{50, 100, 200, 400, 800, 1600}
+			if scale == "small" {
+				sizes = []int{50, 100, 200}
+			}
+			_, err := bench.Fig10a(out, mkSpec(bench.PTF25, workload.Real), sizes)
+			return err
+		case "fig10b":
+			total, counts := 4000, []int{1, 2, 5, 10, 20}
+			if scale == "small" {
+				total, counts = 800, []int{1, 2, 5}
+			}
+			_, err := bench.Fig10b(out, mkSpec(bench.PTF25, workload.Real), total, counts)
+			return err
+		case "scaling":
+			counts := []int{2, 4, 8, 16, 32}
+			if scale == "small" {
+				counts = []int{2, 4, 8}
+			}
+			_, err := bench.Scaling(out, mkSpec(bench.PTF5, workload.Real), counts)
+			return err
+		case "fig10c":
+			_, err := bench.Fig10c(out, mkSpec(bench.PTF25, workload.Real), []float64{0.1, 0.2, 0.8})
+			return err
+		case "ablations":
+			spec := mkSpec(bench.GEO, workload.Correlated)
+			if _, err := bench.AblationPairOrder(out, mkSpec(bench.PTF5, workload.Real)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if _, err := bench.AblationWindow(out, spec, nil); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if _, err := bench.AblationCPUQuota(out, spec, nil); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if _, err := bench.AblationLambda(out, spec, nil); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			_, err := bench.AblationCellPruning(out, mkSpec(bench.PTF5, workload.Real))
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if experiment == "all" {
+		for _, name := range []string{"fig3", "fig5", "fig6", "fig9", "fig10a", "fig10b", "fig10c", "scaling", "ablations"} {
+			fmt.Fprintf(out, "==== %s ====\n", name)
+			if err := runOne(name); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small experiment")
+	}
+	if err := run("fig3", "GEO", "correlated", "small", 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "", "small", 0, 0); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := run("fig3", "nope", "", "small", 0, 0); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run("fig3", "GEO", "nope", "small", 0, 0); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmallVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small maintenance sequence")
+	}
+	if err := run("GEO", "", "reassign", 2, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "reassign", 1, true, false, false); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run("GEO", "nope", "reassign", 1, true, false, false); err == nil {
+		t.Error("unknown mode must fail")
+	}
+	if err := run("GEO", "", "nope", 1, true, false, false); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}

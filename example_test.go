@@ -1,0 +1,97 @@
+package arrayview_test
+
+import (
+	"fmt"
+	"log"
+
+	arrayview "github.com/arrayview/arrayview"
+)
+
+// Example demonstrates the core loop: define an array, materialize a view,
+// maintain it incrementally, and read the result.
+func Example() {
+	schema := arrayview.MustSchema("sky",
+		[]arrayview.Dimension{
+			{Name: "x", Start: 0, End: 99, ChunkSize: 10},
+			{Name: "y", Start: 0, End: 99, ChunkSize: 10},
+		},
+		[]arrayview.Attribute{{Name: "flux", Type: arrayview.Float64}})
+	base := arrayview.NewArray(schema)
+	for _, p := range []arrayview.Point{{5, 5}, {5, 6}, {6, 5}} {
+		if err := base.Set(p, arrayview.Tuple{1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	db, err := arrayview.Open(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Load(base); err != nil {
+		log.Fatal(err)
+	}
+	def, err := arrayview.NewDefinition("neighbors", schema, schema,
+		arrayview.Pred(arrayview.L1(2, 1), nil),
+		[]string{"x", "y"},
+		[]arrayview.Aggregate{{Kind: arrayview.Count, As: "cnt"}}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mv, err := db.CreateView(def, arrayview.StrategyReassign, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	batch := arrayview.NewArray(schema)
+	_ = batch.Set(arrayview.Point{5, 4}, arrayview.Tuple{1})
+	if _, err := mv.Update(batch); err != nil {
+		log.Fatal(err)
+	}
+
+	vals, _, err := mv.Values(arrayview.Point{5, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("neighbors of (5,5): %.0f\n", vals[0])
+	// Output: neighbors of (5,5): 4
+}
+
+// ExampleDeltaShape shows the Δ-shape construction behind differential
+// query answering.
+func ExampleDeltaShape() {
+	view := arrayview.L1(2, 1)    // the view's 5-cell cross
+	query := arrayview.Linf(2, 1) // a 9-cell square query
+	delta := arrayview.DeltaShape(view, query)
+	fmt.Printf("|view|=%d |query|=%d |delta|=%d\n", view.Card(), query.Card(), delta.Card())
+	// Output: |view|=5 |query|=9 |delta|=4
+}
+
+// ExampleNewChain evaluates a three-array chain view (Definition 1).
+func ExampleNewChain() {
+	s := arrayview.MustSchema("pts",
+		[]arrayview.Dimension{{Name: "x", Start: 0, End: 9, ChunkSize: 5}},
+		[]arrayview.Attribute{{Name: "v", Type: arrayview.Float64}})
+	chain, err := arrayview.NewChain("c3", []*arrayview.Schema{s, s, s},
+		[]arrayview.JoinPred{
+			arrayview.Pred(arrayview.Linf(1, 1), nil),
+			arrayview.Pred(arrayview.Linf(1, 1), nil),
+		},
+		[]string{"x"}, []arrayview.Aggregate{{Kind: arrayview.Count, As: "c"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(xs ...int64) *arrayview.Array {
+		a := arrayview.NewArray(s)
+		for _, x := range xs {
+			_ = a.Set(arrayview.Point{x}, arrayview.Tuple{1})
+		}
+		return a
+	}
+	v, err := chain.Materialize([]*arrayview.Array{mk(1), mk(1, 2), mk(2, 3)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, _ := v.Get(arrayview.Point{1})
+	fmt.Printf("chains from 1: %.0f\n", t[0])
+	// Output: chains from 1: 3
+}

@@ -1,0 +1,3 @@
+module github.com/arrayview/arrayview
+
+go 1.22

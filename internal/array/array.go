@@ -1,0 +1,189 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Array is an in-memory sparse multi-dimensional array: a schema plus the
+// set of occupied chunks. It is the logical representation; the distributed
+// system stores the same chunks scattered across node stores.
+type Array struct {
+	schema *Schema
+	chunks map[ChunkKey]*Chunk
+}
+
+// New creates an empty array with the given schema.
+func New(s *Schema) *Array {
+	return &Array{schema: s, chunks: make(map[ChunkKey]*Chunk)}
+}
+
+// Schema returns the array's schema.
+func (a *Array) Schema() *Schema { return a.schema }
+
+// NumChunks returns the number of occupied chunks.
+func (a *Array) NumChunks() int { return len(a.chunks) }
+
+// NumCells returns the total number of non-empty cells.
+func (a *Array) NumCells() int {
+	n := 0
+	for _, c := range a.chunks {
+		n += c.NumCells()
+	}
+	return n
+}
+
+// Set writes tuple t at point p, materializing the containing chunk on
+// first touch.
+func (a *Array) Set(p Point, t Tuple) error {
+	if !a.schema.Contains(p) {
+		return fmt.Errorf("array: point %v outside domain of %s", p, a.schema.Name)
+	}
+	cc := a.schema.ChunkCoordOf(p)
+	key := cc.Key()
+	c, ok := a.chunks[key]
+	if !ok {
+		c = NewChunk(a.schema, cc)
+		a.chunks[key] = c
+	}
+	return c.Set(p, t)
+}
+
+// Get returns the tuple at p, or ok=false for an empty cell.
+func (a *Array) Get(p Point) (Tuple, bool) {
+	if !a.schema.Contains(p) {
+		return nil, false
+	}
+	c, ok := a.chunks[a.schema.ChunkCoordOf(p).Key()]
+	if !ok {
+		return nil, false
+	}
+	return c.Get(p)
+}
+
+// Delete empties the cell at p, dropping the chunk if it becomes empty.
+func (a *Array) Delete(p Point) bool {
+	if !a.schema.Contains(p) {
+		return false
+	}
+	key := a.schema.ChunkCoordOf(p).Key()
+	c, ok := a.chunks[key]
+	if !ok {
+		return false
+	}
+	deleted := c.Delete(p)
+	if deleted && c.NumCells() == 0 {
+		delete(a.chunks, key)
+	}
+	return deleted
+}
+
+// Chunk returns the chunk at coordinate cc, or nil if unoccupied.
+func (a *Array) Chunk(cc ChunkCoord) *Chunk {
+	return a.chunks[cc.Key()]
+}
+
+// ChunkByKey returns the chunk with the given key, or nil.
+func (a *Array) ChunkByKey(k ChunkKey) *Chunk { return a.chunks[k] }
+
+// PutChunk installs (or replaces) a chunk. The chunk must belong to a
+// compatible schema slot; callers are trusted on region alignment.
+func (a *Array) PutChunk(c *Chunk) { a.chunks[c.Key()] = c }
+
+// MergeChunk merges src's cells into the resident chunk with the same
+// coordinate, creating it first if absent.
+func (a *Array) MergeChunk(src *Chunk) error {
+	key := src.Key()
+	c, ok := a.chunks[key]
+	if !ok {
+		a.chunks[key] = src.Clone()
+		return nil
+	}
+	return c.MergeFrom(src)
+}
+
+// ChunkKeys returns the keys of all occupied chunks in row-major order.
+func (a *Array) ChunkKeys() []ChunkKey {
+	keys := make([]ChunkKey, 0, len(a.chunks))
+	for k := range a.chunks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// EachChunk calls fn for every occupied chunk in row-major key order.
+func (a *Array) EachChunk(fn func(c *Chunk) bool) {
+	for _, k := range a.ChunkKeys() {
+		if !fn(a.chunks[k]) {
+			return
+		}
+	}
+}
+
+// EachCell calls fn for every non-empty cell in chunk order, cells sorted
+// within each chunk. The point and tuple are owned by the chunks.
+func (a *Array) EachCell(fn func(p Point, t Tuple) bool) {
+	stop := false
+	a.EachChunk(func(c *Chunk) bool {
+		c.EachSorted(func(p Point, t Tuple) bool {
+			if !fn(p, t) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}
+
+// Clone returns a deep copy of the array.
+func (a *Array) Clone() *Array {
+	out := New(a.schema)
+	for k, c := range a.chunks {
+		out.chunks[k] = c.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two arrays hold identical cells, comparing tuple
+// values exactly. Schemas are compared by pointer identity of shape only
+// (same dims/chunking), not by name.
+func (a *Array) Equal(b *Array) bool {
+	if a.NumChunks() != b.NumChunks() {
+		return false
+	}
+	for k, ca := range a.chunks {
+		cb, ok := b.chunks[k]
+		if !ok || ca.NumCells() != cb.NumCells() {
+			return false
+		}
+		same := true
+		ca.Each(func(p Point, t Tuple) bool {
+			u, ok := cb.Get(p)
+			if !ok || len(u) != len(t) {
+				same = false
+				return false
+			}
+			for i := range t {
+				if t[i] != u[i] {
+					same = false
+					return false
+				}
+			}
+			return true
+		})
+		if !same {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the total approximate serialized size of all chunks.
+func (a *Array) SizeBytes() int64 {
+	n := int64(0)
+	for _, c := range a.chunks {
+		n += c.SizeBytes()
+	}
+	return n
+}

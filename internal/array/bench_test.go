@@ -1,0 +1,81 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchChunk(b *testing.B, cells int) *Chunk {
+	b.Helper()
+	s := MustSchema("B",
+		[]Dimension{
+			{Name: "x", Start: 0, End: 99, ChunkSize: 100},
+			{Name: "y", Start: 0, End: 49, ChunkSize: 50},
+		},
+		[]Attribute{{Name: "a", Type: Float64}, {Name: "b", Type: Float64}})
+	rng := rand.New(rand.NewSource(1))
+	c := NewChunk(s, ChunkCoord{0, 0})
+	for i := 0; i < cells; i++ {
+		_ = c.Set(Point{rng.Int63n(100), rng.Int63n(50)}, Tuple{rng.Float64(), rng.Float64()})
+	}
+	return c
+}
+
+func BenchmarkChunkEncode(b *testing.B) {
+	c := benchChunk(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeChunk(c)
+		if len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkChunkDecode(b *testing.B) {
+	buf := EncodeChunk(benchChunk(b, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeChunk(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkGet(b *testing.B) {
+	c := benchChunk(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(Point{int64(i) % 100, int64(i) % 50})
+	}
+}
+
+func BenchmarkArraySet(b *testing.B) {
+	s := MustSchema("B",
+		[]Dimension{
+			{Name: "x", Start: 0, End: 9999, ChunkSize: 100},
+			{Name: "y", Start: 0, End: 4999, ChunkSize: 50},
+		},
+		[]Attribute{{Name: "v", Type: Float64}})
+	a := New(s)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Set(Point{rng.Int63n(10000), rng.Int63n(5000)}, Tuple{1})
+	}
+}
+
+func BenchmarkChunksOverlapping(b *testing.B) {
+	s := MustSchema("B",
+		[]Dimension{
+			{Name: "x", Start: 0, End: 9999, ChunkSize: 100},
+			{Name: "y", Start: 0, End: 4999, ChunkSize: 50},
+		}, nil)
+	r := NewRegion(Point{450, 220}, Point{780, 410})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.ChunksOverlapping(r); len(got) == 0 {
+			b.Fatal("no overlap")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Chunk is the unit of storage, I/O, and processing: a group of adjacent
+// cells covered by one regular chunk slot of the schema. Cells are stored
+// sparsely, keyed by their local row-major offset inside the chunk region.
+//
+// A Chunk is not safe for concurrent mutation; the cluster layer serializes
+// writes per chunk.
+type Chunk struct {
+	coord  ChunkCoord
+	region Region
+	nattrs int
+	cells  map[int64]Tuple
+}
+
+// NewChunk creates an empty chunk covering the slot cc of schema s.
+func NewChunk(s *Schema, cc ChunkCoord) *Chunk {
+	return &Chunk{
+		coord:  cc.Clone(),
+		region: s.ChunkRegion(cc),
+		nattrs: s.NumAttrs(),
+		cells:  make(map[int64]Tuple),
+	}
+}
+
+// Coord returns the chunk's coordinate.
+func (c *Chunk) Coord() ChunkCoord { return c.coord }
+
+// Key returns the chunk's map key.
+func (c *Chunk) Key() ChunkKey { return c.coord.Key() }
+
+// Region returns the cell region covered by the chunk.
+func (c *Chunk) Region() Region { return c.region }
+
+// NumCells returns the number of non-empty cells.
+func (c *Chunk) NumCells() int { return len(c.cells) }
+
+// NumAttrs returns the attributes per cell.
+func (c *Chunk) NumAttrs() int { return c.nattrs }
+
+// SizeBytes returns the approximate serialized size of the chunk: the B_q
+// parameter of the paper's cost model. Each cell carries its local offset
+// (8 bytes) plus 8 bytes per attribute.
+func (c *Chunk) SizeBytes() int64 {
+	return int64(len(c.cells)) * int64(8+8*c.nattrs)
+}
+
+// localOffset converts a global point inside the chunk region to a local
+// row-major offset.
+func (c *Chunk) localOffset(p Point) int64 {
+	off := int64(0)
+	for i := range p {
+		span := c.region.Hi[i] - c.region.Lo[i] + 1
+		off = off*span + (p[i] - c.region.Lo[i])
+	}
+	return off
+}
+
+// globalPoint converts a local offset back to a global point.
+func (c *Chunk) globalPoint(off int64) Point {
+	d := len(c.region.Lo)
+	p := make(Point, d)
+	for i := d - 1; i >= 0; i-- {
+		span := c.region.Hi[i] - c.region.Lo[i] + 1
+		p[i] = c.region.Lo[i] + off%span
+		off /= span
+	}
+	return p
+}
+
+// Set writes the tuple at point p, which must lie inside the chunk region
+// and carry exactly the schema's attribute count. The tuple is copied.
+func (c *Chunk) Set(p Point, t Tuple) error {
+	if !c.region.Contains(p) {
+		return fmt.Errorf("array: point %v outside chunk region %v", p, c.region)
+	}
+	if len(t) != c.nattrs {
+		return fmt.Errorf("array: tuple has %d attrs, chunk needs %d", len(t), c.nattrs)
+	}
+	c.cells[c.localOffset(p)] = t.Clone()
+	return nil
+}
+
+// Get returns the tuple at point p, or ok=false for an empty cell.
+func (c *Chunk) Get(p Point) (t Tuple, ok bool) {
+	if !c.region.Contains(p) {
+		return nil, false
+	}
+	t, ok = c.cells[c.localOffset(p)]
+	return t, ok
+}
+
+// Delete empties the cell at p, reporting whether it was non-empty.
+func (c *Chunk) Delete(p Point) bool {
+	if !c.region.Contains(p) {
+		return false
+	}
+	off := c.localOffset(p)
+	if _, ok := c.cells[off]; !ok {
+		return false
+	}
+	delete(c.cells, off)
+	return true
+}
+
+// Each calls fn for every non-empty cell. The iteration order is
+// unspecified; use EachSorted when determinism matters. The point and tuple
+// passed to fn are owned by the chunk; clone them if retained or mutated.
+func (c *Chunk) Each(fn func(p Point, t Tuple) bool) {
+	for off, t := range c.cells {
+		if !fn(c.globalPoint(off), t) {
+			return
+		}
+	}
+}
+
+// EachSorted calls fn for every non-empty cell in row-major order.
+func (c *Chunk) EachSorted(fn func(p Point, t Tuple) bool) {
+	offs := make([]int64, 0, len(c.cells))
+	for off := range c.cells {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		if !fn(c.globalPoint(off), c.cells[off]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the chunk.
+func (c *Chunk) Clone() *Chunk {
+	out := &Chunk{
+		coord:  c.coord.Clone(),
+		region: c.region.Clone(),
+		nattrs: c.nattrs,
+		cells:  make(map[int64]Tuple, len(c.cells)),
+	}
+	for off, t := range c.cells {
+		out.cells[off] = t.Clone()
+	}
+	return out
+}
+
+// MergeFrom copies every non-empty cell of src into c, overwriting
+// collisions. Both chunks must cover the same region.
+func (c *Chunk) MergeFrom(src *Chunk) error {
+	if !c.coord.Equal(src.coord) {
+		return fmt.Errorf("array: merging chunk %v into %v", src.coord, c.coord)
+	}
+	for off, t := range src.cells {
+		c.cells[off] = t.Clone()
+	}
+	return nil
+}
+
+// BoundingBox returns the tight bounding region of the non-empty cells and
+// ok=false when the chunk is empty. Used for cell-granularity join pruning.
+func (c *Chunk) BoundingBox() (Region, bool) {
+	if len(c.cells) == 0 {
+		return Region{}, false
+	}
+	var bb Region
+	first := true
+	for off := range c.cells {
+		p := c.globalPoint(off)
+		if first {
+			bb = Region{Lo: p.Clone(), Hi: p.Clone()}
+			first = false
+			continue
+		}
+		for i := range p {
+			if p[i] < bb.Lo[i] {
+				bb.Lo[i] = p[i]
+			}
+			if p[i] > bb.Hi[i] {
+				bb.Hi[i] = p[i]
+			}
+		}
+	}
+	return bb, true
+}

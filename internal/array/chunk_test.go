@@ -1,0 +1,198 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkSetGetDelete(t *testing.T) {
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	if err := c.Set(Point{1, 2}, Tuple{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(Point{1, 2})
+	if !ok || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := c.Get(Point{1, 1}); ok {
+		t.Error("empty cell must report ok=false")
+	}
+	if err := c.Set(Point{5, 5}, Tuple{0, 0}); err == nil {
+		t.Error("Set outside region must fail")
+	}
+	if err := c.Set(Point{1, 1}, Tuple{1}); err == nil {
+		t.Error("Set with wrong arity must fail")
+	}
+	if !c.Delete(Point{1, 2}) || c.Delete(Point{1, 2}) {
+		t.Error("Delete must report prior occupancy")
+	}
+	if c.NumCells() != 0 {
+		t.Error("chunk should be empty after delete")
+	}
+}
+
+func TestChunkSetCopiesTuple(t *testing.T) {
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	tup := Tuple{1, 2}
+	if err := c.Set(Point{1, 1}, tup); err != nil {
+		t.Fatal(err)
+	}
+	tup[0] = 99
+	got, _ := c.Get(Point{1, 1})
+	if got[0] != 1 {
+		t.Error("Set must copy the tuple, not alias it")
+	}
+}
+
+func TestChunkOffsetRoundTrip(t *testing.T) {
+	s := MustSchema("C",
+		[]Dimension{
+			{Name: "x", Start: 3, End: 20, ChunkSize: 5},
+			{Name: "y", Start: -4, End: 9, ChunkSize: 4},
+			{Name: "z", Start: 0, End: 6, ChunkSize: 7},
+		}, nil)
+	c := NewChunk(s, ChunkCoord{1, 2, 0})
+	region := c.Region()
+	region.Each(func(p Point) bool {
+		off := c.localOffset(p)
+		back := c.globalPoint(off)
+		if !back.Equal(p) {
+			t.Fatalf("offset round trip %v -> %d -> %v", p, off, back)
+		}
+		return true
+	})
+}
+
+func TestChunkEachSortedOrder(t *testing.T) {
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	pts := []Point{{2, 2}, {1, 1}, {2, 1}, {1, 2}}
+	for i, p := range pts {
+		if err := c.Set(p, Tuple{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Point
+	c.EachSorted(func(p Point, _ Tuple) bool {
+		got = append(got, p.Clone())
+		return true
+	})
+	want := []Point{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("EachSorted order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChunkMergeAndClone(t *testing.T) {
+	s := paperSchema()
+	a := NewChunk(s, ChunkCoord{0, 0})
+	b := NewChunk(s, ChunkCoord{0, 0})
+	_ = a.Set(Point{1, 1}, Tuple{1, 1})
+	_ = b.Set(Point{1, 1}, Tuple{9, 9}) // collision: src wins
+	_ = b.Set(Point{2, 2}, Tuple{2, 2})
+	cl := a.Clone()
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() != 2 {
+		t.Errorf("merged chunk has %d cells, want 2", a.NumCells())
+	}
+	if got, _ := a.Get(Point{1, 1}); got[0] != 9 {
+		t.Errorf("merge must overwrite collisions, got %v", got)
+	}
+	if got, _ := cl.Get(Point{1, 1}); got[0] != 1 {
+		t.Error("clone must be independent of the original")
+	}
+	other := NewChunk(s, ChunkCoord{0, 1})
+	if err := a.MergeFrom(other); err == nil {
+		t.Error("merging mismatched coordinates must fail")
+	}
+}
+
+func TestChunkBoundingBox(t *testing.T) {
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	if _, ok := c.BoundingBox(); ok {
+		t.Error("empty chunk has no bounding box")
+	}
+	_ = c.Set(Point{1, 2}, Tuple{0, 0})
+	_ = c.Set(Point{2, 1}, Tuple{0, 0})
+	bb, ok := c.BoundingBox()
+	if !ok || !bb.Lo.Equal(Point{1, 1}) || !bb.Hi.Equal(Point{2, 2}) {
+		t.Errorf("BoundingBox = %v, %v", bb, ok)
+	}
+}
+
+func TestChunkSizeBytes(t *testing.T) {
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	_ = c.Set(Point{1, 1}, Tuple{1, 2})
+	// 8 bytes offset + 2*8 attribute bytes.
+	if got := c.SizeBytes(); got != 24 {
+		t.Errorf("SizeBytes = %d, want 24", got)
+	}
+}
+
+func TestChunkEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustSchema("T",
+			[]Dimension{
+				{Name: "x", Start: 0, End: 99, ChunkSize: 10},
+				{Name: "y", Start: 0, End: 99, ChunkSize: 10},
+			},
+			[]Attribute{{Name: "v", Type: Float64}})
+		c := NewChunk(s, ChunkCoord{int64(rng.Intn(10)), int64(rng.Intn(10))})
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			p := Point{
+				c.Region().Lo[0] + int64(rng.Intn(10)),
+				c.Region().Lo[1] + int64(rng.Intn(10)),
+			}
+			if err := c.Set(p, Tuple{rng.NormFloat64()}); err != nil {
+				return false
+			}
+		}
+		buf := EncodeChunk(c)
+		back, err := DecodeChunk(buf)
+		if err != nil {
+			return false
+		}
+		if back.NumCells() != c.NumCells() || !back.Coord().Equal(c.Coord()) {
+			return false
+		}
+		ok := true
+		c.Each(func(p Point, tup Tuple) bool {
+			got, found := back.Get(p)
+			if !found || got[0] != tup[0] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeChunkErrors(t *testing.T) {
+	if _, err := DecodeChunk([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+	if _, err := DecodeChunk(make([]byte, 16)); err == nil {
+		t.Error("bad magic must fail")
+	}
+	s := paperSchema()
+	c := NewChunk(s, ChunkCoord{0, 0})
+	_ = c.Set(Point{1, 1}, Tuple{1, 2})
+	buf := EncodeChunk(c)
+	if _, err := DecodeChunk(buf[:len(buf)-4]); err == nil {
+		t.Error("short payload must fail")
+	}
+}

@@ -1,0 +1,123 @@
+package array
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Chunk wire format (all integers big-endian):
+//
+//	u32  magic "ACH1"
+//	u32  number of dimensions d
+//	d ×  i64 chunk coordinate
+//	d ×  i64 region lo
+//	d ×  i64 region hi
+//	u32  attributes per cell m
+//	u64  number of cells n
+//	n ×  (i64 local offset, m × f64 attribute values)
+const chunkMagic = 0x41434831 // "ACH1"
+
+// EncodeChunk serializes the chunk into a self-describing byte slice.
+func EncodeChunk(c *Chunk) []byte {
+	d := len(c.coord)
+	size := 4 + 4 + 8*d*3 + 4 + 8 + len(c.cells)*(8+8*c.nattrs)
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, chunkMagic)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d))
+	for _, v := range c.coord {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, v := range c.region.Lo {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	for _, v := range c.region.Hi {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.nattrs))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(c.cells)))
+	for off, t := range c.cells {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(off))
+		for _, v := range t {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// DecodeChunk parses a chunk previously produced by EncodeChunk.
+func DecodeChunk(buf []byte) (*Chunk, error) {
+	r := reader{buf: buf}
+	if m := r.u32(); m != chunkMagic {
+		return nil, fmt.Errorf("array: bad chunk magic %#x", m)
+	}
+	d := int(r.u32())
+	if d <= 0 || d > 64 {
+		return nil, fmt.Errorf("array: implausible dimensionality %d", d)
+	}
+	c := &Chunk{
+		coord:  make(ChunkCoord, d),
+		region: Region{Lo: make(Point, d), Hi: make(Point, d)},
+	}
+	for i := range c.coord {
+		c.coord[i] = r.i64()
+	}
+	for i := range c.region.Lo {
+		c.region.Lo[i] = r.i64()
+	}
+	for i := range c.region.Hi {
+		c.region.Hi[i] = r.i64()
+	}
+	c.nattrs = int(r.u32())
+	n := int(r.u64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if rem := len(buf) - r.pos; rem != n*(8+8*c.nattrs) {
+		return nil, fmt.Errorf("array: chunk payload is %d bytes, want %d", rem, n*(8+8*c.nattrs))
+	}
+	c.cells = make(map[int64]Tuple, n)
+	for i := 0; i < n; i++ {
+		off := r.i64()
+		t := make(Tuple, c.nattrs)
+		for j := range t {
+			t[j] = math.Float64frombits(r.u64())
+		}
+		c.cells[off] = t
+	}
+	return c, r.err
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+4 > len(r.buf) {
+		r.err = fmt.Errorf("array: truncated chunk at byte %d", r.pos)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.err = fmt.Errorf("array: truncated chunk at byte %d", r.pos)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }

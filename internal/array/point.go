@@ -1,0 +1,142 @@
+package array
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Point is a cell coordinate: one integer index per dimension.
+type Point []int64
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same coordinate.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + off component-wise.
+func (p Point) Add(off []int64) Point {
+	q := make(Point, len(p))
+	for i := range p {
+		q[i] = p[i] + off[i]
+	}
+	return q
+}
+
+// Compare orders points lexicographically, returning -1, 0 or 1.
+func (p Point) Compare(q Point) int {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case p[i] < q[i]:
+			return -1
+		case p[i] > q[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(p) < len(q):
+		return -1
+	case len(p) > len(q):
+		return 1
+	}
+	return 0
+}
+
+// String renders the point as [i1, i2, ...].
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Tuple holds the attribute values of one non-empty cell, in schema
+// attribute order. Integer attributes are carried as float64.
+type Tuple []float64
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// ChunkCoord identifies a chunk slot: one chunk index per dimension.
+type ChunkCoord []int64
+
+// Clone returns a copy of cc.
+func (cc ChunkCoord) Clone() ChunkCoord {
+	dd := make(ChunkCoord, len(cc))
+	copy(dd, cc)
+	return dd
+}
+
+// Equal reports whether two chunk coordinates are identical.
+func (cc ChunkCoord) Equal(dd ChunkCoord) bool {
+	return Point(cc).Equal(Point(dd))
+}
+
+// Key returns a compact map key uniquely identifying the chunk coordinate
+// within one array. The encoding is 8 bytes per dimension, big-endian, so
+// keys of equal dimensionality also sort in row-major order.
+func (cc ChunkCoord) Key() ChunkKey {
+	buf := make([]byte, 8*len(cc))
+	for i, v := range cc {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return ChunkKey(buf)
+}
+
+// String renders the chunk coordinate as (c1, c2, ...).
+func (cc ChunkCoord) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range cc {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ChunkKey is the map-key form of a ChunkCoord, produced by ChunkCoord.Key.
+type ChunkKey string
+
+// Coord decodes the key back into a chunk coordinate.
+func (k ChunkKey) Coord() ChunkCoord {
+	cc := make(ChunkCoord, len(k)/8)
+	for i := range cc {
+		cc[i] = int64(binary.BigEndian.Uint64([]byte(k[i*8:])))
+	}
+	return cc
+}
+
+// String renders the decoded coordinate, for diagnostics.
+func (k ChunkKey) String() string { return k.Coord().String() }

@@ -1,0 +1,184 @@
+package array
+
+import "fmt"
+
+// Region is an axis-aligned hyper-rectangle of cells with inclusive bounds.
+// A Region with any Lo[i] > Hi[i] is empty; use Empty to test.
+type Region struct {
+	Lo Point
+	Hi Point
+}
+
+// NewRegion builds a region from inclusive bounds, copying its arguments.
+func NewRegion(lo, hi Point) Region {
+	return Region{Lo: lo.Clone(), Hi: hi.Clone()}
+}
+
+// NumDims returns the dimensionality of the region.
+func (r Region) NumDims() int { return len(r.Lo) }
+
+// Empty reports whether the region contains no cells.
+func (r Region) Empty() bool {
+	if len(r.Lo) == 0 {
+		return true
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of cell slots in the region (0 when empty).
+func (r Region) Size() int64 {
+	if r.Empty() {
+		return 0
+	}
+	n := int64(1)
+	for i := range r.Lo {
+		n *= r.Hi[i] - r.Lo[i] + 1
+	}
+	return n
+}
+
+// Contains reports whether p lies inside the region.
+func (r Region) Contains(p Point) bool {
+	if len(p) != len(r.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of r and s. ok is false when the
+// intersection is empty.
+func (r Region) Intersect(s Region) (out Region, ok bool) {
+	if len(r.Lo) != len(s.Lo) {
+		return Region{}, false
+	}
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = maxI64(r.Lo[i], s.Lo[i])
+		hi[i] = minI64(r.Hi[i], s.Hi[i])
+		if lo[i] > hi[i] {
+			return Region{}, false
+		}
+	}
+	return Region{Lo: lo, Hi: hi}, true
+}
+
+// Intersects reports whether r and s share at least one cell.
+func (r Region) Intersects(s Region) bool {
+	_, ok := r.Intersect(s)
+	return ok
+}
+
+// Union returns the bounding box of r and s (the smallest region containing
+// both). If either is empty the other is returned.
+func (r Region) Union(s Region) Region {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = minI64(r.Lo[i], s.Lo[i])
+		hi[i] = maxI64(r.Hi[i], s.Hi[i])
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+// Dilate grows the region by the offset bounds [offLo, offHi] per dimension:
+// the result contains q iff some p in r has q = p + off with
+// offLo <= off <= offHi component-wise. This is the Minkowski sum of the
+// region with the offset box, used to find cells reachable through a shape.
+func (r Region) Dilate(offLo, offHi []int64) Region {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Lo))
+	for i := range r.Lo {
+		lo[i] = r.Lo[i] + offLo[i]
+		hi[i] = r.Hi[i] + offHi[i]
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+// Project keeps only the listed dimensions, in the given order.
+func (r Region) Project(dims []int) Region {
+	lo := make(Point, len(dims))
+	hi := make(Point, len(dims))
+	for i, d := range dims {
+		lo[i] = r.Lo[d]
+		hi[i] = r.Hi[d]
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+// Clone returns a deep copy of the region.
+func (r Region) Clone() Region {
+	return Region{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+}
+
+// Each calls fn for every cell coordinate in the region in row-major order,
+// reusing a single Point buffer across calls; clone it if retained. It stops
+// early if fn returns false.
+func (r Region) Each(fn func(p Point) bool) {
+	if r.Empty() {
+		return
+	}
+	d := len(r.Lo)
+	cur := r.Lo.Clone()
+	for {
+		if !fn(cur) {
+			return
+		}
+		i := d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= r.Hi[i] {
+				break
+			}
+			cur[i] = r.Lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// String renders the region as [lo..hi] per dimension.
+func (r Region) String() string {
+	if r.Empty() {
+		return "<empty>"
+	}
+	s := "["
+	for i := range r.Lo {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d..%d", r.Lo[i], r.Hi[i])
+	}
+	return s + "]"
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

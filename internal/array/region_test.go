@@ -1,0 +1,239 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBasics(t *testing.T) {
+	r := NewRegion(Point{1, 1}, Point{2, 3})
+	if r.Empty() {
+		t.Fatal("region should be non-empty")
+	}
+	if got := r.Size(); got != 6 {
+		t.Errorf("Size() = %d, want 6", got)
+	}
+	if !r.Contains(Point{2, 2}) || r.Contains(Point{3, 2}) {
+		t.Error("Contains misbehaves")
+	}
+	if (Region{Lo: Point{2}, Hi: Point{1}}).Size() != 0 {
+		t.Error("empty region must have size 0")
+	}
+	if !(Region{}).Empty() {
+		t.Error("zero region must be empty")
+	}
+}
+
+func TestRegionIntersectUnion(t *testing.T) {
+	a := NewRegion(Point{1, 1}, Point{4, 4})
+	b := NewRegion(Point{3, 0}, Point{6, 2})
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("regions must intersect")
+	}
+	if !got.Lo.Equal(Point{3, 1}) || !got.Hi.Equal(Point{4, 2}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	u := a.Union(b)
+	if !u.Lo.Equal(Point{1, 0}) || !u.Hi.Equal(Point{6, 4}) {
+		t.Errorf("Union = %v", u)
+	}
+	if _, ok := a.Intersect(NewRegion(Point{10, 10}, Point{11, 11})); ok {
+		t.Error("disjoint regions must not intersect")
+	}
+	if _, ok := a.Intersect(NewRegion(Point{1}, Point{2})); ok {
+		t.Error("dimension mismatch must not intersect")
+	}
+}
+
+func TestRegionDilate(t *testing.T) {
+	r := NewRegion(Point{5, 5}, Point{6, 6})
+	d := r.Dilate([]int64{-1, -2}, []int64{1, 2})
+	if !d.Lo.Equal(Point{4, 3}) || !d.Hi.Equal(Point{7, 8}) {
+		t.Errorf("Dilate = %v", d)
+	}
+}
+
+func TestRegionProject(t *testing.T) {
+	r := NewRegion(Point{1, 2, 3}, Point{4, 5, 6})
+	p := r.Project([]int{2, 0})
+	if !p.Lo.Equal(Point{3, 1}) || !p.Hi.Equal(Point{6, 4}) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestRegionEach(t *testing.T) {
+	r := NewRegion(Point{1, 1}, Point{2, 2})
+	var got []Point
+	r.Each(func(p Point) bool {
+		got = append(got, p.Clone())
+		return true
+	})
+	want := []Point{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("cell %d = %v, want %v (row-major order)", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	r.Each(func(Point) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+	// Empty region visits nothing.
+	(Region{Lo: Point{2}, Hi: Point{1}}).Each(func(Point) bool {
+		t.Error("empty region must not visit cells")
+		return false
+	})
+}
+
+// randomRegion draws a small random region in up to 3 dims.
+func randomRegion(rng *rand.Rand, dims int) Region {
+	lo := make(Point, dims)
+	hi := make(Point, dims)
+	for i := 0; i < dims; i++ {
+		lo[i] = int64(rng.Intn(20) - 10)
+		hi[i] = lo[i] + int64(rng.Intn(8)-2) // sometimes empty
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+func TestRegionIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 1 + r.Intn(3)
+		a, b := randomRegion(rng, dims), randomRegion(rng, dims)
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		// Commutativity.
+		if okAB != okBA {
+			return false
+		}
+		if okAB && (!ab.Lo.Equal(ba.Lo) || !ab.Hi.Equal(ba.Hi)) {
+			return false
+		}
+		// Membership: p in a∩b iff p in a and p in b, checked on samples.
+		for k := 0; k < 10; k++ {
+			p := make(Point, dims)
+			for i := range p {
+				p[i] = int64(r.Intn(24) - 12)
+			}
+			in := a.Contains(p) && b.Contains(p)
+			inAB := okAB && ab.Contains(p)
+			if in != inAB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionDilateProperty(t *testing.T) {
+	// q is in dilate(r) iff q-off is in r for some off in the box.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(3)
+		r := randomRegion(rng, dims)
+		if r.Empty() {
+			return true
+		}
+		offLo := make([]int64, dims)
+		offHi := make([]int64, dims)
+		for i := 0; i < dims; i++ {
+			offLo[i] = int64(rng.Intn(5) - 3)
+			offHi[i] = offLo[i] + int64(rng.Intn(4))
+		}
+		d := r.Dilate(offLo, offHi)
+		// Every p+off must land in d.
+		ok := true
+		r.Each(func(p Point) bool {
+			for i := 0; i < dims && ok; i++ {
+				if !d.Contains(p.Add(offLo)) || !d.Contains(p.Add(offHi)) {
+					ok = false
+				}
+			}
+			return ok
+		})
+		// Corners of d must be reachable.
+		if ok {
+			if !d.Lo.Equal(r.Lo.Add(offLo)) || !d.Hi.Equal(r.Hi.Add(offHi)) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionSizeMatchesEach(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRegion(rng, 1+rng.Intn(3))
+		n := int64(0)
+		r.Each(func(Point) bool { n++; return true })
+		return n == r.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointCompare(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want int
+	}{
+		{Point{1, 2}, Point{1, 2}, 0},
+		{Point{1, 2}, Point{1, 3}, -1},
+		{Point{2, 0}, Point{1, 9}, 1},
+		{Point{1}, Point{1, 0}, -1},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestChunkKeyRoundTrip(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		cc := ChunkCoord{a, b, c}
+		return cc.Key().Coord().Equal(cc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkKeyOrderIsRowMajor(t *testing.T) {
+	// For non-negative coordinates, key order equals lexicographic order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := ChunkCoord{int64(rng.Intn(100)), int64(rng.Intn(100))}
+		b := ChunkCoord{int64(rng.Intn(100)), int64(rng.Intn(100))}
+		cmp := Point(a).Compare(Point(b))
+		ka, kb := a.Key(), b.Key()
+		switch {
+		case cmp < 0:
+			return ka < kb
+		case cmp > 0:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package array
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSchema is array A from Figure 1 of the paper:
+// A<r:int,s:int>[i=1,6,2; j=1,8,2].
+func paperSchema() *Schema {
+	return MustSchema("A",
+		[]Dimension{
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2},
+			{Name: "j", Start: 1, End: 8, ChunkSize: 2},
+		},
+		[]Attribute{{Name: "r", Type: Int64}, {Name: "s", Type: Int64}},
+	)
+}
+
+func TestSchemaValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    []Dimension
+		attrs   []Attribute
+		wantErr string
+	}{
+		{"ok", []Dimension{{Name: "i", Start: 1, End: 6, ChunkSize: 2}}, nil, ""},
+		{"", []Dimension{{Name: "i", Start: 1, End: 6, ChunkSize: 2}}, nil, "empty name"},
+		{"nodims", nil, nil, "no dimensions"},
+		{"badrange", []Dimension{{Name: "i", Start: 6, End: 1, ChunkSize: 2}}, nil, "End 1 < Start 6"},
+		{"badchunk", []Dimension{{Name: "i", Start: 1, End: 6, ChunkSize: 0}}, nil, "chunk size"},
+		{"dupdim", []Dimension{
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2},
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2}}, nil, "duplicate"},
+		{"dupattr", []Dimension{{Name: "i", Start: 1, End: 6, ChunkSize: 2}},
+			[]Attribute{{Name: "i", Type: Int64}}, "duplicate"},
+		{"emptyattr", []Dimension{{Name: "i", Start: 1, End: 6, ChunkSize: 2}},
+			[]Attribute{{Name: "", Type: Int64}}, "empty name"},
+	}
+	for _, tc := range cases {
+		_, err := NewSchema(tc.name, tc.dims, tc.attrs)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := paperSchema().String()
+	want := "A<r:int,s:int>[i=1,6,2; j=1,8,2]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSchemaChunkGeometry(t *testing.T) {
+	s := paperSchema()
+	if got := s.NumChunks(); got != 12 {
+		t.Errorf("NumChunks() = %d, want 12 (3x4 grid as in Figure 1)", got)
+	}
+	// Cell [1,2] lives in chunk (0,0); cell [1,5] in chunk (0,2) — the paper's
+	// chunk 7 created by insertion at [1,5].
+	if cc := s.ChunkCoordOf(Point{1, 2}); !cc.Equal(ChunkCoord{0, 0}) {
+		t.Errorf("ChunkCoordOf([1,2]) = %v, want (0,0)", cc)
+	}
+	if cc := s.ChunkCoordOf(Point{1, 5}); !cc.Equal(ChunkCoord{0, 2}) {
+		t.Errorf("ChunkCoordOf([1,5]) = %v, want (0,2)", cc)
+	}
+	r := s.ChunkRegion(ChunkCoord{0, 2})
+	want := Region{Lo: Point{1, 5}, Hi: Point{2, 6}}
+	if !r.Lo.Equal(want.Lo) || !r.Hi.Equal(want.Hi) {
+		t.Errorf("ChunkRegion((0,2)) = %v, want %v", r, want)
+	}
+}
+
+func TestSchemaChunkRegionClipped(t *testing.T) {
+	// Dimension of length 5 with chunk size 2: last chunk covers only 1 index.
+	s := MustSchema("B", []Dimension{{Name: "x", Start: 1, End: 5, ChunkSize: 2}}, nil)
+	if got := s.NumChunks(); got != 3 {
+		t.Fatalf("NumChunks() = %d, want 3", got)
+	}
+	r := s.ChunkRegion(ChunkCoord{2})
+	if r.Lo[0] != 5 || r.Hi[0] != 5 {
+		t.Errorf("last chunk region = %v, want [5..5]", r)
+	}
+}
+
+func TestChunksOverlapping(t *testing.T) {
+	s := paperSchema()
+	// The full domain covers all 12 chunk slots.
+	all := s.ChunksOverlapping(s.Bounds())
+	if len(all) != 12 {
+		t.Fatalf("full-domain overlap = %d chunks, want 12", len(all))
+	}
+	// A region dilated past the domain is clipped, not an error.
+	r := Region{Lo: Point{-5, -5}, Hi: Point{2, 2}}
+	got := s.ChunksOverlapping(r)
+	if len(got) != 1 || !got[0].Equal(ChunkCoord{0, 0}) {
+		t.Errorf("overlap(%v) = %v, want [(0,0)]", r, got)
+	}
+	// Disjoint region yields nil.
+	if got := s.ChunksOverlapping(Region{Lo: Point{100, 100}, Hi: Point{101, 101}}); got != nil {
+		t.Errorf("disjoint overlap = %v, want nil", got)
+	}
+	// A cross-shaped neighborhood of [1,5] (L1(1) dilation) touches chunks
+	// (0,1), (0,2) only: cells [1,4],[1,5],[1,6],[2,5] after clipping [0,5].
+	n := Region{Lo: Point{0, 4}, Hi: Point{2, 6}}
+	got = s.ChunksOverlapping(n)
+	if len(got) != 2 {
+		t.Errorf("neighborhood overlap = %v, want 2 chunks", got)
+	}
+}
+
+func TestDimAttrIndex(t *testing.T) {
+	s := paperSchema()
+	if s.DimIndex("j") != 1 || s.DimIndex("zz") != -1 {
+		t.Error("DimIndex lookup failed")
+	}
+	if s.AttrIndex("s") != 1 || s.AttrIndex("zz") != -1 {
+		t.Error("AttrIndex lookup failed")
+	}
+	if s.NumDims() != 2 || s.NumAttrs() != 2 {
+		t.Error("NumDims/NumAttrs mismatch")
+	}
+}
+
+func TestSchemaContains(t *testing.T) {
+	s := paperSchema()
+	if !s.Contains(Point{1, 1}) || !s.Contains(Point{6, 8}) {
+		t.Error("corner points must be inside")
+	}
+	if s.Contains(Point{0, 1}) || s.Contains(Point{1, 9}) || s.Contains(Point{1}) {
+		t.Error("outside/short points must be rejected")
+	}
+}

@@ -1,0 +1,86 @@
+package arrayio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+func testArray(t *testing.T, seed int64) *array.Array {
+	t.Helper()
+	s := array.MustSchema("T",
+		[]array.Dimension{
+			{Name: "x", Start: -10, End: 50, ChunkSize: 7},
+			{Name: "y", Start: 0, End: 30, ChunkSize: 4},
+		},
+		[]array.Attribute{
+			{Name: "a", Type: array.Float64},
+			{Name: "b", Type: array.Int64},
+		})
+	a := array.New(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 80; i++ {
+		p := array.Point{rng.Int63n(61) - 10, rng.Int63n(31)}
+		if err := a.Set(p, array.Tuple{rng.NormFloat64(), float64(rng.Intn(100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := testArray(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a) {
+		t.Fatal("round trip changed cells")
+	}
+	bs, as := back.Schema(), a.Schema()
+	if bs.String() != as.String() {
+		t.Fatalf("schema round trip: %s vs %s", bs, as)
+	}
+}
+
+func TestEmptyArrayRoundTrip(t *testing.T) {
+	s := array.MustSchema("E",
+		[]array.Dimension{{Name: "x", Start: 0, End: 9, ChunkSize: 5}}, nil)
+	a := array.New(s)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCells() != 0 || back.Schema().Name != "E" {
+		t.Fatal("empty array round trip")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream must fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic must fail")
+	}
+	// Truncated stream.
+	a := testArray(t, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated stream must fail")
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// AblationRow is one configuration of a design-choice ablation.
+type AblationRow struct {
+	Config           string
+	TotalMaintenance float64
+}
+
+// AblationPairOrder compares Algorithm 1's randomized pair order against a
+// deterministic largest-pair-first order (DESIGN.md §5).
+func AblationPairOrder(w io.Writer, spec Spec) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, sorted := range []bool{false, true} {
+		s := spec
+		s.Params.SortedPairOrder = sorted
+		res, err := RunSequence(s, "reassign")
+		if err != nil {
+			return nil, err
+		}
+		name := "random order"
+		if sorted {
+			name = "largest-first order"
+		}
+		rows = append(rows, AblationRow{Config: name, TotalMaintenance: res.TotalMaintenance()})
+	}
+	printAblation(w, "pair iteration order (Algorithm 1)", spec, rows)
+	return rows, nil
+}
+
+// AblationWindow varies the history window length of array reassignment.
+func AblationWindow(w io.Writer, spec Spec, windows []int) ([]AblationRow, error) {
+	if len(windows) == 0 {
+		windows = []int{0, 1, 5, 10}
+	}
+	var rows []AblationRow
+	for _, win := range windows {
+		s := spec
+		s.Params.Window = win
+		res, err := RunSequence(s, "reassign")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:           fmt.Sprintf("window=%d", win),
+			TotalMaintenance: res.TotalMaintenance(),
+		})
+	}
+	printAblation(w, "history window length (Algorithm 3)", spec, rows)
+	return rows, nil
+}
+
+// AblationCPUQuota varies Algorithm 3's per-node CPU quota factor.
+func AblationCPUQuota(w io.Writer, spec Spec, factors []float64) ([]AblationRow, error) {
+	if len(factors) == 0 {
+		factors = []float64{0, 0.5, 1, 4}
+	}
+	var rows []AblationRow
+	for _, f := range factors {
+		s := spec
+		s.Params.CPUThresholdFactor = f
+		res, err := RunSequence(s, "reassign")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:           fmt.Sprintf("cpu_thr x%.1f", f),
+			TotalMaintenance: res.TotalMaintenance(),
+		})
+	}
+	printAblation(w, "CPU quota factor (Algorithm 3)", spec, rows)
+	return rows, nil
+}
+
+// AblationLambda varies the current-vs-history weight λ of Eq. 1.
+func AblationLambda(w io.Writer, spec Spec, lambdas []float64) ([]AblationRow, error) {
+	if len(lambdas) == 0 {
+		lambdas = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	var rows []AblationRow
+	for _, l := range lambdas {
+		s := spec
+		s.Params.Lambda = l
+		res, err := RunSequence(s, "reassign")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Config:           fmt.Sprintf("lambda=%.2f", l),
+			TotalMaintenance: res.TotalMaintenance(),
+		})
+	}
+	printAblation(w, "current-vs-history weight λ", spec, rows)
+	return rows, nil
+}
+
+func printAblation(w io.Writer, what string, spec Spec, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation — %s: %s / %s\n", what, spec.Dataset, spec.Mode)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "config\ttotal maintenance (s)\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\n", r.Config, r.TotalMaintenance)
+	}
+	tw.Flush()
+}
+
+// AblationCellPruning compares chunk-granularity triple generation against
+// the cell-granularity (bounding-box) alternative the paper discusses:
+// pruning drops join pairs that cannot match, at the price of richer
+// metadata.
+func AblationCellPruning(w io.Writer, spec Spec) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, pruning := range []bool{false, true} {
+		s := spec
+		s.Params.CellPruning = pruning
+		res, err := RunSequence(s, "reassign")
+		if err != nil {
+			return nil, err
+		}
+		name := "chunk granularity"
+		if pruning {
+			name = "cell granularity (bbox pruning)"
+		}
+		units := 0
+		for _, b := range res.Batches {
+			units += b.Units
+		}
+		rows = append(rows, AblationRow{
+			Config:           fmt.Sprintf("%s, %d units", name, units),
+			TotalMaintenance: res.TotalMaintenance(),
+		})
+	}
+	printAblation(w, "triple granularity", spec, rows)
+	return rows, nil
+}

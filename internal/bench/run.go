@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// BatchResult is the outcome of maintaining one batch.
+type BatchResult struct {
+	Batch        int
+	Maintenance  float64 // simulated seconds (Eq. 1 plan cost)
+	Optimization float64 // measured seconds (triple gen + planning)
+	TripleGen    float64 // measured seconds (triple gen only)
+	Units        int
+	Triples      int
+	Transfers    int
+}
+
+// SeqResult is a full batch sequence under one strategy.
+type SeqResult struct {
+	Spec     Spec
+	Strategy string
+	Batches  []BatchResult
+}
+
+// TotalMaintenance sums the per-batch maintenance times.
+func (r *SeqResult) TotalMaintenance() float64 {
+	t := 0.0
+	for _, b := range r.Batches {
+		t += b.Maintenance
+	}
+	return t
+}
+
+// TotalOptimization sums the per-batch optimization times.
+func (r *SeqResult) TotalOptimization() float64 {
+	t := 0.0
+	for _, b := range r.Batches {
+		t += b.Optimization
+	}
+	return t
+}
+
+// AvgOptimization is the Figure 5 quantity.
+func (r *SeqResult) AvgOptimization() float64 {
+	if len(r.Batches) == 0 {
+		return 0
+	}
+	return r.TotalOptimization() / float64(len(r.Batches))
+}
+
+// AvgTripleGen averages the triple-generation share (the "baseline"
+// optimization time of Figure 5).
+func (r *SeqResult) AvgTripleGen() float64 {
+	if len(r.Batches) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, b := range r.Batches {
+		t += b.TripleGen
+	}
+	return t / float64(len(r.Batches))
+}
+
+// RunSequence generates the spec's dataset fresh (seeded, so identical
+// across strategies), loads base and view, and applies every batch with
+// the named strategy.
+func RunSequence(spec Spec, strategy string) (*SeqResult, error) {
+	planner, ok := maintain.Strategies()[strategy]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown strategy %q", strategy)
+	}
+	data, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return runBatches(spec, planner, data)
+}
+
+// runBatches drives a pre-generated dataset through maintenance.
+func runBatches(spec Spec, planner maintain.Planner, data *workload.Dataset) (*SeqResult, error) {
+	cl, err := spec.Cluster()
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		return nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		return nil, err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+	res := &SeqResult{Spec: spec, Strategy: planner.Name()}
+	for i, batch := range data.Batches {
+		rep, err := m.ApplyBatch(batch)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s batch %d: %w", planner.Name(), i, err)
+		}
+		res.Batches = append(res.Batches, BatchResult{
+			Batch:        i + 1,
+			Maintenance:  rep.MaintenanceSeconds,
+			Optimization: rep.OptimizationSeconds,
+			TripleGen:    rep.TripleGenSeconds,
+			Units:        rep.NumUnits,
+			Triples:      rep.NumTriples,
+			Transfers:    rep.NumTransfers,
+		})
+	}
+	return res, nil
+}
+
+// RunAllStrategies runs the spec once per built-in strategy over identical
+// data.
+func RunAllStrategies(spec Spec) (map[string]*SeqResult, error) {
+	out := make(map[string]*SeqResult)
+	for _, name := range maintain.StrategyNames() {
+		r, err := RunSequence(spec, name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// ArrayMeta is the catalog entry for one array: its schema plus chunk-level
+// metadata — home node (S_q in the paper), size in bytes (B_q), cell count,
+// and the replica set built up by maintenance transfers.
+type ArrayMeta struct {
+	Schema *array.Schema
+	// Home maps each occupied chunk to the node owning its primary copy.
+	Home map[array.ChunkKey]int
+	// Size caches the serialized byte size of each chunk (B_q).
+	Size map[array.ChunkKey]int64
+	// Cells caches the non-empty cell count of each chunk.
+	Cells map[array.ChunkKey]int
+	// Replicas tracks which nodes hold a copy of each chunk, including the
+	// home node. Reassignment piggybacks on these copies (Section 4.5).
+	Replicas map[array.ChunkKey]map[int]bool
+	// BBox optionally caches the tight bounding region of each chunk's
+	// non-empty cells — the "positional information on non-empty cells"
+	// the paper says cell-granularity maintenance requires.
+	BBox map[array.ChunkKey]array.Region
+}
+
+func newArrayMeta(s *array.Schema) *ArrayMeta {
+	return &ArrayMeta{
+		Schema:   s,
+		Home:     make(map[array.ChunkKey]int),
+		Size:     make(map[array.ChunkKey]int64),
+		Cells:    make(map[array.ChunkKey]int),
+		Replicas: make(map[array.ChunkKey]map[int]bool),
+		BBox:     make(map[array.ChunkKey]array.Region),
+	}
+}
+
+// Catalog is the centralized system catalog stored at the coordinator. It
+// is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	arrays map[string]*ArrayMeta
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{arrays: make(map[string]*ArrayMeta)}
+}
+
+// Register adds an array schema to the catalog. Registering an existing
+// name is an error.
+func (c *Catalog) Register(s *array.Schema) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.arrays[s.Name]; ok {
+		return fmt.Errorf("cluster: array %q already registered", s.Name)
+	}
+	c.arrays[s.Name] = newArrayMeta(s)
+	return nil
+}
+
+// Drop removes an array from the catalog.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.arrays, name)
+}
+
+// Schema returns the schema of the named array, or nil.
+func (c *Catalog) Schema(name string) *array.Schema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if m, ok := c.arrays[name]; ok {
+		return m.Schema
+	}
+	return nil
+}
+
+// meta fetches the entry or panics; internal callers guarantee existence.
+func (c *Catalog) meta(name string) *ArrayMeta {
+	m, ok := c.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: array %q not registered", name))
+	}
+	return m
+}
+
+// SetChunk records or updates the metadata of one chunk: home node, byte
+// size, and cell count. It resets the replica set to just the home node.
+func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64, cells int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.meta(name)
+	m.Home[key] = home
+	m.Size[key] = size
+	m.Cells[key] = cells
+	m.Replicas[key] = map[int]bool{home: true}
+}
+
+// Home returns the home node of a chunk; ok=false when the chunk is not in
+// the catalog.
+func (c *Catalog) Home(name string, key array.ChunkKey) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return 0, false
+	}
+	node, ok := m.Home[key]
+	return node, ok
+}
+
+// ChunkSize returns the cached byte size of a chunk (0 if unknown).
+func (c *Catalog) ChunkSize(name string, key array.ChunkKey) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return 0
+	}
+	return m.Size[key]
+}
+
+// ChunkCells returns the cached cell count of a chunk (0 if unknown).
+func (c *Catalog) ChunkCells(name string, key array.ChunkKey) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return 0
+	}
+	return m.Cells[key]
+}
+
+// SetChunkBBox records the tight bounding region of a chunk's cells.
+func (c *Catalog) SetChunkBBox(name string, key array.ChunkKey, bb array.Region) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.meta(name).BBox[key] = bb.Clone()
+}
+
+// ChunkBBox returns the cached cell bounding box of a chunk, if recorded.
+func (c *Catalog) ChunkBBox(name string, key array.ChunkKey) (array.Region, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return array.Region{}, false
+	}
+	bb, ok := m.BBox[key]
+	return bb, ok
+}
+
+// AddReplica records that node holds a copy of the chunk.
+func (c *Catalog) AddReplica(name string, key array.ChunkKey, node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.meta(name)
+	reps, ok := m.Replicas[key]
+	if !ok {
+		reps = make(map[int]bool)
+		m.Replicas[key] = reps
+	}
+	reps[node] = true
+}
+
+// HasReplica reports whether node holds a copy of the chunk (the home node
+// always counts).
+func (c *Catalog) HasReplica(name string, key array.ChunkKey, node int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return false
+	}
+	if home, known := m.Home[key]; known && home == node {
+		return true
+	}
+	return m.Replicas[key][node]
+}
+
+// Replicas returns the sorted node IDs holding a copy of the chunk.
+func (c *Catalog) Replicas(name string, key array.ChunkKey) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(m.Replicas[key]))
+	for n := range m.Replicas[key] {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DropChunk removes one chunk's metadata entirely (e.g., after all its
+// cells are deleted).
+func (c *Catalog) DropChunk(name string, key array.ChunkKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return
+	}
+	delete(m.Home, key)
+	delete(m.Size, key)
+	delete(m.Cells, key)
+	delete(m.Replicas, key)
+	delete(m.BBox, key)
+}
+
+// Rehome changes the home node of a chunk. The new home must already hold a
+// replica when requireReplica is set — this is the Algorithm 3 constraint
+// that reassignment piggybacks on existing copies and costs no transfer.
+func (c *Catalog) Rehome(name string, key array.ChunkKey, node int, requireReplica bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.meta(name)
+	if _, ok := m.Home[key]; !ok {
+		return fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
+	}
+	if requireReplica && !m.Replicas[key][node] {
+		return fmt.Errorf("cluster: node %d holds no replica of chunk %v of %q", node, key, name)
+	}
+	m.Home[key] = node
+	if m.Replicas[key] == nil {
+		m.Replicas[key] = make(map[int]bool)
+	}
+	m.Replicas[key][node] = true
+	return nil
+}
+
+// ClearReplicas trims every chunk's replica set back to its home node,
+// modelling the end-of-batch garbage collection of scratch copies.
+func (c *Catalog) ClearReplicas(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.meta(name)
+	for key := range m.Replicas {
+		m.Replicas[key] = map[int]bool{m.Home[key]: true}
+	}
+}
+
+// Keys returns the sorted chunk keys of the named array.
+func (c *Catalog) Keys(name string) []array.ChunkKey {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return nil
+	}
+	out := make([]array.ChunkKey, 0, len(m.Home))
+	for k := range m.Home {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumChunks returns how many chunks of the array the catalog tracks.
+func (c *Catalog) NumChunks(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return 0
+	}
+	return len(m.Home)
+}
+
+// NodeLoad returns, for each node, the total bytes of chunks homed there.
+func (c *Catalog) NodeLoad(name string, numNodes int) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	load := make([]int64, numNodes)
+	m, ok := c.arrays[name]
+	if !ok {
+		return load
+	}
+	for k, node := range m.Home {
+		if node >= 0 && node < numNodes {
+			load[node] += m.Size[k]
+		}
+	}
+	return load
+}
+
+// Placement decides the home node for a new chunk; used by the baseline
+// algorithm and by initial data loading.
+type Placement interface {
+	// Place returns a node in [0, numNodes) for the chunk.
+	Place(key array.ChunkKey, numNodes int) int
+}
+
+// RoundRobin assigns chunks to nodes cyclically in the order presented —
+// with row-major-sorted input this is the paper's "distributed round-robin
+// in row-major order". The zero value starts at node 0.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Place implements Placement.
+func (r *RoundRobin) Place(_ array.ChunkKey, numNodes int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next % numNodes
+	r.next++
+	return n
+}
+
+// HashPlacement assigns chunks by FNV hash of the chunk key: the
+// "hash-based chunking" strategy whose poor locality the paper discusses
+// ("each join computation is likely to require communication because
+// adjacent chunks are assigned to different nodes").
+type HashPlacement struct{}
+
+// Place implements Placement.
+func (HashPlacement) Place(key array.ChunkKey, numNodes int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numNodes))
+}
+
+// RangePlacement is the space-partitioning assignment common in array
+// databases: contiguous bands of one dimension's chunk index map to
+// consecutive nodes. The paper notes its failure mode for maintenance:
+// "most of the joins are concentrated on a single node, thus the load is
+// imbalanced" when updates hit a narrow region.
+type RangePlacement struct {
+	// Dim is the banded dimension's position in the chunk coordinate.
+	Dim int
+	// NumChunks is the number of chunk slots along Dim.
+	NumChunks int64
+}
+
+// Place implements Placement.
+func (r RangePlacement) Place(key array.ChunkKey, numNodes int) int {
+	cc := key.Coord()
+	if r.Dim < 0 || r.Dim >= len(cc) || r.NumChunks <= 0 {
+		return 0
+	}
+	idx := cc[r.Dim]
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= r.NumChunks {
+		idx = r.NumChunks - 1
+	}
+	node := int(idx * int64(numNodes) / r.NumChunks)
+	if node >= numNodes {
+		node = numNodes - 1
+	}
+	return node
+}

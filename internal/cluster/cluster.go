@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// Node is one shared-nothing worker: an ID plus a local storage manager.
+type Node struct {
+	ID    int
+	Store *storage.Store
+}
+
+// Cluster is the simulated distributed array database. It owns the worker
+// nodes, a coordinator-side store for incoming delta chunks, the system
+// catalog, and the cost model used to account plans.
+type Cluster struct {
+	nodes       []*Node
+	coordinator *storage.Store
+	catalog     *Catalog
+	model       CostModel
+	workers     int
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithCostModel overrides the default calibrated cost model.
+func WithCostModel(m CostModel) Option {
+	return func(c *Cluster) { c.model = m }
+}
+
+// WithWorkersPerNode sets the worker-thread pool size per node. The paper
+// sets it to the core count; we default to a value that keeps the whole
+// simulation within the host's cores.
+func WithWorkersPerNode(n int) Option {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// New creates a cluster with numNodes workers.
+func New(numNodes int, opts ...Option) (*Cluster, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", numNodes)
+	}
+	c := &Cluster{
+		coordinator: storage.NewStore(),
+		catalog:     NewCatalog(),
+		model:       DefaultCostModel(),
+		workers:     maxInt(1, runtime.NumCPU()/numNodes),
+	}
+	for i := 0; i < numNodes; i++ {
+		c.nodes = append(c.nodes, &Node{ID: i, Store: storage.NewStore()})
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// NumNodes returns the worker count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Catalog returns the system catalog.
+func (c *Cluster) Catalog() *Catalog { return c.catalog }
+
+// CostModel returns the cluster's cost model.
+func (c *Cluster) CostModel() CostModel { return c.model }
+
+// NewLedger returns a fresh per-batch ledger for this cluster.
+func (c *Cluster) NewLedger() *Ledger { return NewLedger(len(c.nodes), c.model) }
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0, %d)", id, len(c.nodes)))
+	}
+	return c.nodes[id]
+}
+
+// store resolves a node ID (or Coordinator) to its storage manager.
+func (c *Cluster) store(id int) *storage.Store {
+	if id == Coordinator {
+		return c.coordinator
+	}
+	return c.Node(id).Store
+}
+
+// LoadArray registers the array and distributes its chunks to nodes using
+// the placement strategy, feeding chunks in row-major key order so that
+// RoundRobin reproduces the paper's layout.
+func (c *Cluster) LoadArray(a *array.Array, p Placement) error {
+	if err := c.catalog.Register(a.Schema()); err != nil {
+		return err
+	}
+	name := a.Schema().Name
+	var err error
+	a.EachChunk(func(ch *array.Chunk) bool {
+		node := p.Place(ch.Key(), len(c.nodes))
+		if node < 0 || node >= len(c.nodes) {
+			err = fmt.Errorf("cluster: placement returned node %d", node)
+			return false
+		}
+		c.nodes[node].Store.Put(name, ch)
+		c.catalog.SetChunk(name, ch.Key(), node, ch.SizeBytes(), ch.NumCells())
+		if bb, ok := ch.BoundingBox(); ok {
+			c.catalog.SetChunkBBox(name, ch.Key(), bb)
+		}
+		return true
+	})
+	return err
+}
+
+// StageDelta places a batch's delta chunks at the coordinator and records
+// them in the catalog with home = Coordinator. Chunks for an unregistered
+// array are an error.
+func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
+	if c.catalog.Schema(name) == nil {
+		return fmt.Errorf("cluster: array %q not registered", name)
+	}
+	for _, ch := range chunks {
+		c.coordinator.Put(name, ch)
+		c.catalog.SetChunk(name, ch.Key(), Coordinator, ch.SizeBytes(), ch.NumCells())
+		if bb, ok := ch.BoundingBox(); ok {
+			c.catalog.SetChunkBBox(name, ch.Key(), bb)
+		}
+	}
+	return nil
+}
+
+// Transfer copies a chunk from one node (or the coordinator) to another and
+// charges the sender on the ledger. The catalog gains a replica entry; the
+// home assignment is unchanged. Transfers to a node already holding a
+// replica are free no-ops.
+func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from, to int) error {
+	if from == to || c.catalog.HasReplica(name, key, to) {
+		return nil
+	}
+	ch, err := c.store(from).Get(name, key)
+	if err != nil {
+		return fmt.Errorf("cluster: transfer %v of %q from node %d: %w", key, name, from, err)
+	}
+	c.store(to).Put(name, ch)
+	c.catalog.AddReplica(name, key, to)
+	if ledger != nil {
+		ledger.ChargeTransferTo(from, to, c.catalog.ChunkSize(name, key))
+	}
+	return nil
+}
+
+// FetchChunk reads a chunk from whichever node it is resident on (preferring
+// the requested node) without charging the ledger; used by executors that
+// already paid for transfers in the plan.
+func (c *Cluster) FetchChunk(name string, key array.ChunkKey, at int) (*array.Chunk, error) {
+	if at != Coordinator && c.store(at).Has(name, key) {
+		return c.store(at).Get(name, key)
+	}
+	home, ok := c.catalog.Home(name, key)
+	if !ok {
+		return nil, fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
+	}
+	return c.store(home).Get(name, key)
+}
+
+// Gather reconstructs the full logical array from the distributed chunks,
+// reading each chunk from its home node. Used by tests and by clients that
+// want a local copy.
+func (c *Cluster) Gather(name string) (*array.Array, error) {
+	s := c.catalog.Schema(name)
+	if s == nil {
+		return nil, fmt.Errorf("cluster: array %q not registered", name)
+	}
+	out := array.New(s)
+	for _, key := range c.catalog.Keys(name) {
+		home, _ := c.catalog.Home(name, key)
+		ch, err := c.store(home).Get(name, key)
+		if err != nil {
+			return nil, err
+		}
+		out.PutChunk(ch)
+	}
+	return out, nil
+}
+
+// Task is one unit of node-local work (a chunk-pair join or a view merge).
+type Task func() error
+
+// RunPerNode executes each node's task list concurrently: nodes run in
+// parallel with each other and each node processes its own queue with the
+// configured per-node worker pool, mirroring the paper's thread-pool
+// servers. The first error aborts scheduling of further tasks and is
+// returned.
+func (c *Cluster) RunPerNode(tasks map[int][]Task) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	nodeIDs := make([]int, 0, len(tasks))
+	for id := range tasks {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Ints(nodeIDs)
+	for _, id := range nodeIDs {
+		queue := tasks[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := make(chan Task)
+			var nodeWG sync.WaitGroup
+			for w := 0; w < c.workers; w++ {
+				nodeWG.Add(1)
+				go func() {
+					defer nodeWG.Done()
+					for t := range ch {
+						if err := t(); err != nil {
+							setErr(err)
+						}
+					}
+				}()
+			}
+			for _, t := range queue {
+				if failed() {
+					break
+				}
+				ch <- t
+			}
+			close(ch)
+			nodeWG.Wait()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

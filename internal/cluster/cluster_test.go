@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+func fig1Schema() *array.Schema {
+	return array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2},
+			{Name: "j", Start: 1, End: 8, ChunkSize: 2},
+		},
+		[]array.Attribute{{Name: "r", Type: array.Int64}, {Name: "s", Type: array.Int64}},
+	)
+}
+
+func fig1Array() *array.Array {
+	a := array.New(fig1Schema())
+	for _, c := range []struct {
+		p array.Point
+		t array.Tuple
+	}{
+		{array.Point{1, 2}, array.Tuple{2, 5}},
+		{array.Point{1, 3}, array.Tuple{6, 3}},
+		{array.Point{3, 4}, array.Tuple{2, 9}},
+		{array.Point{4, 1}, array.Tuple{2, 1}},
+		{array.Point{5, 7}, array.Tuple{4, 8}},
+		{array.Point{6, 5}, array.Tuple{4, 3}},
+	} {
+		if err := a.Set(c.p, c.t); err != nil {
+			panic(err)
+		}
+	}
+	return a
+}
+
+func TestClusterLoadRoundRobinMatchesPaper(t *testing.T) {
+	// Figure 1 (a): the 6 occupied chunks of A are distributed round-robin
+	// in row-major order over 3 servers X, Y, Z: chunks 1..6 go to
+	// X, Y, Z, X, Y, Z.
+	cl, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fig1Array()
+	if err := cl.LoadArray(a, &RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	keys := cl.Catalog().Keys("A")
+	if len(keys) != 6 {
+		t.Fatalf("catalog has %d chunks, want 6", len(keys))
+	}
+	for i, key := range keys {
+		home, ok := cl.Catalog().Home("A", key)
+		if !ok || home != i%3 {
+			t.Errorf("chunk %d home = %d, want %d", i+1, home, i%3)
+		}
+		if !cl.Node(home).Store.Has("A", key) {
+			t.Errorf("chunk %d not resident on its home node", i+1)
+		}
+	}
+}
+
+func TestClusterGatherRoundTrips(t *testing.T) {
+	cl, _ := New(3)
+	a := fig1Array()
+	if err := cl.LoadArray(a, HashPlacement{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a) {
+		t.Error("Gather must reconstruct the loaded array")
+	}
+	if _, err := cl.Gather("missing"); err == nil {
+		t.Error("gathering an unregistered array must fail")
+	}
+}
+
+func TestClusterLoadDuplicate(t *testing.T) {
+	cl, _ := New(2)
+	a := fig1Array()
+	if err := cl.LoadArray(a, &RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(a, &RoundRobin{}); err == nil {
+		t.Error("loading the same array twice must fail")
+	}
+}
+
+func TestClusterStageDeltaAndTransfer(t *testing.T) {
+	cl, _ := New(2)
+	a := fig1Array()
+	if err := cl.LoadArray(a, &RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Schema()
+	d := array.NewChunk(s, array.ChunkCoord{0, 2})
+	_ = d.Set(array.Point{1, 5}, array.Tuple{5, 6})
+	if err := cl.StageDelta("A", []*array.Chunk{d}); err != nil {
+		t.Fatal(err)
+	}
+	home, ok := cl.Catalog().Home("A", d.Key())
+	if !ok || home != Coordinator {
+		t.Fatalf("delta home = %d, want coordinator", home)
+	}
+
+	ledger := cl.NewLedger()
+	if err := cl.Transfer(ledger, "A", d.Key(), Coordinator, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Node(1).Store.Has("A", d.Key()) {
+		t.Error("transfer must materialize the chunk at the target")
+	}
+	model := cl.CostModel()
+	size := float64(cl.Catalog().ChunkSize("A", d.Key()))
+	recv := size * model.Tntwk * model.ReceiveFactor
+	// Coordinator sends are free but the receiving worker's link is busy.
+	if got := ledger.Ntwk(1); got != recv {
+		t.Errorf("receiver charge = %v, want %v", got, recv)
+	}
+	if ledger.Ntwk(0) != 0 {
+		t.Error("no other node should be charged")
+	}
+	if !cl.Catalog().HasReplica("A", d.Key(), 1) {
+		t.Error("transfer must record a replica")
+	}
+
+	// Node-to-node transfer charges the sender fully and the receiver per
+	// the receive factor.
+	if err := cl.Transfer(ledger, "A", d.Key(), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.Ntwk(1); got != recv+size*model.Tntwk {
+		t.Errorf("sender charge = %v, want %v", got, recv+size*model.Tntwk)
+	}
+	if got := ledger.Ntwk(0); got != recv {
+		t.Errorf("receiver charge = %v, want %v", got, recv)
+	}
+	// Transferring to a node that already has a replica is a free no-op.
+	before := ledger.Ntwk(0)
+	if err := cl.Transfer(ledger, "A", d.Key(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ledger.Ntwk(0) != before {
+		t.Error("transfer to an existing replica must be free")
+	}
+}
+
+func TestClusterStageDeltaUnregistered(t *testing.T) {
+	cl, _ := New(2)
+	if err := cl.StageDelta("A", nil); err == nil {
+		t.Error("staging deltas for an unregistered array must fail")
+	}
+}
+
+func TestClusterFetchChunkPrefersLocal(t *testing.T) {
+	cl, _ := New(2)
+	a := fig1Array()
+	_ = cl.LoadArray(a, &RoundRobin{})
+	keys := cl.Catalog().Keys("A")
+	home, _ := cl.Catalog().Home("A", keys[0])
+	other := 1 - home
+	// Not resident at other: FetchChunk falls back to home.
+	ch, err := cl.FetchChunk("A", keys[0], other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Key().Coord().Equal(keys[0].Coord()) {
+		t.Error("fetched wrong chunk")
+	}
+	if _, err := cl.FetchChunk("A", array.ChunkCoord{9, 9}.Key(), 0); err == nil {
+		t.Error("fetching unknown chunk must fail")
+	}
+}
+
+func TestClusterRehomeRequiresReplica(t *testing.T) {
+	cl, _ := New(2)
+	a := fig1Array()
+	_ = cl.LoadArray(a, &RoundRobin{})
+	keys := cl.Catalog().Keys("A")
+	home, _ := cl.Catalog().Home("A", keys[0])
+	other := 1 - home
+	if err := cl.Catalog().Rehome("A", keys[0], other, true); err == nil {
+		t.Error("rehoming without a replica must fail when required")
+	}
+	ledger := cl.NewLedger()
+	if err := cl.Transfer(ledger, "A", keys[0], home, other); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Catalog().Rehome("A", keys[0], other, true); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cl.Catalog().Home("A", keys[0]); got != other {
+		t.Error("rehome did not move the home")
+	}
+}
+
+func TestClusterClearReplicas(t *testing.T) {
+	cl, _ := New(2)
+	a := fig1Array()
+	_ = cl.LoadArray(a, &RoundRobin{})
+	keys := cl.Catalog().Keys("A")
+	home, _ := cl.Catalog().Home("A", keys[0])
+	_ = cl.Transfer(cl.NewLedger(), "A", keys[0], home, 1-home)
+	cl.Catalog().ClearReplicas("A")
+	if reps := cl.Catalog().Replicas("A", keys[0]); len(reps) != 1 || reps[0] != home {
+		t.Errorf("replicas after clear = %v, want just home %d", reps, home)
+	}
+}
+
+func TestRunPerNodeExecutesAll(t *testing.T) {
+	cl, _ := New(3, WithWorkersPerNode(2))
+	var count int64
+	tasks := make(map[int][]Task)
+	for n := 0; n < 3; n++ {
+		for i := 0; i < 10; i++ {
+			tasks[n] = append(tasks[n], func() error {
+				atomic.AddInt64(&count, 1)
+				return nil
+			})
+		}
+	}
+	if err := cl.RunPerNode(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if count != 30 {
+		t.Errorf("executed %d tasks, want 30", count)
+	}
+}
+
+func TestRunPerNodePropagatesError(t *testing.T) {
+	cl, _ := New(2, WithWorkersPerNode(1))
+	boom := errors.New("boom")
+	tasks := map[int][]Task{
+		0: {func() error { return boom }},
+		1: {func() error { return nil }},
+	}
+	if err := cl.RunPerNode(tasks); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero nodes must fail")
+	}
+}
+
+func TestNodeLoad(t *testing.T) {
+	cl, _ := New(3)
+	a := fig1Array()
+	_ = cl.LoadArray(a, &RoundRobin{})
+	load := cl.Catalog().NodeLoad("A", 3)
+	total := int64(0)
+	for _, b := range load {
+		total += b
+	}
+	if total != a.SizeBytes() {
+		t.Errorf("node load sums to %d, want %d", total, a.SizeBytes())
+	}
+}
+
+func TestHashPlacementDeterministic(t *testing.T) {
+	key := array.ChunkCoord{1, 2}.Key()
+	p := HashPlacement{}
+	if p.Place(key, 8) != p.Place(key, 8) {
+		t.Error("hash placement must be deterministic")
+	}
+	if n := p.Place(key, 8); n < 0 || n >= 8 {
+		t.Errorf("placement %d out of range", n)
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLedgerCharges(t *testing.T) {
+	m := CostModel{Tntwk: 2, Tcpu: 3}
+	l := NewLedger(3, m)
+	l.ChargeTransfer(0, 10) // ntwk[0] = 20
+	l.ChargeJoin(1, 10)     // cpu[1]  = 30
+	if got := l.Ntwk(0); got != 20 {
+		t.Errorf("Ntwk(0) = %v, want 20", got)
+	}
+	if got := l.CPU(1); got != 30 {
+		t.Errorf("CPU(1) = %v, want 30", got)
+	}
+	if got := l.Cost(); got != 30 {
+		t.Errorf("Cost = %v, want 30 (max of max-ntwk and max-cpu)", got)
+	}
+	if got := l.MaxNtwk(); got != 20 {
+		t.Errorf("MaxNtwk = %v", got)
+	}
+	if got := l.MaxCPU(); got != 30 {
+		t.Errorf("MaxCPU = %v", got)
+	}
+}
+
+func TestLedgerCoordinatorTransfersFree(t *testing.T) {
+	l := NewLedger(2, CostModel{Tntwk: 1, Tcpu: 1})
+	l.ChargeTransfer(Coordinator, 1000)
+	if l.Cost() != 0 {
+		t.Error("coordinator transfers must not charge worker ledgers")
+	}
+}
+
+func TestLedgerCostWithMatchesApply(t *testing.T) {
+	l := NewLedger(3, CostModel{Tntwk: 1, Tcpu: 1})
+	l.ChargeTransfer(0, 5)
+	l.ChargeJoin(2, 7)
+	extraN := []float64{0, 4, 0}
+	extraC := []float64{9, 0, 0}
+	want := l.CostWith(extraN, extraC)
+	l.Apply(extraN, extraC)
+	if got := l.Cost(); got != want {
+		t.Errorf("CostWith = %v but Cost after Apply = %v", want, got)
+	}
+	if want != 9 {
+		t.Errorf("objective = %v, want 9", want)
+	}
+	// Nil extras behave as zero.
+	if got := l.CostWith(nil, nil); got != l.Cost() {
+		t.Errorf("CostWith(nil,nil) = %v, want %v", got, l.Cost())
+	}
+}
+
+func TestLedgerAddScaleClone(t *testing.T) {
+	a := NewLedger(2, CostModel{Tntwk: 1, Tcpu: 1})
+	a.ChargeTransfer(0, 2)
+	b := a.Clone()
+	b.ChargeJoin(1, 4)
+	if a.CPU(1) != 0 {
+		t.Error("Clone must be independent")
+	}
+	a.Add(b)
+	if a.Ntwk(0) != 4 || a.CPU(1) != 4 {
+		t.Errorf("Add got ntwk=%v cpu=%v", a.Ntwk(0), a.CPU(1))
+	}
+	a.Scale(0.5)
+	if a.Ntwk(0) != 2 || a.CPU(1) != 2 {
+		t.Error("Scale must multiply all charges")
+	}
+}
+
+func TestDefaultCostModelCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	// 125 MB/s link: one byte should take 8 ns.
+	if math.Abs(m.Tntwk-8e-9) > 1e-15 {
+		t.Errorf("Tntwk = %v, want 8e-9", m.Tntwk)
+	}
+	if m.Tcpu <= 0 {
+		t.Error("Tcpu must be positive")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l := NewLedger(1, DefaultCostModel())
+	if s := l.String(); s == "" {
+		t.Error("String must render something")
+	}
+}

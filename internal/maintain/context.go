@@ -1,0 +1,157 @@
+package maintain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Context bundles everything a planner needs for one batch: the cluster
+// (catalog = S_q, B_q), the view definition, the batch's update units, the
+// historical window, and the parameters.
+type Context struct {
+	Cluster *cluster.Cluster
+	Def     *view.Definition
+	Units   []view.Unit
+
+	// Catalog namespaces.
+	BaseAlpha, BaseBeta   string
+	DeltaAlpha, DeltaBeta string
+	ViewName              string
+
+	// Model is the cost model plans are priced under. It defaults to the
+	// cluster's calibrated model; the query layer overrides Tcpu per shape
+	// because join CPU scales with the shape's offset count (the paper's
+	// "empirical calibration" of Tcpu is per workload shape).
+	Model cluster.CostModel
+
+	// ResultScale scales the differential-result volume shipped per triple
+	// relative to B_pq. It defaults to 1 (maintenance, calibrated at the
+	// view's shape); the query layer sets it to the relative shape
+	// cardinality because larger shapes match more pairs per chunk.
+	ResultScale float64
+
+	// Deleting marks the batch as a deletion: the staged chunks hold cells
+	// to retract. Join contributions flip sign per the identity
+	// ΔV = −(D⋈A) − (A⋈D) + (D⋈D), and ingestion removes the cells.
+	Deleting bool
+
+	// ArrayPlacement and ViewPlacement assign homes to new chunks when no
+	// optimization does (baseline and differential strategies).
+	ArrayPlacement cluster.Placement
+	ViewPlacement  cluster.Placement
+
+	History *History
+	Params  Params
+	Rng     *rand.Rand
+
+	viewHints map[array.ChunkKey]int
+}
+
+// NewContext validates and completes a context.
+func NewContext(cl *cluster.Cluster, def *view.Definition, units []view.Unit, baseAlpha, baseBeta, deltaAlpha, deltaBeta, viewName string, hist *History, params Params) (*Context, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cl == nil || def == nil {
+		return nil, fmt.Errorf("maintain: nil cluster or definition")
+	}
+	ctx := &Context{
+		Cluster: cl, Def: def, Units: units,
+		BaseAlpha: baseAlpha, BaseBeta: baseBeta,
+		DeltaAlpha: deltaAlpha, DeltaBeta: deltaBeta,
+		ViewName:       viewName,
+		Model:          cl.CostModel(),
+		ResultScale:    1,
+		ArrayPlacement: cluster.HashPlacement{},
+		ViewPlacement:  cluster.HashPlacement{},
+		History:        hist,
+		Params:         params,
+		Rng:            rand.New(rand.NewSource(params.Seed)),
+	}
+	return ctx, nil
+}
+
+// SizeOf returns B for a chunk reference from the catalog.
+func (c *Context) SizeOf(r view.ChunkRef) int64 {
+	return c.Cluster.Catalog().ChunkSize(r.Array, r.Key)
+}
+
+// HomeOf returns S for a chunk reference (cluster.Coordinator for staged
+// deltas).
+func (c *Context) HomeOf(r view.ChunkRef) int {
+	home, ok := c.Cluster.Catalog().Home(r.Array, r.Key)
+	if !ok {
+		return cluster.Coordinator
+	}
+	return home
+}
+
+// PairBytes returns B_pq = B_p + B_q of a unit.
+func (c *Context) PairBytes(u view.Unit) int64 {
+	return c.SizeOf(u.P) + c.SizeOf(u.Q)
+}
+
+// ViewHomeOf returns the current home of a view chunk and whether the chunk
+// already exists.
+func (c *Context) ViewHomeOf(key array.ChunkKey) (int, bool) {
+	return c.Cluster.Catalog().Home(c.ViewName, key)
+}
+
+// ViewHomeHint resolves the y = S view home used by stage one of the
+// heuristic (the paper fixes the chunk assignment to S when solving for z
+// and x): the catalog home for existing view chunks, the static placement
+// for new ones. Hints are cached per context.
+func (c *Context) ViewHomeHint(key array.ChunkKey) int {
+	if h, ok := c.viewHints[key]; ok {
+		return h
+	}
+	h, ok := c.ViewHomeOf(key)
+	if !ok {
+		h = c.ViewPlacement.Place(key, c.Cluster.NumNodes())
+	}
+	if c.viewHints == nil {
+		c.viewHints = make(map[array.ChunkKey]int)
+	}
+	c.viewHints[key] = h
+	return h
+}
+
+// DeltaRefs returns the distinct array-side chunk refs of the batch (the
+// "a" chunks of Algorithm 3): every chunk participating in some unit.
+func (c *Context) DeltaRefs() []view.ChunkRef {
+	seen := make(map[view.ChunkRef]bool)
+	var out []view.ChunkRef
+	add := func(r view.ChunkRef) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, u := range c.Units {
+		add(u.P)
+		add(u.Q)
+	}
+	return out
+}
+
+// IsDelta reports whether the ref belongs to a staged delta namespace.
+func (c *Context) IsDelta(r view.ChunkRef) bool {
+	return r.Array == c.DeltaAlpha || r.Array == c.DeltaBeta
+}
+
+// BaseNameFor maps a delta namespace to its base array name (identity for
+// base refs).
+func (c *Context) BaseNameFor(arrayName string) string {
+	switch arrayName {
+	case c.DeltaAlpha:
+		return c.BaseAlpha
+	case c.DeltaBeta:
+		return c.BaseBeta
+	default:
+		return arrayName
+	}
+}

@@ -1,0 +1,239 @@
+package maintain
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Differential implements stage one of the heuristic — Algorithm 1,
+// differential view computation: a randomized greedy pass over the chunk
+// join pairs that places each join on the node minimizing the running
+// max(network, CPU) objective, considering every node as a candidate (not
+// just the chunks' current holders).
+//
+// As a standalone strategy it keeps view and array chunk assignment static
+// (like the baseline), isolating the effect of join-plan optimization — the
+// paper's "differential" method.
+type Differential struct{}
+
+// Name implements Planner.
+func (Differential) Name() string { return "differential" }
+
+// Plan implements Planner.
+func (Differential) Plan(ctx *Context) (*Plan, error) {
+	p, _, _ := planDifferential(ctx)
+	// Static view homes and placement-assigned homes for new array chunks,
+	// as in the baseline.
+	assignStaticViewHomes(ctx, p)
+	n := ctx.Cluster.NumNodes()
+	for _, r := range ctx.DeltaRefs() {
+		if !ctx.IsDelta(r) {
+			continue
+		}
+		// Colliding chunks merge into their base incarnation; only brand-new
+		// chunks need a static placement.
+		if _, exists := ctx.Cluster.Catalog().Home(ctx.BaseNameFor(r.Array), r.Key); !exists {
+			p.ArrayRehome[r] = ctx.ArrayPlacement.Place(r.Key, n)
+		}
+	}
+	// Merging at static homes adds the shipping/merge state Algorithm 1
+	// did not see; nothing else to decide.
+	return p, nil
+}
+
+// planDifferential runs Algorithm 1 and returns the partially-filled plan
+// (transfers and join sites), the running ledger state, and the holder
+// tracker — stage two continues from both.
+func planDifferential(ctx *Context) (*Plan, *cluster.Ledger, *holderTracker) {
+	p := NewPlan("differential", len(ctx.Units))
+	model := ctx.Model
+	ledger := cluster.NewLedger(ctx.Cluster.NumNodes(), ctx.Model)
+	holders := newHolderTracker(ctx, nil)
+
+	// Line 2: iterate the chunk join pairs in random order (or, for the
+	// ablation, largest pair first).
+	order := make([]int, len(ctx.Units))
+	for i := range order {
+		order[i] = i
+	}
+	if ctx.Params.SortedPairOrder {
+		sort.SliceStable(order, func(a, b int) bool {
+			return ctx.PairBytes(ctx.Units[order[a]]) > ctx.PairBytes(ctx.Units[order[b]])
+		})
+	} else {
+		ctx.Rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+
+	for _, i := range order {
+		u := ctx.Units[i]
+		dest := chooseJoinSite(ctx, ledger, holders, u, model)
+		commitJoinSite(ctx, ledger, holders, u, dest, model)
+		p.Transfers = append(p.Transfers, holders.ensure(u.P, dest)...)
+		p.Transfers = append(p.Transfers, holders.ensure(u.Q, dest)...)
+		p.JoinSite[i] = dest
+	}
+	return p, ledger, holders
+}
+
+// chooseJoinSite evaluates every node as the join site for unit u against
+// the running ledger (Algorithm 1 lines 3-10) and returns the minimizer.
+// Per Section 4.3, stage one solves the first line of Eq. 1 for z and x
+// with the chunk assignment y fixed as S — so a candidate is charged
+// co-location transfers, join CPU, and the merge-shipping term
+// z_pqk·y_vj·B_pq·Tntwk toward the current (or statically-placed) homes of
+// the affected view chunks. (The paper's Figure 7 walk-through shows only
+// the first two terms because its example tracks no view chunks.)
+func chooseJoinSite(ctx *Context, ledger *cluster.Ledger, holders *holderTracker, u view.Unit, model cluster.CostModel) int {
+	n := ledger.NumNodes()
+	if ctx.Params.ParallelCandidates && n >= parallelCandidateThreshold {
+		return chooseJoinSiteParallel(ctx, ledger, holders, u, model)
+	}
+	extraNtwk := make([]float64, n)
+	extraCPU := make([]float64, n)
+	bestCost, bestLoad := 0.0, 0.0
+	dest := -1
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			extraNtwk[k] = 0
+			extraCPU[k] = 0
+		}
+		addJoinCharges(ctx, holders, u, j, model, extraNtwk, extraCPU)
+		optNow := ledger.CostWith(extraNtwk, extraCPU)
+		// The max objective is flat: many candidates leave the global max
+		// untouched. Ties are broken by the smallest total added load, so
+		// transfer- and shipping-free co-located sites win and placements
+		// stay stable across correlated batches.
+		load := sum(extraNtwk) + sum(extraCPU)
+		if dest == -1 || optNow < bestCost || (optNow == bestCost && load < bestLoad) {
+			bestCost = optNow
+			bestLoad = load
+			dest = j
+		}
+	}
+	return dest
+}
+
+// parallelCandidateThreshold is the node count from which the candidate
+// loop fans out to goroutines — the paper's "parallel processing of the
+// inner loop over the nodes" for large clusters.
+const parallelCandidateThreshold = 16
+
+// chooseJoinSiteParallel evaluates all candidate nodes concurrently and
+// reduces sequentially, preserving exactly the serial selection rule
+// (minimum (cost, load), lowest node on full ties).
+func chooseJoinSiteParallel(ctx *Context, ledger *cluster.Ledger, holders *holderTracker, u view.Unit, model cluster.CostModel) int {
+	n := ledger.NumNodes()
+	// Pre-warm every lazily-populated cache the candidate evaluation reads
+	// (holder sets, origins, view home hints) so the fan-out is read-only.
+	holders.originOf(u.P)
+	holders.originOf(u.Q)
+	holders.set(u.P)
+	holders.set(u.Q)
+	for _, v := range u.Views {
+		ctx.ViewHomeHint(v)
+	}
+	costs := make([]float64, n)
+	loads := make([]float64, n)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			extraNtwk := make([]float64, n)
+			extraCPU := make([]float64, n)
+			for {
+				j := int(atomic.AddInt64(&next, 1))
+				if j >= n {
+					return
+				}
+				for k := 0; k < n; k++ {
+					extraNtwk[k] = 0
+					extraCPU[k] = 0
+				}
+				addJoinCharges(ctx, holders, u, j, model, extraNtwk, extraCPU)
+				costs[j] = ledger.CostWith(extraNtwk, extraCPU)
+				loads[j] = sum(extraNtwk) + sum(extraCPU)
+			}
+		}()
+	}
+	wg.Wait()
+	dest := 0
+	for j := 1; j < n; j++ {
+		if costs[j] < costs[dest] || (costs[j] == costs[dest] && loads[j] < loads[dest]) {
+			dest = j
+		}
+	}
+	return dest
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// commitJoinSite applies the chosen site's charges to the ledger
+// (Algorithm 1 lines 11-12).
+func commitJoinSite(ctx *Context, ledger *cluster.Ledger, holders *holderTracker, u view.Unit, dest int, model cluster.CostModel) {
+	n := ledger.NumNodes()
+	extraNtwk := make([]float64, n)
+	extraCPU := make([]float64, n)
+	addJoinCharges(ctx, holders, u, dest, model, extraNtwk, extraCPU)
+	ledger.Apply(extraNtwk, extraCPU)
+}
+
+// addJoinCharges accumulates the stage-one cost of joining u at node j:
+// co-location transfers, join CPU (Algorithm 1 lines 6-7), and merge
+// shipping toward the y = S view homes.
+func addJoinCharges(ctx *Context, holders *holderTracker, u view.Unit, j int, model cluster.CostModel, extraNtwk, extraCPU []float64) {
+	bpq := ctx.PairBytes(u)
+	chargeColocation(ctx, holders, u, j, model, extraNtwk)
+	extraCPU[j] += float64(bpq) * model.Tcpu
+	ship := float64(bpq) * ctx.ResultScale
+	for _, v := range u.Views {
+		h := ctx.ViewHomeHint(v)
+		if h != j {
+			extraNtwk[j] += ship * model.Tntwk
+			extraNtwk[h] += ship * model.Tntwk * model.ReceiveFactor
+		}
+		// Merge work lands at the y = S home; it is the same for every
+		// candidate j but keeps the running ledger aligned with the full
+		// objective.
+		extraCPU[h] += float64(bpq) * model.Tcpu
+	}
+}
+
+// chargeColocation accumulates into extraNtwk the transfer cost of making
+// both chunks of u resident at node j (Algorithm 1 line 6, extended to
+// charge the α-side chunk too — the paper's line 6 shows only q because its
+// p is always a coordinator-staged delta, which sends for free). Charges
+// originate at each chunk's original location S, matching the x_{i,S_i,j}
+// variables.
+func chargeColocation(ctx *Context, holders *holderTracker, u view.Unit, j int, model cluster.CostModel, extraNtwk []float64) {
+	if !holders.has(u.P, j) {
+		b := float64(ctx.SizeOf(u.P)) * model.Tntwk
+		if src := holders.originOf(u.P); src != cluster.Coordinator {
+			extraNtwk[src] += b
+		}
+		extraNtwk[j] += b * model.ReceiveFactor
+	}
+	if !holders.has(u.Q, j) {
+		b := float64(ctx.SizeOf(u.Q)) * model.Tntwk
+		if src := holders.originOf(u.Q); src != cluster.Coordinator {
+			extraNtwk[src] += b
+		}
+		extraNtwk[j] += b * model.ReceiveFactor
+	}
+}

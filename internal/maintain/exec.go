@@ -1,0 +1,371 @@
+package maintain
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Planner produces a maintenance plan for one batch.
+type Planner interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Plan solves the batch.
+	Plan(ctx *Context) (*Plan, error)
+}
+
+// Execute applies a validated plan to the cluster: it performs the chunk
+// transfers, runs every chunk-pair join concurrently on its assigned node,
+// merges differential results into the view at each view chunk's assigned
+// home, ingests the delta chunks into the base array, and applies the
+// array chunk reassignments. It returns the plan's deterministic cost
+// ledger (the simulated maintenance time of the batch).
+func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
+	if err := p.Validate(ctx); err != nil {
+		return nil, err
+	}
+	ledger := p.Charge(ctx)
+	cl := ctx.Cluster
+
+	// Phase 1: replicate chunks per the plan (x variables).
+	for _, t := range p.Transfers {
+		if err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: move view chunks whose home changes, so differential merges
+	// land on the fresh home.
+	moved, err := moveViewChunks(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: evaluate joins per node, merging partial differentials into
+	// the view as they are produced (asynchronously, as in the paper).
+	if err := runJoins(ctx, p); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: refresh catalog metadata for every touched view chunk.
+	if err := refreshViewCatalog(ctx, p, moved); err != nil {
+		return nil, err
+	}
+
+	// Phase 5: ingest delta chunks into the base array and apply array
+	// chunk reassignments; then drop scratch replicas.
+	if err := ingestAndRehome(ctx, p); err != nil {
+		return nil, err
+	}
+	return ledger, nil
+}
+
+// moveViewChunks relocates existing view chunks to their newly assigned
+// homes. Returns the set of keys that physically moved.
+func moveViewChunks(ctx *Context, p *Plan) (map[array.ChunkKey]bool, error) {
+	cl := ctx.Cluster
+	moved := make(map[array.ChunkKey]bool)
+	for v, j := range p.ViewHome {
+		cur, exists := ctx.ViewHomeOf(v)
+		if !exists || cur == j {
+			continue
+		}
+		ch, err := cl.Node(cur).Store.Get(ctx.ViewName, v)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: moving view chunk %v: %w", v, err)
+		}
+		cl.Node(j).Store.Put(ctx.ViewName, ch)
+		cl.Node(cur).Store.Delete(ctx.ViewName, v)
+		moved[v] = true
+	}
+	return moved, nil
+}
+
+// runJoins executes every unit at its planned node with the cluster's
+// per-node worker pools. Each task joins one chunk pair (both orientations
+// when required), accumulates per-view-chunk partial state chunks, and
+// merges them into the view store of each view chunk's home node.
+func runJoins(ctx *Context, p *Plan) error {
+	cl := ctx.Cluster
+	def := ctx.Def
+	vs := def.Schema()
+	merge := view.MergeStateChunks(def)
+
+	tasks := make(map[int][]cluster.Task)
+	for i := range ctx.Units {
+		i := i
+		u := ctx.Units[i]
+		site := p.JoinSite[i]
+		// Under a deletion batch, contributions retract per the identity
+		// ΔV = −(D⋈A) − (A⋈D) + (D⋈D): pairs wholly inside the staged
+		// deletion are over-subtracted by the two mixed terms and come back
+		// positive.
+		sign := 1.0
+		if ctx.Deleting && !(ctx.IsDelta(u.P) && ctx.IsDelta(u.Q)) {
+			sign = -1
+		}
+		tasks[site] = append(tasks[site], func() error {
+			cp, err := cl.Node(site).Store.Get(u.P.Array, u.P.Key)
+			if err != nil {
+				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+			}
+			cq, err := cl.Node(site).Store.Get(u.Q.Array, u.Q.Key)
+			if err != nil {
+				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+			}
+			partials := make(map[array.ChunkKey]*array.Chunk)
+			accumulate := func(a array.Point, tb array.Tuple) bool {
+				g := def.GroupPoint(a)
+				key := vs.ChunkCoordOf(g).Key()
+				part, ok := partials[key]
+				if !ok {
+					part = array.NewChunk(vs, key.Coord())
+					partials[key] = part
+				}
+				contrib := def.Contribution(tb)
+				if sign != 1 {
+					for ci := range contrib {
+						contrib[ci] *= sign
+					}
+				}
+				if cur, found := part.Get(g); found {
+					def.AddState(cur, contrib)
+					return part.Set(g, cur) == nil
+				}
+				return part.Set(g, contrib) == nil
+			}
+			def.Pred.JoinChunkPair(cp, cq, func(a, _ array.Point, ta, tb array.Tuple) bool {
+				if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
+					return true
+				}
+				return accumulate(a, tb)
+			})
+			if u.BothDirections {
+				def.Pred.JoinChunkPair(cq, cp, func(a, _ array.Point, ta, tb array.Tuple) bool {
+					if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
+						return true
+					}
+					return accumulate(a, tb)
+				})
+			}
+			for key, part := range partials {
+				home, ok := p.ViewHome[key]
+				if !ok {
+					return fmt.Errorf("maintain: partial for unplanned view chunk %v", key.Coord())
+				}
+				if err := cl.Node(home).Store.Merge(ctx.ViewName, part, merge); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return cl.RunPerNode(tasks)
+}
+
+// refreshViewCatalog re-reads every planned view chunk at its home and
+// updates the catalog (home, size, cells). View chunks that received no
+// actual contributions and did not previously exist are skipped.
+func refreshViewCatalog(ctx *Context, p *Plan, moved map[array.ChunkKey]bool) error {
+	cl := ctx.Cluster
+	cat := cl.Catalog()
+	for v, j := range p.ViewHome {
+		if !cl.Node(j).Store.Has(ctx.ViewName, v) {
+			if _, exists := ctx.ViewHomeOf(v); exists && !moved[v] {
+				// Existing chunk untouched at its old home; nothing to do.
+				continue
+			}
+			if moved[v] {
+				return fmt.Errorf("maintain: moved view chunk %v vanished", v.Coord())
+			}
+			continue // planned but no contributions materialized
+		}
+		ch, err := cl.Node(j).Store.Get(ctx.ViewName, v)
+		if err != nil {
+			return err
+		}
+		cat.SetChunk(ctx.ViewName, v, j, ch.SizeBytes(), ch.NumCells())
+	}
+	return nil
+}
+
+// ingestAndRehome folds the staged delta chunks into the base array (or,
+// for a deletion batch, removes their cells) and applies the plan's array
+// chunk reassignments, then clears scratch replicas from the batch.
+func ingestAndRehome(ctx *Context, p *Plan) error {
+	cl := ctx.Cluster
+	cat := cl.Catalog()
+	n := cl.NumNodes()
+
+	deltaNames := []string{ctx.DeltaAlpha}
+	if ctx.DeltaBeta != ctx.DeltaAlpha {
+		deltaNames = append(deltaNames, ctx.DeltaBeta)
+	}
+	if ctx.Deleting {
+		if err := removeDeleted(ctx, deltaNames); err != nil {
+			return err
+		}
+		return cleanupBatch(ctx, p, deltaNames)
+	}
+	handled := make(map[view.ChunkRef]bool)
+	for _, dn := range deltaNames {
+		baseName := ctx.BaseNameFor(dn)
+		for _, key := range cat.Keys(dn) {
+			ref := view.ChunkRef{Array: dn, Key: key}
+			ch, err := cl.FetchChunk(dn, key, cluster.Coordinator)
+			if err != nil {
+				return err
+			}
+			if baseHome, exists := cat.Home(baseName, key); exists {
+				// Merge new cells into the existing base chunk — at its
+				// rehome target when the plan moved it and a fresh replica
+				// is already there (free: the join plan shipped it), else
+				// at its current home.
+				baseRef := view.ChunkRef{Array: baseName, Key: key}
+				target := baseHome
+				if j, ok := p.ArrayRehome[baseRef]; ok && j != baseHome &&
+					cat.HasReplica(baseName, key, j) && cl.Node(j).Store.Has(baseName, key) {
+					target = j
+				}
+				if err := cl.Node(target).Store.Merge(baseName, ch, mergeCells); err != nil {
+					return err
+				}
+				merged, err := cl.Node(target).Store.Get(baseName, key)
+				if err != nil {
+					return err
+				}
+				if target != baseHome {
+					cl.Node(baseHome).Store.Delete(baseName, key)
+				}
+				cat.SetChunk(baseName, key, target, merged.SizeBytes(), merged.NumCells())
+				if bb, ok := merged.BoundingBox(); ok {
+					cat.SetChunkBBox(baseName, key, bb)
+				}
+				handled[baseRef] = true
+				continue
+			}
+			// Brand-new chunk: home from the plan, falling back to static
+			// placement.
+			home, ok := p.ArrayRehome[ref]
+			if !ok {
+				home = ctx.ArrayPlacement.Place(key, n)
+			}
+			cl.Node(home).Store.Put(baseName, ch)
+			cat.SetChunk(baseName, key, home, ch.SizeBytes(), ch.NumCells())
+			if bb, ok := ch.BoundingBox(); ok {
+				cat.SetChunkBBox(baseName, key, bb)
+			}
+		}
+	}
+
+	// Reassign existing base chunks that gained a replica this batch and
+	// were not already handled by the delta merge above.
+	for ref, j := range p.ArrayRehome {
+		if ctx.IsDelta(ref) || handled[ref] {
+			continue
+		}
+		cur, exists := cat.Home(ref.Array, ref.Key)
+		if !exists || cur == j {
+			continue
+		}
+		if !cat.HasReplica(ref.Array, ref.Key, j) {
+			continue // plan promised a replica; be safe if it is absent
+		}
+		if !cl.Node(j).Store.Has(ref.Array, ref.Key) {
+			continue
+		}
+		cl.Node(cur).Store.Delete(ref.Array, ref.Key)
+		if err := cat.Rehome(ref.Array, ref.Key, j, true); err != nil {
+			return err
+		}
+	}
+
+	return cleanupBatch(ctx, p, deltaNames)
+}
+
+// removeDeleted erases the staged deletion cells from the base array,
+// dropping chunks that become empty.
+func removeDeleted(ctx *Context, deltaNames []string) error {
+	cl := ctx.Cluster
+	cat := cl.Catalog()
+	for _, dn := range deltaNames {
+		baseName := ctx.BaseNameFor(dn)
+		for _, key := range cat.Keys(dn) {
+			dch, err := cl.FetchChunk(dn, key, cluster.Coordinator)
+			if err != nil {
+				return err
+			}
+			baseHome, exists := cat.Home(baseName, key)
+			if !exists {
+				return fmt.Errorf("maintain: deleting from absent chunk %v of %s", key.Coord(), baseName)
+			}
+			erase := func(dst, src *array.Chunk) error {
+				src.Each(func(pt array.Point, _ array.Tuple) bool {
+					dst.Delete(pt)
+					return true
+				})
+				return nil
+			}
+			if err := cl.Node(baseHome).Store.Merge(baseName, dch, erase); err != nil {
+				return err
+			}
+			remaining, err := cl.Node(baseHome).Store.Get(baseName, key)
+			if err != nil {
+				return err
+			}
+			if remaining.NumCells() == 0 {
+				cl.Node(baseHome).Store.Delete(baseName, key)
+				cat.DropChunk(baseName, key)
+				continue
+			}
+			cat.SetChunk(baseName, key, baseHome, remaining.SizeBytes(), remaining.NumCells())
+			if bb, ok := remaining.BoundingBox(); ok {
+				cat.SetChunkBBox(baseName, key, bb)
+			}
+		}
+	}
+	return nil
+}
+
+// cleanupBatch drops the delta namespaces and scrubs scratch replicas:
+// every node that holds a copy of a chunk away from its final home loses
+// it.
+func cleanupBatch(ctx *Context, p *Plan, deltaNames []string) error {
+	cl := ctx.Cluster
+	cat := cl.Catalog()
+	n := cl.NumNodes()
+	for _, dn := range deltaNames {
+		for node := 0; node < n; node++ {
+			cl.Node(node).Store.DropArray(dn)
+		}
+		cat.Drop(dn)
+	}
+	for _, t := range p.Transfers {
+		name := t.Ref.Array
+		key := t.Ref.Key
+		if ctx.IsDelta(t.Ref) {
+			continue // already dropped with the namespace
+		}
+		home, exists := cat.Home(name, key)
+		if !exists {
+			// The chunk vanished (fully deleted); scrub every copy.
+			cl.Node(t.To).Store.Delete(name, key)
+			continue
+		}
+		if t.To != home {
+			cl.Node(t.To).Store.Delete(name, key)
+		}
+	}
+	for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
+		cat.ClearReplicas(name)
+	}
+	return nil
+}
+
+// mergeCells inserts src's cells into dst (plain cell merge for base-array
+// ingestion; batches are validated disjoint upstream).
+func mergeCells(dst, src *array.Chunk) error {
+	return dst.MergeFrom(src)
+}

@@ -1,0 +1,121 @@
+package maintain
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// stageFig1Batch stages the Figure 1 delta and returns a ready context.
+func stageFig1Batch(t *testing.T) (*Context, *cluster.Cluster) {
+	t.Helper()
+	cl, err := cluster.New(3, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(fig1Array(), &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := fig1Def(t)
+	if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	deltaName := "A#x"
+	ds := *fig1Schema()
+	ds.Name = deltaName
+	if err := cl.Catalog().Register(&ds); err != nil {
+		t.Fatal(err)
+	}
+	var chunks []*array.Chunk
+	fig1Delta().EachChunk(func(c *array.Chunk) bool { chunks = append(chunks, c); return true })
+	if err := cl.StageDelta(deltaName, chunks); err != nil {
+		t.Fatal(err)
+	}
+	gen := &view.UnitGen{Catalog: cl.Catalog(), Def: def,
+		BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: deltaName, DeltaBeta: deltaName}
+	units, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(cl, def, units, "A", "A", deltaName, deltaName, "V", nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, cl
+}
+
+func TestExecuteRejectsInvalidPlan(t *testing.T) {
+	ctx, _ := stageFig1Batch(t)
+	p, err := (Differential{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.JoinSite = append([]int(nil), p.JoinSite...)
+	bad.JoinSite[0] = 99
+	if _, err := Execute(ctx, &bad); err == nil {
+		t.Error("invalid plan must be rejected before execution")
+	}
+}
+
+func TestExecuteMissingTransferChunk(t *testing.T) {
+	ctx, cl := stageFig1Batch(t)
+	p, err := (Differential{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: drop a base chunk from its home store so a planned
+	// transfer or join fails cleanly instead of corrupting state.
+	keys := cl.Catalog().Keys("A")
+	home, _ := cl.Catalog().Home("A", keys[0])
+	cl.Node(home).Store.Delete("A", keys[0])
+	_, err = Execute(ctx, p)
+	if err == nil {
+		t.Fatal("execution over missing storage must fail")
+	}
+	if !strings.Contains(err.Error(), "not resident") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestExecuteChargeIsDeterministic(t *testing.T) {
+	ctx, _ := stageFig1Batch(t)
+	p, err := (Reassign{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := p.Charge(ctx).Cost()
+	c2 := p.Charge(ctx).Cost()
+	if c1 != c2 {
+		t.Errorf("Charge must be deterministic: %v vs %v", c1, c2)
+	}
+	led, err := Execute(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Cost() != c1 {
+		t.Errorf("executed ledger %v differs from plan charge %v", led.Cost(), c1)
+	}
+}
+
+func TestLedgerFromXZMatchesChargeSubset(t *testing.T) {
+	ctx, _ := stageFig1Batch(t)
+	p, err := (Differential{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xz := ledgerFromXZ(ctx, p)
+	full := p.Charge(ctx)
+	// The x/z-only ledger can never exceed the full charge on any node.
+	for k := 0; k < ctx.Cluster.NumNodes(); k++ {
+		if xz.Ntwk(k) > full.Ntwk(k)+1e-15 {
+			t.Errorf("node %d: xz ntwk %v exceeds full %v", k, xz.Ntwk(k), full.Ntwk(k))
+		}
+		if xz.CPU(k) > full.CPU(k)+1e-15 {
+			t.Errorf("node %d: xz cpu %v exceeds full %v", k, xz.CPU(k), full.CPU(k))
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package maintain
+
+import (
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// HistPair is one (array chunk, view chunk) co-occurrence recorded from a
+// past batch's update triples, with the chunk's byte size at that time.
+// Refs are normalized to base-array namespaces.
+type HistPair struct {
+	Ref   view.ChunkRef
+	View  array.ChunkKey
+	Bytes int64
+}
+
+type batchRec struct {
+	pairs     []HistPair
+	pairBytes int64 // Σ B_pq across the batch's triples
+}
+
+// History is the sliding window of past batch updates U_1..U_L that array
+// chunk reassignment scores against (Section 4.5). Most recent first.
+type History struct {
+	window  int
+	batches []batchRec
+}
+
+// NewHistory returns a history keeping at most window batches.
+func NewHistory(window int) *History {
+	return &History{window: window}
+}
+
+// Len returns how many batches are currently recorded.
+func (h *History) Len() int { return len(h.batches) }
+
+// Record captures the just-processed batch's units into the window,
+// normalizing delta refs to their base identity (the chunks exist in the
+// base array once the batch is merged).
+func (h *History) Record(ctx *Context) {
+	if h == nil || h.window == 0 {
+		return
+	}
+	var rec batchRec
+	for _, u := range ctx.Units {
+		bp, bq := ctx.SizeOf(u.P), ctx.SizeOf(u.Q)
+		for _, v := range u.Views {
+			rec.pairs = append(rec.pairs,
+				HistPair{Ref: normalizeRef(ctx, u.P), View: v, Bytes: bp},
+				HistPair{Ref: normalizeRef(ctx, u.Q), View: v, Bytes: bq})
+			rec.pairBytes += bp + bq
+		}
+	}
+	h.batches = append([]batchRec{rec}, h.batches...)
+	if len(h.batches) > h.window {
+		h.batches = h.batches[:h.window]
+	}
+}

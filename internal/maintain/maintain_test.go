@@ -1,0 +1,864 @@
+package maintain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+func fig1Schema() *array.Schema {
+	return array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2},
+			{Name: "j", Start: 1, End: 8, ChunkSize: 2},
+		},
+		[]array.Attribute{{Name: "r", Type: array.Int64}, {Name: "s", Type: array.Int64}},
+	)
+}
+
+func fig1Array() *array.Array {
+	a := array.New(fig1Schema())
+	for _, c := range []struct {
+		p array.Point
+		t array.Tuple
+	}{
+		{array.Point{1, 2}, array.Tuple{2, 5}},
+		{array.Point{1, 3}, array.Tuple{6, 3}},
+		{array.Point{3, 4}, array.Tuple{2, 9}},
+		{array.Point{4, 1}, array.Tuple{2, 1}},
+		{array.Point{5, 7}, array.Tuple{4, 8}},
+		{array.Point{6, 5}, array.Tuple{4, 3}},
+	} {
+		if err := a.Set(c.p, c.t); err != nil {
+			panic(err)
+		}
+	}
+	return a
+}
+
+func fig1Delta() *array.Array {
+	d := array.New(fig1Schema())
+	for _, p := range []array.Point{{1, 5}, {2, 1}, {2, 3}, {4, 2}, {4, 4}, {5, 4}, {5, 6}} {
+		if err := d.Set(p, array.Tuple{1, 1}); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func fig1Def(t *testing.T) *view.Definition {
+	t.Helper()
+	s := fig1Schema()
+	def, err := view.NewDefinition("V", s, s,
+		simjoin.NewPred(shape.L1(2, 1), nil),
+		[]string{"i", "j"},
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// setupFig1 builds a 3-node cluster with array A and view V loaded
+// round-robin, plus a maintainer with the given strategy.
+func setupFig1(t *testing.T, planner Planner) (*cluster.Cluster, *Maintainer, *view.Definition) {
+	t.Helper()
+	cl, err := cluster.New(3, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(fig1Array(), &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := fig1Def(t)
+	if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(cl, def, planner, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, m, def
+}
+
+// verifyView gathers base and view from the cluster and checks that the
+// view equals a local recomputation.
+func verifyView(t *testing.T, cl *cluster.Cluster, def *view.Definition) {
+	t.Helper()
+	base, err := cl.Gather(def.Alpha.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Gather(def.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := view.Materialize(def, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got, want) {
+		t.Fatal("maintained view diverges from recomputation")
+	}
+}
+
+func statesEqual(a, b *array.Array) bool {
+	ok := true
+	check := func(x, y *array.Array) {
+		x.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := y.Get(p)
+			if !found {
+				for _, v := range tup {
+					if v != 0 {
+						ok = false
+						return false
+					}
+				}
+				return true
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(a, b)
+	check(b, a)
+	return ok
+}
+
+func TestMaintainFigure1AllStrategies(t *testing.T) {
+	costs := make(map[string]float64)
+	for name, planner := range Strategies() {
+		cl, m, def := setupFig1(t, planner)
+		rep, err := m.ApplyBatch(fig1Delta())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		verifyView(t, cl, def)
+		if rep.MaintenanceSeconds <= 0 {
+			t.Errorf("%s: non-positive maintenance cost", name)
+		}
+		if rep.NumUnits == 0 || rep.NumTriples < rep.NumUnits {
+			t.Errorf("%s: implausible units=%d triples=%d", name, rep.NumUnits, rep.NumTriples)
+		}
+		costs[name] = rep.MaintenanceSeconds
+		// The base array must contain the inserted cells afterwards.
+		base, err := cl.Gather("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.NumCells() != 13 {
+			t.Errorf("%s: base has %d cells after ingest, want 13", name, base.NumCells())
+		}
+		// Delta namespaces must be gone.
+		for _, k := range cl.Catalog().Keys("A#delta1") {
+			t.Errorf("%s: stale delta chunk %v", name, k)
+		}
+	}
+	// The optimized join plan must not be worse than the baseline.
+	if costs["differential"] > costs["baseline"]+1e-12 {
+		t.Errorf("differential cost %v exceeds baseline %v", costs["differential"], costs["baseline"])
+	}
+}
+
+func TestMaintainSequenceOfBatches(t *testing.T) {
+	// Several disjoint batches applied in sequence stay correct under every
+	// strategy, including inserts into already-occupied chunks.
+	batches := [][]array.Point{
+		{{1, 5}, {2, 1}},
+		{{2, 3}, {4, 2}, {1, 1}},
+		{{4, 4}, {5, 4}, {5, 6}, {6, 6}},
+		{{2, 2}}, // lands in the occupied chunk (0,0)
+	}
+	for name, planner := range Strategies() {
+		cl, m, def := setupFig1(t, planner)
+		for bi, pts := range batches {
+			d := array.New(fig1Schema())
+			for _, p := range pts {
+				if err := d.Set(p, array.Tuple{1, float64(bi)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := m.ApplyBatch(d); err != nil {
+				t.Fatalf("%s batch %d: %v", name, bi, err)
+			}
+			verifyView(t, cl, def)
+		}
+	}
+}
+
+func TestMaintainEmptyBatch(t *testing.T) {
+	cl, m, def := setupFig1(t, Reassign{})
+	rep, err := m.ApplyBatch(array.New(fig1Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumUnits != 0 || rep.MaintenanceSeconds != 0 {
+		t.Errorf("empty batch: units=%d cost=%v", rep.NumUnits, rep.MaintenanceSeconds)
+	}
+	verifyView(t, cl, def)
+}
+
+func TestMaintainIrrelevantBatch(t *testing.T) {
+	// An insert whose chunk neighborhood contains no occupied base chunk
+	// produces only the delta-self unit: the paper's "irrelevant update"
+	// prunes all base joins at metadata level.
+	cl, m, def := setupFig1(t, Differential{})
+	d := array.New(fig1Schema())
+	_ = d.Set(array.Point{1, 7}, array.Tuple{1, 1})
+	rep, err := m.ApplyBatch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumUnits != 1 {
+		t.Errorf("irrelevant batch generated %d units, want 1 (self unit)", rep.NumUnits)
+	}
+	verifyView(t, cl, def)
+}
+
+func TestMaintainChunkGranularityOverApproximation(t *testing.T) {
+	// An insert at (6,8) joins no cell, but its chunk's neighborhood
+	// overlaps occupied base chunks (2,2) and (2,3): chunk-granularity
+	// maintenance evaluates those pairs anyway — the cost the paper accepts
+	// to keep metadata small. The view must still come out exact.
+	cl, m, def := setupFig1(t, Differential{})
+	d := array.New(fig1Schema())
+	_ = d.Set(array.Point{6, 8}, array.Tuple{1, 1})
+	rep, err := m.ApplyBatch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumUnits != 3 {
+		t.Errorf("chunk-granularity batch generated %d units, want 3", rep.NumUnits)
+	}
+	verifyView(t, cl, def)
+}
+
+func TestPlanValidation(t *testing.T) {
+	_, m, def := setupFig1(t, Differential{})
+	_ = def
+	// Build a context manually via a staged batch, then corrupt plans.
+	cl := m.cl
+	deltaName := "A#deltaX"
+	schema := *fig1Schema()
+	schema.Name = deltaName
+	if err := cl.Catalog().Register(&schema); err != nil {
+		t.Fatal(err)
+	}
+	d := fig1Delta()
+	var chunks []*array.Chunk
+	d.EachChunk(func(c *array.Chunk) bool { chunks = append(chunks, c); return true })
+	if err := cl.StageDelta(deltaName, chunks); err != nil {
+		t.Fatal(err)
+	}
+	gen := &view.UnitGen{Catalog: cl.Catalog(), Def: m.def,
+		BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: deltaName, DeltaBeta: deltaName}
+	units, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(cl, m.def, units, "A", "A", deltaName, deltaName, "V", nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := (Differential{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(ctx); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+
+	bad := *good
+	bad.JoinSite = append([]int(nil), good.JoinSite...)
+	bad.JoinSite[0] = 99
+	if err := bad.Validate(ctx); err == nil {
+		t.Error("out-of-range join site must be rejected (C3)")
+	}
+
+	bad2 := *good
+	bad2.Transfers = nil // joins now reference non-resident chunks
+	if err := bad2.Validate(ctx); err == nil {
+		t.Error("missing transfers must be rejected (C2)")
+	}
+
+	bad3 := *good
+	bad3.ViewHome = map[array.ChunkKey]int{}
+	if err := bad3.Validate(ctx); err == nil {
+		t.Error("missing view home must be rejected (C1)")
+	}
+
+	bad4 := *good
+	bad4.JoinSite = good.JoinSite[:1]
+	if err := bad4.Validate(ctx); err == nil {
+		t.Error("wrong unit arity must be rejected")
+	}
+}
+
+func TestHeuristicsVsOptimalOnTinyInstances(t *testing.T) {
+	// On instances small enough for exhaustive search, the plans must
+	// bracket: optimal ≤ differential-class plans, and every strategy beats
+	// nothing (cost ≥ optimal). Empirically the heuristic lands within 2x
+	// of optimal on these seeds.
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cl, err := cluster.New(2, cluster.WithWorkersPerNode(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := array.New(fig1Schema())
+		for i := 0; i < 4; i++ {
+			_ = base.Set(array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}, array.Tuple{1, 1})
+		}
+		if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+			t.Fatal(err)
+		}
+		def := fig1Def(t)
+		if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+			t.Fatal(err)
+		}
+		deltaName := "A#d"
+		schema := *fig1Schema()
+		schema.Name = deltaName
+		_ = cl.Catalog().Register(&schema)
+		d := array.New(fig1Schema())
+		for i := 0; i < 2; i++ {
+			p := array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}
+			if _, ok := base.Get(p); !ok {
+				_ = d.Set(p, array.Tuple{1, 1})
+			}
+		}
+		var chunks []*array.Chunk
+		d.EachChunk(func(c *array.Chunk) bool { chunks = append(chunks, c); return true })
+		if err := cl.StageDelta(deltaName, chunks); err != nil {
+			t.Fatal(err)
+		}
+		gen := &view.UnitGen{Catalog: cl.Catalog(), Def: def,
+			BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: deltaName, DeltaBeta: deltaName}
+		units, err := gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(units) == 0 || len(units) > 5 {
+			continue
+		}
+		ctx, err := NewContext(cl, def, units, "A", "A", deltaName, deltaName, "V", nil, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalPlan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := opt.Cost(ctx)
+		for name, planner := range Strategies() {
+			p, err := planner.Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(ctx); err != nil {
+				t.Fatalf("seed %d %s: invalid plan: %v", seed, name, err)
+			}
+			c := p.Cost(ctx)
+			if c < optCost-1e-12 {
+				t.Errorf("seed %d: %s cost %v below exhaustive optimum %v", seed, name, c, optCost)
+			}
+			if name != "baseline" && optCost > 0 && c > 2*optCost+1e-12 {
+				t.Errorf("seed %d: %s cost %v more than 2x optimum %v", seed, name, c, optCost)
+			}
+		}
+	}
+}
+
+func TestOptimalPlanRejectsLargeInstances(t *testing.T) {
+	cl, _ := cluster.New(8)
+	base := fig1Array()
+	_ = cl.LoadArray(base, &cluster.RoundRobin{})
+	def := fig1Def(t)
+	_ = BuildView(cl, def, &cluster.RoundRobin{})
+	units := make([]view.Unit, 20)
+	for i := range units {
+		units[i] = view.Unit{
+			P:     view.ChunkRef{Array: "A", Key: array.ChunkCoord{0, 0}.Key()},
+			Q:     view.ChunkRef{Array: "A", Key: array.ChunkCoord{0, 0}.Key()},
+			Views: []array.ChunkKey{array.ChunkCoord{int64(i), 0}.Key()},
+		}
+	}
+	ctx, _ := NewContext(cl, def, units, "A", "A", "A", "A", "V", nil, DefaultParams())
+	if _, err := OptimalPlan(ctx); err == nil {
+		t.Error("large instance must be rejected")
+	}
+}
+
+func TestHistoryWindowEviction(t *testing.T) {
+	h := NewHistory(2)
+	cl, m, _ := setupFig1(t, Reassign{})
+	_ = cl
+	m.history = h
+	for i := 0; i < 4; i++ {
+		d := array.New(fig1Schema())
+		_ = d.Set(array.Point{1 + int64(i), 8}, array.Tuple{1, 1})
+		if _, err := m.ApplyBatch(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 2 {
+		t.Errorf("history holds %d batches, want window of 2", h.Len())
+	}
+	// Nil and zero-window histories are no-ops.
+	var nilH *History
+	nilH.Record(nil)
+	zero := NewHistory(0)
+	zero.Record(nil)
+	if zero.Len() != 0 {
+		t.Error("zero-window history must stay empty")
+	}
+}
+
+func TestCorrelatedBatchesConvergence(t *testing.T) {
+	// Repeated batches hitting the same chunks: reassignment should reduce
+	// the maintenance cost after the first batch, and end no worse than the
+	// baseline ends. This is the Figure 3 "correlated" effect.
+	run := func(planner Planner) []float64 {
+		schema := array.MustSchema("A",
+			[]array.Dimension{
+				{Name: "i", Start: 1, End: 40, ChunkSize: 2},
+				{Name: "j", Start: 1, End: 40, ChunkSize: 2},
+			},
+			[]array.Attribute{{Name: "r", Type: array.Int64}})
+		rng := rand.New(rand.NewSource(42))
+		base := array.New(schema)
+		for i := 0; i < 300; i++ {
+			_ = base.Set(array.Point{1 + rng.Int63n(40), 1 + rng.Int63n(40)}, array.Tuple{1})
+		}
+		cl, err := cluster.New(4, cluster.WithWorkersPerNode(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.LoadArray(base, cluster.HashPlacement{}); err != nil {
+			t.Fatal(err)
+		}
+		def, err := view.NewDefinition("V", schema, schema,
+			simjoin.NewPred(shape.L1(2, 1), nil),
+			[]string{"i", "j"}, []view.Aggregate{{Kind: view.Count, As: "c"}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BuildView(cl, def, cluster.HashPlacement{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMaintainer(cl, def, planner, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 6 batches inside the same 10x10 region: correlated updates.
+		var costs []float64
+		used := make(map[string]bool)
+		base.EachCell(func(p array.Point, _ array.Tuple) bool { used[p.String()] = true; return true })
+		for b := 0; b < 6; b++ {
+			d := array.New(schema)
+			for d.NumCells() < 12 {
+				p := array.Point{1 + rng.Int63n(10), 1 + rng.Int63n(10)}
+				if used[p.String()] {
+					continue
+				}
+				used[p.String()] = true
+				_ = d.Set(p, array.Tuple{1})
+			}
+			rep, err := m.ApplyBatch(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs = append(costs, rep.MaintenanceSeconds)
+		}
+		verifyView(t, cl, def)
+		return costs
+	}
+	baseCosts := run(Baseline{})
+	reCosts := run(Reassign{})
+	// After warm-up, reassign must beat the baseline on this workload.
+	if reCosts[5] >= baseCosts[5] {
+		t.Errorf("correlated: reassign final cost %v not below baseline %v", reCosts[5], baseCosts[5])
+	}
+	sum := func(v []float64) (s float64) {
+		for _, x := range v {
+			s += x
+		}
+		return
+	}
+	if sum(reCosts) >= sum(baseCosts) {
+		t.Errorf("correlated: reassign total %v not below baseline total %v", sum(reCosts), sum(baseCosts))
+	}
+}
+
+func TestMaintainerAPIMisuse(t *testing.T) {
+	cl, _ := cluster.New(2)
+	_ = cl.LoadArray(fig1Array(), &cluster.RoundRobin{})
+	def := fig1Def(t)
+	if _, err := NewMaintainer(cl, def, nil, Params{Lambda: 2}); err == nil {
+		t.Error("invalid params must be rejected")
+	}
+	// View not built yet is fine (it appears in catalog after BuildView);
+	// but a missing base array is not.
+	other, _ := cluster.New(2)
+	if _, err := NewMaintainer(other, def, nil, DefaultParams()); err == nil {
+		t.Error("missing base array must be rejected")
+	}
+	_ = BuildView(cl, def, &cluster.RoundRobin{})
+	m, err := NewMaintainer(cl, def, nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Planner().Name() != "reassign" {
+		t.Error("nil planner must default to reassign")
+	}
+	if _, err := m.ApplyBatch2(nil, nil); err == nil {
+		t.Error("ApplyBatch2 on a self-join view must fail")
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	_, m, _ := setupFig1(t, Reassign{})
+	rep, err := m.ApplyBatch(fig1Delta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "reassign" {
+		t.Errorf("strategy = %q", rep.Strategy)
+	}
+	if rep.OptimizationSeconds < rep.TripleGenSeconds {
+		t.Error("optimization time must include triple generation")
+	}
+	if rep.Plan == nil || rep.Ledger == nil {
+		t.Error("report must carry plan and ledger")
+	}
+	if rep.Plan.String() == "" {
+		t.Error("plan must render")
+	}
+}
+
+func TestStrategiesRegistry(t *testing.T) {
+	s := Strategies()
+	for _, name := range StrategyNames() {
+		p, ok := s[name]
+		if !ok {
+			t.Fatalf("strategy %q missing", name)
+		}
+		if p.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, p.Name())
+		}
+	}
+}
+
+func TestTwoArrayMaintenance(t *testing.T) {
+	sa := array.MustSchema("X",
+		[]array.Dimension{{Name: "i", Start: 1, End: 20, ChunkSize: 4}},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	sb := array.MustSchema("Y",
+		[]array.Dimension{{Name: "i", Start: 1, End: 20, ChunkSize: 5}},
+		[]array.Attribute{{Name: "w", Type: array.Float64}})
+	def, err := view.NewDefinition("V2", sa, sb,
+		simjoin.NewPred(shape.Linf(1, 2), nil),
+		[]string{"i"},
+		[]view.Aggregate{{Kind: view.Count, As: "c"}, {Kind: view.Sum, Attr: "w", As: "ws"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, planner := range Strategies() {
+		cl, err := cluster.New(3, cluster.WithWorkersPerNode(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		alpha := array.New(sa)
+		beta := array.New(sb)
+		for i := 0; i < 8; i++ {
+			_ = alpha.Set(array.Point{1 + rng.Int63n(20)}, array.Tuple{1})
+			_ = beta.Set(array.Point{1 + rng.Int63n(20)}, array.Tuple{2})
+		}
+		if err := cl.LoadArray(alpha, &cluster.RoundRobin{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.LoadArray(beta, &cluster.RoundRobin{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMaintainer(cl, def, planner, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dA := array.New(sa)
+		dB := array.New(sb)
+		for i := 0; i < 4; i++ {
+			p := array.Point{1 + rng.Int63n(20)}
+			if _, ok := alpha.Get(p); !ok {
+				_ = dA.Set(p, array.Tuple{3})
+			}
+			q := array.Point{1 + rng.Int63n(20)}
+			if _, ok := beta.Get(q); !ok {
+				_ = dB.Set(q, array.Tuple{4})
+			}
+		}
+		if _, err := m.ApplyBatch2(dA, dB); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Verify against local recompute over both gathered bases.
+		a2, err := cl.Gather("X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := cl.Gather("Y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Gather("V2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := view.Materialize(def, a2, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !statesEqual(got, want) {
+			t.Fatalf("%s: two-array view diverges from recomputation", name)
+		}
+		if _, err := m.ApplyBatch(dA); err == nil {
+			t.Error("ApplyBatch on a two-array view must fail")
+		}
+	}
+}
+
+func TestChargeAccounting(t *testing.T) {
+	// A hand-built single-unit scenario with exact charge arithmetic.
+	cl, err := cluster.New(2, cluster.WithWorkersPerNode(1),
+		cluster.WithCostModel(cluster.CostModel{Tntwk: 1, Tcpu: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fig1Array()
+	if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := fig1Def(t)
+	if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	pKey := array.ChunkCoord{0, 0}.Key()
+	qKey := array.ChunkCoord{0, 1}.Key()
+	vKey := array.ChunkCoord{0, 0}.Key()
+	units := []view.Unit{{
+		P:     view.ChunkRef{Array: "A", Key: pKey},
+		Q:     view.ChunkRef{Array: "A", Key: qKey},
+		Views: []array.ChunkKey{vKey},
+	}}
+	ctx, err := NewContext(cl, def, units, "A", "A", "A#none", "A#none", "V", nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := ctx.SizeOf(units[0].P)
+	bq := ctx.SizeOf(units[0].Q)
+	bpq := float64(bp + bq)
+
+	p := NewPlan("manual", 1)
+	homeP := mustHome(t, cl, "A", pKey)
+	homeQ := mustHome(t, cl, "A", qKey)
+	if homeP == homeQ {
+		t.Fatalf("test requires chunks on different nodes")
+	}
+	// Join at homeQ: ship P from homeP; merge at node homeP (forcing the
+	// differential shipping charge), view chunk currently at its home.
+	p.JoinSite[0] = homeQ
+	p.Transfers = []Transfer{{Ref: units[0].P, From: homeP, To: homeQ}}
+	curV, _ := cl.Catalog().Home("V", vKey)
+	other := 1 - curV
+	p.ViewHome[vKey] = other
+	ledger := p.Charge(ctx)
+
+	// Expected charges with Tntwk = Tcpu = 1:
+	//   transfer:  ntwk[homeP] += B_p
+	//   join:      cpu[homeQ]  += B_pq
+	//   merge:     cpu[other] += B_pq; if other != homeQ, ntwk[homeQ] += B_pq
+	wantNtwk := make([]float64, 2)
+	wantCPU := make([]float64, 2)
+	wantNtwk[homeP] += float64(bp)
+	wantCPU[homeQ] += bpq
+	wantCPU[other] += bpq
+	if other != homeQ {
+		wantNtwk[homeQ] += bpq
+	}
+	for k := 0; k < 2; k++ {
+		if ledger.Ntwk(k) != wantNtwk[k] {
+			t.Errorf("ntwk[%d] = %v, want %v", k, ledger.Ntwk(k), wantNtwk[k])
+		}
+		if ledger.CPU(k) != wantCPU[k] {
+			t.Errorf("cpu[%d] = %v, want %v", k, ledger.CPU(k), wantCPU[k])
+		}
+	}
+	if ledger.Cost() <= 0 {
+		t.Fatal("cost must be positive")
+	}
+}
+
+func mustHome(t *testing.T, cl *cluster.Cluster, name string, key array.ChunkKey) int {
+	t.Helper()
+	h, ok := cl.Catalog().Home(name, key)
+	if !ok {
+		t.Fatalf("chunk %v of %q not in catalog", key, name)
+	}
+	return h
+}
+
+func TestDeterministicPlansAcrossRuns(t *testing.T) {
+	costs := make([]float64, 2)
+	for trial := 0; trial < 2; trial++ {
+		_, m, _ := setupFig1(t, Reassign{})
+		rep, err := m.ApplyBatch(fig1Delta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[trial] = rep.MaintenanceSeconds
+	}
+	if costs[0] != costs[1] {
+		t.Errorf("same seed produced different costs: %v vs %v", costs[0], costs[1])
+	}
+}
+
+func ExampleReport() {
+	fmt.Println("strategy baseline|differential|reassign")
+	// Output: strategy baseline|differential|reassign
+}
+
+// TestParallelCandidatesIdenticalPlans: the parallel candidate evaluation
+// must pick bit-identical plans to the serial loop.
+func TestParallelCandidatesIdenticalPlans(t *testing.T) {
+	mk := func(parallel bool) float64 {
+		rng := rand.New(rand.NewSource(7))
+		schema := array.MustSchema("A",
+			[]array.Dimension{
+				{Name: "i", Start: 1, End: 64, ChunkSize: 2},
+				{Name: "j", Start: 1, End: 64, ChunkSize: 2},
+			},
+			[]array.Attribute{{Name: "r", Type: array.Int64}})
+		base := array.New(schema)
+		for i := 0; i < 400; i++ {
+			_ = base.Set(array.Point{1 + rng.Int63n(64), 1 + rng.Int63n(64)}, array.Tuple{1})
+		}
+		cl, err := cluster.New(16, cluster.WithWorkersPerNode(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.LoadArray(base, cluster.HashPlacement{}); err != nil {
+			t.Fatal(err)
+		}
+		def, err := view.NewDefinition("V", schema, schema,
+			simjoin.NewPred(shape.L1(2, 1), nil),
+			[]string{"i", "j"}, []view.Aggregate{{Kind: view.Count, As: "c"}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BuildView(cl, def, cluster.HashPlacement{}); err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.ParallelCandidates = parallel
+		m, err := NewMaintainer(cl, def, Reassign{}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := array.New(schema)
+		for delta.NumCells() < 30 {
+			p := array.Point{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+			if _, ok := base.Get(p); ok {
+				continue
+			}
+			_ = delta.Set(p, array.Tuple{1})
+		}
+		rep, err := m.ApplyBatch(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaintenanceSeconds
+	}
+	serial := mk(false)
+	parallel := mk(true)
+	if serial != parallel {
+		t.Errorf("parallel candidates changed the plan: %v vs %v", serial, parallel)
+	}
+}
+
+// TestPlansAlwaysValidProperty: for random bases, deltas, and strategies,
+// every produced plan satisfies the MIP constraints and executes to a view
+// identical to recomputation.
+func TestPlansAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		planners := []Planner{Baseline{}, Differential{}, Reassign{}}
+		planner := planners[rng.Intn(len(planners))]
+		cl, err := cluster.New(2+rng.Intn(4), cluster.WithWorkersPerNode(1))
+		if err != nil {
+			return false
+		}
+		base := array.New(fig1Schema())
+		for i := 0; i < 6+rng.Intn(8); i++ {
+			_ = base.Set(array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}, array.Tuple{1, 1})
+		}
+		placements := []cluster.Placement{&cluster.RoundRobin{}, cluster.HashPlacement{},
+			cluster.RangePlacement{Dim: 0, NumChunks: 3}}
+		if err := cl.LoadArray(base, placements[rng.Intn(len(placements))]); err != nil {
+			return false
+		}
+		def := fig1Def(t)
+		if err := BuildView(cl, def, placements[rng.Intn(len(placements))]); err != nil {
+			return false
+		}
+		params := DefaultParams()
+		params.Seed = seed
+		params.CellPruning = rng.Intn(2) == 0
+		m, err := NewMaintainer(cl, def, planner, params)
+		if err != nil {
+			return false
+		}
+		delta := array.New(fig1Schema())
+		for i := 0; i < 4; i++ {
+			p := array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}
+			if _, ok := base.Get(p); ok {
+				continue
+			}
+			_ = delta.Set(p, array.Tuple{1, 1})
+		}
+		rep, err := m.ApplyBatch(delta)
+		if err != nil {
+			return false
+		}
+		_ = rep
+		got, err := cl.Gather("V")
+		if err != nil {
+			return false
+		}
+		fullBase, err := cl.Gather("A")
+		if err != nil {
+			return false
+		}
+		want, err := view.Materialize(def, fullBase, fullBase)
+		if err != nil {
+			return false
+		}
+		return statesEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package maintain implements distributed incremental array view
+// maintenance (Section 4 of the paper): the baseline algorithm adapted from
+// parallel relational view maintenance, the MIP cost objective (Eq. 1), and
+// the three-stage heuristic — differential view computation (Algorithm 1),
+// view chunk reassignment (Algorithm 2), and array chunk reassignment over
+// a window of past batches (Algorithm 3) — plus the executor that applies a
+// plan to the cluster.
+package maintain
+
+import "fmt"
+
+// Params are the tunable constants of the optimization (Table 1 and
+// Section 6.2).
+type Params struct {
+	// Lambda weighs the current batch against the historical window in the
+	// objective (λ in Eq. 1).
+	Lambda float64
+	// Window is the number of past batches considered by array chunk
+	// reassignment. The paper uses 5.
+	Window int
+	// Decay is the exponential decay base of the batch weights W_l: the
+	// l-th previous batch has weight Decay^l.
+	Decay float64
+	// CPUThresholdFactor scales Algorithm 3's per-node CPU quota relative
+	// to the average weighted join bytes per node. 1.0 reproduces the
+	// paper's "average join cost per node"; 0 disables reassignment of all
+	// but the cheapest chunks (ablation).
+	CPUThresholdFactor float64
+	// Seed drives the randomized iteration order of Algorithms 1 and 2 so
+	// that runs are reproducible.
+	Seed int64
+	// SortedPairOrder replaces the randomized pair order of Algorithm 1
+	// with a deterministic largest-pair-first order (ablation).
+	SortedPairOrder bool
+	// CellPruning generates update triples against each chunk's cell
+	// bounding box rather than its full region, pruning join pairs that
+	// cannot match — the paper's cell-granularity alternative (ablation).
+	CellPruning bool
+	// ParallelCandidates evaluates Algorithm 1's candidate nodes
+	// concurrently on clusters of 16+ nodes — the acceleration the paper
+	// names as future work for thousand-node clusters. The chosen plan is
+	// bit-identical to the serial one.
+	ParallelCandidates bool
+}
+
+// DefaultParams mirror the paper's experimental configuration: a window of
+// 5 previous batches with exponentially decaying weights.
+func DefaultParams() Params {
+	return Params{
+		Lambda:             0.5,
+		Window:             5,
+		Decay:              0.5,
+		CPUThresholdFactor: 1.0,
+		Seed:               1,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return fmt.Errorf("maintain: lambda %v outside [0, 1]", p.Lambda)
+	}
+	if p.Window < 0 {
+		return fmt.Errorf("maintain: negative window %d", p.Window)
+	}
+	if p.Decay <= 0 || p.Decay > 1 {
+		return fmt.Errorf("maintain: decay %v outside (0, 1]", p.Decay)
+	}
+	if p.CPUThresholdFactor < 0 {
+		return fmt.Errorf("maintain: negative cpu threshold factor %v", p.CPUThresholdFactor)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package maintain
+
+import (
+	"sort"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Reassign is the complete three-stage heuristic: Algorithm 1 (join plan),
+// Algorithm 2 (view chunk reassignment given the join plan), and Algorithm
+// 3 (array chunk reassignment piggybacking on the batch's replication,
+// scored over the history window).
+type Reassign struct{}
+
+// Name implements Planner.
+func (Reassign) Name() string { return "reassign" }
+
+// Plan implements Planner.
+func (Reassign) Plan(ctx *Context) (*Plan, error) {
+	p, _, holders := planDifferential(ctx)
+	p.Strategy = "reassign"
+	assignViewHomes(ctx, p)
+	assignArrayHomes(ctx, p, holders)
+	return p, nil
+}
+
+// ledgerFromXZ prices only the transfer (x) and join (z) variables of a
+// plan.
+func ledgerFromXZ(ctx *Context, p *Plan) *cluster.Ledger {
+	l := cluster.NewLedger(ctx.Cluster.NumNodes(), ctx.Model)
+	for _, t := range p.Transfers {
+		l.ChargeTransferTo(t.From, t.To, ctx.SizeOf(t.Ref))
+	}
+	for i, u := range ctx.Units {
+		l.ChargeJoin(p.JoinSite[i], ctx.PairBytes(u))
+	}
+	return l
+}
+
+// assignViewHomes is Algorithm 2: for every affected view chunk v, pick the
+// merge node minimizing the objective given the join sites, charging
+// differential shipping from each join site k≠j' (line 8) and merge CPU at
+// j' (line 9).
+//
+// The ledger is initialized from the x and z variables (line 1) plus the
+// shipping of the complete y = S assignment stage one optimized against;
+// each view chunk is then relocated in random order by removing its
+// incumbent charges and re-placing it where the objective is minimized,
+// with the incumbent winning ties. Evaluating moves against the complete
+// assignment (rather than constructing from an empty one) keeps the greedy
+// from undoing stage one's coordination and makes placements stable across
+// repeated batches — which is what lets reassignment converge.
+func assignViewHomes(ctx *Context, p *Plan) {
+	model := ctx.Model
+
+	// Group the units affecting each view chunk; iterate view chunks in
+	// random order (line 2).
+	affected := make(map[array.ChunkKey][]int)
+	var viewKeys []array.ChunkKey
+	for i, u := range ctx.Units {
+		for _, v := range u.Views {
+			if _, seen := affected[v]; !seen {
+				viewKeys = append(viewKeys, v)
+			}
+			affected[v] = append(affected[v], i)
+		}
+	}
+	sort.Slice(viewKeys, func(a, b int) bool { return viewKeys[a] < viewKeys[b] })
+
+	contribsOf := make(map[array.ChunkKey][]viewContrib, len(viewKeys))
+	for _, v := range viewKeys {
+		var contribs []viewContrib
+		for _, i := range affected[v] {
+			contribs = append(contribs, viewContrib{
+				site:  p.JoinSite[i],
+				bytes: ctx.PairBytes(ctx.Units[i]),
+				ship:  int64(float64(ctx.PairBytes(ctx.Units[i])) * ctx.ResultScale),
+			})
+		}
+		contribsOf[v] = contribs
+	}
+
+	// Line 1: ledger from x, z, plus the complete merge charges of the
+	// y = S assignment stage one optimized against.
+	ledger := ledgerFromXZ(ctx, p)
+	home := make(map[array.ChunkKey]int, len(viewKeys))
+	for _, v := range viewKeys {
+		h := ctx.ViewHomeHint(v)
+		home[v] = h
+		applyViewCharges(ledger, model, contribsOf[v], h, +1)
+	}
+
+	ctx.Rng.Shuffle(len(viewKeys), func(a, b int) { viewKeys[a], viewKeys[b] = viewKeys[b], viewKeys[a] })
+	for _, v := range viewKeys {
+		cur := home[v]
+		applyViewCharges(ledger, model, contribsOf[v], cur, -1)
+		dest := chooseViewHome(ledger, model, contribsOf[v], cur)
+		applyViewCharges(ledger, model, contribsOf[v], dest, +1)
+		home[v] = dest
+		p.ViewHome[v] = dest
+	}
+}
+
+// viewContrib is one differential result that must reach a view chunk: the
+// node that computed it, the B_pq of its source pair, and the shipped
+// result volume (B_pq scaled by the context's ResultScale).
+type viewContrib struct {
+	site  int
+	bytes int64
+	ship  int64
+}
+
+// maxProducerSite returns the join site contributing the most bytes to a
+// view chunk (node 0 when there are no contributions).
+func maxProducerSite(contribs []viewContrib) int {
+	byteBySite := make(map[int]int64)
+	for _, c := range contribs {
+		byteBySite[c.site] += c.bytes
+	}
+	best, bestBytes := 0, int64(-1)
+	for s, b := range byteBySite {
+		if b > bestBytes || (b == bestBytes && s < best) {
+			best, bestBytes = s, b
+		}
+	}
+	return best
+}
+
+// chooseViewHome evaluates every node as the merge home of one view chunk
+// (Algorithm 2 lines 4-13): shipping each contribution from its join site
+// when they differ (line 8) and merge CPU at the candidate (line 9).
+// Relocating the chunk itself is free — reassignment piggybacks on the
+// maintenance communication. incumbent (>= 0) seeds the search: another
+// node wins only by strictly beating it on (objective, added load).
+func chooseViewHome(ledger *cluster.Ledger, model cluster.CostModel, contribs []viewContrib, incumbent int) int {
+	n := ledger.NumNodes()
+	extraNtwk := make([]float64, n)
+	extraCPU := make([]float64, n)
+	bestCost, bestLoad := 0.0, 0.0
+	dest := -1
+	evaluate := func(j int) {
+		for k := 0; k < n; k++ {
+			extraNtwk[k] = 0
+			extraCPU[k] = 0
+		}
+		addViewCharges(extraNtwk, extraCPU, model, contribs, j)
+		optNow := ledger.CostWith(extraNtwk, extraCPU)
+		// Ties on the flat max objective are broken by the smallest added
+		// load, keeping view chunks with their differential producers (see
+		// chooseJoinSite).
+		load := sum(extraNtwk) + sum(extraCPU)
+		if dest == -1 || optNow < bestCost || (optNow == bestCost && load < bestLoad) {
+			bestCost = optNow
+			bestLoad = load
+			dest = j
+		}
+	}
+	if incumbent >= 0 && incumbent < n {
+		evaluate(incumbent)
+	}
+	for j := 0; j < n; j++ {
+		if j != dest {
+			evaluate(j)
+		}
+	}
+	return dest
+}
+
+// applyViewCharges adds (sign=+1) or removes (sign=-1) one view chunk's
+// merge charges at home j from the ledger.
+func applyViewCharges(ledger *cluster.Ledger, model cluster.CostModel, contribs []viewContrib, j int, sign float64) {
+	n := ledger.NumNodes()
+	extraNtwk := make([]float64, n)
+	extraCPU := make([]float64, n)
+	addViewCharges(extraNtwk, extraCPU, model, contribs, j)
+	if sign != 1 {
+		for k := 0; k < n; k++ {
+			extraNtwk[k] *= sign
+			extraCPU[k] *= sign
+		}
+	}
+	ledger.Apply(extraNtwk, extraCPU)
+}
+
+func addViewCharges(extraNtwk, extraCPU []float64, model cluster.CostModel, contribs []viewContrib, j int) {
+	for _, c := range contribs {
+		if c.site != j {
+			extraNtwk[c.site] += float64(c.ship) * model.Tntwk
+			extraNtwk[j] += float64(c.ship) * model.Tntwk * model.ReceiveFactor
+		}
+		extraCPU[j] += float64(c.bytes) * model.Tcpu
+	}
+}
+
+// assignArrayHomes is Algorithm 3: score every (array chunk, view chunk)
+// co-occurrence across the history window (current batch included, older
+// batches exponentially decayed), then greedily co-locate chunks with their
+// highest-scoring view chunk — but only onto nodes that already received a
+// replica this batch, and only within a per-node CPU quota.
+func assignArrayHomes(ctx *Context, p *Plan, holders *holderTracker) {
+	n := ctx.Cluster.NumNodes()
+	pairs, totalPairBytes := scoredPairs(ctx)
+	if len(pairs) == 0 {
+		fallbackDeltaHomes(ctx, p, nil)
+		return
+	}
+
+	// cpu_thr: the average weighted join bytes per node, scaled by the
+	// ablation factor.
+	quota := make([]float64, n)
+	per := ctx.Params.CPUThresholdFactor * totalPairBytes / float64(n)
+	for j := range quota {
+		quota[j] = per
+	}
+
+	assigned, bestView := greedyCoLocate(pairs, quota,
+		func(r view.ChunkRef) int64 { return sizeOfBatchRef(ctx, r) },
+		func(v array.ChunkKey) (int, bool) { return viewHomeFor(ctx, p, v) },
+		func(r view.ChunkRef, j int) bool { return replicaAt(ctx, holders, r, j) },
+	)
+	for ref, j := range assigned {
+		// Chunks whose base incarnation exists are rehomed under their base
+		// identity (the staged delta merges into them wherever they land);
+		// brand-new chunks are keyed by their delta ref.
+		key := batchRef(ctx, ref)
+		if _, ok := ctx.Cluster.Catalog().Home(ref.Array, ref.Key); ok {
+			key = ref
+		}
+		p.ArrayRehome[key] = j
+	}
+	fallbackDeltaHomes(ctx, p, bestView)
+}
+
+// greedyCoLocate implements Algorithm 3 lines 5-13 as a pure function over
+// pre-scored (array chunk, view chunk) pairs: pairs are visited in
+// descending score (ties broken deterministically); each not-yet-assigned
+// chunk is co-located with its view chunk's node if a replica already
+// exists there (line 8) and the node's quota admits it (lines 8-9). It
+// returns the assignments and each chunk's highest-scoring view chunk (used
+// by the paper's tight-quota fallback for delta chunks).
+func greedyCoLocate(pairs []scoredPair, quota []float64,
+	size func(view.ChunkRef) int64,
+	viewHome func(array.ChunkKey) (int, bool),
+	hasReplica func(view.ChunkRef, int) bool,
+) (map[view.ChunkRef]int, map[view.ChunkRef]array.ChunkKey) {
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].ref != pairs[j].ref {
+			return pairs[i].ref.Less(pairs[j].ref)
+		}
+		return pairs[i].viewKey < pairs[j].viewKey
+	})
+	assigned := make(map[view.ChunkRef]int)
+	bestView := make(map[view.ChunkRef]array.ChunkKey)
+	for _, pr := range pairs {
+		if _, ok := bestView[pr.ref]; !ok {
+			bestView[pr.ref] = pr.viewKey
+		}
+		if _, done := assigned[pr.ref]; done {
+			continue
+		}
+		j, ok := viewHome(pr.viewKey)
+		if !ok {
+			continue
+		}
+		ba := float64(size(pr.ref))
+		if !hasReplica(pr.ref, j) {
+			continue
+		}
+		if quota[j] < ba {
+			continue
+		}
+		quota[j] -= ba
+		assigned[pr.ref] = j
+	}
+	return assigned, bestView
+}
+
+// scoredPair is one (array chunk, view chunk) co-occurrence with its
+// accumulated score. Refs are normalized to base-array namespaces so
+// history matches across batches.
+type scoredPair struct {
+	ref     view.ChunkRef
+	viewKey array.ChunkKey
+	score   float64
+}
+
+// scoredPairs builds the Algorithm 3 scores: the current batch carries
+// weight λ and the l-th previous batch (1−λ)·Decay^l — the λ split of
+// Eq. 1 combined with the exponential decay of the W_l weights. It also
+// returns the total weighted pair bytes used to size the CPU quota.
+func scoredPairs(ctx *Context) ([]scoredPair, float64) {
+	scores := make(map[view.ChunkRef]map[array.ChunkKey]float64)
+	add := func(ref view.ChunkRef, v array.ChunkKey, w float64, bytes int64) {
+		m, ok := scores[ref]
+		if !ok {
+			m = make(map[array.ChunkKey]float64)
+			scores[ref] = m
+		}
+		m[v] += w * float64(bytes)
+	}
+	lambda := ctx.Params.Lambda
+	totalPairBytes := 0.0
+	for _, u := range ctx.Units {
+		bp, bq := ctx.SizeOf(u.P), ctx.SizeOf(u.Q)
+		for _, v := range u.Views {
+			add(normalizeRef(ctx, u.P), v, lambda, bp)
+			add(normalizeRef(ctx, u.Q), v, lambda, bq)
+			totalPairBytes += lambda * float64(bp+bq)
+		}
+	}
+	if ctx.History != nil {
+		w := (1 - lambda) * ctx.Params.Decay
+		for _, b := range ctx.History.batches {
+			for _, pr := range b.pairs {
+				add(pr.Ref, pr.View, w, pr.Bytes)
+			}
+			totalPairBytes += w * float64(b.pairBytes)
+			w *= ctx.Params.Decay
+		}
+	}
+	var out []scoredPair
+	for ref, m := range scores {
+		for v, s := range m {
+			out = append(out, scoredPair{ref: ref, viewKey: v, score: s})
+		}
+	}
+	return out, totalPairBytes
+}
+
+// normalizeRef maps delta-namespace refs to their post-merge base identity.
+func normalizeRef(ctx *Context, r view.ChunkRef) view.ChunkRef {
+	return view.ChunkRef{Array: ctx.BaseNameFor(r.Array), Key: r.Key}
+}
+
+// batchRef maps a normalized ref back to the namespace the executor acts
+// on this batch: the delta namespace when the chunk is part of the staged
+// batch, otherwise the base namespace.
+func batchRef(ctx *Context, r view.ChunkRef) view.ChunkRef {
+	if r.Array == ctx.BaseAlpha {
+		d := view.ChunkRef{Array: ctx.DeltaAlpha, Key: r.Key}
+		if _, ok := ctx.Cluster.Catalog().Home(d.Array, d.Key); ok {
+			return d
+		}
+	}
+	if r.Array == ctx.BaseBeta {
+		d := view.ChunkRef{Array: ctx.DeltaBeta, Key: r.Key}
+		if _, ok := ctx.Cluster.Catalog().Home(d.Array, d.Key); ok {
+			return d
+		}
+	}
+	return r
+}
+
+func sizeOfBatchRef(ctx *Context, normalized view.ChunkRef) int64 {
+	return ctx.SizeOf(batchRef(ctx, normalized))
+}
+
+// replicaAt reports whether the (normalized) chunk's content will be
+// resident at node j after the plan's transfers, so rehoming there is
+// free. For chunks that already exist in the base array, only the base
+// copy counts — the staged delta merges into it wherever it ends up. For
+// brand-new chunks (staged at the coordinator, no base incarnation), the
+// first placement is free, though nodes the join plan shipped them to are
+// preferred so storage matches computation.
+func replicaAt(ctx *Context, holders *holderTracker, normalized view.ChunkRef, j int) bool {
+	if home, ok := ctx.Cluster.Catalog().Home(normalized.Array, normalized.Key); ok {
+		if home == j {
+			return true
+		}
+		return holders != nil && holders.has(normalized, j)
+	}
+	r := batchRef(ctx, normalized)
+	if ctx.IsDelta(r) && ctx.HomeOf(r) == cluster.Coordinator {
+		if holders == nil {
+			return true
+		}
+		set := holders.set(r)
+		if len(set) == 1 { // only the coordinator: never shipped
+			return true
+		}
+		return set[j]
+	}
+	if holders != nil && holders.has(r, j) {
+		return true
+	}
+	return ctx.HomeOf(r) == j
+}
+
+// viewHomeFor resolves a view chunk's destination: the current plan's
+// assignment if the chunk is affected this batch, otherwise its catalog
+// home (for pairs surfaced purely by history).
+func viewHomeFor(ctx *Context, p *Plan, v array.ChunkKey) (int, bool) {
+	if j, ok := p.ViewHome[v]; ok {
+		return j, true
+	}
+	return ctx.ViewHomeOf(v)
+}
+
+// fallbackDeltaHomes gives every still-unassigned new delta chunk a home:
+// the node of its highest-scoring view chunk when known (the paper's tight-
+// quota fallback), otherwise static placement.
+func fallbackDeltaHomes(ctx *Context, p *Plan, bestView map[view.ChunkRef]array.ChunkKey) {
+	n := ctx.Cluster.NumNodes()
+	for _, r := range ctx.DeltaRefs() {
+		if !ctx.IsDelta(r) {
+			continue
+		}
+		if _, ok := p.ArrayRehome[r]; ok {
+			continue
+		}
+		if v, ok := bestView[normalizeRef(ctx, r)]; ok {
+			if j, ok := viewHomeFor(ctx, p, v); ok {
+				p.ArrayRehome[r] = j
+				continue
+			}
+		}
+		p.ArrayRehome[r] = ctx.ArrayPlacement.Place(r.Key, n)
+	}
+}

@@ -1,0 +1,452 @@
+// Package query integrates materialized array views into similarity join
+// queries (Section 5 of the paper). Given a query whose shape differs from
+// the view's, it either
+//
+//   - answers differentially: evaluate the similarity join over the Δ shape
+//     (the positional symmetric difference of the view and query shapes)
+//     and merge it — signed — with the view, or
+//   - computes the complete similarity join from the base array,
+//
+// choosing by the analytical cost model of Eq. 3: both alternatives are
+// planned with the same greedy placement used for view maintenance and the
+// cheaper plan wins. The relative size of Δ versus the query shape is the
+// dominant factor, as in the paper's Figure 6.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// Mode selects how Answer picks its evaluation path.
+type Mode int
+
+const (
+	// Auto lets the cost model decide.
+	Auto Mode = iota
+	// ForceComplete always computes the full similarity join.
+	ForceComplete
+	// ForceView always answers from the view via the Δ shape.
+	ForceView
+)
+
+// Choice records the cost model's verdict for one query.
+type Choice struct {
+	// UseView is true when the differential path is (or was forced) chosen.
+	UseView bool
+	// ViewCost and CompleteCost are the Eq. 3 plan costs in seconds.
+	ViewCost, CompleteCost float64
+	// DeltaCard and QueryCard are |Δ| and |query shape|; their ratio is the
+	// paper's rule-of-thumb predictor.
+	DeltaCard, QueryCard int64
+}
+
+// Result is an answered query.
+type Result struct {
+	// Array holds the aggregate state tuples of the answer (see
+	// Definition.Output to render user-facing values).
+	Array  *array.Array
+	Choice Choice
+	// Ledger is the executed plan's simulated cost.
+	Ledger *cluster.Ledger
+}
+
+// Engine answers shape-based similarity join aggregate queries over a base
+// array that carries a materialized self-join view.
+type Engine struct {
+	Cluster *cluster.Cluster
+	// Def is the materialized view's definition; queries reuse its
+	// mapping, group-by, and aggregates but substitute their own shape.
+	Def    *view.Definition
+	Params maintain.Params
+}
+
+// NewEngine validates and returns an engine.
+func NewEngine(cl *cluster.Cluster, def *view.Definition, params maintain.Params) (*Engine, error) {
+	if !def.SelfJoin() {
+		return nil, fmt.Errorf("query: engine requires a self-join view, got %s", def.Name)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: cl, Def: def, Params: params}, nil
+}
+
+// Decide prices both evaluation paths for the query shape without
+// executing either.
+func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
+	delta := shape.Delta(e.Def.Pred.Shape, queryShape)
+	ch := Choice{QueryCard: queryShape.Card()}
+	if delta == nil {
+		// The query IS the view; the differential path is free.
+		ch.UseView = true
+		return ch, nil
+	}
+	ch.DeltaCard = delta.Card()
+
+	viewCost, _, err := e.planViewPath(delta)
+	if err != nil {
+		return Choice{}, err
+	}
+	completeCost, _, err := e.planPath(queryShape, pathComplete)
+	if err != nil {
+		return Choice{}, err
+	}
+	ch.ViewCost = viewCost
+	ch.CompleteCost = completeCost
+	ch.UseView = viewCost <= completeCost
+	return ch, nil
+}
+
+// Answer evaluates the query, deciding the path per mode.
+func (e *Engine) Answer(queryShape *shape.Shape, mode Mode) (*Result, error) {
+	ch, err := e.Decide(queryShape)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ForceComplete:
+		ch.UseView = false
+	case ForceView:
+		ch.UseView = true
+	}
+	if ch.UseView {
+		return e.answerWithView(queryShape, ch)
+	}
+	return e.answerComplete(queryShape, ch)
+}
+
+// answerComplete runs the full similarity join over the base array.
+func (e *Engine) answerComplete(queryShape *shape.Shape, ch Choice) (*Result, error) {
+	_, plan, err := e.planPath(queryShape, pathComplete)
+	if err != nil {
+		return nil, err
+	}
+	pred := simjoin.NewPred(queryShape, e.Def.Pred.Mapping)
+	out, ledger, err := e.execute(plan, pred, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Array: out, Choice: ch, Ledger: ledger}, nil
+}
+
+// answerWithView evaluates the Δ-shape join and merges it, signed, with the
+// view content.
+func (e *Engine) answerWithView(queryShape *shape.Shape, ch Choice) (*Result, error) {
+	vw, err := e.Cluster.Gather(e.Def.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := array.New(e.Def.Schema())
+	vw.EachCell(func(p array.Point, t array.Tuple) bool {
+		_ = out.Set(p, t)
+		return true
+	})
+	delta := shape.Delta(e.Def.Pred.Shape, queryShape)
+	if delta == nil {
+		return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
+	}
+	_, plan, err := e.planViewPath(delta)
+	if err != nil {
+		return nil, err
+	}
+	// Signed evaluation: offsets the query adds contribute +1, offsets only
+	// the view has contribute −1.
+	plus, minus := splitDelta(queryShape, delta)
+	pred := simjoin.NewPred(delta, e.Def.Pred.Mapping)
+	signOf := func(off []int64) float64 {
+		if plus != nil && plus.Contains(off) {
+			return 1
+		}
+		if minus != nil && minus.Contains(off) {
+			return -1
+		}
+		return 0
+	}
+	diff, ledger, err := e.execute(plan, pred, signOf)
+	if err != nil {
+		return nil, err
+	}
+	if err := view.MergeDelta(e.Def, out, diff); err != nil {
+		return nil, err
+	}
+	return &Result{Array: out, Choice: ch, Ledger: ledger}, nil
+}
+
+// splitDelta partitions the Δ shape into its signed halves: offsets in the
+// query shape add, the rest (view-only offsets) subtract.
+func splitDelta(queryShape, delta *shape.Shape) (plus, minus *shape.Shape) {
+	var plusOffs, minusOffs [][]int64
+	for _, off := range delta.Offsets() {
+		if queryShape.Contains(off) {
+			plusOffs = append(plusOffs, off)
+		} else {
+			minusOffs = append(minusOffs, off)
+		}
+	}
+	if len(plusOffs) > 0 {
+		plus, _ = shape.FromOffsets("delta+", plusOffs)
+	}
+	if len(minusOffs) > 0 {
+		minus, _ = shape.FromOffsets("delta-", minusOffs)
+	}
+	return plus, minus
+}
+
+// pathKind selects how a query path assembles its result.
+type pathKind int
+
+const (
+	// pathComplete computes the full join into a fresh result array.
+	pathComplete pathKind = iota
+	// pathViewFresh evaluates the Δ join into a fresh result array and
+	// ships the view's content to it — the Eq. 3 "interaction with the
+	// view" term.
+	pathViewFresh
+	// pathViewInPlace evaluates the Δ join and merges it at the view
+	// chunks' current homes; the view itself never moves.
+	pathViewInPlace
+)
+
+// planViewPath prices both differential variants — merge at the view's
+// homes versus assemble a fresh result and ship the view to it — and
+// returns the cheaper, as a plan optimizer would.
+func (e *Engine) planViewPath(delta *shape.Shape) (float64, *queryPlan, error) {
+	inPlaceCost, inPlace, err := e.planPath(delta, pathViewInPlace)
+	if err != nil {
+		return 0, nil, err
+	}
+	freshCost, fresh, err := e.planPath(delta, pathViewFresh)
+	if err != nil {
+		return 0, nil, err
+	}
+	if inPlaceCost <= freshCost {
+		return inPlaceCost, inPlace, nil
+	}
+	return freshCost, fresh, nil
+}
+
+// planPath builds the full-join unit set for a shape and prices it with
+// the greedy maintenance planner under the given result-assembly kind.
+func (e *Engine) planPath(sh *shape.Shape, kind pathKind) (float64, *queryPlan, error) {
+	pred := simjoin.NewPred(sh, e.Def.Pred.Mapping)
+	units := e.fullJoinUnits(pred)
+	viewName := e.Def.Name + "#result"
+	if kind == pathViewInPlace {
+		viewName = e.Def.Name
+	}
+	ctx, err := maintain.NewContext(e.Cluster, e.Def, units,
+		e.Def.Alpha.Name, e.Def.Beta.Name,
+		e.Def.Alpha.Name+"#noq", e.Def.Beta.Name+"#noq",
+		viewName, nil, e.Params)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Under a query, the work AND data volume referenced per chunk pair
+	// scale with the shape's offset count: a pair probed with a 4-offset Δ
+	// does under half the work, emits under half the matches, and touches
+	// under half the cells of the same pair under a 9-offset query shape.
+	// The model's constants are calibrated for the view's shape, so the
+	// whole model scales by relative cardinality — the paper's
+	// per-workload "empirical calibration", under which the Eq. 3 decision
+	// reduces to the |Δ|/|query| ratio rule the paper reports.
+	factor := float64(sh.Card()) / float64(e.Def.Pred.Shape.Card())
+	ctx.Model.Tcpu *= factor
+	ctx.Model.Tntwk *= factor
+	// Price the path under both the greedy join planner and the static
+	// join-at-home baseline, keeping the cheaper — the greedy's
+	// transfer-versus-work trade can be mispriced when the scaled join
+	// work is small relative to chunk movement.
+	var best *queryPlan
+	for _, planner := range []maintain.Planner{maintain.Differential{}, maintain.Baseline{}} {
+		p, err := planner.Plan(ctx)
+		if err != nil {
+			return 0, nil, err
+		}
+		ledger := p.Charge(ctx)
+		if kind == pathViewFresh {
+			// Result chunk keys coincide with view chunk keys (same
+			// schema): each result chunk needs the view's content shipped
+			// in.
+			cat := e.Cluster.Catalog()
+			for v, home := range p.ViewHome {
+				if vh, ok := cat.Home(e.Def.Name, v); ok {
+					ledger.ChargeTransferTo(vh, home, cat.ChunkSize(e.Def.Name, v))
+				}
+			}
+		}
+		if best == nil || ledger.Cost() < best.ledger.Cost() {
+			best = &queryPlan{ctx: ctx, plan: p, units: units, ledger: ledger}
+		}
+	}
+	return best.ledger.Cost(), best, nil
+}
+
+type queryPlan struct {
+	ctx    *maintain.Context
+	plan   *maintain.Plan
+	units  []view.Unit
+	ledger *cluster.Ledger
+}
+
+// fullJoinUnits enumerates every ordered occupied chunk pair of the base
+// array that can match under the predicate, with the affected result chunks.
+func (e *Engine) fullJoinUnits(pred simjoin.Pred) []view.Unit {
+	cat := e.Cluster.Catalog()
+	baseName := e.Def.Alpha.Name
+	schema := cat.Schema(baseName)
+	vs := e.Def.Schema()
+	keys := cat.Keys(baseName)
+	var units []view.Unit
+	for _, pk := range keys {
+		pr := schema.ChunkRegion(pk.Coord())
+		reach := pred.ReachRegion(pr)
+		for _, cc := range schema.ChunksOverlapping(reach) {
+			qk := cc.Key()
+			if _, ok := cat.Home(baseName, qk); !ok {
+				continue
+			}
+			qr := schema.ChunkRegion(qk.Coord())
+			if !pred.PairChunks(pr, qr) {
+				continue
+			}
+			src, ok := pr.Intersect(pred.SourceRegion(qr))
+			if !ok {
+				continue
+			}
+			proj := e.Def.GroupRegion(src)
+			seen := make(map[array.ChunkKey]bool)
+			var views []array.ChunkKey
+			for _, vc := range vs.ChunksOverlapping(proj) {
+				k := vc.Key()
+				if !seen[k] {
+					seen[k] = true
+					views = append(views, k)
+				}
+			}
+			if len(views) == 0 {
+				continue
+			}
+			sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+			units = append(units, view.Unit{
+				P:     view.ChunkRef{Array: baseName, Key: pk},
+				Q:     view.ChunkRef{Array: baseName, Key: qk},
+				Views: views,
+			})
+		}
+	}
+	return units
+}
+
+// execute runs the planned joins on the cluster and returns the gathered
+// aggregate result. signOf scales each match's contribution by the sign of
+// its offset (nil means always +1). Transfers are applied physically and
+// reverted afterwards (queries must not disturb the layout).
+func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int64) float64) (*array.Array, *cluster.Ledger, error) {
+	cl := e.Cluster
+	def := e.Def
+	vs := def.Schema()
+	ledger := qp.ledger
+
+	for _, t := range qp.plan.Transfers {
+		if err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To); err != nil {
+			return nil, nil, err
+		}
+	}
+	resultName := qp.ctx.ViewName + "#tmp"
+	merge := view.MergeStateChunks(def)
+	tasks := make(map[int][]cluster.Task)
+	for i := range qp.units {
+		u := qp.units[i]
+		site := qp.plan.JoinSite[i]
+		tasks[site] = append(tasks[site], func() error {
+			cp, err := cl.Node(site).Store.Get(u.P.Array, u.P.Key)
+			if err != nil {
+				return err
+			}
+			cq, err := cl.Node(site).Store.Get(u.Q.Array, u.Q.Key)
+			if err != nil {
+				return err
+			}
+			partials := make(map[array.ChunkKey]*array.Chunk)
+			pred.JoinChunkPair(cp, cq, func(a, b array.Point, ta, tb array.Tuple) bool {
+				if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
+					return true
+				}
+				sign := 1.0
+				if signOf != nil {
+					ma := pred.Mapping.Map(a)
+					o := make([]int64, len(b))
+					for d := range b {
+						o[d] = b[d] - ma[d]
+					}
+					sign = signOf(o)
+					if sign == 0 {
+						return true
+					}
+				}
+				g := def.GroupPoint(a)
+				key := vs.ChunkCoordOf(g).Key()
+				part, ok := partials[key]
+				if !ok {
+					part = array.NewChunk(vs, key.Coord())
+					partials[key] = part
+				}
+				contrib := def.Contribution(tb)
+				if sign != 1 {
+					for ci := range contrib {
+						contrib[ci] *= sign
+					}
+				}
+				if cur, found := part.Get(g); found {
+					def.AddState(cur, contrib)
+					return part.Set(g, cur) == nil
+				}
+				return part.Set(g, contrib) == nil
+			})
+			for key, part := range partials {
+				home, ok := qp.plan.ViewHome[key]
+				if !ok {
+					return fmt.Errorf("query: partial for unplanned result chunk %v", key.Coord())
+				}
+				if err := cl.Node(home).Store.Merge(resultName, part, merge); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := cl.RunPerNode(tasks); err != nil {
+		return nil, nil, err
+	}
+
+	// Gather the result and clean up scratch state.
+	out := array.New(vs)
+	for node := 0; node < cl.NumNodes(); node++ {
+		st := cl.Node(node).Store
+		for _, key := range st.Keys(resultName) {
+			ch, err := st.Get(resultName, key)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := out.MergeChunk(ch); err != nil {
+				return nil, nil, err
+			}
+		}
+		st.DropArray(resultName)
+	}
+	for _, t := range qp.plan.Transfers {
+		if home, ok := cl.Catalog().Home(t.Ref.Array, t.Ref.Key); ok && t.To != home {
+			cl.Node(t.To).Store.Delete(t.Ref.Array, t.Ref.Key)
+		}
+	}
+	cl.Catalog().ClearReplicas(e.Def.Alpha.Name)
+	return out, ledger, nil
+}

@@ -1,0 +1,259 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// setup builds a 3-node cluster with a random sparse 2-D array and an
+// L∞(1)-count view over it (the GEO-style configuration).
+func setup(t *testing.T, seed int64, viewShape *shape.Shape) (*Engine, *array.Array) {
+	t.Helper()
+	schema := array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 39, ChunkSize: 5},
+			{Name: "y", Start: 0, End: 39, ChunkSize: 5},
+		},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	rng := rand.New(rand.NewSource(seed))
+	base := array.New(schema)
+	for i := 0; i < 150; i++ {
+		_ = base.Set(array.Point{rng.Int63n(40), rng.Int63n(40)}, array.Tuple{float64(rng.Intn(5) + 1)})
+	}
+	cl, err := cluster.New(3, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := view.NewDefinition("V", schema, schema,
+		simjoin.NewPred(viewShape, nil),
+		[]string{"x", "y"},
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}, {Kind: view.Sum, Attr: "v", As: "vs"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cl, def, maintain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, base
+}
+
+// reference computes the query aggregate locally.
+func reference(t *testing.T, eng *Engine, base *array.Array, queryShape *shape.Shape) *array.Array {
+	t.Helper()
+	def, err := view.NewDefinition("ref", eng.Def.Alpha, eng.Def.Beta,
+		simjoin.NewPred(queryShape, eng.Def.Pred.Mapping),
+		eng.Def.GroupBy, eng.Def.Aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := view.Materialize(def, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// statesEqual compares aggregate state arrays, treating absent cells as
+// all-zero state.
+func statesEqual(a, b *array.Array) bool {
+	ok := true
+	check := func(x, y *array.Array) {
+		x.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := y.Get(p)
+			if !found {
+				for _, v := range tup {
+					if v != 0 {
+						ok = false
+						return false
+					}
+				}
+				return true
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(a, b)
+	check(b, a)
+	return ok
+}
+
+func TestQueryBothPathsMatchReference(t *testing.T) {
+	cases := []struct {
+		name       string
+		viewShape  *shape.Shape
+		queryShape *shape.Shape
+	}{
+		{"Linf1<-L1_1", shape.L1(2, 1), shape.Linf(2, 1)},
+		{"Linf1<-Linf2", shape.Linf(2, 2), shape.Linf(2, 1)},
+		{"L1_3<-Linf2", shape.Linf(2, 2), shape.L1(2, 3)},
+		{"L2_2<-Linf2", shape.Linf(2, 2), shape.L2(2, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, base := setup(t, 11, tc.viewShape)
+			want := reference(t, eng, base, tc.queryShape)
+			for _, mode := range []Mode{ForceView, ForceComplete} {
+				res, err := eng.Answer(tc.queryShape, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !statesEqual(res.Array, want) {
+					t.Fatalf("mode %v diverges from reference", mode)
+				}
+				if res.Ledger == nil {
+					t.Fatal("missing ledger")
+				}
+			}
+		})
+	}
+}
+
+func TestQueryIdenticalShapeIsFree(t *testing.T) {
+	eng, base := setup(t, 5, shape.L1(2, 1))
+	res, err := eng.Answer(shape.L1(2, 1), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Choice.UseView {
+		t.Error("identical shape must use the view")
+	}
+	if res.Choice.DeltaCard != 0 {
+		t.Errorf("DeltaCard = %d, want 0", res.Choice.DeltaCard)
+	}
+	want := reference(t, eng, base, shape.L1(2, 1))
+	if !statesEqual(res.Array, want) {
+		t.Error("identical-shape answer diverges")
+	}
+}
+
+func TestQueryCostModelFollowsDeltaRatio(t *testing.T) {
+	// Figure 6 / Section 6.4: Δ(L∞(1)←L1(1)) has ratio 4/9 < 1 → the view
+	// wins; Δ(L∞(1)←L∞(2)) has ratio 16/9 > 1 → the complete join wins.
+	eng1, _ := setup(t, 21, shape.L1(2, 1))
+	ch1, err := eng1.Decide(shape.Linf(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(ch1.DeltaCard) / float64(ch1.QueryCard); ratio >= 1 {
+		t.Fatalf("ratio = %v, want < 1", ratio)
+	}
+	if !ch1.UseView {
+		t.Errorf("L∞(1)←L1(1): expected the view path (Δ ratio 4/9); costs view=%v complete=%v",
+			ch1.ViewCost, ch1.CompleteCost)
+	}
+
+	eng2, _ := setup(t, 21, shape.Linf(2, 2))
+	ch2, err := eng2.Decide(shape.Linf(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(ch2.DeltaCard) / float64(ch2.QueryCard); ratio <= 1 {
+		t.Fatalf("ratio = %v, want > 1", ratio)
+	}
+	if ch2.UseView {
+		t.Errorf("L∞(1)←L∞(2): expected the complete join (Δ ratio 16/9); costs view=%v complete=%v",
+			ch2.ViewCost, ch2.CompleteCost)
+	}
+}
+
+func TestQueryAutoMatchesDecision(t *testing.T) {
+	eng, base := setup(t, 31, shape.L1(2, 1))
+	q := shape.Linf(2, 1)
+	ch, err := eng.Decide(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Answer(q, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Choice.UseView != ch.UseView {
+		t.Error("Answer(Auto) must follow Decide")
+	}
+	want := reference(t, eng, base, q)
+	if !statesEqual(res.Array, want) {
+		t.Error("auto answer diverges from reference")
+	}
+}
+
+func TestQueryLeavesLayoutUntouched(t *testing.T) {
+	eng, _ := setup(t, 41, shape.L1(2, 1))
+	cl := eng.Cluster
+	before := make(map[string]int)
+	for _, k := range cl.Catalog().Keys("A") {
+		h, _ := cl.Catalog().Home("A", k)
+		before[string(k)] = h
+	}
+	if _, err := eng.Answer(shape.Linf(2, 1), ForceComplete); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range cl.Catalog().Keys("A") {
+		h, _ := cl.Catalog().Home("A", k)
+		if before[string(k)] != h {
+			t.Fatalf("query moved chunk %v", k)
+		}
+		// No scratch replicas should remain resident off-home.
+		for node := 0; node < cl.NumNodes(); node++ {
+			if node != h && cl.Node(node).Store.Has("A", k) {
+				t.Fatalf("scratch replica of %v left on node %d", k, node)
+			}
+		}
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	sa := array.MustSchema("P",
+		[]array.Dimension{{Name: "i", Start: 0, End: 9, ChunkSize: 5}},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	sb := array.MustSchema("Q",
+		[]array.Dimension{{Name: "i", Start: 0, End: 9, ChunkSize: 5}},
+		[]array.Attribute{{Name: "w", Type: array.Float64}})
+	def, err := view.NewDefinition("W", sa, sb,
+		simjoin.NewPred(shape.Linf(1, 1), nil),
+		[]string{"i"}, []view.Aggregate{{Kind: view.Count, As: "c"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := cluster.New(2)
+	if _, err := NewEngine(cl, def, maintain.DefaultParams()); err == nil {
+		t.Error("two-array views must be rejected")
+	}
+}
+
+func TestSplitDelta(t *testing.T) {
+	vShape, qShape := shape.L1(2, 1), shape.Linf(2, 1)
+	delta := shape.Delta(vShape, qShape)
+	plus, minus := splitDelta(qShape, delta)
+	if plus == nil || plus.Card() != 4 {
+		t.Fatalf("plus = %v, want the 4 corners", plus)
+	}
+	if minus != nil {
+		t.Fatalf("minus = %v, want nil (L1(1) ⊂ L∞(1))", minus)
+	}
+	// Reverse direction: view L∞(1), query L1(1): 4 minus offsets.
+	delta2 := shape.Delta(qShape, vShape)
+	plus2, minus2 := splitDelta(vShape, delta2)
+	if plus2 != nil || minus2 == nil || minus2.Card() != 4 {
+		t.Fatalf("reverse split = %v / %v", plus2, minus2)
+	}
+}

@@ -1,0 +1,69 @@
+package simjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+)
+
+// benchChunks builds two adjacent populated chunks for join kernels.
+func benchChunks(b *testing.B, cells int) (*array.Chunk, *array.Chunk) {
+	b.Helper()
+	s := array.MustSchema("B",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 199, ChunkSize: 100},
+			{Name: "y", Start: 0, End: 49, ChunkSize: 50},
+		},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	rng := rand.New(rand.NewSource(1))
+	ca := array.NewChunk(s, array.ChunkCoord{0, 0})
+	cb := array.NewChunk(s, array.ChunkCoord{1, 0})
+	for i := 0; i < cells; i++ {
+		_ = ca.Set(array.Point{rng.Int63n(100), rng.Int63n(50)}, array.Tuple{1})
+		_ = cb.Set(array.Point{100 + rng.Int63n(100), rng.Int63n(50)}, array.Tuple{2})
+	}
+	return ca, cb
+}
+
+func benchJoinKernel(b *testing.B, sh *shape.Shape, cells int) {
+	ca, cb := benchChunks(b, cells)
+	pred := NewPred(sh, nil)
+	b.ResetTimer()
+	matches := 0
+	for i := 0; i < b.N; i++ {
+		pred.JoinChunkPair(ca, ca, func(_, _ array.Point, _, _ array.Tuple) bool {
+			matches++
+			return true
+		})
+		pred.JoinChunkPair(ca, cb, func(_, _ array.Point, _, _ array.Tuple) bool {
+			matches++
+			return true
+		})
+	}
+	b.ReportMetric(float64(matches)/float64(b.N), "matches/op")
+}
+
+func BenchmarkJoinKernelL1r1Sparse(b *testing.B)  { benchJoinKernel(b, shape.L1(2, 1), 50) }
+func BenchmarkJoinKernelL1r1Dense(b *testing.B)   { benchJoinKernel(b, shape.L1(2, 1), 1000) }
+func BenchmarkJoinKernelLinf2Sparse(b *testing.B) { benchJoinKernel(b, shape.Linf(2, 2), 50) }
+func BenchmarkJoinKernelLinf2Dense(b *testing.B)  { benchJoinKernel(b, shape.Linf(2, 2), 1000) }
+func BenchmarkJoinKernelL2r3Dense(b *testing.B)   { benchJoinKernel(b, shape.L2(2, 3), 1000) }
+
+func BenchmarkPairChunksMetadata(b *testing.B) {
+	s := array.MustSchema("B",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 9999, ChunkSize: 100},
+			{Name: "y", Start: 0, End: 4999, ChunkSize: 50},
+		}, nil)
+	pred := NewPred(shape.L1(2, 1), nil)
+	ra := s.ChunkRegion(array.ChunkCoord{3, 7})
+	rb := s.ChunkRegion(array.ChunkCoord{4, 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pred.PairChunks(ra, rb) {
+			b.Fatal("adjacent chunks must pair")
+		}
+	}
+}

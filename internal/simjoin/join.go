@@ -1,0 +1,222 @@
+package simjoin
+
+import (
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+)
+
+// Pred describes the full join predicate: the shape σ and the mapping M.
+type Pred struct {
+	Shape   *shape.Shape
+	Mapping Mapping
+}
+
+// NewPred bundles a shape and mapping; a nil mapping defaults to identity.
+func NewPred(s *shape.Shape, m Mapping) Pred {
+	if m == nil {
+		m = Identity{}
+	}
+	return Pred{Shape: s, Mapping: m}
+}
+
+// ReachRegion returns the β-space region of cells reachable through the
+// predicate from any α cell in r: dilate(M(r), shape box).
+func (p Pred) ReachRegion(r array.Region) array.Region {
+	lo, hi := p.Shape.Box()
+	return p.Mapping.MapRegion(r).Dilate(lo, hi)
+}
+
+// SourceRegion returns the α-space region of cells that can reach some β
+// cell in r: the dilation by the reflected shape, pulled back through the
+// mapping. It is exact for identity/translate mappings and a safe
+// overapproximation for regridding.
+func (p Pred) SourceRegion(r array.Region) array.Region {
+	refl := p.Shape.Reflect()
+	lo, hi := refl.Box()
+	dilated := r.Dilate(lo, hi)
+	switch m := p.Mapping.(type) {
+	case Identity:
+		return dilated
+	case Translate:
+		neg := make([]int64, len(m.Offset))
+		for i, v := range m.Offset {
+			neg[i] = -v
+		}
+		return Translate{Offset: neg}.MapRegion(dilated)
+	case Regrid:
+		lo2 := make(array.Point, len(dilated.Lo))
+		hi2 := make(array.Point, len(dilated.Hi))
+		for i := range dilated.Lo {
+			lo2[i] = dilated.Lo[i] * m.Factor[i]
+			hi2[i] = (dilated.Hi[i]+1)*m.Factor[i] - 1
+		}
+		return array.Region{Lo: lo2, Hi: hi2}
+	default:
+		return dilated
+	}
+}
+
+// Matches reports whether β cell b is matched by α cell a under the
+// predicate: b - M(a) must be in the shape.
+func (p Pred) Matches(a, b array.Point) bool {
+	ma := p.Mapping.Map(a)
+	off := make([]int64, len(b))
+	for i := range b {
+		off[i] = b[i] - ma[i]
+	}
+	return p.Shape.Contains(off)
+}
+
+// PairChunks reports whether chunk regions ra (of α) and rb (of β) can
+// contain at least one matching cell pair, using only metadata. This is the
+// preprocessing step the paper performs over the catalog.
+func (p Pred) PairChunks(ra, rb array.Region) bool {
+	return p.ReachRegion(ra).Intersects(rb)
+}
+
+// JoinChunkPair enumerates all matching cell pairs between chunks ca (α
+// side) and cb (β side) and calls emit for each; emit returning false stops
+// the enumeration. The points and tuples passed to emit are owned by the
+// chunks — clone before retaining.
+//
+// Two strategies are used per α cell: when the shape's bounding box is
+// small, the box is probed directly against cb (offset probing); when the
+// box is large relative to cb's occupancy, cb's cells are scanned and
+// tested against the predicate (scan filtering). The crossover is chosen on
+// cardinalities, mirroring how the similarity join operator picks between
+// shape-order and data-order evaluation.
+func (p Pred) JoinChunkPair(ca, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool) {
+	if ca.NumCells() == 0 || cb.NumCells() == 0 {
+		return
+	}
+	// Prune using the actual occupancy of ca, not just its chunk region.
+	bbA, _ := ca.BoundingBox()
+	if !p.ReachRegion(bbA).Intersects(cb.Region()) {
+		return
+	}
+	boxVol := p.Shape.BoxVolume()
+	probe := boxVol <= int64(cb.NumCells())*4
+	stop := false
+	ca.EachSorted(func(a array.Point, ta array.Tuple) bool {
+		if probe {
+			p.probeCell(a, ta, cb, emit, &stop)
+		} else {
+			p.scanCell(a, ta, cb, emit, &stop)
+		}
+		return !stop
+	})
+}
+
+// probeCell enumerates shape offsets around M(a) and probes cb.
+func (p Pred) probeCell(a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
+	ma := p.Mapping.Map(a)
+	lo, hi := p.Shape.Box()
+	cand, ok := array.Region{Lo: ma.Add(lo), Hi: ma.Add(hi)}.Intersect(cb.Region())
+	if !ok {
+		return
+	}
+	off := make([]int64, len(ma))
+	cand.Each(func(b array.Point) bool {
+		for i := range b {
+			off[i] = b[i] - ma[i]
+		}
+		if !p.Shape.Contains(off) {
+			return true
+		}
+		tb, found := cb.Get(b)
+		if !found {
+			return true
+		}
+		if !emit(a, b, ta, tb) {
+			*stop = true
+			return false
+		}
+		return true
+	})
+}
+
+// scanCell scans cb's occupied cells and filters by the predicate.
+func (p Pred) scanCell(a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
+	ma := p.Mapping.Map(a)
+	off := make([]int64, len(ma))
+	cb.EachSorted(func(b array.Point, tb array.Tuple) bool {
+		for i := range b {
+			off[i] = b[i] - ma[i]
+		}
+		if !p.Shape.Contains(off) {
+			return true
+		}
+		if !emit(a, b, ta, tb) {
+			*stop = true
+			return false
+		}
+		return true
+	})
+}
+
+// JoinArrays runs the similarity join between two in-memory arrays,
+// emitting every matched cell pair. It is the single-node reference
+// implementation used to validate the distributed path and to compute
+// complete joins in tests.
+func JoinArrays(alpha, beta *array.Array, p Pred, emit func(a, b array.Point, ta, tb array.Tuple) bool) {
+	stop := false
+	alpha.EachChunk(func(ca *array.Chunk) bool {
+		reach := p.ReachRegion(ca.Region())
+		for _, cc := range beta.Schema().ChunksOverlapping(reach) {
+			cb := beta.Chunk(cc)
+			if cb == nil {
+				continue
+			}
+			p.JoinChunkPair(ca, cb, func(a, b array.Point, ta, tb array.Tuple) bool {
+				if !emit(a, b, ta, tb) {
+					stop = true
+				}
+				return !stop
+			})
+			if stop {
+				break
+			}
+		}
+		return !stop
+	})
+}
+
+// Materialize evaluates the similarity join into the concatenated-dimension
+// output array τ of the paper: output dimensionality is dα + dβ and the
+// output tuple is f(Υ, σ[Ψ]). Intended for small arrays (tests, examples);
+// production paths aggregate instead of materializing τ.
+func Materialize(alpha, beta *array.Array, p Pred, f ValueFunc) (*array.Array, error) {
+	if f == nil {
+		f = ConcatValues
+	}
+	sa, sb := alpha.Schema(), beta.Schema()
+	dims := make([]array.Dimension, 0, len(sa.Dims)+len(sb.Dims))
+	dims = append(dims, sa.Dims...)
+	for _, d := range sb.Dims {
+		d.Name = d.Name + "'"
+		dims = append(dims, d)
+	}
+	attrs := make([]array.Attribute, 0, len(sa.Attrs)+len(sb.Attrs))
+	attrs = append(attrs, sa.Attrs...)
+	for _, a := range sb.Attrs {
+		a.Name = a.Name + "'"
+		attrs = append(attrs, a)
+	}
+	schema, err := array.NewSchema(sa.Name+"_join_"+sb.Name, dims, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := array.New(schema)
+	var setErr error
+	JoinArrays(alpha, beta, p, func(a, b array.Point, ta, tb array.Tuple) bool {
+		pt := make(array.Point, 0, len(a)+len(b))
+		pt = append(pt, a...)
+		pt = append(pt, b...)
+		if err := out.Set(pt, f(ta, tb)); err != nil {
+			setErr = err
+			return false
+		}
+		return true
+	})
+	return out, setErr
+}

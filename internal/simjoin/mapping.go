@@ -1,0 +1,106 @@
+// Package simjoin implements the array similarity join operator of Section
+// 2.2 (following Zhao et al., "Similarity Join over Array Data", SIGMOD
+// 2016): given arrays α and β, a mapping function M from α cells to β
+// cells, and a shape σ, the join matches every cell Υ of α with the
+// non-empty cells of β inside σ centered on M(Υ).
+//
+// The package provides the two levels the maintenance layer needs:
+// chunk-pair identification over catalog metadata, and the cell-level join
+// of one chunk pair.
+package simjoin
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// Mapping is the function M : Dα → Dβ of the join definition. Mappings must
+// be monotone and rectilinear so that regions map to regions; that covers
+// identity, translation, and regridding, which are the mappings used in
+// practice.
+type Mapping interface {
+	// Map transforms one α coordinate into β space.
+	Map(p array.Point) array.Point
+	// MapRegion transforms an α region into the bounding β region of its
+	// image.
+	MapRegion(r array.Region) array.Region
+	// Name identifies the mapping in plans and diagnostics.
+	Name() string
+}
+
+// Identity maps α cells to the β cell with the same indices. Both arrays
+// must share dimensionality.
+type Identity struct{}
+
+// Map implements Mapping.
+func (Identity) Map(p array.Point) array.Point { return p }
+
+// MapRegion implements Mapping.
+func (Identity) MapRegion(r array.Region) array.Region { return r }
+
+// Name implements Mapping.
+func (Identity) Name() string { return "identity" }
+
+// Translate maps p to p + Offset; used to align arrays with shifted
+// coordinate origins.
+type Translate struct {
+	Offset []int64
+}
+
+// Map implements Mapping.
+func (t Translate) Map(p array.Point) array.Point { return p.Add(t.Offset) }
+
+// MapRegion implements Mapping.
+func (t Translate) MapRegion(r array.Region) array.Region {
+	return array.Region{Lo: r.Lo.Add(t.Offset), Hi: r.Hi.Add(t.Offset)}
+}
+
+// Name implements Mapping.
+func (t Translate) Name() string { return fmt.Sprintf("translate%v", t.Offset) }
+
+// Regrid maps p to floor(p / Factor) per dimension: the regridding
+// operation that coarsens α's resolution into β's. Factors must be
+// positive; coordinates are assumed non-negative (astronomy catalogs index
+// from 1).
+type Regrid struct {
+	Factor []int64
+}
+
+// Map implements Mapping.
+func (g Regrid) Map(p array.Point) array.Point {
+	q := make(array.Point, len(p))
+	for i := range p {
+		q[i] = floorDiv(p[i], g.Factor[i])
+	}
+	return q
+}
+
+// MapRegion implements Mapping.
+func (g Regrid) MapRegion(r array.Region) array.Region {
+	return array.Region{Lo: g.Map(r.Lo), Hi: g.Map(r.Hi)}
+}
+
+// Name implements Mapping.
+func (g Regrid) Name() string { return fmt.Sprintf("regrid%v", g.Factor) }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ValueFunc combines the attribute tuples of a matched cell pair into the
+// output tuple (the f of the join definition).
+type ValueFunc func(a, b array.Tuple) array.Tuple
+
+// ConcatValues is the default value function: the concatenation
+// <a..., b...> used in the paper's running example.
+func ConcatValues(a, b array.Tuple) array.Tuple {
+	out := make(array.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package storage implements the per-node chunk storage manager, modeled
+// after ArrayStore (Soroush et al., SIGMOD 2011), which the paper's
+// prototype builds on. Chunks are held serialized, keyed by array name and
+// chunk coordinate, so every read/write crosses a real
+// serialization boundary just as a disk- or network-backed store would.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// Store is one node's chunk storage. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	chunks map[string][]byte // key: arrayName + "\x00" + chunkKey
+	bytes  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{chunks: make(map[string][]byte)}
+}
+
+func storeKey(arrayName string, key array.ChunkKey) string {
+	return arrayName + "\x00" + string(key)
+}
+
+// Put serializes and stores the chunk under the array name, replacing any
+// previous version.
+func (s *Store) Put(arrayName string, c *array.Chunk) {
+	buf := array.EncodeChunk(c)
+	k := storeKey(arrayName, c.Key())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.chunks[k]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.chunks[k] = buf
+	s.bytes += int64(len(buf))
+}
+
+// Get fetches and deserializes a chunk. It returns an error if the chunk is
+// not resident or fails to decode. The returned chunk is a private copy.
+func (s *Store) Get(arrayName string, key array.ChunkKey) (*array.Chunk, error) {
+	s.mu.RLock()
+	buf, ok := s.chunks[storeKey(arrayName, key)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: chunk %v of %q not resident", key, arrayName)
+	}
+	return array.DecodeChunk(buf)
+}
+
+// Has reports whether the chunk is resident.
+func (s *Store) Has(arrayName string, key array.ChunkKey) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.chunks[storeKey(arrayName, key)]
+	return ok
+}
+
+// Delete evicts a chunk, reporting whether it was resident.
+func (s *Store) Delete(arrayName string, key array.ChunkKey) bool {
+	k := storeKey(arrayName, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.chunks[k]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(len(buf))
+	delete(s.chunks, k)
+	return true
+}
+
+// Merge folds src's cells into the resident chunk with the same coordinate,
+// creating it if absent. This is the view-merging primitive: worker threads
+// apply differential chunks as they arrive.
+func (s *Store) Merge(arrayName string, src *array.Chunk, merge func(dst, src *array.Chunk) error) error {
+	k := storeKey(arrayName, src.Key())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.chunks[k]
+	if !ok {
+		out := array.EncodeChunk(src)
+		s.chunks[k] = out
+		s.bytes += int64(len(out))
+		return nil
+	}
+	dst, err := array.DecodeChunk(buf)
+	if err != nil {
+		return err
+	}
+	if err := merge(dst, src); err != nil {
+		return err
+	}
+	out := array.EncodeChunk(dst)
+	s.bytes += int64(len(out)) - int64(len(buf))
+	s.chunks[k] = out
+	return nil
+}
+
+// NumChunks returns the number of resident chunks across all arrays.
+func (s *Store) NumChunks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// Bytes returns the total stored bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Keys returns the resident chunk keys for one array, sorted.
+func (s *Store) Keys(arrayName string) []array.ChunkKey {
+	prefix := arrayName + "\x00"
+	s.mu.RLock()
+	var out []array.ChunkKey
+	for k := range s.chunks {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, array.ChunkKey(k[len(prefix):]))
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DropArray evicts every chunk of the named array and returns how many were
+// dropped.
+func (s *Store) DropArray(arrayName string) int {
+	prefix := arrayName + "\x00"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k, buf := range s.chunks {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			s.bytes -= int64(len(buf))
+			delete(s.chunks, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+func testSchema() *array.Schema {
+	return array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "i", Start: 1, End: 6, ChunkSize: 2},
+			{Name: "j", Start: 1, End: 8, ChunkSize: 2},
+		},
+		[]array.Attribute{{Name: "r", Type: array.Int64}},
+	)
+}
+
+func mkChunk(t *testing.T, s *array.Schema, cc array.ChunkCoord, cells map[string]float64) *array.Chunk {
+	t.Helper()
+	c := array.NewChunk(s, cc)
+	r := c.Region()
+	i := int64(0)
+	for name, v := range cells {
+		_ = name
+		p := array.Point{r.Lo[0] + i%2, r.Lo[1] + i/2%2}
+		if err := c.Set(p, array.Tuple{v}); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	return c
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	c := array.NewChunk(s, array.ChunkCoord{0, 0})
+	_ = c.Set(array.Point{1, 2}, array.Tuple{42})
+	st.Put("A", c)
+
+	if !st.Has("A", c.Key()) {
+		t.Fatal("chunk should be resident")
+	}
+	got, err := st.Get("A", c.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, ok := got.Get(array.Point{1, 2})
+	if !ok || tup[0] != 42 {
+		t.Errorf("round trip = %v, %v", tup, ok)
+	}
+	// Mutating the returned chunk must not affect the store.
+	_ = got.Set(array.Point{1, 1}, array.Tuple{7})
+	again, _ := st.Get("A", c.Key())
+	if _, ok := again.Get(array.Point{1, 1}); ok {
+		t.Error("Get must return private copies")
+	}
+}
+
+func TestStoreMissingChunk(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Get("A", array.ChunkCoord{0, 0}.Key()); err == nil {
+		t.Error("missing chunk must error")
+	}
+	if st.Has("A", array.ChunkCoord{0, 0}.Key()) {
+		t.Error("missing chunk must not be resident")
+	}
+	if st.Delete("A", array.ChunkCoord{0, 0}.Key()) {
+		t.Error("deleting missing chunk must report false")
+	}
+}
+
+func TestStoreArrayNamespaces(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	c := array.NewChunk(s, array.ChunkCoord{0, 0})
+	_ = c.Set(array.Point{1, 1}, array.Tuple{1})
+	st.Put("A", c)
+	st.Put("B", c)
+	if st.NumChunks() != 2 {
+		t.Errorf("NumChunks = %d, want 2", st.NumChunks())
+	}
+	if n := st.DropArray("A"); n != 1 {
+		t.Errorf("DropArray = %d, want 1", n)
+	}
+	if st.Has("A", c.Key()) || !st.Has("B", c.Key()) {
+		t.Error("DropArray must be namespace-scoped")
+	}
+}
+
+func TestStoreBytesAccounting(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	c := array.NewChunk(s, array.ChunkCoord{0, 0})
+	_ = c.Set(array.Point{1, 1}, array.Tuple{1})
+	st.Put("A", c)
+	b1 := st.Bytes()
+	if b1 <= 0 {
+		t.Fatal("bytes must be positive after Put")
+	}
+	// Replacing with a bigger chunk grows the accounting.
+	_ = c.Set(array.Point{1, 2}, array.Tuple{2})
+	st.Put("A", c)
+	if st.Bytes() <= b1 {
+		t.Error("bytes must grow after bigger replacement")
+	}
+	st.Delete("A", c.Key())
+	if st.Bytes() != 0 {
+		t.Errorf("bytes = %d after delete, want 0", st.Bytes())
+	}
+}
+
+func TestStoreMerge(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	sum := func(dst, src *array.Chunk) error {
+		var err error
+		src.Each(func(p array.Point, tu array.Tuple) bool {
+			if old, ok := dst.Get(p); ok {
+				err = dst.Set(p, array.Tuple{old[0] + tu[0]})
+			} else {
+				err = dst.Set(p, tu)
+			}
+			return err == nil
+		})
+		return err
+	}
+	c1 := array.NewChunk(s, array.ChunkCoord{0, 0})
+	_ = c1.Set(array.Point{1, 1}, array.Tuple{1})
+	if err := st.Merge("V", c1, sum); err != nil {
+		t.Fatal(err)
+	}
+	c2 := array.NewChunk(s, array.ChunkCoord{0, 0})
+	_ = c2.Set(array.Point{1, 1}, array.Tuple{2})
+	_ = c2.Set(array.Point{2, 2}, array.Tuple{5})
+	if err := st.Merge("V", c2, sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("V", c1.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu, _ := got.Get(array.Point{1, 1}); tu[0] != 3 {
+		t.Errorf("merged value = %v, want 3", tu)
+	}
+	if tu, _ := got.Get(array.Point{2, 2}); tu[0] != 5 {
+		t.Errorf("new cell = %v, want 5", tu)
+	}
+}
+
+func TestStoreConcurrentMerge(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	sum := func(dst, src *array.Chunk) error {
+		var err error
+		src.Each(func(p array.Point, tu array.Tuple) bool {
+			if old, ok := dst.Get(p); ok {
+				err = dst.Set(p, array.Tuple{old[0] + tu[0]})
+			} else {
+				err = dst.Set(p, tu)
+			}
+			return err == nil
+		})
+		return err
+	}
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := array.NewChunk(s, array.ChunkCoord{0, 0})
+				_ = c.Set(array.Point{1, 1}, array.Tuple{1})
+				if err := st.Merge("V", c, sum); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := st.Get("V", array.ChunkCoord{0, 0}.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, _ := got.Get(array.Point{1, 1})
+	if tu[0] != workers*perWorker {
+		t.Errorf("concurrent merges lost updates: %v, want %d", tu[0], workers*perWorker)
+	}
+}
+
+func TestStoreKeysSorted(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	for i := int64(2); i >= 0; i-- {
+		c := array.NewChunk(s, array.ChunkCoord{i, 0})
+		st.Put("A", c)
+	}
+	keys := st.Keys("A")
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %d, want 3", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !(keys[i-1] < keys[i]) {
+			t.Fatal("Keys must be sorted")
+		}
+	}
+	if got := st.Keys("missing"); got != nil {
+		t.Errorf("Keys of missing array = %v, want nil", got)
+	}
+}
+
+func TestStoreConcurrentReadWrite(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("A%d", w)
+			for i := int64(0); i < 20; i++ {
+				c := array.NewChunk(s, array.ChunkCoord{i % 3, i % 4})
+				_ = c.Set(c.Region().Lo, array.Tuple{float64(i)})
+				st.Put(name, c)
+				if _, err := st.Get(name, c.Key()); err != nil {
+					t.Error(err)
+					return
+				}
+				st.Keys(name)
+				st.Bytes()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,223 @@
+package view
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/simjoin"
+)
+
+// ChainDefinition is the full Definition 1 of the paper: an array view over
+// a chain of similarity joins among n input arrays followed by a group-by
+// aggregation,
+//
+//	V = ⊕( α1 ⋈[M1,σ1] α2 ⋈[M2,σ2] ... ⋈[M(n-1),σ(n-1)] αn )
+//
+// A chain match is a cell tuple (a1, ..., an) with a(i+1) inside shape σi
+// centered on Mi(ai) for every link. The view groups by dimensions of α1
+// and aggregates attributes of αn.
+//
+// Maintenance under updates to a single input is the paper's recursive
+// case: it costs n−1 joins with the base arrays (Section 3, "Recursive
+// maintenance"), realized here as one suffix-weight pass below the update
+// position and one backward pass above it. Updates to an array appearing
+// at several positions are applied one position at a time, refreshing the
+// input in between — the sequence is exact because each step sees the
+// previous step's insertions as base data.
+type ChainDefinition struct {
+	Name string
+	// Inputs are the n (≥ 2) input schemas, in chain order.
+	Inputs []*array.Schema
+	// Preds are the n−1 link predicates; Preds[i] relates Inputs[i] cells
+	// to Inputs[i+1] cells.
+	Preds []simjoin.Pred
+	// GroupBy lists dimensions of Inputs[0].
+	GroupBy []string
+	// Aggs aggregate attributes of the last input.
+	Aggs []Aggregate
+
+	groupDims []int
+	attrIdx   map[string]int
+	schema    *array.Schema
+	stateDef  *Definition // reuses the two-array state machinery
+}
+
+// NewChain validates a chain definition and derives its view schema.
+func NewChain(name string, inputs []*array.Schema, preds []simjoin.Pred, groupBy []string, aggs []Aggregate) (*ChainDefinition, error) {
+	c := &ChainDefinition{Name: name, Inputs: inputs, Preds: preds, GroupBy: groupBy, Aggs: aggs}
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("view: chain %q needs at least 2 inputs, got %d", name, len(inputs))
+	}
+	if len(preds) != len(inputs)-1 {
+		return nil, fmt.Errorf("view: chain %q has %d inputs but %d predicates", name, len(inputs), len(preds))
+	}
+	for i := range preds {
+		if preds[i].Shape == nil {
+			return nil, fmt.Errorf("view: chain %q link %d has no shape", name, i)
+		}
+		if preds[i].Mapping == nil {
+			c.Preds[i].Mapping = simjoin.Identity{}
+		}
+		if preds[i].Shape.NumDims() != inputs[i+1].NumDims() {
+			return nil, fmt.Errorf("view: chain %q link %d shape has %d dims, input has %d",
+				name, i, preds[i].Shape.NumDims(), inputs[i+1].NumDims())
+		}
+	}
+	// Reuse the two-array Definition to derive the schema and the state
+	// machinery: group-by against the first input, aggregates against the
+	// last.
+	d, err := NewDefinition(name, inputs[0], inputs[len(inputs)-1],
+		simjoin.NewPred(preds[len(preds)-1].Shape, preds[len(preds)-1].Mapping),
+		groupBy, aggs, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.stateDef = d
+	c.schema = d.Schema()
+	c.groupDims = d.groupDims
+	c.attrIdx = d.attrIdx
+	return c, nil
+}
+
+// Schema returns the derived view schema.
+func (c *ChainDefinition) Schema() *array.Schema { return c.schema }
+
+// NumInputs returns n.
+func (c *ChainDefinition) NumInputs() int { return len(c.Inputs) }
+
+// stateSchema builds a scratch schema with the dims of input i and one
+// attribute per state slot, used for weight arrays.
+func (c *ChainDefinition) stateSchema(i int) *array.Schema {
+	attrs := make([]array.Attribute, c.stateDef.StateWidth())
+	for j := range attrs {
+		attrs[j] = array.Attribute{Name: fmt.Sprintf("w%d", j), Type: array.Float64}
+	}
+	dims := append([]array.Dimension(nil), c.Inputs[i].Dims...)
+	return array.MustSchema(fmt.Sprintf("%s#w%d", c.Name, i), dims, attrs)
+}
+
+// contributionWeights turns the cells of the last input (or a delta of it)
+// into a weight array of aggregate contributions.
+func (c *ChainDefinition) contributionWeights(last *array.Array) (*array.Array, error) {
+	out := array.New(c.stateSchema(len(c.Inputs) - 1))
+	var err error
+	last.EachCell(func(p array.Point, t array.Tuple) bool {
+		err = out.Set(p, c.stateDef.Contribution(t))
+		return err == nil
+	})
+	return out, err
+}
+
+// pullWeights joins source (cells of input i, full or delta) against the
+// next level's weight array and returns the combined weights at level i:
+// w(a) = ⊕ over matched b of w(b).
+func (c *ChainDefinition) pullWeights(i int, source, next *array.Array) (*array.Array, error) {
+	out := array.New(c.stateSchema(i))
+	var err error
+	simjoin.JoinArrays(source, next, c.Preds[i], func(a, _ array.Point, _, wb array.Tuple) bool {
+		if cur, ok := out.Get(a); ok {
+			c.stateDef.AddState(cur, wb)
+			err = out.Set(a, cur)
+		} else {
+			err = out.Set(a, wb.Clone())
+		}
+		return err == nil
+	})
+	return out, err
+}
+
+// groupWeights folds a level-0 weight array into view cells.
+func (c *ChainDefinition) groupWeights(w0 *array.Array) (*array.Array, error) {
+	out := array.New(c.schema)
+	var err error
+	w0.EachCell(func(p array.Point, t array.Tuple) bool {
+		g := c.stateDef.GroupPoint(p)
+		if cur, ok := out.Get(g); ok {
+			c.stateDef.AddState(cur, t)
+			err = out.Set(g, cur)
+		} else {
+			err = out.Set(g, t.Clone())
+		}
+		return err == nil
+	})
+	return out, err
+}
+
+// Materialize evaluates the chain view over the inputs.
+func (c *ChainDefinition) Materialize(inputs []*array.Array) (*array.Array, error) {
+	if err := c.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	w, err := c.contributionWeights(inputs[len(inputs)-1])
+	if err != nil {
+		return nil, err
+	}
+	for i := len(c.Inputs) - 2; i >= 0; i-- {
+		if w, err = c.pullWeights(i, inputs[i], w); err != nil {
+			return nil, err
+		}
+	}
+	return c.groupWeights(w)
+}
+
+// DeltaInsert computes the differential view for inserting delta into the
+// input at position k, with every other input unchanged. Since only one
+// position changes, the new chains are exactly those passing through a
+// delta cell at position k — there are no cross terms. Merge the result
+// into the materialized view with MergeDelta (using the chain's
+// StateDefinition).
+func (c *ChainDefinition) DeltaInsert(inputs []*array.Array, k int, delta *array.Array) (*array.Array, error) {
+	if err := c.checkInputs(inputs); err != nil {
+		return nil, err
+	}
+	if k < 0 || k >= len(c.Inputs) {
+		return nil, fmt.Errorf("view: chain %q has no position %d", c.Name, k)
+	}
+
+	// Suffix pass: weights of chain completions from the delta cells at
+	// position k through the unchanged tail.
+	var w *array.Array
+	var err error
+	if k == len(c.Inputs)-1 {
+		if w, err = c.contributionWeights(delta); err != nil {
+			return nil, err
+		}
+	} else {
+		if w, err = c.contributionWeights(inputs[len(inputs)-1]); err != nil {
+			return nil, err
+		}
+		for i := len(c.Inputs) - 2; i > k; i-- {
+			if w, err = c.pullWeights(i, inputs[i], w); err != nil {
+				return nil, err
+			}
+		}
+		if w, err = c.pullWeights(k, delta, w); err != nil {
+			return nil, err
+		}
+	}
+	// Backward pass: propagate the delta-rooted weights up through the
+	// unchanged prefix (these are the paper's n−1 joins with base arrays).
+	for i := k - 1; i >= 0; i-- {
+		if w, err = c.pullWeights(i, inputs[i], w); err != nil {
+			return nil, err
+		}
+	}
+	return c.groupWeights(w)
+}
+
+// StateDefinition exposes the underlying two-array definition whose state
+// layout, AddState, Output, and MergeDelta apply to chain views as well.
+func (c *ChainDefinition) StateDefinition() *Definition { return c.stateDef }
+
+func (c *ChainDefinition) checkInputs(inputs []*array.Array) error {
+	if len(inputs) != len(c.Inputs) {
+		return fmt.Errorf("view: chain %q got %d inputs, want %d", c.Name, len(inputs), len(c.Inputs))
+	}
+	for i, a := range inputs {
+		if a.Schema().NumDims() != c.Inputs[i].NumDims() {
+			return fmt.Errorf("view: chain %q input %d has %d dims, want %d",
+				c.Name, i, a.Schema().NumDims(), c.Inputs[i].NumDims())
+		}
+	}
+	return nil
+}

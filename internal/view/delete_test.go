@@ -1,0 +1,235 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+)
+
+// TestDeleteEqualsRecomputeProperty: V(A) + ΔV_delete(A, D) == V(A \ D)
+// for random bases, deletions, and shapes.
+func TestDeleteEqualsRecomputeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := fig1Schema()
+		base := randArray(rng, 14)
+		// Pick a random subset of existing cells to delete.
+		del := array.New(s)
+		base.EachCell(func(p array.Point, tup array.Tuple) bool {
+			if rng.Intn(3) == 0 {
+				_ = del.Set(p, tup)
+			}
+			return true
+		})
+		var sh *shape.Shape
+		switch rng.Intn(3) {
+		case 0:
+			sh = shape.L1(2, 1+rng.Int63n(2))
+		case 1:
+			sh = shape.Linf(2, 1+rng.Int63n(2))
+		default:
+			var err error
+			sh, err = shape.Embed(shape.Linf(1, 1), 2, []int{1}, map[int][2]int64{0: {-2, 0}})
+			if err != nil {
+				return false
+			}
+		}
+		def, err := NewDefinition("V", s, s, simjoin.NewPred(sh, nil),
+			[]string{"i", "j"},
+			[]Aggregate{{Kind: Count, As: "c"}, {Kind: Sum, Attr: "r", As: "rs"}, {Kind: Avg, Attr: "s", As: "sa"}}, nil)
+		if err != nil {
+			return false
+		}
+		v, err := Materialize(def, base, base)
+		if err != nil {
+			return false
+		}
+		dv, err := DeltaSelfDelete(def, base, del)
+		if err != nil {
+			return false
+		}
+		if err := MergeDelta(def, v, dv); err != nil {
+			return false
+		}
+		remaining := base.Clone()
+		del.EachCell(func(p array.Point, _ array.Tuple) bool {
+			remaining.Delete(p)
+			return true
+		})
+		vFull, err := Materialize(def, remaining, remaining)
+		if err != nil {
+			return false
+		}
+		// v may retain zero-state cells where everything was retracted.
+		ok := true
+		vFull.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := v.Get(p)
+			if !found {
+				ok = false
+				return false
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		v.EachCell(func(p array.Point, tup array.Tuple) bool {
+			if _, found := vFull.Get(p); !found {
+				for _, x := range tup {
+					if x != 0 {
+						ok = false
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	s := fig1Schema()
+	base := fig1Array()
+	del := array.New(s)
+	_ = del.Set(array.Point{1, 1}, array.Tuple{0, 0}) // not in base
+	if err := SubsetOf(base, del); err == nil {
+		t.Error("deleting an absent cell must fail SubsetOf")
+	}
+	del2 := array.New(s)
+	_ = del2.Set(array.Point{1, 2}, array.Tuple{2, 5})
+	if err := SubsetOf(base, del2); err != nil {
+		t.Errorf("deleting an existing cell must pass: %v", err)
+	}
+
+	// Non-retractable aggregates refuse deletion deltas.
+	def, err := NewDefinition("V", s, s, simjoin.NewPred(shape.L1(2, 1), nil),
+		[]string{"i", "j"}, []Aggregate{{Kind: Max, Attr: "r", As: "m"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeltaSelfDelete(def, base, del2); err == nil {
+		t.Error("MIN/MAX views must reject deletions")
+	}
+	// Two-array views are out of scope for DeltaSelfDelete.
+	other := *s
+	other.Name = "B"
+	def2, err := NewDefinition("V2", s, &other, simjoin.NewPred(shape.L1(2, 1), nil),
+		[]string{"i", "j"}, []Aggregate{{Kind: Count, As: "c"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeltaSelfDelete(def2, base, del2); err == nil {
+		t.Error("two-array views must reject DeltaSelfDelete")
+	}
+}
+
+func TestMinMaxAggregates(t *testing.T) {
+	s := fig1Schema()
+	def, err := NewDefinition("V", s, s, simjoin.NewPred(shape.L1(2, 1), nil),
+		[]string{"i", "j"},
+		[]Aggregate{
+			{Kind: Min, Attr: "r", As: "rmin"},
+			{Kind: Max, Attr: "r", As: "rmax"},
+			{Kind: Count, As: "c"},
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Retractable() {
+		t.Error("MIN/MAX views must not be retractable")
+	}
+	a := fig1Array()
+	v, err := Materialize(def, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell [1,2] (r=2) has neighbor [1,3] (r=6) plus itself: min 2, max 6.
+	tup, ok := v.Get(array.Point{1, 2})
+	if !ok {
+		t.Fatal("V[1,2] missing")
+	}
+	out := def.Output(tup)
+	if out[0] != 2 || out[1] != 6 || out[2] != 2 {
+		t.Errorf("V[1,2] = %v, want [2 6 2]", out)
+	}
+	// Isolated cell [4,1] (r=2): min = max = 2.
+	tup, _ = v.Get(array.Point{4, 1})
+	out = def.Output(tup)
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("V[4,1] = %v, want min=max=2", out)
+	}
+}
+
+// TestMinMaxInsertMaintenance: incremental insert maintenance stays exact
+// for MIN/MAX because merging takes extrema.
+func TestMinMaxInsertMaintenance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := fig1Schema()
+		base := randArray(rng, 8)
+		delta := array.New(s)
+		for i := 0; i < 6; i++ {
+			p := array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}
+			if _, ok := base.Get(p); ok {
+				continue
+			}
+			_ = delta.Set(p, array.Tuple{float64(rng.Intn(20)), float64(rng.Intn(20))})
+		}
+		def, err := NewDefinition("V", s, s, simjoin.NewPred(shape.L1(2, 1), nil),
+			[]string{"i", "j"},
+			[]Aggregate{{Kind: Min, Attr: "r", As: "mn"}, {Kind: Max, Attr: "s", As: "mx"}}, nil)
+		if err != nil {
+			return false
+		}
+		v, err := Materialize(def, base, base)
+		if err != nil {
+			return false
+		}
+		dv, err := DeltaSelfInsert(def, base, delta)
+		if err != nil {
+			return false
+		}
+		if err := MergeDelta(def, v, dv); err != nil {
+			return false
+		}
+		merged := base.Clone()
+		delta.EachCell(func(p array.Point, tup array.Tuple) bool { _ = merged.Set(p, tup); return true })
+		vFull, err := Materialize(def, merged, merged)
+		if err != nil {
+			return false
+		}
+		ok := true
+		vFull.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := v.Get(p)
+			if !found {
+				ok = false
+				return false
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// CmpOp is a comparison operator of an attribute filter.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota // <
+	Le              // <=
+	Eq              // ==
+	Ne              // !=
+	Ge              // >=
+	Gt              // >
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+// eval applies the operator.
+func (o CmpOp) eval(x, y float64) bool {
+	switch o {
+	case Lt:
+		return x < y
+	case Le:
+		return x <= y
+	case Eq:
+		return x == y
+	case Ne:
+		return x != y
+	case Ge:
+		return x >= y
+	default:
+		return x > y
+	}
+}
+
+// Condition is one declarative attribute predicate, e.g. {"mag", Lt, 19}.
+// Conditions are declarative (no function values) so definitions stay
+// comparable and serializable.
+type Condition struct {
+	Attr  string
+	Op    CmpOp
+	Value float64
+}
+
+// String renders the condition.
+func (c Condition) String() string { return fmt.Sprintf("%s %s %v", c.Attr, c.Op, c.Value) }
+
+// filter is a compiled conjunction of conditions against one schema.
+type filter struct {
+	conds []Condition
+	idx   []int
+}
+
+func compileFilter(conds []Condition, s *array.Schema) (*filter, error) {
+	if len(conds) == 0 {
+		return nil, nil
+	}
+	f := &filter{conds: conds, idx: make([]int, len(conds))}
+	for i, c := range conds {
+		idx := s.AttrIndex(c.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("view: filter attribute %q not in %s", c.Attr, s.Name)
+		}
+		f.idx[i] = idx
+	}
+	return f, nil
+}
+
+// match evaluates the conjunction on a tuple; a nil filter matches all.
+func (f *filter) match(t array.Tuple) bool {
+	if f == nil {
+		return true
+	}
+	for i, c := range f.conds {
+		if !c.Op.eval(t[f.idx[i]], c.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *filter) String() string {
+	if f == nil {
+		return ""
+	}
+	parts := make([]string, len(f.conds))
+	for i, c := range f.conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// SetFilters attaches conjunctive WHERE predicates to the view's two
+// sides: alpha conditions test α-side cell attributes, beta conditions the
+// β side. Cells failing their side's filter do not participate in the
+// join — the "filtering" unary operator of the paper's view class. Filters
+// apply uniformly to materialization, delta maintenance, and queries.
+func (d *Definition) SetFilters(alpha, beta []Condition) error {
+	fa, err := compileFilter(alpha, d.Alpha)
+	if err != nil {
+		return err
+	}
+	fb, err := compileFilter(beta, d.Beta)
+	if err != nil {
+		return err
+	}
+	d.filterAlpha = fa
+	d.filterBeta = fb
+	return nil
+}
+
+// AlphaMatch reports whether an α-side tuple passes the view's α filter.
+func (d *Definition) AlphaMatch(t array.Tuple) bool { return d.filterAlpha.match(t) }
+
+// BetaMatch reports whether a β-side tuple passes the view's β filter.
+func (d *Definition) BetaMatch(t array.Tuple) bool { return d.filterBeta.match(t) }
+
+// Filtered reports whether the view carries any attribute filters.
+func (d *Definition) Filtered() bool { return d.filterAlpha != nil || d.filterBeta != nil }

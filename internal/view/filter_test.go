@@ -1,0 +1,194 @@
+package view
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+)
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		x, y float64
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Eq, 2, 2, true}, {Eq, 1, 2, false},
+		{Ne, 1, 2, true}, {Ne, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.eval(c.x, c.y); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.x, c.op, c.y, got, c.want)
+		}
+	}
+	for _, op := range []CmpOp{Lt, Le, Eq, Ne, Ge, Gt} {
+		if op.String() == "" || strings.HasPrefix(op.String(), "CmpOp") {
+			t.Errorf("missing name for op %d", op)
+		}
+	}
+}
+
+func TestSetFiltersValidation(t *testing.T) {
+	def := fig1View(t)
+	if err := def.SetFilters([]Condition{{Attr: "zz", Op: Lt, Value: 1}}, nil); err == nil {
+		t.Error("unknown α attribute must fail")
+	}
+	if err := def.SetFilters(nil, []Condition{{Attr: "zz", Op: Lt, Value: 1}}); err == nil {
+		t.Error("unknown β attribute must fail")
+	}
+	if def.Filtered() {
+		t.Error("failed SetFilters must leave the view unfiltered")
+	}
+	if err := def.SetFilters([]Condition{{Attr: "r", Op: Ge, Value: 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !def.Filtered() {
+		t.Error("Filtered must report attached filters")
+	}
+}
+
+// bruteFiltered computes the filtered view by scanning all cell pairs.
+func bruteFiltered(t *testing.T, d *Definition, a *array.Array) *array.Array {
+	t.Helper()
+	out := array.New(d.Schema())
+	a.EachCell(func(pa array.Point, ta array.Tuple) bool {
+		if !d.AlphaMatch(ta) {
+			return true
+		}
+		paC := pa.Clone()
+		taC := ta.Clone()
+		_ = taC
+		a.EachCell(func(pb array.Point, tb array.Tuple) bool {
+			if !d.Pred.Matches(paC, pb) || !d.BetaMatch(tb) {
+				return true
+			}
+			g := d.GroupPoint(paC)
+			contrib := d.Contribution(tb)
+			if cur, ok := out.Get(g); ok {
+				d.AddState(cur, contrib)
+				_ = out.Set(g, cur)
+			} else {
+				_ = out.Set(g, contrib)
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+func TestFilteredMaterializeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := fig1Schema()
+		base := randArray(rng, 14)
+		def, err := NewDefinition("V", s, s,
+			simjoin.NewPred(shape.Linf(2, 1), nil),
+			[]string{"i", "j"},
+			[]Aggregate{{Kind: Count, As: "c"}, {Kind: Sum, Attr: "s", As: "ss"}}, nil)
+		if err != nil {
+			return false
+		}
+		if err := def.SetFilters(
+			[]Condition{{Attr: "r", Op: Ge, Value: float64(rng.Intn(6))}},
+			[]Condition{{Attr: "s", Op: Lt, Value: float64(rng.Intn(8) + 2)}},
+		); err != nil {
+			return false
+		}
+		got, err := Materialize(def, base, base)
+		if err != nil {
+			return false
+		}
+		want := bruteFiltered(t, def, base)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilteredDeltaEqualsRecompute: filters compose with incremental
+// maintenance.
+func TestFilteredDeltaEqualsRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := fig1Schema()
+		base := randArray(rng, 10)
+		delta := array.New(s)
+		for i := 0; i < 5; i++ {
+			p := array.Point{1 + rng.Int63n(6), 1 + rng.Int63n(8)}
+			if _, ok := base.Get(p); ok {
+				continue
+			}
+			_ = delta.Set(p, array.Tuple{float64(rng.Intn(9) + 1), float64(rng.Intn(9) + 1)})
+		}
+		def, err := NewDefinition("V", s, s,
+			simjoin.NewPred(shape.L1(2, 1), nil),
+			[]string{"i", "j"}, []Aggregate{{Kind: Count, As: "c"}}, nil)
+		if err != nil {
+			return false
+		}
+		if err := def.SetFilters(nil, []Condition{{Attr: "r", Op: Le, Value: 5}}); err != nil {
+			return false
+		}
+		v, err := Materialize(def, base, base)
+		if err != nil {
+			return false
+		}
+		dv, err := DeltaSelfInsert(def, base, delta)
+		if err != nil {
+			return false
+		}
+		if err := MergeDelta(def, v, dv); err != nil {
+			return false
+		}
+		merged := base.Clone()
+		delta.EachCell(func(p array.Point, tup array.Tuple) bool { _ = merged.Set(p, tup); return true })
+		vFull, err := Materialize(def, merged, merged)
+		if err != nil {
+			return false
+		}
+		ok := true
+		vFull.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := v.Get(p)
+			if !found || got[0] != tup[0] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		v.EachCell(func(p array.Point, tup array.Tuple) bool {
+			if _, found := vFull.Get(p); !found && tup[0] != 0 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	f, err := compileFilter([]Condition{{Attr: "r", Op: Lt, Value: 3}, {Attr: "s", Op: Ge, Value: 1}}, fig1Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(); got != "r < 3 AND s >= 1" {
+		t.Errorf("String = %q", got)
+	}
+	var nilF *filter
+	if nilF.String() != "" || !nilF.match(array.Tuple{1}) {
+		t.Error("nil filter must be empty and match everything")
+	}
+}

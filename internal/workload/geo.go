@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// GEOConfig parameterizes the synthetic LinkedGeoData "Place" dataset: 2-D
+// points of interest, each replicated with Gaussian offsets exactly as the
+// paper augments the original 3M-point dataset.
+type GEOConfig struct {
+	Seed int64
+
+	// LongRange and LatRange size the domain; chunking is fixed at the
+	// paper's (100, 50).
+	LongRange, LatRange int64
+
+	// NumPOI original points are drawn from NumClusters urban clusters;
+	// each is replicated Replication times with Gaussian sigma (in cells).
+	NumPOI, NumClusters, Replication int
+	Sigma                            float64
+
+	// BatchFraction of all cells goes into each update batch (the paper
+	// uses 1%); NumBatches batches are extracted, the rest is base data.
+	BatchFraction float64
+	NumBatches    int
+}
+
+// DefaultGEOConfig mirrors the paper's setup at reduced scale.
+func DefaultGEOConfig() GEOConfig {
+	return GEOConfig{
+		Seed:          7,
+		LongRange:     10000,
+		LatRange:      5000,
+		NumPOI:        6000,
+		NumClusters:   25,
+		Replication:   9,
+		Sigma:         25,
+		BatchFraction: 0.01,
+		NumBatches:    10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c GEOConfig) Validate() error {
+	if c.LongRange < 100 || c.LatRange < 50 {
+		return fmt.Errorf("workload: GEO domain %dx%d too small", c.LongRange, c.LatRange)
+	}
+	if c.NumPOI <= 0 || c.NumClusters <= 0 || c.Replication < 0 || c.Sigma <= 0 {
+		return fmt.Errorf("workload: bad GEO density")
+	}
+	if c.BatchFraction <= 0 || c.BatchFraction >= 1 || c.NumBatches <= 0 {
+		return fmt.Errorf("workload: bad GEO batching (%v x %d)", c.BatchFraction, c.NumBatches)
+	}
+	return nil
+}
+
+// Schema builds the GEO schema: GEO<pop>[long, lat].
+func (c GEOConfig) Schema() *array.Schema {
+	return array.MustSchema("GEO",
+		[]array.Dimension{
+			{Name: "long", Start: 1, End: c.LongRange, ChunkSize: 100},
+			{Name: "lat", Start: 1, End: c.LatRange, ChunkSize: 50},
+		},
+		[]array.Attribute{{Name: "pop", Type: array.Float64}})
+}
+
+// GenerateGEO builds the dataset and splits NumBatches disjoint batches of
+// BatchFraction of the cells each; the remainder is the base array. Batch
+// composition follows the mode: Random samples everywhere, Correlated
+// draws every batch from one cluster, Periodic cycles three clusters.
+func GenerateGEO(c GEOConfig, mode BatchMode) (*Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	schema := c.Schema()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Cluster centers.
+	type center struct{ x, y float64 }
+	centers := make([]center, c.NumClusters)
+	for i := range centers {
+		centers[i] = center{
+			x: 1 + rng.Float64()*float64(c.LongRange-1),
+			y: 1 + rng.Float64()*float64(c.LatRange-1),
+		}
+	}
+
+	// All cells, tagged by their cluster, deduplicated by coordinate.
+	type cell struct {
+		p       array.Point
+		v       float64
+		cluster int
+	}
+	seen := make(map[string]bool)
+	var cells []cell
+	addPoint := func(x, y float64, cluster int) {
+		p := array.Point{
+			clampI64(int64(x+0.5), 1, c.LongRange),
+			clampI64(int64(y+0.5), 1, c.LatRange),
+		}
+		k := p.String()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		cells = append(cells, cell{p: p, v: float64(rng.Intn(1000) + 1), cluster: cluster})
+	}
+	for i := 0; i < c.NumPOI; i++ {
+		ci := rng.Intn(c.NumClusters)
+		x := centers[ci].x + rng.NormFloat64()*c.Sigma*4
+		y := centers[ci].y + rng.NormFloat64()*c.Sigma*4
+		addPoint(x, y, ci)
+		// Gaussian replication, as in the paper's synthetic augmentation.
+		for r := 0; r < c.Replication; r++ {
+			addPoint(x+rng.NormFloat64()*c.Sigma, y+rng.NormFloat64()*c.Sigma, ci)
+		}
+	}
+
+	// Partition cells into batches per mode; everything unselected is base.
+	perBatch := int(float64(len(cells)) * c.BatchFraction)
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	inBatch := make([]int, len(cells)) // -1 = base
+	for i := range inBatch {
+		inBatch[i] = -1
+	}
+	// Footprints for correlated/periodic modes are the three longitude
+	// bands of the domain: spatially coherent regions with enough cells to
+	// sustain repeated disjoint batches.
+	band := func(ci int) int {
+		g := int(3 * centers[ci].x / float64(c.LongRange))
+		if g < 0 {
+			g = 0
+		}
+		if g > 2 {
+			g = 2
+		}
+		return g
+	}
+	footprints := make(map[int][]int)
+	allIdx := make([]int, len(cells))
+	for i, cl := range cells {
+		footprints[band(cl.cluster)] = append(footprints[band(cl.cluster)], i)
+		allIdx[i] = i
+	}
+	rng.Shuffle(len(allIdx), func(a, b int) { allIdx[a], allIdx[b] = allIdx[b], allIdx[a] })
+	for _, idxs := range footprints {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+	}
+	// Draw n unclaimed cells from a pool, returning the remaining pool.
+	draw := func(pool []int, batch, n int) []int {
+		taken := 0
+		rest := pool[:0]
+		for _, i := range pool {
+			if taken < n && inBatch[i] == -1 {
+				inBatch[i] = batch
+				taken++
+				continue
+			}
+			rest = append(rest, i)
+		}
+		return rest
+	}
+	// Correlated and periodic modes replay literal batches (the paper
+	// repeats one batch ten times / cycles three), so only the distinct
+	// prototypes draw cells; the replay is done after materialization.
+	pool := allIdx
+	for b := 0; b < c.NumBatches; b++ {
+		switch mode {
+		case Correlated:
+			if b == 0 {
+				footprints[0] = draw(footprints[0], b, perBatch)
+			}
+		case Periodic:
+			g := periodicOrder[b%len(periodicOrder)]
+			if !periodicSeen(b) {
+				footprints[g] = draw(footprints[g], b, perBatch)
+			}
+		default: // Random and Real coincide for GEO
+			pool = draw(pool, b, perBatch)
+		}
+	}
+
+	base := array.New(schema)
+	batches := make([]*array.Array, c.NumBatches)
+	for b := range batches {
+		batches[b] = array.New(schema)
+	}
+	for i, cl := range cells {
+		target := base
+		if inBatch[i] >= 0 {
+			target = batches[inBatch[i]]
+		}
+		if err := target.Set(cl.p, array.Tuple{cl.v}); err != nil {
+			return nil, err
+		}
+	}
+	// Replay the prototype batches for the repeated slots.
+	switch mode {
+	case Correlated:
+		for b := 1; b < c.NumBatches; b++ {
+			batches[b] = batches[0].Clone()
+		}
+	case Periodic:
+		proto := make(map[int]*array.Array)
+		for b := 0; b < c.NumBatches; b++ {
+			g := periodicOrder[b%len(periodicOrder)]
+			if p, ok := proto[g]; ok {
+				batches[b] = p.Clone()
+			} else {
+				proto[g] = batches[b]
+			}
+		}
+	}
+	return &Dataset{Schema: schema, Base: base, Batches: batches}, nil
+}
+
+// periodicSeen reports whether the footprint of batch b already appeared
+// earlier in the periodic schedule.
+func periodicSeen(b int) bool {
+	g := periodicOrder[b%len(periodicOrder)]
+	for i := 0; i < b && i < len(periodicOrder); i++ {
+		if periodicOrder[i] == g {
+			return true
+		}
+	}
+	return false
+}
+
+// GEOView is the paper's GEO view: POIs within L∞(1) of each other (1 mile
+// at the paper's resolution), counted per cell.
+func GEOView(schema *array.Schema) (*view.Definition, error) {
+	return CountView("GEOV", schema, shape.Linf(2, 1))
+}

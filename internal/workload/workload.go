@@ -1,0 +1,133 @@
+// Package workload generates the synthetic stand-ins for the paper's
+// evaluation datasets (Section 6.1): the PTF astronomical catalog — a
+// sparse 3-D array [time, ra, dec] whose detections cluster around nightly
+// telescope pointings — and the LinkedGeoData GEO dataset — 2-D
+// points-of-interest with Gaussian replication. It also extracts batch
+// sequences in the paper's four configurations: real (time-ordered),
+// random, correlated, and periodic.
+//
+// Substitution note (see DESIGN.md): the real 343 GB PTF catalog is not
+// redistributable; these generators reproduce the properties that drive
+// maintenance cost — spatial clustering of updates, chunk-level sparsity,
+// and batch size in chunks — at laptop scale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// BatchMode selects how update batches relate to each other (Section 6.1,
+// "Batch updates").
+type BatchMode int
+
+const (
+	// Real batches follow the acquisition order: each batch is the next
+	// night's detections, pointed at a drifting subset of fields. For GEO
+	// (no time dimension) this degenerates to Random, as in the paper.
+	Real BatchMode = iota
+	// Random batches sample uniformly from the whole domain.
+	Random
+	// Correlated batches repeat the same spatial footprint every time.
+	Correlated
+	// Periodic batches cycle three footprints in the paper's order
+	// 1,2,3,3,2,1,1,2,3,3.
+	Periodic
+)
+
+// String names the mode.
+func (m BatchMode) String() string {
+	switch m {
+	case Real:
+		return "real"
+	case Random:
+		return "random"
+	case Correlated:
+		return "correlated"
+	case Periodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("BatchMode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (BatchMode, error) {
+	switch s {
+	case "real":
+		return Real, nil
+	case "random":
+		return Random, nil
+	case "correlated":
+		return Correlated, nil
+	case "periodic":
+		return Periodic, nil
+	}
+	return 0, fmt.Errorf("workload: unknown batch mode %q", s)
+}
+
+// periodicOrder is the paper's periodic batch schedule over 3 footprints.
+var periodicOrder = []int{0, 1, 2, 2, 1, 0, 0, 1, 2, 2}
+
+// Dataset is a generated base array plus an ordered sequence of disjoint
+// update batches.
+type Dataset struct {
+	Schema  *array.Schema
+	Base    *array.Array
+	Batches []*array.Array
+}
+
+// TotalCells returns the cell count across base and batches.
+func (d *Dataset) TotalCells() int {
+	n := d.Base.NumCells()
+	for _, b := range d.Batches {
+		n += b.NumCells()
+	}
+	return n
+}
+
+// clampI64 confines v to [lo, hi].
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// gaussInt draws a Gaussian integer around mean with the given sigma,
+// clamped to [lo, hi].
+func gaussInt(rng *rand.Rand, mean float64, sigma float64, lo, hi int64) int64 {
+	return clampI64(int64(mean+rng.NormFloat64()*sigma+0.5), lo, hi)
+}
+
+// CountView builds the standard evaluation view over a dataset's schema: a
+// COUNT(*) self-join view with the given shape, grouped by every dimension
+// (the paper's "association table" shape of statistics per detection).
+func CountView(name string, schema *array.Schema, sh *shape.Shape) (*view.Definition, error) {
+	groupBy := make([]string, len(schema.Dims))
+	for i, d := range schema.Dims {
+		groupBy[i] = d.Name
+	}
+	return view.NewDefinition(name, schema, schema,
+		simjoin.NewPred(sh, nil), groupBy,
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}}, nil)
+}
+
+// clampF confines v to [lo, hi].
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// smallPTF returns a fast test-scale PTF config.
+func smallPTF() PTFConfig {
+	c := DefaultPTFConfig()
+	c.RaRange = 2000
+	c.DecRange = 1000
+	c.BaseNights = 2
+	c.NumBatches = 6
+	c.DetectionsPerNight = 200
+	c.NumFields = 6
+	c.FieldsPerNight = 2
+	return c
+}
+
+func smallGEO() GEOConfig {
+	c := DefaultGEOConfig()
+	c.LongRange = 2000
+	c.LatRange = 1000
+	c.NumPOI = 600
+	c.NumClusters = 9
+	c.NumBatches = 6
+	c.BatchFraction = 0.02
+	return c
+}
+
+// disjoint verifies no cell appears in two pieces of the dataset.
+func disjoint(t *testing.T, d *Dataset) {
+	t.Helper()
+	seen := make(map[string]string)
+	record := func(name string, a *array.Array) {
+		a.EachCell(func(p array.Point, _ array.Tuple) bool {
+			k := p.String()
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("cell %s appears in both %s and %s", k, prev, name)
+			}
+			seen[k] = name
+			return true
+		})
+	}
+	record("base", d.Base)
+	for i, b := range d.Batches {
+		record("batch", b)
+		_ = i
+	}
+}
+
+func TestPTFGeneration(t *testing.T) {
+	for _, mode := range []BatchMode{Real, Random, Correlated, Periodic} {
+		d, err := GeneratePTF(smallPTF(), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(d.Batches) != 6 {
+			t.Fatalf("%v: %d batches", mode, len(d.Batches))
+		}
+		if d.Base.NumCells() == 0 {
+			t.Fatalf("%v: empty base", mode)
+		}
+		for i, b := range d.Batches {
+			if b.NumCells() == 0 {
+				t.Errorf("%v: batch %d empty", mode, i)
+			}
+		}
+		if mode == Real || mode == Random {
+			disjoint(t, d)
+		}
+		if d.TotalCells() <= d.Base.NumCells() {
+			t.Errorf("%v: batches contribute no cells", mode)
+		}
+	}
+}
+
+func TestPTFDeterministic(t *testing.T) {
+	a, err := GeneratePTF(smallPTF(), Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePTF(smallPTF(), Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Base.Equal(b.Base) {
+		t.Error("same seed must reproduce the base")
+	}
+	for i := range a.Batches {
+		if !a.Batches[i].Equal(b.Batches[i]) {
+			t.Errorf("same seed must reproduce batch %d", i)
+		}
+	}
+}
+
+func TestPTFCorrelatedBatchesShareFootprint(t *testing.T) {
+	d, err := GeneratePTF(smallPTF(), Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated batches must hit the same (ra, dec) chunk columns night
+	// after night: compare the spatial chunk sets of batches 1 and 4.
+	spatial := func(a *array.Array) map[string]bool {
+		out := make(map[string]bool)
+		a.EachChunk(func(c *array.Chunk) bool {
+			cc := c.Coord()
+			out[array.ChunkCoord{cc[1], cc[2]}.Key().Coord().String()] = true
+			return true
+		})
+		return out
+	}
+	s1, s4 := spatial(d.Batches[1]), spatial(d.Batches[4])
+	overlap := 0
+	for k := range s1 {
+		if s4[k] {
+			overlap++
+		}
+	}
+	if overlap*2 < len(s1) {
+		t.Errorf("correlated batches share only %d of %d spatial chunks", overlap, len(s1))
+	}
+}
+
+func TestPTFBatchesAreFreshChunks(t *testing.T) {
+	// Each night owns a time slab, so batch chunks never collide with base
+	// chunks.
+	d, err := GeneratePTF(smallPTF(), Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKeys := make(map[array.ChunkKey]bool)
+	d.Base.EachChunk(func(c *array.Chunk) bool { baseKeys[c.Key()] = true; return true })
+	for _, b := range d.Batches {
+		b.EachChunk(func(c *array.Chunk) bool {
+			if baseKeys[c.Key()] {
+				t.Fatalf("batch chunk %v collides with base", c.Coord())
+			}
+			baseKeys[c.Key()] = true
+			return true
+		})
+	}
+}
+
+func TestPTFSpreadNarrowsFootprint(t *testing.T) {
+	wide := smallPTF()
+	narrow := smallPTF()
+	narrow.Spread = 0.1
+	dw, err := GeneratePTF(wide, Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := GeneratePTF(narrow, Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := func(d *Dataset) int64 {
+		var lo, hi int64 = 1 << 62, -1
+		d.Base.EachCell(func(p array.Point, _ array.Tuple) bool {
+			if p[1] < lo {
+				lo = p[1]
+			}
+			if p[1] > hi {
+				hi = p[1]
+			}
+			return true
+		})
+		return hi - lo
+	}
+	if span(dn) >= span(dw) {
+		t.Errorf("narrow spread span %d not below wide span %d", span(dn), span(dw))
+	}
+}
+
+func TestPTFValidation(t *testing.T) {
+	bad := smallPTF()
+	bad.FieldsPerNight = 100
+	if _, err := GeneratePTF(bad, Real); err == nil {
+		t.Error("too many fields per night must fail")
+	}
+	bad = smallPTF()
+	bad.Spread = 0
+	if _, err := GeneratePTF(bad, Real); err == nil {
+		t.Error("zero spread must fail")
+	}
+	bad = smallPTF()
+	bad.DetectionsPerNight = 0
+	if _, err := GeneratePTF(bad, Real); err == nil {
+		t.Error("zero detections must fail")
+	}
+}
+
+func TestGEOGeneration(t *testing.T) {
+	for _, mode := range []BatchMode{Random, Correlated, Periodic} {
+		d, err := GenerateGEO(smallGEO(), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if mode == Random {
+			disjoint(t, d)
+		}
+		if d.Base.NumCells() == 0 {
+			t.Fatalf("%v: empty base", mode)
+		}
+		for i, b := range d.Batches {
+			if b.NumCells() == 0 {
+				t.Errorf("%v: batch %d empty", mode, i)
+			}
+		}
+	}
+}
+
+func TestGEOCorrelatedConcentration(t *testing.T) {
+	d, err := GenerateGEO(smallGEO(), Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated batches live inside a footprint much smaller than the
+	// domain: their bounding box must be well under the full extent.
+	for i, b := range d.Batches {
+		var lo, hi int64 = 1 << 62, -1
+		b.EachCell(func(p array.Point, _ array.Tuple) bool {
+			if p[0] < lo {
+				lo = p[0]
+			}
+			if p[0] > hi {
+				hi = p[0]
+			}
+			return true
+		})
+		if hi-lo > smallGEO().LongRange*3/4 {
+			t.Errorf("correlated batch %d spans %d of %d", i, hi-lo, smallGEO().LongRange)
+		}
+	}
+}
+
+func TestGEODeterministic(t *testing.T) {
+	a, _ := GenerateGEO(smallGEO(), Random)
+	b, _ := GenerateGEO(smallGEO(), Random)
+	if !a.Base.Equal(b.Base) {
+		t.Error("same seed must reproduce GEO")
+	}
+}
+
+func TestGEOValidation(t *testing.T) {
+	bad := smallGEO()
+	bad.BatchFraction = 0
+	if _, err := GenerateGEO(bad, Random); err == nil {
+		t.Error("zero batch fraction must fail")
+	}
+	bad = smallGEO()
+	bad.Sigma = 0
+	if _, err := GenerateGEO(bad, Random); err == nil {
+		t.Error("zero sigma must fail")
+	}
+}
+
+func TestViewConstructors(t *testing.T) {
+	pc := smallPTF()
+	ps := pc.Schema()
+	v5, err := PTF5View(ps, 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v5.Schema().NumDims() != 3 {
+		t.Error("PTF5 view must keep 3 dims")
+	}
+	v25, err := PTF25View(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := v25.Pred.Shape.Box()
+	if lo[0] >= 0 || hi[0] <= 0 {
+		t.Error("PTF25 must be time-symmetric")
+	}
+	gs := smallGEO().Schema()
+	gv, err := GEOView(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv.Schema().NumDims() != 2 {
+		t.Error("GEO view must keep 2 dims")
+	}
+}
+
+func TestCountViewGroupsAllDims(t *testing.T) {
+	gs := smallGEO().Schema()
+	v, err := GEOView(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.GroupBy) != gs.NumDims() {
+		t.Errorf("GroupBy = %v", v.GroupBy)
+	}
+	if len(v.Aggs) != 1 || v.Aggs[0].Kind != view.Count {
+		t.Errorf("Aggs = %v", v.Aggs)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, name := range []string{"real", "random", "correlated", "periodic"} {
+		m, err := ParseMode(name)
+		if err != nil || m.String() != name {
+			t.Errorf("ParseMode(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}

@@ -1,0 +1,28 @@
+package workloads
+
+import (
+	arrayview "github.com/arrayview/arrayview"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// PTF5View builds the paper's PTF-5 "association table": L1(1) similarity
+// on (ra, dec) across the previous window time steps, COUNT per detection.
+func PTF5View(schema *arrayview.Schema, window int64) (*arrayview.Definition, error) {
+	return workload.PTF5View(schema, window)
+}
+
+// PTF25View builds the paper's PTF-25 view: L∞(2) on (ra, dec), any time.
+func PTF25View(schema *arrayview.Schema) (*arrayview.Definition, error) {
+	return workload.PTF25View(schema)
+}
+
+// GEOView builds the paper's GEO view: POIs within L∞(1) of each other.
+func GEOView(schema *arrayview.Schema) (*arrayview.Definition, error) {
+	return workload.GEOView(schema)
+}
+
+// CountView builds a COUNT(*) self-join view with the given shape grouped
+// by every dimension of the schema.
+func CountView(name string, schema *arrayview.Schema, sh *arrayview.Shape) (*arrayview.Definition, error) {
+	return workload.CountView(name, schema, sh)
+}

@@ -1,0 +1,63 @@
+// Package workloads exposes the evaluation dataset generators: the
+// synthetic PTF astronomical catalog (sparse 3-D [time, ra, dec]
+// detections clustered around nightly telescope pointings) and the
+// LinkedGeoData-style GEO dataset (2-D points of interest with Gaussian
+// replication), together with batch sequences in the paper's four
+// configurations.
+package workloads
+
+import (
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// Re-exported workload types.
+type (
+	// Dataset is a generated base array plus disjoint update batches.
+	Dataset = workload.Dataset
+	// BatchMode selects how batches relate: Real, Random, Correlated,
+	// Periodic.
+	BatchMode = workload.BatchMode
+	// PTFConfig parameterizes the synthetic PTF catalog.
+	PTFConfig = workload.PTFConfig
+	// GEOConfig parameterizes the synthetic GEO dataset.
+	GEOConfig = workload.GEOConfig
+)
+
+// Batch modes.
+const (
+	// Real batches follow acquisition order (nightly for PTF).
+	Real = workload.Real
+	// Random batches sample uniformly.
+	Random = workload.Random
+	// Correlated batches repeat the same spatial footprint.
+	Correlated = workload.Correlated
+	// Periodic batches cycle three footprints (1,2,3,3,2,1,...).
+	Periodic = workload.Periodic
+)
+
+// DefaultPTFConfig returns a laptop-scale PTF configuration.
+func DefaultPTFConfig() PTFConfig { return workload.DefaultPTFConfig() }
+
+// DefaultGEOConfig returns a laptop-scale GEO configuration.
+func DefaultGEOConfig() GEOConfig { return workload.DefaultGEOConfig() }
+
+// GeneratePTF builds the PTF catalog with nightly batches in the given
+// mode.
+func GeneratePTF(c PTFConfig, mode BatchMode) (*Dataset, error) {
+	return workload.GeneratePTF(c, mode)
+}
+
+// GeneratePTFSizes builds a PTF catalog with one batch per entry of
+// counts (the sensitivity-sweep workload).
+func GeneratePTFSizes(c PTFConfig, counts []int) (*Dataset, error) {
+	return workload.GeneratePTFSizes(c, counts)
+}
+
+// GenerateGEO builds the GEO dataset with batches in the given mode.
+func GenerateGEO(c GEOConfig, mode BatchMode) (*Dataset, error) {
+	return workload.GenerateGEO(c, mode)
+}
+
+// ParseMode parses a batch mode name ("real", "random", "correlated",
+// "periodic").
+func ParseMode(s string) (BatchMode, error) { return workload.ParseMode(s) }

@@ -1,0 +1,45 @@
+package workloads
+
+import "testing"
+
+func TestWrappersGenerate(t *testing.T) {
+	pc := DefaultPTFConfig()
+	pc.RaRange, pc.DecRange = 1000, 500
+	pc.BaseNights, pc.NumBatches = 1, 2
+	pc.DetectionsPerNight = 100
+	pc.NumFields, pc.FieldsPerNight = 4, 2
+	d, err := GeneratePTF(pc, Real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Batches) != 2 || d.Base.NumCells() == 0 {
+		t.Error("PTF wrapper generation")
+	}
+	if _, err := GeneratePTFSizes(pc, []int{50, 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	gc := DefaultGEOConfig()
+	gc.LongRange, gc.LatRange = 1000, 500
+	gc.NumPOI, gc.NumClusters, gc.NumBatches = 300, 6, 2
+	g, err := GenerateGEO(gc, Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Batches) != 2 {
+		t.Error("GEO wrapper generation")
+	}
+
+	if _, err := PTF5View(d.Schema, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PTF25View(d.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GEOView(g.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ParseMode("periodic"); err != nil || m != Periodic {
+		t.Errorf("ParseMode = %v, %v", m, err)
+	}
+}
