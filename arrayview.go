@@ -289,11 +289,3 @@ const (
 // chunkAlias aliases the internal chunk type for the facade's chunk-level
 // helpers.
 type chunkAlias = array.Chunk
-
-// mergeStateChunksOf returns the additive state merge for a definition.
-func mergeStateChunksOf(def *Definition) func(dst, src *chunkAlias) error {
-	return view.MergeStateChunks(def)
-}
-
-// mergeChunkCells inserts src's cells into dst.
-func mergeChunkCells(dst, src *chunkAlias) error { return dst.MergeFrom(src) }

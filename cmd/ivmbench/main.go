@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/arrayview/arrayview/internal/bench"
 	"github.com/arrayview/arrayview/internal/workload"
@@ -23,22 +25,23 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
 		nodes      = flag.Int("nodes", 0, "override worker node count (default: 8)")
 		seed       = flag.Int64("seed", 0, "override dataset seed")
+		jsonDir    = flag.String("json", "", "also write machine-readable BENCH_<experiment>.json files to this directory")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *dataset, *mode, *scale, *nodes, *seed); err != nil {
+	if err := run(*experiment, *dataset, *mode, *scale, *nodes, *seed, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, dataset, mode, scale string, nodes int, seed int64) error {
+func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir string) error {
 	mkSpec := func(ds bench.Dataset, m workload.BatchMode) bench.Spec {
 		var s bench.Spec
 		if scale == "small" {
@@ -79,16 +82,23 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64) error {
 	}
 
 	out := os.Stdout
-	perPanel := func(fn func(spec bench.Spec) error) error {
+	// collected gathers every experiment's typed result for -json output,
+	// keyed by experiment name.
+	collected := make(map[string][]any)
+	record := func(name string, v any) { collected[name] = append(collected[name], v) }
+
+	perPanel := func(name string, fn func(spec bench.Spec) (any, error)) error {
 		for _, ds := range datasets {
 			ms := modesFor(ds)
 			if ms == nil {
 				return fmt.Errorf("bad mode %q", mode)
 			}
 			for _, m := range ms {
-				if err := fn(mkSpec(ds, m)); err != nil {
+				r, err := fn(mkSpec(ds, m))
+				if err != nil {
 					return err
 				}
+				record(name, r)
 				fmt.Fprintln(out)
 			}
 		}
@@ -98,66 +108,100 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64) error {
 	runOne := func(name string) error {
 		switch name {
 		case "fig3":
-			return perPanel(func(s bench.Spec) error { _, err := bench.Fig3(out, s); return err })
+			return perPanel(name, func(s bench.Spec) (any, error) { return bench.Fig3(out, s) })
 		case "fig5":
-			return perPanel(func(s bench.Spec) error { _, err := bench.Fig5(out, s); return err })
+			return perPanel(name, func(s bench.Spec) (any, error) { return bench.Fig5(out, s) })
 		case "fig9":
-			return perPanel(func(s bench.Spec) error { _, err := bench.Fig9(out, s); return err })
+			return perPanel(name, func(s bench.Spec) (any, error) { return bench.Fig9(out, s) })
+		case "fabric":
+			return perPanel(name, func(s bench.Spec) (any, error) { return bench.FabricValidation(out, s, true) })
 		case "fig6":
 			spec := mkSpec(bench.PTF5, workload.Real)
 			spec.PTF.NumBatches = 1
-			_, err := bench.Fig6(out, spec)
-			return err
+			r, err := bench.Fig6(out, spec)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
 		case "fig10a":
 			sizes := []int{50, 100, 200, 400, 800, 1600}
 			if scale == "small" {
 				sizes = []int{50, 100, 200}
 			}
-			_, err := bench.Fig10a(out, mkSpec(bench.PTF25, workload.Real), sizes)
-			return err
+			r, err := bench.Fig10a(out, mkSpec(bench.PTF25, workload.Real), sizes)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
 		case "fig10b":
 			total, counts := 4000, []int{1, 2, 5, 10, 20}
 			if scale == "small" {
 				total, counts = 800, []int{1, 2, 5}
 			}
-			_, err := bench.Fig10b(out, mkSpec(bench.PTF25, workload.Real), total, counts)
-			return err
+			r, err := bench.Fig10b(out, mkSpec(bench.PTF25, workload.Real), total, counts)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
 		case "scaling":
 			counts := []int{2, 4, 8, 16, 32}
 			if scale == "small" {
 				counts = []int{2, 4, 8}
 			}
-			_, err := bench.Scaling(out, mkSpec(bench.PTF5, workload.Real), counts)
-			return err
+			r, err := bench.Scaling(out, mkSpec(bench.PTF5, workload.Real), counts)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
 		case "fig10c":
-			_, err := bench.Fig10c(out, mkSpec(bench.PTF25, workload.Real), []float64{0.1, 0.2, 0.8})
-			return err
+			r, err := bench.Fig10c(out, mkSpec(bench.PTF25, workload.Real), []float64{0.1, 0.2, 0.8})
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
 		case "ablations":
 			spec := mkSpec(bench.GEO, workload.Correlated)
-			if _, err := bench.AblationPairOrder(out, mkSpec(bench.PTF5, workload.Real)); err != nil {
+			a1, err := bench.AblationPairOrder(out, mkSpec(bench.PTF5, workload.Real))
+			if err != nil {
 				return err
 			}
+			record(name, a1)
 			fmt.Fprintln(out)
-			if _, err := bench.AblationWindow(out, spec, nil); err != nil {
+			a2, err := bench.AblationWindow(out, spec, nil)
+			if err != nil {
 				return err
 			}
+			record(name, a2)
 			fmt.Fprintln(out)
-			if _, err := bench.AblationCPUQuota(out, spec, nil); err != nil {
+			a3, err := bench.AblationCPUQuota(out, spec, nil)
+			if err != nil {
 				return err
 			}
+			record(name, a3)
 			fmt.Fprintln(out)
-			if _, err := bench.AblationLambda(out, spec, nil); err != nil {
+			a4, err := bench.AblationLambda(out, spec, nil)
+			if err != nil {
 				return err
 			}
+			record(name, a4)
 			fmt.Fprintln(out)
-			_, err := bench.AblationCellPruning(out, mkSpec(bench.PTF5, workload.Real))
-			return err
+			a5, err := bench.AblationCellPruning(out, mkSpec(bench.PTF5, workload.Real))
+			if err != nil {
+				return err
+			}
+			record(name, a5)
+			return nil
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
-	if experiment == "all" {
+	runAll := func() error {
 		for _, name := range []string{"fig3", "fig5", "fig6", "fig9", "fig10a", "fig10b", "fig10c", "scaling", "ablations"} {
 			fmt.Fprintf(out, "==== %s ====\n", name)
 			if err := runOne(name); err != nil {
@@ -167,5 +211,38 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64) error {
 		}
 		return nil
 	}
-	return runOne(experiment)
+
+	var err error
+	if experiment == "all" {
+		err = runAll()
+	} else {
+		err = runOne(experiment)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(jsonDir, collected)
+}
+
+// writeJSON dumps each experiment's collected results to
+// <dir>/BENCH_<experiment>.json. A no-op when dir is empty.
+func writeJSON(dir string, collected map[string][]any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, results := range collected {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshaling %s results: %w", name, err)
+		}
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }

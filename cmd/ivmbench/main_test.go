@@ -1,24 +1,53 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperimentSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a small experiment")
 	}
-	if err := run("fig3", "GEO", "correlated", "small", 3, 2); err != nil {
+	if err := run("fig3", "GEO", "correlated", "small", 3, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small experiment")
+	}
+	dir := t.TempDir()
+	if err := run("fig3", "GEO", "correlated", "small", 3, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(buf, &results); err != nil {
+		t.Fatalf("BENCH_fig3.json is not valid JSON: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("BENCH_fig3.json holds no results")
+	}
+	if _, ok := results[0]["Results"]; !ok {
+		t.Error("BENCH_fig3.json results lack the Results field")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "", "", "small", 0, 0); err == nil {
+	if err := run("nope", "", "", "small", 0, 0, ""); err == nil {
 		t.Error("unknown experiment must fail")
 	}
-	if err := run("fig3", "nope", "", "small", 0, 0); err == nil {
+	if err := run("fig3", "nope", "", "small", 0, 0, ""); err == nil {
 		t.Error("unknown dataset must fail")
 	}
-	if err := run("fig3", "GEO", "nope", "small", 0, 0); err == nil {
+	if err := run("fig3", "GEO", "nope", "small", 0, 0, ""); err == nil {
 		t.Error("unknown mode must fail")
 	}
 }

@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/bench"
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/transport"
 	"github.com/arrayview/arrayview/internal/view"
 	"github.com/arrayview/arrayview/internal/workload"
 )
@@ -30,16 +33,18 @@ func main() {
 		small    = flag.Bool("small", true, "use the test-scale dataset")
 		verify   = flag.Bool("verify", false, "verify the view against recomputation after each batch")
 		expire   = flag.Bool("expire", false, "after the batches, delete the oldest slab and maintain the retraction")
+		distrib  = flag.Bool("distributed", false, "run the data plane over TCP node daemons instead of in-process stores")
+		connect  = flag.String("connect", "", "comma-separated ivmnode addresses (with -distributed; default: spawn loopback daemons)")
 	)
 	flag.Parse()
 
-	if err := run(*dataset, *modeName, *strategy, *batches, *small, *verify, *expire); err != nil {
+	if err := run(*dataset, *modeName, *strategy, *batches, *small, *verify, *expire, *distrib, *connect); err != nil {
 		fmt.Fprintln(os.Stderr, "viewctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, modeName, strategy string, batches int, small, verify, expire bool) error {
+func run(dataset, modeName, strategy string, batches int, small, verify, expire, distrib bool, connect string) error {
 	ds, err := bench.ParseDataset(dataset)
 	if err != nil {
 		return err
@@ -68,7 +73,12 @@ func run(dataset, modeName, strategy string, batches int, small, verify, expire 
 	if err != nil {
 		return err
 	}
-	cl, err := spec.Cluster()
+	var cl *cluster.Cluster
+	if distrib {
+		cl, err = distributedCluster(spec, connect)
+	} else {
+		cl, err = spec.Cluster()
+	}
 	if err != nil {
 		return err
 	}
@@ -88,8 +98,12 @@ func run(dataset, modeName, strategy string, batches int, small, verify, expire 
 	}
 
 	fmt.Printf("view: %s\n", def)
-	fmt.Printf("cluster: %d nodes; base: %d cells in %d chunks\n\n",
-		cl.NumNodes(), data.Base.NumCells(), data.Base.NumChunks())
+	fabricName := "in-process"
+	if distrib {
+		fabricName = "tcp"
+	}
+	fmt.Printf("cluster: %d nodes (%s fabric); base: %d cells in %d chunks\n\n",
+		cl.NumNodes(), fabricName, data.Base.NumCells(), data.Base.NumChunks())
 
 	toRun := data.Batches
 	if batches > 0 && batches < len(toRun) {
@@ -144,6 +158,34 @@ func run(dataset, modeName, strategy string, batches int, small, verify, expire 
 		}
 	}
 	return nil
+}
+
+// distributedCluster builds a cluster whose data plane is a TCPFabric:
+// either connected to externally-run ivmnode daemons (connect is a
+// comma-separated address list) or to loopback daemons spawned in-process.
+func distributedCluster(spec bench.Spec, connect string) (*cluster.Cluster, error) {
+	var addrs []string
+	if connect != "" {
+		for _, a := range strings.Split(connect, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		fmt.Printf("connecting to %d node daemons\n", len(addrs))
+	} else {
+		lc, err := transport.StartLoopback(spec.Nodes, nil)
+		if err != nil {
+			return nil, err
+		}
+		addrs = lc.Addrs
+		fmt.Printf("spawned %d loopback node daemons\n", len(addrs))
+	}
+	fab, err := transport.NewTCPFabric(addrs, transport.DefaultClientConfig())
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(len(addrs),
+		cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
 }
 
 func verifyView(cl *cluster.Cluster, def *view.Definition) error {

@@ -6,19 +6,31 @@ func TestRunSmallVerified(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a small maintenance sequence")
 	}
-	if err := run("GEO", "", "reassign", 2, true, true, true); err != nil {
+	if err := run("GEO", "", "reassign", 2, true, true, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDistributedSmallVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small maintenance sequence over loopback TCP")
+	}
+	if err := run("GEO", "", "reassign", 2, true, true, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "", "reassign", 1, true, false, false); err == nil {
+	if err := run("nope", "", "reassign", 1, true, false, false, false, ""); err == nil {
 		t.Error("unknown dataset must fail")
 	}
-	if err := run("GEO", "nope", "reassign", 1, true, false, false); err == nil {
+	if err := run("GEO", "nope", "reassign", 1, true, false, false, false, ""); err == nil {
 		t.Error("unknown mode must fail")
 	}
-	if err := run("GEO", "", "nope", 1, true, false, false); err == nil {
+	if err := run("GEO", "", "nope", 1, true, false, false, false, ""); err == nil {
 		t.Error("unknown strategy must fail")
+	}
+	if err := run("GEO", "", "reassign", 1, true, false, false, true, "127.0.0.1:1"); err == nil {
+		t.Error("unreachable node daemons must fail")
 	}
 }

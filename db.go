@@ -243,18 +243,18 @@ func (cv *ChainView) Update(k int, delta *Array) error {
 	// each chunk's home, then ingest the delta into the input array.
 	cat := cv.db.cl.Catalog()
 	viewName := cv.chain.Name
-	merge := mergeStateChunksOf(cv.chain.StateDefinition())
+	stateSpec := cv.chain.StateDefinition().StateMergeSpec()
 	var mergeErr error
 	dv.EachChunk(func(c *chunkAlias) bool {
 		home, ok := cat.Home(viewName, c.Key())
 		if !ok {
 			home = (&RoundRobin{}).Place(c.Key(), cv.db.cl.NumNodes())
 		}
-		if err := cv.db.cl.Node(home).Store.Merge(viewName, c, merge); err != nil {
+		if err := cv.db.cl.MergeAt(home, viewName, c, stateSpec); err != nil {
 			mergeErr = err
 			return false
 		}
-		merged, err := cv.db.cl.Node(home).Store.Get(viewName, c.Key())
+		merged, err := cv.db.cl.GetAt(home, viewName, c.Key())
 		if err != nil {
 			mergeErr = err
 			return false
@@ -273,11 +273,11 @@ func (cv *ChainView) Update(k int, delta *Array) error {
 		if !ok {
 			home = (&RoundRobin{}).Place(c.Key(), cv.db.cl.NumNodes())
 		}
-		if err := cv.db.cl.Node(home).Store.Merge(inputName, c, mergeChunkCells); err != nil {
+		if err := cv.db.cl.MergeAt(home, inputName, c, cluster.MergeSpec{Kind: cluster.MergeCells}); err != nil {
 			ingestErr = err
 			return false
 		}
-		merged, err := cv.db.cl.Node(home).Store.Get(inputName, c.Key())
+		merged, err := cv.db.cl.GetAt(home, inputName, c.Key())
 		if err != nil {
 			ingestErr = err
 			return false

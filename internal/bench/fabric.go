@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// FabricValidationResult holds, for each strategy, the per-batch
+// ledger-predicted maintenance cost next to the measured wall-clock of
+// executing the same plan on the chosen fabric. The predicted numbers are
+// deterministic (they come from the cost model, not the clock) and are
+// identical across fabrics; the measured numbers are what the machine
+// actually did.
+type FabricValidationResult struct {
+	Spec    Spec
+	TCP     bool
+	Results map[string]*SeqResult
+}
+
+// FabricValidation runs the three strategies over identical data and
+// reports measured wall-clock execution time per batch alongside the
+// ledger-predicted cost. With tcp=false the plans execute on the default
+// in-process fabric; with tcp=true each strategy gets a fresh set of
+// loopback node daemons and every chunk crosses real sockets.
+func FabricValidation(w io.Writer, spec Spec, tcp bool) (*FabricValidationResult, error) {
+	out := &FabricValidationResult{Spec: spec, TCP: tcp, Results: make(map[string]*SeqResult)}
+	for _, name := range maintain.StrategyNames() {
+		planner := maintain.Strategies()[name]
+		data, err := spec.Generate() // seeded: identical across strategies
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOnFabric(spec, planner, data, tcp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fabric validation %s: %w", name, err)
+		}
+		out.Results[name] = res
+	}
+
+	fabricName := "local (in-process)"
+	if tcp {
+		fabricName = "tcp (loopback daemons)"
+	}
+	fmt.Fprintf(w, "Fabric validation — ledger-predicted vs measured execution: %s / %s on %s\n",
+		spec.Dataset, spec.Mode, fabricName)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "batch\tstrategy\tpredicted (s)\tmeasured (s)\ttransfers\n")
+	names := maintain.StrategyNames()
+	n := 0
+	if r := out.Results[names[0]]; r != nil {
+		n = len(r.Batches)
+	}
+	for i := 0; i < n; i++ {
+		for _, name := range names {
+			b := out.Results[name].Batches[i]
+			fmt.Fprintf(tw, "%d\t%s\t%.4f\t%.4f\t%d\n", i+1, name, b.Maintenance, b.Exec, b.Transfers)
+		}
+	}
+	tw.Flush()
+	return out, nil
+}
+
+// runOnFabric builds a cluster on the requested fabric and drives the
+// dataset through maintenance on it.
+func runOnFabric(spec Spec, planner maintain.Planner, data *workload.Dataset, tcp bool) (*SeqResult, error) {
+	if !tcp {
+		return runBatches(spec, planner, data)
+	}
+	lc, err := transport.StartLoopback(spec.Nodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+	fab, err := lc.Fabric(transport.DefaultClientConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+	cl, err := cluster.New(spec.Nodes,
+		cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
+	if err != nil {
+		return nil, err
+	}
+	return runBatchesOn(cl, spec, planner, data)
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
 	"github.com/arrayview/arrayview/internal/workload"
 )
@@ -13,6 +14,7 @@ type BatchResult struct {
 	Maintenance  float64 // simulated seconds (Eq. 1 plan cost)
 	Optimization float64 // measured seconds (triple gen + planning)
 	TripleGen    float64 // measured seconds (triple gen only)
+	Exec         float64 // measured seconds (plan execution on the fabric)
 	Units        int
 	Triples      int
 	Transfers    int
@@ -79,12 +81,19 @@ func RunSequence(spec Spec, strategy string) (*SeqResult, error) {
 	return runBatches(spec, planner, data)
 }
 
-// runBatches drives a pre-generated dataset through maintenance.
+// runBatches drives a pre-generated dataset through maintenance on the
+// spec's default (in-process) cluster.
 func runBatches(spec Spec, planner maintain.Planner, data *workload.Dataset) (*SeqResult, error) {
 	cl, err := spec.Cluster()
 	if err != nil {
 		return nil, err
 	}
+	return runBatchesOn(cl, spec, planner, data)
+}
+
+// runBatchesOn drives a pre-generated dataset through maintenance on an
+// already-built cluster, whatever fabric it runs on.
+func runBatchesOn(cl *cluster.Cluster, spec Spec, planner maintain.Planner, data *workload.Dataset) (*SeqResult, error) {
 	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
 		return nil, err
 	}
@@ -111,6 +120,7 @@ func runBatches(spec Spec, planner maintain.Planner, data *workload.Dataset) (*S
 			Maintenance:  rep.MaintenanceSeconds,
 			Optimization: rep.OptimizationSeconds,
 			TripleGen:    rep.TripleGenSeconds,
+			Exec:         rep.ExecSeconds,
 			Units:        rep.NumUnits,
 			Triples:      rep.NumTriples,
 			Transfers:    rep.NumTransfers,

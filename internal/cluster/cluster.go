@@ -10,21 +10,28 @@ import (
 	"github.com/arrayview/arrayview/internal/storage"
 )
 
-// Node is one shared-nothing worker: an ID plus a local storage manager.
+// Node is one shared-nothing worker. Store is its in-process storage
+// manager under the default LocalFabric; on a cluster built over a custom
+// fabric (WithFabric) the chunks live elsewhere and Store is nil — address
+// chunk traffic through the Cluster's *At helpers instead.
 type Node struct {
 	ID    int
 	Store *storage.Store
 }
 
-// Cluster is the simulated distributed array database. It owns the worker
-// nodes, a coordinator-side store for incoming delta chunks, the system
-// catalog, and the cost model used to account plans.
+// Cluster is the distributed array database: N worker nodes plus a
+// coordinator, a centralized system catalog mapping chunks to nodes, the
+// cost model used to account plans, and the fabric all chunk traffic to
+// worker nodes flows through. With the default LocalFabric the cluster is
+// the paper's in-process simulator; with a network fabric the same plans
+// execute over real sockets.
 type Cluster struct {
 	nodes       []*Node
 	coordinator *storage.Store
 	catalog     *Catalog
 	model       CostModel
 	workers     int
+	fabric      Fabric
 }
 
 // Option configures a Cluster.
@@ -46,6 +53,13 @@ func WithWorkersPerNode(n int) Option {
 	}
 }
 
+// WithFabric replaces the default in-process fabric. The fabric's node
+// count must match the cluster's. Nodes of a cluster built on a custom
+// fabric carry no local store — all chunk traffic goes through the fabric.
+func WithFabric(f Fabric) Option {
+	return func(c *Cluster) { c.fabric = f }
+}
+
 // New creates a cluster with numNodes workers.
 func New(numNodes int, opts ...Option) (*Cluster, error) {
 	if numNodes <= 0 {
@@ -57,11 +71,23 @@ func New(numNodes int, opts ...Option) (*Cluster, error) {
 		model:       DefaultCostModel(),
 		workers:     maxInt(1, runtime.NumCPU()/numNodes),
 	}
-	for i := 0; i < numNodes; i++ {
-		c.nodes = append(c.nodes, &Node{ID: i, Store: storage.NewStore()})
-	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.fabric == nil {
+		stores := make([]*storage.Store, numNodes)
+		for i := range stores {
+			stores[i] = storage.NewStore()
+			c.nodes = append(c.nodes, &Node{ID: i, Store: stores[i]})
+		}
+		c.fabric = NewLocalFabric(stores)
+	} else {
+		if c.fabric.NumNodes() != numNodes {
+			return nil, fmt.Errorf("cluster: fabric addresses %d nodes, cluster has %d", c.fabric.NumNodes(), numNodes)
+		}
+		for i := 0; i < numNodes; i++ {
+			c.nodes = append(c.nodes, &Node{ID: i})
+		}
 	}
 	return c, nil
 }
@@ -78,6 +104,9 @@ func (c *Cluster) CostModel() CostModel { return c.model }
 // NewLedger returns a fresh per-batch ledger for this cluster.
 func (c *Cluster) NewLedger() *Ledger { return NewLedger(len(c.nodes), c.model) }
 
+// Fabric returns the data plane the cluster was built with.
+func (c *Cluster) Fabric() Fabric { return c.fabric }
+
 // Node returns the node with the given ID.
 func (c *Cluster) Node(id int) *Node {
 	if id < 0 || id >= len(c.nodes) {
@@ -86,12 +115,66 @@ func (c *Cluster) Node(id int) *Node {
 	return c.nodes[id]
 }
 
-// store resolves a node ID (or Coordinator) to its storage manager.
-func (c *Cluster) store(id int) *storage.Store {
-	if id == Coordinator {
-		return c.coordinator
+// PutAt stores a chunk at a node (or the coordinator) via the fabric.
+func (c *Cluster) PutAt(node int, arrayName string, ch *array.Chunk) error {
+	if node == Coordinator {
+		c.coordinator.Put(arrayName, ch)
+		return nil
 	}
-	return c.Node(id).Store
+	return c.fabric.Put(node, arrayName, ch)
+}
+
+// GetAt fetches a chunk from a node (or the coordinator) via the fabric.
+func (c *Cluster) GetAt(node int, arrayName string, key array.ChunkKey) (*array.Chunk, error) {
+	if node == Coordinator {
+		return c.coordinator.Get(arrayName, key)
+	}
+	return c.fabric.Get(node, arrayName, key)
+}
+
+// HasAt reports chunk residency at a node (or the coordinator).
+func (c *Cluster) HasAt(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	if node == Coordinator {
+		return c.coordinator.Has(arrayName, key), nil
+	}
+	return c.fabric.Has(node, arrayName, key)
+}
+
+// DeleteAt evicts a chunk from a node (or the coordinator).
+func (c *Cluster) DeleteAt(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	if node == Coordinator {
+		return c.coordinator.Delete(arrayName, key), nil
+	}
+	return c.fabric.Delete(node, arrayName, key)
+}
+
+// MergeAt folds src into the node-resident chunk with the same coordinate
+// under the spec's semantics.
+func (c *Cluster) MergeAt(node int, arrayName string, src *array.Chunk, spec MergeSpec) error {
+	if node == Coordinator {
+		fn, err := spec.Func()
+		if err != nil {
+			return err
+		}
+		return c.coordinator.Merge(arrayName, src, fn)
+	}
+	return c.fabric.Merge(node, arrayName, src, spec)
+}
+
+// KeysAt lists a node's resident chunk keys for one array.
+func (c *Cluster) KeysAt(node int, arrayName string) ([]array.ChunkKey, error) {
+	if node == Coordinator {
+		return c.coordinator.Keys(arrayName), nil
+	}
+	return c.fabric.Keys(node, arrayName)
+}
+
+// DropArrayAt evicts every chunk of the named array from a node.
+func (c *Cluster) DropArrayAt(node int, arrayName string) (int, error) {
+	if node == Coordinator {
+		return c.coordinator.DropArray(arrayName), nil
+	}
+	return c.fabric.DropArray(node, arrayName)
 }
 
 // LoadArray registers the array and distributes its chunks to nodes using
@@ -109,7 +192,9 @@ func (c *Cluster) LoadArray(a *array.Array, p Placement) error {
 			err = fmt.Errorf("cluster: placement returned node %d", node)
 			return false
 		}
-		c.nodes[node].Store.Put(name, ch)
+		if err = c.fabric.Put(node, name, ch); err != nil {
+			return false
+		}
 		c.catalog.SetChunk(name, ch.Key(), node, ch.SizeBytes(), ch.NumCells())
 		if bb, ok := ch.BoundingBox(); ok {
 			c.catalog.SetChunkBBox(name, ch.Key(), bb)
@@ -144,11 +229,13 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 	if from == to || c.catalog.HasReplica(name, key, to) {
 		return nil
 	}
-	ch, err := c.store(from).Get(name, key)
+	ch, err := c.GetAt(from, name, key)
 	if err != nil {
 		return fmt.Errorf("cluster: transfer %v of %q from node %d: %w", key, name, from, err)
 	}
-	c.store(to).Put(name, ch)
+	if err := c.PutAt(to, name, ch); err != nil {
+		return fmt.Errorf("cluster: transfer %v of %q to node %d: %w", key, name, to, err)
+	}
 	c.catalog.AddReplica(name, key, to)
 	if ledger != nil {
 		ledger.ChargeTransferTo(from, to, c.catalog.ChunkSize(name, key))
@@ -160,14 +247,16 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 // the requested node) without charging the ledger; used by executors that
 // already paid for transfers in the plan.
 func (c *Cluster) FetchChunk(name string, key array.ChunkKey, at int) (*array.Chunk, error) {
-	if at != Coordinator && c.store(at).Has(name, key) {
-		return c.store(at).Get(name, key)
+	if at != Coordinator {
+		if ok, err := c.HasAt(at, name, key); err == nil && ok {
+			return c.GetAt(at, name, key)
+		}
 	}
 	home, ok := c.catalog.Home(name, key)
 	if !ok {
 		return nil, fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
 	}
-	return c.store(home).Get(name, key)
+	return c.GetAt(home, name, key)
 }
 
 // Gather reconstructs the full logical array from the distributed chunks,
@@ -181,7 +270,7 @@ func (c *Cluster) Gather(name string) (*array.Array, error) {
 	out := array.New(s)
 	for _, key := range c.catalog.Keys(name) {
 		home, _ := c.catalog.Home(name, key)
-		ch, err := c.store(home).Get(name, key)
+		ch, err := c.GetAt(home, name, key)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// Fabric is the data plane of the cluster: every chunk read, write, merge,
+// and eviction against a worker node goes through it. Two implementations
+// exist: LocalFabric (in-process stores, the default, zero network) and the
+// TCP fabric in internal/transport (real byte shipping to node daemons).
+// The coordinator's store is always local to the process driving the
+// cluster and is not addressed through the fabric.
+//
+// Node indices are worker IDs in [0, NumNodes()).
+type Fabric interface {
+	// Put stores a chunk on a node, replacing any previous version.
+	Put(node int, arrayName string, ch *array.Chunk) error
+	// Get fetches a chunk from a node. The returned chunk is a private
+	// copy; the error reports non-residency or decode failure.
+	Get(node int, arrayName string, key array.ChunkKey) (*array.Chunk, error)
+	// Has reports whether the chunk is resident on the node.
+	Has(node int, arrayName string, key array.ChunkKey) (bool, error)
+	// Delete evicts a chunk, reporting whether it was resident.
+	Delete(node int, arrayName string, key array.ChunkKey) (bool, error)
+	// Merge folds src into the node's resident chunk with the same
+	// coordinate (creating it if absent) under the spec's semantics.
+	Merge(node int, arrayName string, src *array.Chunk, spec MergeSpec) error
+	// Keys lists the node's resident chunk keys for one array, sorted.
+	Keys(node int, arrayName string) ([]array.ChunkKey, error)
+	// DropArray evicts every chunk of the named array from the node and
+	// returns how many were dropped.
+	DropArray(node int, arrayName string) (int, error)
+	// Stats reports the node's storage footprint.
+	Stats(node int) (FabricStats, error)
+	// NumNodes returns the worker count the fabric addresses.
+	NumNodes() int
+	// Close releases fabric resources (connections). The local fabric is a
+	// no-op.
+	Close() error
+}
+
+// FabricStats is one node's storage footprint as reported by the fabric.
+type FabricStats struct {
+	NumChunks int
+	Bytes     int64
+}
+
+// JoinRequest asks a node to join two chunks resident in its local store
+// and return the partial view-state chunks of the registered view. It is
+// the unit of pushed-down join execution: the paper's nodes compute joins
+// where the chunks live and ship only differentials.
+type JoinRequest struct {
+	// View names a view definition previously registered with the node.
+	View string
+	// P and Q identify the resident chunk pair (P is the α side).
+	PArray string
+	PKey   array.ChunkKey
+	QArray string
+	QKey   array.ChunkKey
+	// BothDirections marks self-join pairs evaluated in both orientations.
+	BothDirections bool
+	// Sign scales the contributions (−1 retracts, for deletion batches).
+	Sign float64
+}
+
+// JoinFabric is implemented by fabrics that can execute chunk-pair joins on
+// the node holding the chunks, returning the partial view chunks. Fabrics
+// without it (LocalFabric) fall back to executing joins in the driving
+// process against fabric-fetched chunks.
+type JoinFabric interface {
+	Fabric
+	ExecuteJoin(node int, req JoinRequest) ([]*array.Chunk, error)
+}
+
+// LocalFabric is the in-process fabric: each node is a storage.Store in
+// this process and chunk movement is a map operation. It preserves the
+// seed's simulator behavior exactly — the deterministic cost ledger remains
+// the batch's reported maintenance time.
+type LocalFabric struct {
+	stores []*storage.Store
+}
+
+// NewLocalFabric wraps per-node stores into a fabric.
+func NewLocalFabric(stores []*storage.Store) *LocalFabric {
+	return &LocalFabric{stores: stores}
+}
+
+func (f *LocalFabric) store(node int) (*storage.Store, error) {
+	if node < 0 || node >= len(f.stores) {
+		return nil, fmt.Errorf("cluster: fabric node %d out of range [0, %d)", node, len(f.stores))
+	}
+	return f.stores[node], nil
+}
+
+// Put implements Fabric.
+func (f *LocalFabric) Put(node int, arrayName string, ch *array.Chunk) error {
+	s, err := f.store(node)
+	if err != nil {
+		return err
+	}
+	s.Put(arrayName, ch)
+	return nil
+}
+
+// Get implements Fabric.
+func (f *LocalFabric) Get(node int, arrayName string, key array.ChunkKey) (*array.Chunk, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return nil, err
+	}
+	return s.Get(arrayName, key)
+}
+
+// Has implements Fabric.
+func (f *LocalFabric) Has(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return false, err
+	}
+	return s.Has(arrayName, key), nil
+}
+
+// Delete implements Fabric.
+func (f *LocalFabric) Delete(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return false, err
+	}
+	return s.Delete(arrayName, key), nil
+}
+
+// Merge implements Fabric.
+func (f *LocalFabric) Merge(node int, arrayName string, src *array.Chunk, spec MergeSpec) error {
+	s, err := f.store(node)
+	if err != nil {
+		return err
+	}
+	fn, err := spec.Func()
+	if err != nil {
+		return err
+	}
+	return s.Merge(arrayName, src, fn)
+}
+
+// Keys implements Fabric.
+func (f *LocalFabric) Keys(node int, arrayName string) ([]array.ChunkKey, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return nil, err
+	}
+	return s.Keys(arrayName), nil
+}
+
+// DropArray implements Fabric.
+func (f *LocalFabric) DropArray(node int, arrayName string) (int, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return 0, err
+	}
+	return s.DropArray(arrayName), nil
+}
+
+// Stats implements Fabric.
+func (f *LocalFabric) Stats(node int) (FabricStats, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return FabricStats{}, err
+	}
+	return FabricStats{NumChunks: s.NumChunks(), Bytes: s.Bytes()}, nil
+}
+
+// NumNodes implements Fabric.
+func (f *LocalFabric) NumNodes() int { return len(f.stores) }
+
+// Close implements Fabric.
+func (f *LocalFabric) Close() error { return nil }

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// MergeKind selects the chunk-merge semantics a node applies when folding a
+// delta chunk into a resident chunk. Merges are named (not function-valued)
+// so they can cross a process or network boundary: a remote node receives
+// the kind on the wire and reconstructs the merge locally.
+type MergeKind uint8
+
+const (
+	// MergeCells inserts src's cells into the resident chunk (base-array
+	// ingestion; batches are validated disjoint upstream).
+	MergeCells MergeKind = iota
+	// MergeErase removes src's cell coordinates from the resident chunk
+	// (deletion batches).
+	MergeErase
+	// MergeState combines aggregate-state tuples slot-by-slot per the
+	// spec's state ops (differential view merging).
+	MergeState
+)
+
+// String names the kind for diagnostics.
+func (k MergeKind) String() string {
+	switch k {
+	case MergeCells:
+		return "cells"
+	case MergeErase:
+		return "erase"
+	case MergeState:
+		return "state"
+	default:
+		return fmt.Sprintf("MergeKind(%d)", uint8(k))
+	}
+}
+
+// State ops: how one physical state slot of a view tuple combines under
+// merge. A view's aggregate list lowers to one op per slot (AVG occupies
+// two additive slots).
+const (
+	// StateAdd sums the slots (COUNT, SUM, and both AVG slots).
+	StateAdd uint8 = iota
+	// StateMin keeps the smaller value (MIN).
+	StateMin
+	// StateMax keeps the larger value (MAX).
+	StateMax
+)
+
+// MergeSpec is a declarative, wire-encodable description of a chunk merge.
+// Ops is consulted only for MergeState and must list one state op per
+// physical attribute of the merged chunks.
+type MergeSpec struct {
+	Kind MergeKind
+	Ops  []uint8
+}
+
+// Validate checks the spec is well formed.
+func (s MergeSpec) Validate() error {
+	switch s.Kind {
+	case MergeCells, MergeErase:
+		return nil
+	case MergeState:
+		if len(s.Ops) == 0 {
+			return fmt.Errorf("cluster: state merge with no state ops")
+		}
+		for i, op := range s.Ops {
+			if op > StateMax {
+				return fmt.Errorf("cluster: unknown state op %d at slot %d", op, i)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown merge kind %d", uint8(s.Kind))
+	}
+}
+
+// Func compiles the spec into the chunk-level merge used by storage.Store.
+func (s MergeSpec) Func() (func(dst, src *array.Chunk) error, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case MergeCells:
+		return func(dst, src *array.Chunk) error { return dst.MergeFrom(src) }, nil
+	case MergeErase:
+		return func(dst, src *array.Chunk) error {
+			src.Each(func(pt array.Point, _ array.Tuple) bool {
+				dst.Delete(pt)
+				return true
+			})
+			return nil
+		}, nil
+	default:
+		ops := s.Ops
+		return func(dst, src *array.Chunk) error {
+			var err error
+			src.Each(func(p array.Point, t array.Tuple) bool {
+				if len(t) != len(ops) {
+					err = fmt.Errorf("cluster: state tuple has %d slots, merge spec has %d ops", len(t), len(ops))
+					return false
+				}
+				cur, ok := dst.Get(p)
+				if !ok {
+					err = dst.Set(p, t)
+					return err == nil
+				}
+				for i, op := range ops {
+					switch op {
+					case StateAdd:
+						cur[i] += t[i]
+					case StateMin:
+						if t[i] < cur[i] {
+							cur[i] = t[i]
+						}
+					case StateMax:
+						if t[i] > cur[i] {
+							cur[i] = t[i]
+						}
+					}
+				}
+				err = dst.Set(p, cur)
+				return err == nil
+			})
+			return err
+		}, nil
+	}
+}

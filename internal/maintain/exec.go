@@ -21,7 +21,12 @@ type Planner interface {
 // merges differential results into the view at each view chunk's assigned
 // home, ingests the delta chunks into the base array, and applies the
 // array chunk reassignments. It returns the plan's deterministic cost
-// ledger (the simulated maintenance time of the batch).
+// ledger (the modeled maintenance time of the batch).
+//
+// Every chunk movement goes through the cluster's fabric: on the default
+// LocalFabric this is the paper's in-process simulator; on a network
+// fabric the same plan ships real bytes, and joins are pushed down to the
+// node holding the chunks when the fabric supports it.
 func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 	if err := p.Validate(ctx); err != nil {
 		return nil, err
@@ -72,12 +77,16 @@ func moveViewChunks(ctx *Context, p *Plan) (map[array.ChunkKey]bool, error) {
 		if !exists || cur == j {
 			continue
 		}
-		ch, err := cl.Node(cur).Store.Get(ctx.ViewName, v)
+		ch, err := cl.GetAt(cur, ctx.ViewName, v)
 		if err != nil {
 			return nil, fmt.Errorf("maintain: moving view chunk %v: %w", v, err)
 		}
-		cl.Node(j).Store.Put(ctx.ViewName, ch)
-		cl.Node(cur).Store.Delete(ctx.ViewName, v)
+		if err := cl.PutAt(j, ctx.ViewName, ch); err != nil {
+			return nil, fmt.Errorf("maintain: moving view chunk %v: %w", v, err)
+		}
+		if _, err := cl.DeleteAt(cur, ctx.ViewName, v); err != nil {
+			return nil, err
+		}
 		moved[v] = true
 	}
 	return moved, nil
@@ -86,12 +95,15 @@ func moveViewChunks(ctx *Context, p *Plan) (map[array.ChunkKey]bool, error) {
 // runJoins executes every unit at its planned node with the cluster's
 // per-node worker pools. Each task joins one chunk pair (both orientations
 // when required), accumulates per-view-chunk partial state chunks, and
-// merges them into the view store of each view chunk's home node.
+// merges them into the view store of each view chunk's home node. On a
+// JoinFabric with the view registered, the join itself executes on the
+// remote node (only the differential partials travel back); otherwise the
+// chunks are fetched through the fabric and joined here.
 func runJoins(ctx *Context, p *Plan) error {
 	cl := ctx.Cluster
 	def := ctx.Def
-	vs := def.Schema()
-	merge := view.MergeStateChunks(def)
+	stateSpec := def.StateMergeSpec()
+	joinFabric, _ := cl.Fabric().(cluster.JoinFabric)
 
 	tasks := make(map[int][]cluster.Task)
 	for i := range ctx.Units {
@@ -107,55 +119,42 @@ func runJoins(ctx *Context, p *Plan) error {
 			sign = -1
 		}
 		tasks[site] = append(tasks[site], func() error {
-			cp, err := cl.Node(site).Store.Get(u.P.Array, u.P.Key)
-			if err != nil {
-				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-			}
-			cq, err := cl.Node(site).Store.Get(u.Q.Array, u.Q.Key)
-			if err != nil {
-				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-			}
-			partials := make(map[array.ChunkKey]*array.Chunk)
-			accumulate := func(a array.Point, tb array.Tuple) bool {
-				g := def.GroupPoint(a)
-				key := vs.ChunkCoordOf(g).Key()
-				part, ok := partials[key]
-				if !ok {
-					part = array.NewChunk(vs, key.Coord())
-					partials[key] = part
-				}
-				contrib := def.Contribution(tb)
-				if sign != 1 {
-					for ci := range contrib {
-						contrib[ci] *= sign
-					}
-				}
-				if cur, found := part.Get(g); found {
-					def.AddState(cur, contrib)
-					return part.Set(g, cur) == nil
-				}
-				return part.Set(g, contrib) == nil
-			}
-			def.Pred.JoinChunkPair(cp, cq, func(a, _ array.Point, ta, tb array.Tuple) bool {
-				if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
-					return true
-				}
-				return accumulate(a, tb)
-			})
-			if u.BothDirections {
-				def.Pred.JoinChunkPair(cq, cp, func(a, _ array.Point, ta, tb array.Tuple) bool {
-					if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
-						return true
-					}
-					return accumulate(a, tb)
+			var partials []*array.Chunk
+			if joinFabric != nil {
+				remote, err := joinFabric.ExecuteJoin(site, cluster.JoinRequest{
+					View:   ctx.ViewName,
+					PArray: u.P.Array, PKey: u.P.Key,
+					QArray: u.Q.Array, QKey: u.Q.Key,
+					BothDirections: u.BothDirections,
+					Sign:           sign,
 				})
-			}
-			for key, part := range partials {
-				home, ok := p.ViewHome[key]
-				if !ok {
-					return fmt.Errorf("maintain: partial for unplanned view chunk %v", key.Coord())
+				if err != nil {
+					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
 				}
-				if err := cl.Node(home).Store.Merge(ctx.ViewName, part, merge); err != nil {
+				partials = remote
+			} else {
+				cp, err := cl.GetAt(site, u.P.Array, u.P.Key)
+				if err != nil {
+					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+				}
+				cq, err := cl.GetAt(site, u.Q.Array, u.Q.Key)
+				if err != nil {
+					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+				}
+				parts, err := view.JoinPartials(def, cp, cq, u.BothDirections, sign)
+				if err != nil {
+					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+				}
+				for _, part := range parts {
+					partials = append(partials, part)
+				}
+			}
+			for _, part := range partials {
+				home, ok := p.ViewHome[part.Key()]
+				if !ok {
+					return fmt.Errorf("maintain: partial for unplanned view chunk %v", part.Key().Coord())
+				}
+				if err := cl.MergeAt(home, ctx.ViewName, part, stateSpec); err != nil {
 					return err
 				}
 			}
@@ -172,7 +171,11 @@ func refreshViewCatalog(ctx *Context, p *Plan, moved map[array.ChunkKey]bool) er
 	cl := ctx.Cluster
 	cat := cl.Catalog()
 	for v, j := range p.ViewHome {
-		if !cl.Node(j).Store.Has(ctx.ViewName, v) {
+		resident, err := cl.HasAt(j, ctx.ViewName, v)
+		if err != nil {
+			return err
+		}
+		if !resident {
 			if _, exists := ctx.ViewHomeOf(v); exists && !moved[v] {
 				// Existing chunk untouched at its old home; nothing to do.
 				continue
@@ -182,7 +185,7 @@ func refreshViewCatalog(ctx *Context, p *Plan, moved map[array.ChunkKey]bool) er
 			}
 			continue // planned but no contributions materialized
 		}
-		ch, err := cl.Node(j).Store.Get(ctx.ViewName, v)
+		ch, err := cl.GetAt(j, ctx.ViewName, v)
 		if err != nil {
 			return err
 		}
@@ -225,19 +228,22 @@ func ingestAndRehome(ctx *Context, p *Plan) error {
 				// at its current home.
 				baseRef := view.ChunkRef{Array: baseName, Key: key}
 				target := baseHome
-				if j, ok := p.ArrayRehome[baseRef]; ok && j != baseHome &&
-					cat.HasReplica(baseName, key, j) && cl.Node(j).Store.Has(baseName, key) {
-					target = j
+				if j, ok := p.ArrayRehome[baseRef]; ok && j != baseHome && cat.HasReplica(baseName, key, j) {
+					if resident, err := cl.HasAt(j, baseName, key); err == nil && resident {
+						target = j
+					}
 				}
-				if err := cl.Node(target).Store.Merge(baseName, ch, mergeCells); err != nil {
+				if err := cl.MergeAt(target, baseName, ch, cluster.MergeSpec{Kind: cluster.MergeCells}); err != nil {
 					return err
 				}
-				merged, err := cl.Node(target).Store.Get(baseName, key)
+				merged, err := cl.GetAt(target, baseName, key)
 				if err != nil {
 					return err
 				}
 				if target != baseHome {
-					cl.Node(baseHome).Store.Delete(baseName, key)
+					if _, err := cl.DeleteAt(baseHome, baseName, key); err != nil {
+						return err
+					}
 				}
 				cat.SetChunk(baseName, key, target, merged.SizeBytes(), merged.NumCells())
 				if bb, ok := merged.BoundingBox(); ok {
@@ -252,7 +258,9 @@ func ingestAndRehome(ctx *Context, p *Plan) error {
 			if !ok {
 				home = ctx.ArrayPlacement.Place(key, n)
 			}
-			cl.Node(home).Store.Put(baseName, ch)
+			if err := cl.PutAt(home, baseName, ch); err != nil {
+				return err
+			}
 			cat.SetChunk(baseName, key, home, ch.SizeBytes(), ch.NumCells())
 			if bb, ok := ch.BoundingBox(); ok {
 				cat.SetChunkBBox(baseName, key, bb)
@@ -273,10 +281,12 @@ func ingestAndRehome(ctx *Context, p *Plan) error {
 		if !cat.HasReplica(ref.Array, ref.Key, j) {
 			continue // plan promised a replica; be safe if it is absent
 		}
-		if !cl.Node(j).Store.Has(ref.Array, ref.Key) {
+		if resident, err := cl.HasAt(j, ref.Array, ref.Key); err != nil || !resident {
 			continue
 		}
-		cl.Node(cur).Store.Delete(ref.Array, ref.Key)
+		if _, err := cl.DeleteAt(cur, ref.Array, ref.Key); err != nil {
+			return err
+		}
 		if err := cat.Rehome(ref.Array, ref.Key, j, true); err != nil {
 			return err
 		}
@@ -301,22 +311,17 @@ func removeDeleted(ctx *Context, deltaNames []string) error {
 			if !exists {
 				return fmt.Errorf("maintain: deleting from absent chunk %v of %s", key.Coord(), baseName)
 			}
-			erase := func(dst, src *array.Chunk) error {
-				src.Each(func(pt array.Point, _ array.Tuple) bool {
-					dst.Delete(pt)
-					return true
-				})
-				return nil
-			}
-			if err := cl.Node(baseHome).Store.Merge(baseName, dch, erase); err != nil {
+			if err := cl.MergeAt(baseHome, baseName, dch, cluster.MergeSpec{Kind: cluster.MergeErase}); err != nil {
 				return err
 			}
-			remaining, err := cl.Node(baseHome).Store.Get(baseName, key)
+			remaining, err := cl.GetAt(baseHome, baseName, key)
 			if err != nil {
 				return err
 			}
 			if remaining.NumCells() == 0 {
-				cl.Node(baseHome).Store.Delete(baseName, key)
+				if _, err := cl.DeleteAt(baseHome, baseName, key); err != nil {
+					return err
+				}
 				cat.DropChunk(baseName, key)
 				continue
 			}
@@ -338,7 +343,9 @@ func cleanupBatch(ctx *Context, p *Plan, deltaNames []string) error {
 	n := cl.NumNodes()
 	for _, dn := range deltaNames {
 		for node := 0; node < n; node++ {
-			cl.Node(node).Store.DropArray(dn)
+			if _, err := cl.DropArrayAt(node, dn); err != nil {
+				return err
+			}
 		}
 		cat.Drop(dn)
 	}
@@ -351,21 +358,19 @@ func cleanupBatch(ctx *Context, p *Plan, deltaNames []string) error {
 		home, exists := cat.Home(name, key)
 		if !exists {
 			// The chunk vanished (fully deleted); scrub every copy.
-			cl.Node(t.To).Store.Delete(name, key)
+			if _, err := cl.DeleteAt(t.To, name, key); err != nil {
+				return err
+			}
 			continue
 		}
 		if t.To != home {
-			cl.Node(t.To).Store.Delete(name, key)
+			if _, err := cl.DeleteAt(t.To, name, key); err != nil {
+				return err
+			}
 		}
 	}
 	for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
 		cat.ClearReplicas(name)
 	}
 	return nil
-}
-
-// mergeCells inserts src's cells into dst (plain cell merge for base-array
-// ingestion; batches are validated disjoint upstream).
-func mergeCells(dst, src *array.Chunk) error {
-	return dst.MergeFrom(src)
 }

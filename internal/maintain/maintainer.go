@@ -39,11 +39,15 @@ type Report struct {
 	// TripleGenSeconds is the triple-generation share of optimization,
 	// common to all strategies (the paper's "baseline" optimization time).
 	TripleGenSeconds float64
-	NumUnits         int
-	NumTriples       int
-	NumTransfers     int
-	Plan             *Plan
-	Ledger           *cluster.Ledger
+	// ExecSeconds is the measured wall-clock time of plan execution — the
+	// real data movement and join work on whatever fabric the cluster runs
+	// on. Compare against MaintenanceSeconds to validate the cost model.
+	ExecSeconds  float64
+	NumUnits     int
+	NumTriples   int
+	NumTransfers int
+	Plan         *Plan
+	Ledger       *cluster.Ledger
 }
 
 // NewMaintainer wires a maintainer for the given view on the cluster. The
@@ -61,6 +65,15 @@ func NewMaintainer(cl *cluster.Cluster, def *view.Definition, planner Planner, p
 	}
 	if cl.Catalog().Schema(def.Beta.Name) == nil {
 		return nil, fmt.Errorf("maintain: base array %q not loaded", def.Beta.Name)
+	}
+	// Join pushdown on a remote fabric evaluates the join at the node
+	// holding the chunks, which needs the view definition on that side.
+	if rf, ok := cl.Fabric().(interface {
+		RegisterView(*view.Definition) error
+	}); ok {
+		if err := rf.RegisterView(def); err != nil {
+			return nil, fmt.Errorf("maintain: registering view on fabric: %w", err)
+		}
 	}
 	return &Maintainer{
 		cl:             cl,
@@ -197,10 +210,12 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 	}
 	planning := time.Since(planStart)
 
+	execStart := time.Now()
 	ledger, err := Execute(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
+	execWall := time.Since(execStart)
 	m.history.Record(ctx)
 
 	nTriples := 0
@@ -212,6 +227,7 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 		MaintenanceSeconds:  ledger.Cost(),
 		OptimizationSeconds: (tripleGen + planning).Seconds(),
 		TripleGenSeconds:    tripleGen.Seconds(),
+		ExecSeconds:         execWall.Seconds(),
 		NumUnits:            len(units),
 		NumTriples:          nTriples,
 		NumTransfers:        plan.NumTransfers(),

@@ -361,17 +361,17 @@ func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int
 		}
 	}
 	resultName := qp.ctx.ViewName + "#tmp"
-	merge := view.MergeStateChunks(def)
+	stateSpec := def.StateMergeSpec()
 	tasks := make(map[int][]cluster.Task)
 	for i := range qp.units {
 		u := qp.units[i]
 		site := qp.plan.JoinSite[i]
 		tasks[site] = append(tasks[site], func() error {
-			cp, err := cl.Node(site).Store.Get(u.P.Array, u.P.Key)
+			cp, err := cl.GetAt(site, u.P.Array, u.P.Key)
 			if err != nil {
 				return err
 			}
-			cq, err := cl.Node(site).Store.Get(u.Q.Array, u.Q.Key)
+			cq, err := cl.GetAt(site, u.Q.Array, u.Q.Key)
 			if err != nil {
 				return err
 			}
@@ -416,7 +416,7 @@ func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int
 				if !ok {
 					return fmt.Errorf("query: partial for unplanned result chunk %v", key.Coord())
 				}
-				if err := cl.Node(home).Store.Merge(resultName, part, merge); err != nil {
+				if err := cl.MergeAt(home, resultName, part, stateSpec); err != nil {
 					return err
 				}
 			}
@@ -430,9 +430,12 @@ func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int
 	// Gather the result and clean up scratch state.
 	out := array.New(vs)
 	for node := 0; node < cl.NumNodes(); node++ {
-		st := cl.Node(node).Store
-		for _, key := range st.Keys(resultName) {
-			ch, err := st.Get(resultName, key)
+		keys, err := cl.KeysAt(node, resultName)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, key := range keys {
+			ch, err := cl.GetAt(node, resultName, key)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -440,11 +443,15 @@ func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int
 				return nil, nil, err
 			}
 		}
-		st.DropArray(resultName)
+		if _, err := cl.DropArrayAt(node, resultName); err != nil {
+			return nil, nil, err
+		}
 	}
 	for _, t := range qp.plan.Transfers {
 		if home, ok := cl.Catalog().Home(t.Ref.Array, t.Ref.Key); ok && t.To != home {
-			cl.Node(t.To).Store.Delete(t.Ref.Array, t.Ref.Key)
+			if _, err := cl.DeleteAt(t.To, t.Ref.Array, t.Ref.Key); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	cl.Catalog().ClearReplicas(e.Def.Alpha.Name)

@@ -21,6 +21,7 @@ type Shape struct {
 	hi   []int64
 	pred func(off []int64) bool
 	card int64 // lazily computed cardinality; -1 until known
+	spec *Spec // structural provenance when built by a named constructor
 }
 
 // New builds a shape from an offset bounding box [lo, hi] (inclusive,
@@ -51,34 +52,40 @@ func MustNew(name string, lo, hi []int64, pred func(off []int64) bool) *Shape {
 // included: {off : Σ|off_i| <= r}. L1(2, 1) is the paper's 5-cell cross.
 func L1(dims int, r int64) *Shape {
 	lo, hi := cube(dims, r)
-	return MustNew(fmt.Sprintf("L1(%d)", r), lo, hi, func(off []int64) bool {
+	s := MustNew(fmt.Sprintf("L1(%d)", r), lo, hi, func(off []int64) bool {
 		sum := int64(0)
 		for _, v := range off {
 			sum += absI64(v)
 		}
 		return sum <= r
 	})
+	s.spec = &Spec{Kind: SpecL1, Dims: dims, Radius: r}
+	return s
 }
 
 // Linf returns the L∞-norm ball of radius r: the full (2r+1)^dims cube.
 func Linf(dims int, r int64) *Shape {
 	lo, hi := cube(dims, r)
-	return MustNew(fmt.Sprintf("Linf(%d)", r), lo, hi, func(off []int64) bool {
+	s := MustNew(fmt.Sprintf("Linf(%d)", r), lo, hi, func(off []int64) bool {
 		return true // box membership is exactly the L∞ ball
 	})
+	s.spec = &Spec{Kind: SpecLinf, Dims: dims, Radius: r}
+	return s
 }
 
 // L2 returns the Euclidean-norm ball of radius r: {off : Σ off_i² <= r²}.
 func L2(dims int, r int64) *Shape {
 	lo, hi := cube(dims, r)
 	r2 := r * r
-	return MustNew(fmt.Sprintf("L2(%d)", r), lo, hi, func(off []int64) bool {
+	s := MustNew(fmt.Sprintf("L2(%d)", r), lo, hi, func(off []int64) bool {
 		sum := int64(0)
 		for _, v := range off {
 			sum += v * v
 		}
 		return sum <= r2
 	})
+	s.spec = &Spec{Kind: SpecL2, Dims: dims, Radius: r}
+	return s
 }
 
 // FromOffsets builds a shape from an explicit offset list. Offsets are
@@ -110,6 +117,7 @@ func FromOffsets(name string, offs [][]int64) (*Shape, error) {
 		return nil, err
 	}
 	s.card = int64(len(set))
+	s.spec = &Spec{Kind: SpecOffsets, Name: name, Offsets: cloneOffsets(offs)}
 	return s, nil
 }
 
@@ -161,13 +169,30 @@ func Embed(inner *Shape, ndims int, dims []int, window map[int][2]int64) (*Shape
 	}
 	// The predicate allocates its scratch buffer per call so that shapes are
 	// safe for concurrent use by join workers.
-	return New(name, lo, hi, func(off []int64) bool {
+	s, err := New(name, lo, hi, func(off []int64) bool {
 		innerOff := make([]int64, len(dimsCopy))
 		for i, d := range dimsCopy {
 			innerOff[i] = off[d]
 		}
 		return inner.pred(innerOff)
 	})
+	if err != nil {
+		return nil, err
+	}
+	if inner.spec != nil {
+		wcopy := make(map[int][2]int64, len(window))
+		for k, v := range window {
+			wcopy[k] = v
+		}
+		s.spec = &Spec{
+			Kind:      SpecEmbed,
+			Dims:      ndims,
+			Inner:     inner.spec,
+			EmbedDims: append([]int(nil), dims...),
+			Window:    wcopy,
+		}
+	}
+	return s, nil
 }
 
 // Name returns the display name of the shape.

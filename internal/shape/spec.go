@@ -1,0 +1,89 @@
+package shape
+
+import "fmt"
+
+// SpecKind names the constructor a Spec describes.
+type SpecKind int
+
+// Spec kinds.
+const (
+	SpecL1 SpecKind = iota
+	SpecL2
+	SpecLinf
+	SpecOffsets
+	SpecEmbed
+)
+
+// maxSpecOffsets caps the offset enumeration used when converting a shape
+// without recorded provenance into a Spec. Shapes bigger than this (e.g.
+// long window embeds) must come from a named constructor to be shippable.
+const maxSpecOffsets = 1 << 16
+
+// Spec is a serializable structural description of a shape — the
+// constructor call that produced it, as plain data. Specs are what travel
+// between processes: a shape's membership predicate is a function value and
+// cannot cross the wire, but its Spec can be rebuilt into an identical
+// shape on the far side.
+type Spec struct {
+	Kind    SpecKind
+	Dims    int   // L1/L2/Linf/Embed: dimensionality
+	Radius  int64 // L1/L2/Linf: ball radius
+	Name    string
+	Offsets [][]int64 // SpecOffsets: explicit member list
+
+	// SpecEmbed fields.
+	Inner     *Spec
+	EmbedDims []int
+	Window    map[int][2]int64
+}
+
+// Build reconstructs the shape the spec describes.
+func (sp *Spec) Build() (*Shape, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("shape: nil spec")
+	}
+	switch sp.Kind {
+	case SpecL1:
+		return L1(sp.Dims, sp.Radius), nil
+	case SpecL2:
+		return L2(sp.Dims, sp.Radius), nil
+	case SpecLinf:
+		return Linf(sp.Dims, sp.Radius), nil
+	case SpecOffsets:
+		return FromOffsets(sp.Name, sp.Offsets)
+	case SpecEmbed:
+		inner, err := sp.Inner.Build()
+		if err != nil {
+			return nil, err
+		}
+		return Embed(inner, sp.Dims, sp.EmbedDims, sp.Window)
+	default:
+		return nil, fmt.Errorf("shape: unknown spec kind %d", int(sp.Kind))
+	}
+}
+
+// Spec returns a serializable description of the shape. Shapes built by the
+// named constructors (L1, L2, Linf, FromOffsets, Embed) carry their
+// provenance; for other shapes the member offsets are enumerated, which
+// fails when the bounding box exceeds maxSpecOffsets slots.
+func (s *Shape) Spec() (*Spec, error) {
+	if s.spec != nil {
+		return s.spec, nil
+	}
+	if v := s.BoxVolume(); v > maxSpecOffsets {
+		return nil, fmt.Errorf("shape: %s has no recorded provenance and its box (%d slots) is too large to enumerate", s.name, v)
+	}
+	offs := s.Offsets()
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("shape: %s is empty", s.name)
+	}
+	return &Spec{Kind: SpecOffsets, Name: s.name, Offsets: offs}, nil
+}
+
+func cloneOffsets(offs [][]int64) [][]int64 {
+	out := make([][]int64, len(offs))
+	for i, o := range offs {
+		out[i] = cloneI64(o)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// addMerge is a cell-wise additive merge used by the concurrency tests.
+func addMerge(dst, src *array.Chunk) error {
+	var err error
+	src.Each(func(p array.Point, tup array.Tuple) bool {
+		prev, ok := dst.Get(p)
+		next := tup
+		if ok {
+			next = array.Tuple{prev[0] + tup[0]}
+		}
+		if e := dst.Set(p, next); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// TestStoreConcurrentOps hammers one Store from many goroutines mixing
+// every operation. It asserts nothing beyond internal consistency — its
+// job is to let the race detector inspect the locking.
+func TestStoreConcurrentOps(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	coords := []array.ChunkCoord{{0, 0}, {0, 1}, {1, 2}, {2, 3}}
+	arrays := []string{"A", "B"}
+
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := arrays[(w+r)%len(arrays)]
+				cc := coords[(w*7+r)%len(coords)]
+				c := array.NewChunk(s, cc)
+				p := c.Region().Lo
+				if err := c.Set(p, array.Tuple{float64(w*rounds + r)}); err != nil {
+					t.Error(err)
+					return
+				}
+				switch (w + r) % 5 {
+				case 0:
+					st.Put(name, c)
+				case 1:
+					if err := st.Merge(name, c, addMerge); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if st.Has(name, cc.Key()) {
+						// Another worker may delete between Has and Get;
+						// a "not resident" error is fine, a decode error
+						// is not.
+						if got, err := st.Get(name, cc.Key()); err == nil && got.NumCells() == 0 {
+							t.Error("resident chunk decoded empty")
+							return
+						}
+					}
+				case 3:
+					for _, k := range st.Keys(name) {
+						_ = st.Has(name, k)
+					}
+					_ = st.NumChunks()
+					_ = st.Bytes()
+				case 4:
+					st.DropArray(name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The store must still be coherent: every surviving key decodes and
+	// the counters agree with the enumeration.
+	total := 0
+	for _, name := range arrays {
+		for _, k := range st.Keys(name) {
+			if _, err := st.Get(name, k); err != nil {
+				t.Fatalf("surviving chunk %v of %q does not decode: %v", k, name, err)
+			}
+			total++
+		}
+	}
+	if st.NumChunks() != total {
+		t.Fatalf("NumChunks()=%d but Keys enumerate %d", st.NumChunks(), total)
+	}
+	if total == 0 && st.Bytes() != 0 {
+		t.Fatalf("empty store reports %d bytes", st.Bytes())
+	}
+}
+
+// TestStoreConcurrentMergeCounts checks the merge path is atomic: N
+// goroutines each add 1 to the same cell, and the final value must be
+// exactly N — lost updates mean the read-modify-write is not serialized.
+func TestStoreConcurrentMergeCounts(t *testing.T) {
+	s := testSchema()
+	st := NewStore()
+	cc := array.ChunkCoord{0, 0}
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := array.NewChunk(s, cc)
+			if err := c.Set(array.Point{1, 1}, array.Tuple{1}); err != nil {
+				errs <- err
+				return
+			}
+			errs <- st.Merge("A", c, addMerge)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := st.Get("A", cc.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, ok := got.Get(array.Point{1, 1})
+	if !ok {
+		t.Fatal("merged cell missing")
+	}
+	if tup[0] != n {
+		t.Fatalf("concurrent merges lost updates: got %v, want %d", tup[0], n)
+	}
+}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RemoteError is an application-level failure reported by the node (the
+// request reached the server and was executed). Remote errors are never
+// retried.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// PoolSize caps the idle connections kept to the node (default 4).
+	PoolSize int
+	// DialTimeout bounds establishing a connection (default 5 seconds).
+	DialTimeout time.Duration
+	// Timeout bounds one request/response round trip (default 60 seconds).
+	Timeout time.Duration
+	// MaxRetries is how many times a transiently-failed request is retried
+	// (default 2; 0 disables retries, negative also disables).
+	MaxRetries int
+	// RetryBackoff is the first retry's delay, doubled per attempt
+	// (default 20 milliseconds).
+	RetryBackoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
+	return c
+}
+
+// DefaultClientConfig returns the default tuning (retries enabled).
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{MaxRetries: 2}.withDefaults()
+}
+
+// Client is a connection-pooled client for one node. It is safe for
+// concurrent use; concurrent requests beyond the pool size dial extra
+// connections that are pooled on return (up to the cap) or closed.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient returns a client for the node at addr. No connection is made
+// until the first request.
+func NewClient(addr string, cfg ClientConfig) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// Addr returns the node address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes every pooled connection. In-flight requests finish on their
+// own connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// getConn returns a pooled connection (reused=true) or dials a new one.
+func (c *Client) getConn() (conn net.Conn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, errors.New("transport: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	conn, err = net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	return conn, false, err
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// idempotent reports whether re-executing the request on the server is
+// harmless. MergeDelta folds state additively, so applying it twice
+// corrupts the view — it must never be retried once the request may have
+// been processed.
+func idempotent(t MsgType) bool {
+	switch t {
+	case MsgPing, MsgPutChunk, MsgGetChunk, MsgHasChunk, MsgDeleteChunk,
+		MsgKeys, MsgDropArray, MsgStats, MsgRegisterView, MsgExecuteJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// Do performs one request/response round trip, retrying transient
+// transport failures with exponential backoff. Retry policy:
+//
+//   - dial failures: always retryable (nothing was sent);
+//   - write failures on a REUSED pooled connection: retryable — the usual
+//     cause is the server having closed an idle connection, detected
+//     before the frame was accepted;
+//   - failures after the request was written: retried only for idempotent
+//     message types (a MergeDelta may have been applied even though the
+//     response was lost).
+//
+// A RemoteError (the server executed the request and reported an
+// application failure) is returned as-is and never retried.
+func (c *Client) Do(req *Message) (*Message, error) {
+	var lastErr error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, retryable, err := c.try(req)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return nil, err
+		}
+		lastErr = err
+		if !retryable || attempt >= c.cfg.MaxRetries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("transport: %s to %s: %w", req.Type, c.addr, lastErr)
+}
+
+// try performs one attempt, reporting whether a failure is safe to retry.
+func (c *Client) try(req *Message) (resp *Message, retryable bool, err error) {
+	conn, reused, err := c.getConn()
+	if err != nil {
+		return nil, true, err // nothing sent
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	conn.SetDeadline(deadline)
+	if err := WriteMessage(conn, req); err != nil {
+		conn.Close()
+		// On a fresh connection the server may have consumed a partial
+		// frame; only a stale pooled connection is provably safe, and then
+		// only if the request is idempotent anyway — a closed idle socket
+		// can still have accepted the bytes into its receive buffer.
+		return nil, reused && idempotent(req.Type), err
+	}
+	m, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, idempotent(req.Type), err
+	}
+	conn.SetDeadline(time.Time{})
+	c.putConn(conn)
+	if m.Type == MsgErr {
+		return nil, false, &RemoteError{Msg: m.Err}
+	}
+	return m, false, nil
+}

@@ -1,0 +1,267 @@
+package transport_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+func e2eSchema() *array.Schema {
+	return array.MustSchema("cat",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 59, ChunkSize: 10},
+			{Name: "y", Start: 0, End: 59, ChunkSize: 10},
+		},
+		[]array.Attribute{{Name: "flux", Type: array.Float64}})
+}
+
+// e2eData builds a seeded base array and a disjoint insert batch.
+func e2eData(t *testing.T) (base, batch *array.Array) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	s := e2eSchema()
+	base, batch = array.New(s), array.New(s)
+	seen := make(map[[2]int64]bool)
+	place := func(a *array.Array, n int) {
+		for placed := 0; placed < n; {
+			p := array.Point{rng.Int63n(60), rng.Int63n(60)}
+			k := [2]int64{p[0], p[1]}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if err := a.Set(p, array.Tuple{float64(rng.Intn(100)) / 10}); err != nil {
+				t.Fatal(err)
+			}
+			placed++
+		}
+	}
+	place(base, 300)
+	place(batch, 90)
+	return base, batch
+}
+
+func e2eDef(t *testing.T) *view.Definition {
+	t.Helper()
+	s := e2eSchema()
+	def, err := view.NewDefinition("nbr", s, s,
+		simjoin.NewPred(shape.L1(2, 2), nil),
+		[]string{"x", "y"},
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}, {Kind: view.Sum, Attr: "flux", As: "tot"}},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// runSequence loads the base, builds the view, and applies the batch on
+// the given cluster, returning the final view content and the reports.
+func runSequence(t *testing.T, cl *cluster.Cluster, strategy string, batches []*array.Array) (*array.Array, []*maintain.Report) {
+	t.Helper()
+	base, _ := e2eData(t)
+	if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := e2eDef(t)
+	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := maintain.NewMaintainer(cl, def, maintain.Strategies()[strategy], maintain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*maintain.Report
+	for i, b := range batches {
+		rep, err := m.ApplyBatch(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		reports = append(reports, rep)
+	}
+	content, err := cl.Gather(def.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return content, reports
+}
+
+func statesEqual(a, b *array.Array) bool {
+	equal := true
+	check := func(x, y *array.Array) {
+		x.EachCell(func(p array.Point, tup array.Tuple) bool {
+			other, found := y.Get(p)
+			if !found {
+				for _, v := range tup {
+					if math.Abs(v) > 1e-9 {
+						equal = false
+						return false
+					}
+				}
+				return true
+			}
+			for i := range tup {
+				if math.Abs(other[i]-tup[i]) > 1e-9 {
+					equal = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(a, b)
+	check(b, a)
+	return equal
+}
+
+// TestEndToEndTCPFabric is the acceptance test of the transport subsystem:
+// three node daemons on loopback, a view materialized over them, an insert
+// batch maintained through the TCPFabric, and the result checked against
+// both the in-process LocalFabric run and a from-scratch recomputation.
+func TestEndToEndTCPFabric(t *testing.T) {
+	const nodes = 3
+	for _, strategy := range []string{"baseline", "differential", "reassign"} {
+		t.Run(strategy, func(t *testing.T) {
+			_, batch := e2eData(t)
+
+			lc, err := transport.StartLoopback(nodes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lc.Close()
+			fab, err := lc.Fabric(transport.DefaultClientConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			tcpCl, err := cluster.New(nodes, cluster.WithWorkersPerNode(2), cluster.WithFabric(fab))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcpView, tcpReports := runSequence(t, tcpCl, strategy, []*array.Array{batch})
+
+			localCl, err := cluster.New(nodes, cluster.WithWorkersPerNode(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			localView, localReports := runSequence(t, localCl, strategy, []*array.Array{batch})
+
+			// The maintained view must agree across fabrics...
+			if !statesEqual(tcpView, localView) {
+				t.Error("TCP-fabric view diverges from LocalFabric view")
+			}
+			// ...and with a from-scratch recomputation.
+			base, err := tcpCl.Gather("cat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := view.Materialize(e2eDef(t), base, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !statesEqual(tcpView, want) {
+				t.Error("TCP-fabric view diverges from recomputation")
+			}
+
+			// The ledger is computed from the plan, not the fabric: predicted
+			// cost must be identical bit for bit across fabrics.
+			for i := range tcpReports {
+				if tcpReports[i].MaintenanceSeconds != localReports[i].MaintenanceSeconds {
+					t.Errorf("batch %d: predicted cost differs across fabrics: %v vs %v",
+						i, tcpReports[i].MaintenanceSeconds, localReports[i].MaintenanceSeconds)
+				}
+				if tcpReports[i].ExecSeconds <= 0 {
+					t.Errorf("batch %d: no measured execution time", i)
+				}
+			}
+
+			// Chunks really live on the remote stores, not in-process.
+			total := 0
+			for _, srv := range lc.Servers {
+				total += srv.Store().NumChunks()
+			}
+			if total == 0 {
+				t.Error("no chunks resident on the node daemons")
+			}
+		})
+	}
+}
+
+// TestEndToEndTCPDeletion drives the retraction path (MergeErase over the
+// wire) through the TCP fabric.
+func TestEndToEndTCPDeletion(t *testing.T) {
+	const nodes = 3
+	lc, err := transport.StartLoopback(nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fab, err := lc.Fabric(transport.DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	cl, err := cluster.New(nodes, cluster.WithWorkersPerNode(2), cluster.WithFabric(fab))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, _ := e2eData(t)
+	if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := e2eDef(t)
+	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := maintain.NewMaintainer(cl, def, maintain.Strategies()["reassign"], maintain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Retract a slab of the base.
+	del := array.New(e2eSchema())
+	n := 0
+	base.EachCell(func(p array.Point, tup array.Tuple) bool {
+		if p[0] < 10 {
+			if err := del.Set(p, tup); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		return true
+	})
+	if n == 0 {
+		t.Fatal("nothing to delete")
+	}
+	if _, err := m.ApplyDelete(del); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := cl.Gather(def.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBase, err := cl.Gather("cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newBase.NumCells() != base.NumCells()-n {
+		t.Fatalf("base has %d cells after deleting %d of %d", newBase.NumCells(), n, base.NumCells())
+	}
+	want, err := view.Materialize(def, newBase, newBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got, want) {
+		t.Error("view after TCP-fabric deletion diverges from recomputation")
+	}
+}

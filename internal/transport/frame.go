@@ -1,0 +1,407 @@
+// Package transport implements a stdlib-only TCP data plane for the
+// cluster: a length-prefixed binary framing protocol for shipping
+// serialized chunks between nodes, a per-node daemon serving one
+// storage.Store, a pooled client, and a cluster.Fabric implementation that
+// routes every chunk operation over real sockets.
+//
+// The wire format of one frame is
+//
+//	u32 length | u8 type | payload
+//
+// with all integers big-endian (matching the chunk encoding of
+// internal/array). The length covers the type byte plus the payload.
+// Chunks travel in their storage serialization (array.EncodeChunk), so a
+// frame's dominant cost is exactly the bytes the paper's cost model
+// charges for a chunk transfer.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// MsgType identifies a frame's message.
+type MsgType uint8
+
+// Request messages.
+const (
+	MsgPing MsgType = iota + 1
+	MsgPutChunk
+	MsgGetChunk
+	MsgHasChunk
+	MsgDeleteChunk
+	MsgMergeDelta
+	MsgKeys
+	MsgDropArray
+	MsgStats
+	MsgRegisterView
+	MsgExecuteJoin
+)
+
+// Response messages.
+const (
+	MsgOK MsgType = iota + 64
+	MsgErr
+	MsgChunk
+	MsgBool
+	MsgCount
+	MsgKeyList
+	MsgStatsReply
+	MsgChunkList
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "Ping"
+	case MsgPutChunk:
+		return "PutChunk"
+	case MsgGetChunk:
+		return "GetChunk"
+	case MsgHasChunk:
+		return "HasChunk"
+	case MsgDeleteChunk:
+		return "DeleteChunk"
+	case MsgMergeDelta:
+		return "MergeDelta"
+	case MsgKeys:
+		return "Keys"
+	case MsgDropArray:
+		return "DropArray"
+	case MsgStats:
+		return "Stats"
+	case MsgRegisterView:
+		return "RegisterView"
+	case MsgExecuteJoin:
+		return "ExecuteJoin"
+	case MsgOK:
+		return "OK"
+	case MsgErr:
+		return "Err"
+	case MsgChunk:
+		return "Chunk"
+	case MsgBool:
+		return "Bool"
+	case MsgCount:
+		return "Count"
+	case MsgKeyList:
+		return "KeyList"
+	case MsgStatsReply:
+		return "StatsReply"
+	case MsgChunkList:
+		return "ChunkList"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// maxFrame bounds one frame's type+payload size. A PTF-scale chunk is a
+// few MiB serialized; 256 MiB leaves ample headroom while keeping a
+// corrupted length prefix from allocating the moon.
+const maxFrame = 1 << 28
+
+// Message is the decoded form of one frame: a tagged union whose active
+// fields depend on Type. Keeping it a flat struct makes the codec
+// mechanical and lets property tests drive every branch with one
+// generator.
+type Message struct {
+	Type MsgType
+
+	// Array/Key address one chunk of one array (PutChunk, GetChunk,
+	// HasChunk, DeleteChunk, MergeDelta, Keys, DropArray). For ExecuteJoin
+	// they address the P side and Array2/Key2 the Q side.
+	Array  string
+	Key    array.ChunkKey
+	Array2 string
+	Key2   array.ChunkKey
+
+	// Chunk holds one serialized chunk (PutChunk, MergeDelta request;
+	// Chunk response). Chunks holds several (ChunkList).
+	Chunk  []byte
+	Chunks [][]byte
+
+	// MergeDelta parameters: the declarative merge spec.
+	MergeKind uint8
+	MergeOps  []uint8
+
+	// ExecuteJoin parameters.
+	View string
+	Both bool
+	Sign float64
+
+	// Spec is a gob-encoded view definition (RegisterView).
+	Spec []byte
+
+	// Response payloads.
+	Flag      bool             // Bool
+	Count     int64            // Count
+	KeyList   []array.ChunkKey // KeyList
+	NumChunks int64            // StatsReply
+	Bytes     int64            // StatsReply
+	Err       string           // Err
+}
+
+// appendStr appends a u32-length-prefixed string.
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// appendBytes appends a u32-length-prefixed byte slice.
+func appendBytes(buf []byte, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// EncodePayload serializes the message's payload (everything after the
+// type byte).
+func EncodePayload(m *Message) []byte {
+	var buf []byte
+	switch m.Type {
+	case MsgPing, MsgStats, MsgOK:
+		// empty payload
+	case MsgPutChunk:
+		buf = appendStr(buf, m.Array)
+		buf = appendBytes(buf, m.Chunk)
+	case MsgGetChunk, MsgHasChunk, MsgDeleteChunk:
+		buf = appendStr(buf, m.Array)
+		buf = appendStr(buf, string(m.Key))
+	case MsgMergeDelta:
+		buf = appendStr(buf, m.Array)
+		buf = append(buf, m.MergeKind)
+		buf = appendBytes(buf, m.MergeOps)
+		buf = appendBytes(buf, m.Chunk)
+	case MsgKeys, MsgDropArray:
+		buf = appendStr(buf, m.Array)
+	case MsgRegisterView:
+		buf = appendBytes(buf, m.Spec)
+	case MsgExecuteJoin:
+		buf = appendStr(buf, m.View)
+		buf = appendStr(buf, m.Array)
+		buf = appendStr(buf, string(m.Key))
+		buf = appendStr(buf, m.Array2)
+		buf = appendStr(buf, string(m.Key2))
+		if m.Both {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Sign))
+	case MsgErr:
+		buf = appendStr(buf, m.Err)
+	case MsgChunk:
+		buf = appendBytes(buf, m.Chunk)
+	case MsgBool:
+		if m.Flag {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case MsgCount:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Count))
+	case MsgKeyList:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.KeyList)))
+		for _, k := range m.KeyList {
+			buf = appendStr(buf, string(k))
+		}
+	case MsgStatsReply:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.NumChunks))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Bytes))
+	case MsgChunkList:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Chunks)))
+		for _, c := range m.Chunks {
+			buf = appendBytes(buf, c)
+		}
+	}
+	return buf
+}
+
+// payloadReader consumes a payload buffer with bounds checking.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.buf) {
+		r.fail("transport: truncated payload at byte %d", r.off)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("transport: truncated payload at byte %d", r.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("transport: truncated payload at byte %d", r.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *payloadReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("transport: length %d overruns payload (%d bytes left)", n, len(r.buf)-r.off)
+		return nil
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) str() string { return string(r.bytes()) }
+
+func (r *payloadReader) bool() bool { return r.u8() != 0 }
+
+// DecodePayload parses a payload into a message of the given type. The
+// payload slice is not retained; byte fields are copied.
+func DecodePayload(t MsgType, payload []byte) (*Message, error) {
+	m := &Message{Type: t}
+	r := &payloadReader{buf: payload}
+	switch t {
+	case MsgPing, MsgStats, MsgOK:
+		// empty payload
+	case MsgPutChunk:
+		m.Array = r.str()
+		m.Chunk = cloneBytes(r.bytes())
+	case MsgGetChunk, MsgHasChunk, MsgDeleteChunk:
+		m.Array = r.str()
+		m.Key = array.ChunkKey(r.str())
+	case MsgMergeDelta:
+		m.Array = r.str()
+		m.MergeKind = r.u8()
+		m.MergeOps = cloneBytes(r.bytes())
+		m.Chunk = cloneBytes(r.bytes())
+	case MsgKeys, MsgDropArray:
+		m.Array = r.str()
+	case MsgRegisterView:
+		m.Spec = cloneBytes(r.bytes())
+	case MsgExecuteJoin:
+		m.View = r.str()
+		m.Array = r.str()
+		m.Key = array.ChunkKey(r.str())
+		m.Array2 = r.str()
+		m.Key2 = array.ChunkKey(r.str())
+		m.Both = r.bool()
+		m.Sign = math.Float64frombits(r.u64())
+	case MsgErr:
+		m.Err = r.str()
+	case MsgChunk:
+		m.Chunk = cloneBytes(r.bytes())
+	case MsgBool:
+		m.Flag = r.bool()
+	case MsgCount:
+		m.Count = int64(r.u64())
+	case MsgKeyList:
+		n := int(r.u32())
+		if r.err == nil && n > len(payload) {
+			return nil, fmt.Errorf("transport: key count %d exceeds payload size", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			m.KeyList = append(m.KeyList, array.ChunkKey(r.str()))
+		}
+	case MsgStatsReply:
+		m.NumChunks = int64(r.u64())
+		m.Bytes = int64(r.u64())
+	case MsgChunkList:
+		n := int(r.u32())
+		if r.err == nil && n > len(payload) {
+			return nil, fmt.Errorf("transport: chunk count %d exceeds payload size", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Chunks = append(m.Chunks, cloneBytes(r.bytes()))
+		}
+	default:
+		return nil, fmt.Errorf("transport: unknown message type %d", uint8(t))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", t, r.err)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("transport: %d trailing bytes after %s payload", len(payload)-r.off, t)
+	}
+	return m, nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	payload := EncodePayload(m)
+	if 1+len(payload) > maxFrame {
+		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit", m.Type, 1+len(payload))
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
+	hdr[4] = uint8(m.Type)
+	frame := append(hdr, payload...)
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadMessage reads and decodes one frame. io.EOF is returned unchanged on
+// a clean close before the first header byte.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 {
+		return nil, fmt.Errorf("transport: zero-length frame")
+	}
+	if length > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
+	}
+	payload := make([]byte, length-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: truncated frame body: %w", err)
+	}
+	return DecodePayload(MsgType(hdr[4]), payload)
+}

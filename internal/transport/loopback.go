@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// LoopbackCluster is a set of in-process node daemons on 127.0.0.1
+// ephemeral ports — the smallest real-sockets deployment. Every chunk
+// still crosses a genuine TCP connection and both serialization
+// boundaries; only process isolation is skipped.
+type LoopbackCluster struct {
+	Servers []*NodeServer
+	Addrs   []string
+}
+
+// StartLoopback starts n node daemons on loopback ephemeral ports, each
+// with a fresh empty store.
+func StartLoopback(n int, cfg *ServerConfig) (*LoopbackCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: need at least one node, got %d", n)
+	}
+	lc := &LoopbackCluster{}
+	for i := 0; i < n; i++ {
+		srv := NewNodeServer(storage.NewStore(), cfg)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("transport: starting loopback node %d: %w", i, err)
+		}
+		lc.Servers = append(lc.Servers, srv)
+		lc.Addrs = append(lc.Addrs, srv.Addr())
+	}
+	return lc, nil
+}
+
+// Fabric connects a TCPFabric to the loopback nodes.
+func (lc *LoopbackCluster) Fabric(cfg ClientConfig) (*TCPFabric, error) {
+	return NewTCPFabric(lc.Addrs, cfg)
+}
+
+// Close shuts every node down.
+func (lc *LoopbackCluster) Close() error {
+	var first error
+	for _, s := range lc.Servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

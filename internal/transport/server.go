@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/storage"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// ServerConfig tunes a NodeServer.
+type ServerConfig struct {
+	// IdleTimeout closes a connection that sends no request for this long.
+	// Zero means the default (5 minutes); negative disables the deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero means the default
+	// (30 seconds); negative disables the deadline.
+	WriteTimeout time.Duration
+}
+
+func (c *ServerConfig) idle() time.Duration {
+	switch {
+	case c == nil || c.IdleTimeout == 0:
+		return 5 * time.Minute
+	case c.IdleTimeout < 0:
+		return 0
+	default:
+		return c.IdleTimeout
+	}
+}
+
+func (c *ServerConfig) write() time.Duration {
+	switch {
+	case c == nil || c.WriteTimeout == 0:
+		return 30 * time.Second
+	case c.WriteTimeout < 0:
+		return 0
+	default:
+		return c.WriteTimeout
+	}
+}
+
+// NodeServer serves one worker node's chunk store over TCP. Each accepted
+// connection gets its own goroutine running a request/response loop, so a
+// coordinator can hold several concurrent connections to one node.
+type NodeServer struct {
+	store *storage.Store
+	cfg   ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	views  map[string]*view.Definition
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewNodeServer wraps a store in an unstarted server. A nil config uses
+// the defaults.
+func NewNodeServer(store *storage.Store, cfg *ServerConfig) *NodeServer {
+	s := &NodeServer{
+		store: store,
+		conns: make(map[net.Conn]struct{}),
+		views: make(map[string]*view.Definition),
+	}
+	if cfg != nil {
+		s.cfg = *cfg
+	}
+	return s
+}
+
+// Store returns the served store.
+func (s *NodeServer) Store() *storage.Store { return s.store }
+
+// Listen binds the address ("host:port"; ":0" picks a free port) and
+// starts accepting connections in the background.
+func (s *NodeServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: server closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: server already listening")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (s *NodeServer) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection goroutines to drain. Safe to call more than once.
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *NodeServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *NodeServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		if d := s.cfg.idle(); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		req, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF, deadline, or protocol error: drop the connection
+		}
+		resp := s.handle(req)
+		if d := s.cfg.write(); d > 0 {
+			conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errMsg(format string, args ...any) *Message {
+	return &Message{Type: MsgErr, Err: fmt.Sprintf(format, args...)}
+}
+
+// handle executes one request against the store.
+func (s *NodeServer) handle(req *Message) *Message {
+	switch req.Type {
+	case MsgPing:
+		return &Message{Type: MsgOK}
+
+	case MsgPutChunk:
+		c, err := array.DecodeChunk(req.Chunk)
+		if err != nil {
+			return errMsg("put %s: %v", req.Array, err)
+		}
+		s.store.Put(req.Array, c)
+		return &Message{Type: MsgOK}
+
+	case MsgGetChunk:
+		c, err := s.store.Get(req.Array, req.Key)
+		if err != nil {
+			return errMsg("%v", err)
+		}
+		return &Message{Type: MsgChunk, Chunk: array.EncodeChunk(c)}
+
+	case MsgHasChunk:
+		return &Message{Type: MsgBool, Flag: s.store.Has(req.Array, req.Key)}
+
+	case MsgDeleteChunk:
+		return &Message{Type: MsgBool, Flag: s.store.Delete(req.Array, req.Key)}
+
+	case MsgMergeDelta:
+		src, err := array.DecodeChunk(req.Chunk)
+		if err != nil {
+			return errMsg("merge %s: %v", req.Array, err)
+		}
+		spec := cluster.MergeSpec{Kind: cluster.MergeKind(req.MergeKind), Ops: req.MergeOps}
+		fn, err := spec.Func()
+		if err != nil {
+			return errMsg("merge %s: %v", req.Array, err)
+		}
+		if err := s.store.Merge(req.Array, src, fn); err != nil {
+			return errMsg("merge %s: %v", req.Array, err)
+		}
+		return &Message{Type: MsgOK}
+
+	case MsgKeys:
+		return &Message{Type: MsgKeyList, KeyList: s.store.Keys(req.Array)}
+
+	case MsgDropArray:
+		return &Message{Type: MsgCount, Count: int64(s.store.DropArray(req.Array))}
+
+	case MsgStats:
+		return &Message{Type: MsgStatsReply,
+			NumChunks: int64(s.store.NumChunks()), Bytes: s.store.Bytes()}
+
+	case MsgRegisterView:
+		def, err := DecodeDefinition(req.Spec)
+		if err != nil {
+			return errMsg("%v", err)
+		}
+		s.mu.Lock()
+		s.views[def.Name] = def
+		s.mu.Unlock()
+		return &Message{Type: MsgOK}
+
+	case MsgExecuteJoin:
+		return s.executeJoin(req)
+
+	default:
+		return errMsg("transport: unexpected request %s", req.Type)
+	}
+}
+
+// executeJoin runs the join of one chunk pair locally — the pushdown that
+// keeps base chunks on the node and ships only differential partials back.
+func (s *NodeServer) executeJoin(req *Message) *Message {
+	s.mu.Lock()
+	def := s.views[req.View]
+	s.mu.Unlock()
+	if def == nil {
+		return errMsg("transport: view %q not registered on this node", req.View)
+	}
+	cp, err := s.store.Get(req.Array, req.Key)
+	if err != nil {
+		return errMsg("join P side: %v", err)
+	}
+	cq, err := s.store.Get(req.Array2, req.Key2)
+	if err != nil {
+		return errMsg("join Q side: %v", err)
+	}
+	partials, err := view.JoinPartials(def, cp, cq, req.Both, req.Sign)
+	if err != nil {
+		return errMsg("join: %v", err)
+	}
+	resp := &Message{Type: MsgChunkList}
+	for _, part := range partials {
+		resp.Chunks = append(resp.Chunks, array.EncodeChunk(part))
+	}
+	return resp
+}

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+func testSchema() *array.Schema {
+	return array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "i", Start: 0, End: 9, ChunkSize: 5},
+			{Name: "j", Start: 0, End: 9, ChunkSize: 5},
+		},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+}
+
+func testChunk(t *testing.T, pts ...array.Point) *array.Chunk {
+	t.Helper()
+	a := array.New(testSchema())
+	for i, p := range pts {
+		if err := a.Set(p, array.Tuple{float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ch *array.Chunk
+	a.EachChunk(func(c *array.Chunk) bool { ch = c; return false })
+	if ch == nil {
+		t.Fatal("no chunk")
+	}
+	return ch
+}
+
+func startServer(t *testing.T) (*NodeServer, *Client) {
+	t.Helper()
+	srv := NewNodeServer(storage.NewStore(), nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := NewClient(srv.Addr(), DefaultClientConfig())
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestServerChunkOps(t *testing.T) {
+	srv, c := startServer(t)
+	ch := testChunk(t, array.Point{1, 1}, array.Point{2, 3})
+
+	// Put, Has, Get.
+	if _, err := c.Do(&Message{Type: MsgPutChunk, Array: "A", Chunk: array.EncodeChunk(ch)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(&Message{Type: MsgHasChunk, Array: "A", Key: ch.Key()})
+	if err != nil || !resp.Flag {
+		t.Fatalf("Has = %v, %v; want true", resp, err)
+	}
+	resp, err = c.Do(&Message{Type: MsgGetChunk, Array: "A", Key: ch.Key()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := array.DecodeChunk(resp.Chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCells() != 2 {
+		t.Fatalf("got %d cells, want 2", got.NumCells())
+	}
+
+	// Missing chunk is a remote error, not a transport failure.
+	_, err = c.Do(&Message{Type: MsgGetChunk, Array: "A", Key: array.ChunkKey("nope")})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Get missing = %v; want RemoteError", err)
+	}
+	if !strings.Contains(remote.Error(), "not resident") {
+		t.Errorf("unexpected remote error: %v", remote)
+	}
+
+	// MergeDelta with cell semantics, then Stats / Keys / Delete / Drop.
+	more := testChunk(t, array.Point{4, 4})
+	if _, err := c.Do(&Message{
+		Type: MsgMergeDelta, Array: "A",
+		MergeKind: uint8(cluster.MergeCells), Chunk: array.EncodeChunk(more),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := srv.Store().Get("A", ch.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumCells() != 3 {
+		t.Fatalf("after merge: %d cells, want 3", merged.NumCells())
+	}
+	resp, err = c.Do(&Message{Type: MsgStats})
+	if err != nil || resp.NumChunks != 1 || resp.Bytes <= 0 {
+		t.Fatalf("Stats = %+v, %v", resp, err)
+	}
+	resp, err = c.Do(&Message{Type: MsgKeys, Array: "A"})
+	if err != nil || len(resp.KeyList) != 1 || resp.KeyList[0] != ch.Key() {
+		t.Fatalf("Keys = %+v, %v", resp, err)
+	}
+	resp, err = c.Do(&Message{Type: MsgDeleteChunk, Array: "A", Key: ch.Key()})
+	if err != nil || !resp.Flag {
+		t.Fatalf("Delete = %+v, %v", resp, err)
+	}
+	if _, err := c.Do(&Message{Type: MsgPutChunk, Array: "A", Chunk: array.EncodeChunk(ch)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Do(&Message{Type: MsgDropArray, Array: "A"})
+	if err != nil || resp.Count != 1 {
+		t.Fatalf("DropArray = %+v, %v", resp, err)
+	}
+}
+
+func TestServerRejectsCorruptChunk(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.Do(&Message{Type: MsgPutChunk, Array: "A", Chunk: []byte("not a chunk")})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Put corrupt = %v; want RemoteError", err)
+	}
+}
+
+func TestServerGracefulClose(t *testing.T) {
+	srv, c := startServer(t)
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Connections are down; a request must fail, not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(&Message{Type: MsgPing})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("request to closed server succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("request to closed server hung")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientRetriesFreshDial(t *testing.T) {
+	// A client pointed at a dead port fails after its retries, with the
+	// address and message type in the error.
+	c := NewClient("127.0.0.1:1", ClientConfig{MaxRetries: 1, RetryBackoff: time.Millisecond})
+	defer c.Close()
+	_, err := c.Do(&Message{Type: MsgPing})
+	if err == nil {
+		t.Fatal("Ping to dead port succeeded")
+	}
+	if !strings.Contains(err.Error(), "Ping") {
+		t.Errorf("error lacks message type: %v", err)
+	}
+}
+
+func TestClientSurvivesServerSideIdleClose(t *testing.T) {
+	// Server closes idle connections almost immediately; an idempotent
+	// request through the stale pooled connection must transparently retry.
+	srv := NewNodeServer(storage.NewStore(), &ServerConfig{IdleTimeout: 50 * time.Millisecond})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr(), DefaultClientConfig())
+	defer c.Close()
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the server drop the pooled conn
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatalf("request after idle close: %v", err)
+	}
+}

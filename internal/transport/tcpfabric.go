@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// TCPFabric is a cluster data plane backed by real sockets: node i's chunk
+// operations become framed requests to the i-th node daemon. It implements
+// cluster.Fabric and cluster.JoinFabric, so maintenance plans push chunk
+// joins down to the node holding the chunks and only differential partials
+// travel back to the coordinator.
+type TCPFabric struct {
+	clients []*Client
+}
+
+var (
+	_ cluster.Fabric     = (*TCPFabric)(nil)
+	_ cluster.JoinFabric = (*TCPFabric)(nil)
+)
+
+// NewTCPFabric connects to one node daemon per address and verifies each
+// with a ping. On error, connections made so far are closed.
+func NewTCPFabric(addrs []string, cfg ClientConfig) (*TCPFabric, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: fabric needs at least one node address")
+	}
+	f := &TCPFabric{clients: make([]*Client, len(addrs))}
+	for i, addr := range addrs {
+		f.clients[i] = NewClient(addr, cfg)
+	}
+	for i := range f.clients {
+		if _, err := f.clients[i].Do(&Message{Type: MsgPing}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transport: node %d unreachable: %w", i, err)
+		}
+	}
+	return f, nil
+}
+
+// NumNodes implements cluster.Fabric.
+func (f *TCPFabric) NumNodes() int { return len(f.clients) }
+
+// Close closes every node client.
+func (f *TCPFabric) Close() error {
+	var first error
+	for _, c := range f.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *TCPFabric) client(node int) (*Client, error) {
+	if node < 0 || node >= len(f.clients) {
+		return nil, fmt.Errorf("transport: no node %d", node)
+	}
+	return f.clients[node], nil
+}
+
+// Put implements cluster.Fabric.
+func (f *TCPFabric) Put(node int, arrayName string, ch *array.Chunk) error {
+	c, err := f.client(node)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(&Message{Type: MsgPutChunk, Array: arrayName, Chunk: array.EncodeChunk(ch)})
+	return err
+}
+
+// Get implements cluster.Fabric.
+func (f *TCPFabric) Get(node int, arrayName string, key array.ChunkKey) (*array.Chunk, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(&Message{Type: MsgGetChunk, Array: arrayName, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return array.DecodeChunk(resp.Chunk)
+}
+
+// Has implements cluster.Fabric.
+func (f *TCPFabric) Has(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.Do(&Message{Type: MsgHasChunk, Array: arrayName, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Delete implements cluster.Fabric.
+func (f *TCPFabric) Delete(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.Do(&Message{Type: MsgDeleteChunk, Array: arrayName, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Merge implements cluster.Fabric. The merge semantics travel as the
+// declarative spec; the node compiles and applies it against its resident
+// chunk.
+func (f *TCPFabric) Merge(node int, arrayName string, src *array.Chunk, spec cluster.MergeSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	c, err := f.client(node)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(&Message{
+		Type: MsgMergeDelta, Array: arrayName,
+		MergeKind: uint8(spec.Kind), MergeOps: spec.Ops,
+		Chunk: array.EncodeChunk(src),
+	})
+	return err
+}
+
+// Keys implements cluster.Fabric.
+func (f *TCPFabric) Keys(node int, arrayName string) ([]array.ChunkKey, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(&Message{Type: MsgKeys, Array: arrayName})
+	if err != nil {
+		return nil, err
+	}
+	return resp.KeyList, nil
+}
+
+// DropArray implements cluster.Fabric.
+func (f *TCPFabric) DropArray(node int, arrayName string) (int, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(&Message{Type: MsgDropArray, Array: arrayName})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
+// Stats implements cluster.Fabric.
+func (f *TCPFabric) Stats(node int) (cluster.FabricStats, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return cluster.FabricStats{}, err
+	}
+	resp, err := c.Do(&Message{Type: MsgStats})
+	if err != nil {
+		return cluster.FabricStats{}, err
+	}
+	return cluster.FabricStats{NumChunks: int(resp.NumChunks), Bytes: resp.Bytes}, nil
+}
+
+// RegisterView ships the view definition to every node so ExecuteJoin can
+// run there. Called by the maintenance layer when it attaches to a view.
+func (f *TCPFabric) RegisterView(def *view.Definition) error {
+	spec, err := EncodeDefinition(def)
+	if err != nil {
+		return err
+	}
+	for i, c := range f.clients {
+		if _, err := c.Do(&Message{Type: MsgRegisterView, Spec: spec}); err != nil {
+			return fmt.Errorf("transport: registering view on node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExecuteJoin implements cluster.JoinFabric: the join of one chunk pair
+// runs on the node holding both chunks and only the per-view-chunk
+// differential partials come back.
+func (f *TCPFabric) ExecuteJoin(node int, req cluster.JoinRequest) ([]*array.Chunk, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(&Message{
+		Type: MsgExecuteJoin, View: req.View,
+		Array: req.PArray, Key: req.PKey,
+		Array2: req.QArray, Key2: req.QKey,
+		Both: req.BothDirections, Sign: req.Sign,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*array.Chunk, 0, len(resp.Chunks))
+	for _, buf := range resp.Chunks {
+		ch, err := array.DecodeChunk(buf)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decoding join partial: %w", err)
+		}
+		out = append(out, ch)
+	}
+	return out, nil
+}

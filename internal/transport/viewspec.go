@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// Mapping kinds of the wire form.
+const (
+	mapIdentity uint8 = iota
+	mapTranslate
+	mapRegrid
+)
+
+// viewSpec is the wire form of a view definition: every field is plain
+// data. Schemas, aggregates, and filter conditions already are; the join
+// shape travels as its structural Spec and the mapping as kind+vector.
+type viewSpec struct {
+	Name        string
+	Alpha       *array.Schema
+	Beta        *array.Schema
+	Shape       *shape.Spec
+	MapKind     uint8
+	MapVec      []int64
+	GroupBy     []string
+	Aggs        []view.Aggregate
+	Chunking    []int64
+	FilterAlpha []view.Condition
+	FilterBeta  []view.Condition
+}
+
+// EncodeDefinition serializes a view definition for shipping to a node.
+func EncodeDefinition(d *view.Definition) ([]byte, error) {
+	spec, err := d.Pred.Shape.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("transport: view %s: %w", d.Name, err)
+	}
+	vs := viewSpec{
+		Name:     d.Name,
+		Alpha:    d.Alpha,
+		Beta:     d.Beta,
+		Shape:    spec,
+		GroupBy:  d.GroupBy,
+		Aggs:     d.Aggs,
+		Chunking: d.Chunking,
+	}
+	vs.FilterAlpha, vs.FilterBeta = d.Filters()
+	switch m := d.Pred.Mapping.(type) {
+	case nil, simjoin.Identity:
+		vs.MapKind = mapIdentity
+	case simjoin.Translate:
+		vs.MapKind = mapTranslate
+		vs.MapVec = m.Offset
+	case simjoin.Regrid:
+		vs.MapKind = mapRegrid
+		vs.MapVec = m.Factor
+	default:
+		return nil, fmt.Errorf("transport: view %s has unserializable mapping %s", d.Name, m.Name())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&vs); err != nil {
+		return nil, fmt.Errorf("transport: encoding view %s: %w", d.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDefinition rebuilds a view definition from its wire form,
+// recompiling the shape predicate and attribute filters locally.
+func DecodeDefinition(data []byte) (*view.Definition, error) {
+	var vs viewSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&vs); err != nil {
+		return nil, fmt.Errorf("transport: decoding view spec: %w", err)
+	}
+	sh, err := vs.Shape.Build()
+	if err != nil {
+		return nil, fmt.Errorf("transport: view %s: %w", vs.Name, err)
+	}
+	var mapping simjoin.Mapping
+	switch vs.MapKind {
+	case mapIdentity:
+		mapping = simjoin.Identity{}
+	case mapTranslate:
+		mapping = simjoin.Translate{Offset: vs.MapVec}
+	case mapRegrid:
+		mapping = simjoin.Regrid{Factor: vs.MapVec}
+	default:
+		return nil, fmt.Errorf("transport: view %s has unknown mapping kind %d", vs.Name, vs.MapKind)
+	}
+	beta := vs.Beta
+	if vs.Alpha != nil && vs.Beta != nil && vs.Alpha.Name == vs.Beta.Name {
+		beta = vs.Alpha // self join: share the schema value like the original
+	}
+	d, err := view.NewDefinition(vs.Name, vs.Alpha, beta,
+		simjoin.NewPred(sh, mapping), vs.GroupBy, vs.Aggs, vs.Chunking)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rebuilding view %s: %w", vs.Name, err)
+	}
+	if len(vs.FilterAlpha) > 0 || len(vs.FilterBeta) > 0 {
+		if err := d.SetFilters(vs.FilterAlpha, vs.FilterBeta); err != nil {
+			return nil, fmt.Errorf("transport: rebuilding view %s filters: %w", vs.Name, err)
+		}
+	}
+	return d, nil
+}

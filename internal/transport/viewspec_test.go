@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+func defRoundTrip(t *testing.T, d *view.Definition) *view.Definition {
+	t.Helper()
+	buf, err := EncodeDefinition(d)
+	if err != nil {
+		t.Fatalf("encode %s: %v", d.Name, err)
+	}
+	got, err := DecodeDefinition(buf)
+	if err != nil {
+		t.Fatalf("decode %s: %v", d.Name, err)
+	}
+	if got.String() != d.String() {
+		t.Errorf("round trip changed the definition:\n in: %s\nout: %s", d, got)
+	}
+	if !reflect.DeepEqual(got.Schema(), d.Schema()) {
+		t.Errorf("round trip changed the view schema:\n in: %+v\nout: %+v", d.Schema(), got.Schema())
+	}
+	return got
+}
+
+func TestViewSpecRoundTripSelfJoin(t *testing.T) {
+	s := testSchema()
+	d, err := view.NewDefinition("V", s, s,
+		simjoin.NewPred(shape.L1(2, 1), nil),
+		[]string{"i", "j"},
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}, {Kind: view.Avg, Attr: "v", As: "avg"}},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetFilters([]view.Condition{{Attr: "v", Op: view.Lt, Value: 19}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := defRoundTrip(t, d)
+	if !got.SelfJoin() {
+		t.Error("round trip lost the self-join property")
+	}
+	fa, fb := got.Filters()
+	if len(fa) != 1 || fa[0].Attr != "v" || fb != nil {
+		t.Errorf("round trip changed filters: %v / %v", fa, fb)
+	}
+	if got.AlphaMatch(array.Tuple{25}) {
+		t.Error("rebuilt α filter admits a tuple the original rejects")
+	}
+}
+
+func TestViewSpecRoundTripMappingsAndShapes(t *testing.T) {
+	alpha := testSchema()
+	beta := array.MustSchema("B",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 9, ChunkSize: 5},
+			{Name: "y", Start: 0, End: 9, ChunkSize: 5},
+		},
+		[]array.Attribute{{Name: "w", Type: array.Float64}})
+
+	custom, err := shape.FromOffsets("diag", [][]int64{{0, 0}, {1, 1}, {-1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		pred  simjoin.Pred
+		agg   view.Aggregate
+		chunk []int64
+	}{
+		{"translate-l2", simjoin.NewPred(shape.L2(2, 2), simjoin.Translate{Offset: []int64{1, -1}}), view.Aggregate{Kind: view.Sum, Attr: "w", As: "s"}, nil},
+		{"regrid-linf", simjoin.NewPred(shape.Linf(2, 1), simjoin.Regrid{Factor: []int64{2, 2}}), view.Aggregate{Kind: view.Min, Attr: "w", As: "lo"}, []int64{2, 2}},
+		{"offsets", simjoin.NewPred(custom, nil), view.Aggregate{Kind: view.Max, Attr: "w", As: "hi"}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := view.NewDefinition("V_"+tc.name, alpha, beta, tc.pred,
+				[]string{"i", "j"}, []view.Aggregate{tc.agg}, tc.chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := defRoundTrip(t, d)
+			// The rebuilt shape must agree with the original pointwise.
+			for _, off := range [][]int64{{0, 0}, {1, 1}, {2, 0}, {-1, -1}, {2, 2}, {-2, 1}} {
+				if got.Pred.Shape.Contains(off) != d.Pred.Shape.Contains(off) {
+					t.Errorf("rebuilt shape disagrees at %v", off)
+				}
+			}
+		})
+	}
+}
+
+func TestViewSpecRoundTripEmbeddedWindowShape(t *testing.T) {
+	// The PTF-5 pattern: a spatial L1 ball embedded in 3D with a long time
+	// window — enumeration-hostile, serializable only via provenance.
+	s := array.MustSchema("ptf",
+		[]array.Dimension{
+			{Name: "t", Start: 0, End: 9999, ChunkSize: 100},
+			{Name: "ra", Start: 0, End: 99, ChunkSize: 10},
+			{Name: "dec", Start: 0, End: 99, ChunkSize: 10},
+		},
+		[]array.Attribute{{Name: "flux", Type: array.Float64}})
+	sh, err := shape.Embed(shape.L1(2, 1), 3, []int{1, 2}, map[int][2]int64{0: {-2000, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := view.NewDefinition("assoc", s, s, simjoin.NewPred(sh, nil),
+		[]string{"t", "ra", "dec"}, []view.Aggregate{{Kind: view.Count, As: "n"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := defRoundTrip(t, d)
+	for _, off := range [][]int64{{0, 0, 0}, {-1999, 1, 0}, {-2001, 0, 0}, {0, 1, 1}, {5, 0, 0}} {
+		if got.Pred.Shape.Contains(off) != d.Pred.Shape.Contains(off) {
+			t.Errorf("rebuilt embedded shape disagrees at %v", off)
+		}
+	}
+}
+
+func TestEncodeDefinitionRejectsOpaqueShape(t *testing.T) {
+	// A hand-built shape with a huge box and no provenance cannot travel.
+	big := shape.MustNew("opaque", []int64{-100000, -100000}, []int64{100000, 100000},
+		func(off []int64) bool { return off[0] == off[1] })
+	s := testSchema()
+	d, err := view.NewDefinition("V", s, s, simjoin.NewPred(big, nil),
+		[]string{"i", "j"}, []view.Aggregate{{Kind: view.Count, As: "c"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeDefinition(d); err == nil {
+		t.Error("encoding a view with an opaque giant shape must fail")
+	}
+}

@@ -142,3 +142,16 @@ func (d *Definition) BetaMatch(t array.Tuple) bool { return d.filterBeta.match(t
 
 // Filtered reports whether the view carries any attribute filters.
 func (d *Definition) Filtered() bool { return d.filterAlpha != nil || d.filterBeta != nil }
+
+// Filters returns the declarative filter conditions of each side (nil for
+// an unfiltered side). Conditions are plain data, so a definition can be
+// shipped to a remote node and recompiled there.
+func (d *Definition) Filters() (alpha, beta []Condition) {
+	if d.filterAlpha != nil {
+		alpha = d.filterAlpha.conds
+	}
+	if d.filterBeta != nil {
+		beta = d.filterBeta.conds
+	}
+	return
+}

@@ -197,19 +197,12 @@ func MergeDelta(d *Definition, v, dv *array.Array) error {
 }
 
 // MergeStateChunks is the chunk-level additive merge used by node stores:
-// src's state tuples are added into dst.
+// src's state tuples are added into dst. It is the compiled form of
+// StateMergeSpec, so local and remote merges share one implementation.
 func MergeStateChunks(d *Definition) func(dst, src *array.Chunk) error {
-	return func(dst, src *array.Chunk) error {
-		var err error
-		src.Each(func(p array.Point, t array.Tuple) bool {
-			if cur, ok := dst.Get(p); ok {
-				d.AddState(cur, t)
-				err = dst.Set(p, cur)
-			} else {
-				err = dst.Set(p, t)
-			}
-			return err == nil
-		})
-		return err
+	fn, err := d.StateMergeSpec().Func()
+	if err != nil {
+		return func(*array.Chunk, *array.Chunk) error { return err }
 	}
+	return fn
 }
