@@ -114,7 +114,21 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 		case "fig9":
 			return perPanel(name, func(s bench.Spec) (any, error) { return bench.Fig9(out, s) })
 		case "fabric":
-			return perPanel(name, func(s bench.Spec) (any, error) { return bench.FabricValidation(out, s, true) })
+			// Both fabrics: the in-process baseline and the TCP loopback
+			// daemons, so the JSON output carries phase breakdowns and
+			// per-node counters for each.
+			return perPanel(name, func(s bench.Spec) (any, error) {
+				local, err := bench.FabricValidation(out, s, false)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(out)
+				tcp, err := bench.FabricValidation(out, s, true)
+				if err != nil {
+					return nil, err
+				}
+				return []any{local, tcp}, nil
+			})
 		case "fig6":
 			spec := mkSpec(bench.PTF5, workload.Real)
 			spec.PTF.NumBatches = 1

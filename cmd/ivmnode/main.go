@@ -27,16 +27,17 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 disables)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 disables)")
 		statsEvery   = flag.Duration("stats", 0, "periodically print store stats (0 disables)")
+		metrics      = flag.String("metrics", "", "serve JSON metrics over HTTP on this address (host:port; empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *idleTimeout, *writeTimeout, *statsEvery); err != nil {
+	if err := run(*listen, *metrics, *idleTimeout, *writeTimeout, *statsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, idleTimeout, writeTimeout, statsEvery time.Duration) error {
+func run(listen, metrics string, idleTimeout, writeTimeout, statsEvery time.Duration) error {
 	cfg := &transport.ServerConfig{IdleTimeout: idleTimeout, WriteTimeout: writeTimeout}
 	if idleTimeout == 0 {
 		cfg.IdleTimeout = -1
@@ -50,6 +51,15 @@ func run(listen string, idleTimeout, writeTimeout, statsEvery time.Duration) err
 		return err
 	}
 	fmt.Printf("ivmnode: serving on %s\n", srv.Addr())
+
+	if metrics != "" {
+		ms, err := transport.StartMetrics(metrics, srv)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ms.Close()
+		fmt.Printf("ivmnode: metrics on http://%s\n", ms.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -120,6 +120,11 @@ func run(dataset, modeName, strategy string, batches int, small, verify, expire,
 		fmt.Printf("  maintenance=%.4fs (simulated)  optimization=%.6fs (measured)\n",
 			rep.MaintenanceSeconds, rep.OptimizationSeconds)
 		fmt.Printf("  ledger: %s\n", rep.Ledger)
+		if distrib {
+			if s := rep.Trace.String(); s != "" {
+				fmt.Printf("  spans: %s\n", s)
+			}
+		}
 		if verify {
 			if err := verifyView(cl, def); err != nil {
 				return fmt.Errorf("batch %d: %w", i+1, err)

@@ -13,10 +13,11 @@ import (
 
 // FabricValidationResult holds, for each strategy, the per-batch
 // ledger-predicted maintenance cost next to the measured wall-clock of
-// executing the same plan on the chosen fabric. The predicted numbers are
-// deterministic (they come from the cost model, not the clock) and are
-// identical across fabrics; the measured numbers are what the machine
-// actually did.
+// executing the same plan on the chosen fabric, the per-phase breakdown of
+// that wall-clock, and the per-node fabric counters accumulated over the
+// sequence. The predicted numbers are deterministic (they come from the
+// cost model, not the clock) and are identical across fabrics; the
+// measured numbers are what the machine actually did.
 type FabricValidationResult struct {
 	Spec    Spec
 	TCP     bool
@@ -42,28 +43,88 @@ func FabricValidation(w io.Writer, spec Spec, tcp bool) (*FabricValidationResult
 		}
 		out.Results[name] = res
 	}
+	out.WriteTable(w)
+	return out, nil
+}
 
+// WriteTable renders the human-readable report: the per-batch
+// predicted-vs-measured table, a per-strategy phase breakdown, and the
+// per-node fabric counters. Strategies may have produced differing batch
+// counts (a failed or truncated run); each row indexes only its own
+// strategy's batches.
+func (r *FabricValidationResult) WriteTable(w io.Writer) {
 	fabricName := "local (in-process)"
-	if tcp {
+	if r.TCP {
 		fabricName = "tcp (loopback daemons)"
 	}
 	fmt.Fprintf(w, "Fabric validation — ledger-predicted vs measured execution: %s / %s on %s\n",
-		spec.Dataset, spec.Mode, fabricName)
+		r.Spec.Dataset, r.Spec.Mode, fabricName)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "batch\tstrategy\tpredicted (s)\tmeasured (s)\ttransfers\n")
 	names := maintain.StrategyNames()
 	n := 0
-	if r := out.Results[names[0]]; r != nil {
-		n = len(r.Batches)
+	for _, name := range names {
+		if res := r.Results[name]; res != nil && len(res.Batches) > n {
+			n = len(res.Batches)
+		}
 	}
 	for i := 0; i < n; i++ {
 		for _, name := range names {
-			b := out.Results[name].Batches[i]
+			res := r.Results[name]
+			if res == nil || i >= len(res.Batches) {
+				continue
+			}
+			b := res.Batches[i]
 			fmt.Fprintf(tw, "%d\t%s\t%.4f\t%.4f\t%d\n", i+1, name, b.Maintenance, b.Exec, b.Transfers)
 		}
 	}
 	tw.Flush()
-	return out, nil
+
+	for _, name := range names {
+		res := r.Results[name]
+		if res == nil {
+			continue
+		}
+		if s := phaseSummary(res); s != "" {
+			fmt.Fprintf(w, "phases (%s): %s\n", name, s)
+		}
+	}
+	for _, name := range names {
+		res := r.Results[name]
+		if res == nil || len(res.Fabric) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "fabric counters (%s):\n", name)
+		for node, st := range res.Fabric {
+			fmt.Fprintf(w, "  node %d: reqs=%d out=%dB in=%dB frames=%d/%d retries=%d reconnects=%d pool=%d/%d\n",
+				node, st.Net.TotalRequests(), st.Net.BytesOut, st.Net.BytesIn,
+				st.Net.FramesOut, st.Net.FramesIn, st.Net.Retries, st.Net.Reconnects,
+				st.Net.PoolHits, st.Net.PoolMisses)
+		}
+	}
+}
+
+// phaseSummary sums each phase over a sequence's batches and renders the
+// totals in pipeline order.
+func phaseSummary(res *SeqResult) string {
+	totals := make(map[string]float64)
+	var order []string
+	for _, b := range res.Batches {
+		for _, p := range b.Phases {
+			if _, ok := totals[p.Name]; !ok {
+				order = append(order, p.Name)
+			}
+			totals[p.Name] += p.Seconds
+		}
+	}
+	s := ""
+	for i, name := range order {
+		if i > 0 {
+			s += " · "
+		}
+		s += fmt.Sprintf("%s %.4fs", name, totals[name])
+	}
+	return s
 }
 
 // runOnFabric builds a cluster on the requested fabric and drives the

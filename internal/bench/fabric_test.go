@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// Regression: the table renderer used to take the batch count from the
+// first strategy and index every other strategy's Batches with it, which
+// panicked whenever a strategy produced a different number of batches
+// (e.g. a truncated run). It must render every batch of every strategy
+// without panicking.
+func TestFabricTableMismatchedBatchCounts(t *testing.T) {
+	names := maintain.StrategyNames()
+	if len(names) < 2 {
+		t.Skip("needs at least two strategies")
+	}
+	mk := func(n int) *SeqResult {
+		res := &SeqResult{Strategy: names[0]}
+		for i := 0; i < n; i++ {
+			res.Batches = append(res.Batches, BatchResult{
+				Batch:       i + 1,
+				Maintenance: float64(i) + 0.5,
+				Exec:        float64(i) + 0.25,
+				Transfers:   i,
+				Phases:      []obs.PhaseTiming{{Name: obs.PhaseJoin, Seconds: 0.01, Count: 1}},
+			})
+		}
+		return res
+	}
+	r := &FabricValidationResult{
+		Spec:    Spec{Dataset: "synthetic", Mode: workload.Real},
+		Results: map[string]*SeqResult{},
+	}
+	// First strategy has FEWER batches than the second: the old code took n
+	// from the first and never rendered the second's tail. Also leave one
+	// strategy missing entirely.
+	r.Results[names[0]] = mk(1)
+	r.Results[names[1]] = mk(3)
+
+	var sb strings.Builder
+	r.WriteTable(&sb) // must not panic
+	out := sb.String()
+	if !strings.Contains(out, names[1]) {
+		t.Fatalf("table missing strategy %s:\n%s", names[1], out)
+	}
+	// The longer strategy's third batch must appear (row index 3).
+	if !strings.Contains(out, "\n3") && !strings.Contains(out, "\n3\t") {
+		if !strings.Contains(out, "3  ") {
+			t.Fatalf("table missing batch 3 of %s:\n%s", names[1], out)
+		}
+	}
+	if !strings.Contains(out, "phases ("+names[0]+")") {
+		t.Fatalf("table missing phase summary:\n%s", out)
+	}
+}
+
+// The reverse shape: a LATER strategy is shorter than the first. Under the
+// old renderer this was the panic case (index out of range).
+func TestFabricTableShortLaterStrategy(t *testing.T) {
+	names := maintain.StrategyNames()
+	if len(names) < 2 {
+		t.Skip("needs at least two strategies")
+	}
+	r := &FabricValidationResult{
+		Spec: Spec{Dataset: "synthetic", Mode: workload.Real},
+		Results: map[string]*SeqResult{
+			names[0]: {Batches: []BatchResult{{Batch: 1}, {Batch: 2}}},
+			names[1]: {Batches: []BatchResult{{Batch: 1}}},
+		},
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb) // panicked pre-fix
+	if !strings.Contains(sb.String(), names[0]) {
+		t.Fatalf("table missing strategy %s:\n%s", names[0], sb.String())
+	}
+}
+
+func TestFabricTableCounters(t *testing.T) {
+	names := maintain.StrategyNames()
+	r := &FabricValidationResult{
+		Spec: Spec{Dataset: "synthetic", Mode: workload.Real},
+		Results: map[string]*SeqResult{
+			names[0]: {
+				Batches: []BatchResult{{Batch: 1}},
+				Fabric: []cluster.FabricStats{{
+					NumChunks: 2,
+					Bytes:     128,
+					Net: cluster.NetCounters{
+						Requests:  map[string]int64{"Put": 4, "Get": 2},
+						BytesOut:  1024,
+						BytesIn:   512,
+						FramesOut: 6,
+						FramesIn:  6,
+						Retries:   1,
+					},
+				}},
+			},
+		},
+	}
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"fabric counters", "reqs=6", "out=1024B", "in=512B", "retries=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/workload"
 )
 
@@ -18,6 +19,11 @@ type BatchResult struct {
 	Units        int
 	Triples      int
 	Transfers    int
+	// Phases breaks Exec down by pipeline phase (transfer, view-move,
+	// join, merge, catalog-refresh, ingest, cleanup); NodeTasks is the
+	// per-node join-task busy time. Both come from the batch's obs.Trace.
+	Phases    []obs.PhaseTiming
+	NodeTasks []obs.NodeTiming
 }
 
 // SeqResult is a full batch sequence under one strategy.
@@ -25,6 +31,10 @@ type SeqResult struct {
 	Spec     Spec
 	Strategy string
 	Batches  []BatchResult
+	// Fabric is the end-of-sequence per-node fabric snapshot: storage
+	// footprint plus cumulative data-plane counters (bytes, frames,
+	// retries on a network fabric; operation/payload counts locally).
+	Fabric []cluster.FabricStats
 }
 
 // TotalMaintenance sums the per-batch maintenance times.
@@ -124,7 +134,16 @@ func runBatchesOn(cl *cluster.Cluster, spec Spec, planner maintain.Planner, data
 			Units:        rep.NumUnits,
 			Triples:      rep.NumTriples,
 			Transfers:    rep.NumTransfers,
+			Phases:       rep.Trace.Phases(),
+			NodeTasks:    rep.Trace.Nodes(),
 		})
+	}
+	for node := 0; node < cl.NumNodes(); node++ {
+		st, err := cl.Fabric().Stats(node)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fabric stats for node %d: %w", node, err)
+		}
+		res.Fabric = append(res.Fabric, st)
 	}
 	return res, nil
 }

@@ -224,10 +224,19 @@ func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
 // Transfer copies a chunk from one node (or the coordinator) to another and
 // charges the sender on the ledger. The catalog gains a replica entry; the
 // home assignment is unchanged. Transfers to a node already holding a
-// replica are free no-ops.
+// replica are free no-ops — but only after the fabric confirms the copy is
+// actually resident: a catalog replica entry can outlive the data (a node
+// daemon restart empties its store), and skipping the ship then surfaces
+// later as a misleading read failure far from the cause.
 func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from, to int) error {
-	if from == to || c.catalog.HasReplica(name, key, to) {
+	if from == to {
 		return nil
+	}
+	if c.catalog.HasReplica(name, key, to) {
+		if resident, err := c.HasAt(to, name, key); err == nil && resident {
+			return nil
+		}
+		// Stale replica entry: fall through and re-ship the chunk.
 	}
 	ch, err := c.GetAt(from, name, key)
 	if err != nil {

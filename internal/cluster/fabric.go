@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/storage"
 )
 
@@ -42,10 +44,49 @@ type Fabric interface {
 	Close() error
 }
 
-// FabricStats is one node's storage footprint as reported by the fabric.
+// FabricStats is one node's storage footprint as reported by the fabric,
+// plus the cumulative data-plane counters of the traffic this process has
+// driven to the node.
 type FabricStats struct {
 	NumChunks int
 	Bytes     int64
+	Net       NetCounters
+}
+
+// NetCounters is the cumulative per-node data-plane traffic, from the
+// coordinator's point of view (out = coordinator→node). On the LocalFabric
+// only Requests and the byte counters are meaningful (chunk payload bytes
+// moved by Put/Get/Merge); a network fabric fills in frames, retries,
+// reconnects, pool traffic, and remote errors.
+type NetCounters struct {
+	// Requests counts operations issued to the node, by message type name
+	// on a network fabric ("PutChunk", "ExecuteJoin", …) and by operation
+	// name locally.
+	Requests map[string]int64
+	// BytesOut and BytesIn are payload (local) or raw socket (network)
+	// bytes moved to and from the node.
+	BytesOut int64
+	BytesIn  int64
+	// FramesOut and FramesIn count protocol frames on a network fabric.
+	FramesOut int64
+	FramesIn  int64
+	// Retries counts re-attempted requests; Reconnects counts dials.
+	Retries    int64
+	Reconnects int64
+	// PoolHits and PoolMisses describe connection reuse.
+	PoolHits   int64
+	PoolMisses int64
+	// RemoteErrors counts application-level failures reported by the node.
+	RemoteErrors int64
+}
+
+// TotalRequests sums the per-type request counts.
+func (n NetCounters) TotalRequests() int64 {
+	var total int64
+	for _, v := range n.Requests {
+		total += v
+	}
+	return total
 }
 
 // JoinRequest asks a node to join two chunks resident in its local store
@@ -78,14 +119,53 @@ type JoinFabric interface {
 // LocalFabric is the in-process fabric: each node is a storage.Store in
 // this process and chunk movement is a map operation. It preserves the
 // seed's simulator behavior exactly — the deterministic cost ledger remains
-// the batch's reported maintenance time.
+// the batch's reported maintenance time. Per-node operation and payload
+// counters make the in-process data plane comparable to the TCP fabric's
+// wire counters.
 type LocalFabric struct {
 	stores []*storage.Store
+	net    []*localCounters
+}
+
+// localCounters is one node's in-process traffic accounting. The byte
+// counters are chunk payload sizes (the serialized size the cost model
+// charges), not socket bytes.
+type localCounters struct {
+	mu       sync.Mutex
+	requests map[string]int64
+	bytesIn  obs.Counter
+	bytesOut obs.Counter
+}
+
+func (c *localCounters) record(op string, in, out int64) {
+	c.mu.Lock()
+	c.requests[op]++
+	c.mu.Unlock()
+	c.bytesIn.Add(in)
+	c.bytesOut.Add(out)
+}
+
+func (c *localCounters) snapshot() NetCounters {
+	c.mu.Lock()
+	reqs := make(map[string]int64, len(c.requests))
+	for k, v := range c.requests {
+		reqs[k] = v
+	}
+	c.mu.Unlock()
+	return NetCounters{
+		Requests: reqs,
+		BytesIn:  c.bytesIn.Load(),
+		BytesOut: c.bytesOut.Load(),
+	}
 }
 
 // NewLocalFabric wraps per-node stores into a fabric.
 func NewLocalFabric(stores []*storage.Store) *LocalFabric {
-	return &LocalFabric{stores: stores}
+	net := make([]*localCounters, len(stores))
+	for i := range net {
+		net[i] = &localCounters{requests: make(map[string]int64)}
+	}
+	return &LocalFabric{stores: stores, net: net}
 }
 
 func (f *LocalFabric) store(node int) (*storage.Store, error) {
@@ -101,6 +181,7 @@ func (f *LocalFabric) Put(node int, arrayName string, ch *array.Chunk) error {
 	if err != nil {
 		return err
 	}
+	f.net[node].record("Put", ch.SizeBytes(), 0)
 	s.Put(arrayName, ch)
 	return nil
 }
@@ -111,7 +192,13 @@ func (f *LocalFabric) Get(node int, arrayName string, key array.ChunkKey) (*arra
 	if err != nil {
 		return nil, err
 	}
-	return s.Get(arrayName, key)
+	ch, err := s.Get(arrayName, key)
+	if err != nil {
+		f.net[node].record("Get", 0, 0)
+		return nil, err
+	}
+	f.net[node].record("Get", 0, ch.SizeBytes())
+	return ch, nil
 }
 
 // Has implements Fabric.
@@ -120,6 +207,7 @@ func (f *LocalFabric) Has(node int, arrayName string, key array.ChunkKey) (bool,
 	if err != nil {
 		return false, err
 	}
+	f.net[node].record("Has", 0, 0)
 	return s.Has(arrayName, key), nil
 }
 
@@ -129,6 +217,7 @@ func (f *LocalFabric) Delete(node int, arrayName string, key array.ChunkKey) (bo
 	if err != nil {
 		return false, err
 	}
+	f.net[node].record("Delete", 0, 0)
 	return s.Delete(arrayName, key), nil
 }
 
@@ -142,6 +231,7 @@ func (f *LocalFabric) Merge(node int, arrayName string, src *array.Chunk, spec M
 	if err != nil {
 		return err
 	}
+	f.net[node].record("Merge", src.SizeBytes(), 0)
 	return s.Merge(arrayName, src, fn)
 }
 
@@ -151,6 +241,7 @@ func (f *LocalFabric) Keys(node int, arrayName string) ([]array.ChunkKey, error)
 	if err != nil {
 		return nil, err
 	}
+	f.net[node].record("Keys", 0, 0)
 	return s.Keys(arrayName), nil
 }
 
@@ -160,6 +251,7 @@ func (f *LocalFabric) DropArray(node int, arrayName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	f.net[node].record("DropArray", 0, 0)
 	return s.DropArray(arrayName), nil
 }
 
@@ -169,7 +261,11 @@ func (f *LocalFabric) Stats(node int) (FabricStats, error) {
 	if err != nil {
 		return FabricStats{}, err
 	}
-	return FabricStats{NumChunks: s.NumChunks(), Bytes: s.Bytes()}, nil
+	return FabricStats{
+		NumChunks: s.NumChunks(),
+		Bytes:     s.Bytes(),
+		Net:       f.net[node].snapshot(),
+	}, nil
 }
 
 // NumNodes implements Fabric.

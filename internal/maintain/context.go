@@ -6,6 +6,7 @@ import (
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/view"
 )
 
@@ -47,6 +48,10 @@ type Context struct {
 	History *History
 	Params  Params
 	Rng     *rand.Rand
+
+	// Trace, when non-nil, receives the per-phase spans and per-node task
+	// timings of Execute. A nil trace costs nothing.
+	Trace *obs.Trace
 
 	viewHints map[array.ChunkKey]int
 }

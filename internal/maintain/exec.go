@@ -2,9 +2,11 @@ package maintain
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/view"
 )
 
@@ -28,39 +30,59 @@ type Planner interface {
 // fabric the same plan ships real bytes, and joins are pushed down to the
 // node holding the chunks when the fabric supports it.
 func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
-	if err := p.Validate(ctx); err != nil {
+	tr := ctx.Trace
+
+	stop := tr.Start(obs.PhaseValidate)
+	err := p.Validate(ctx)
+	if err != nil {
+		stop()
 		return nil, err
 	}
 	ledger := p.Charge(ctx)
+	stop()
 	cl := ctx.Cluster
 
 	// Phase 1: replicate chunks per the plan (x variables).
+	stop = tr.Start(obs.PhaseTransfer)
 	for _, t := range p.Transfers {
 		if err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To); err != nil {
+			stop()
 			return nil, err
 		}
 	}
+	stop()
 
 	// Phase 2: move view chunks whose home changes, so differential merges
 	// land on the fresh home.
+	stop = tr.Start(obs.PhaseViewMove)
 	moved, err := moveViewChunks(ctx, p)
+	stop()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: evaluate joins per node, merging partial differentials into
-	// the view as they are produced (asynchronously, as in the paper).
-	if err := runJoins(ctx, p); err != nil {
+	// the view as they are produced (asynchronously, as in the paper). The
+	// join span is the wall-clock of the whole per-node run; merge busy
+	// time and per-node task time accumulate inside it.
+	stop = tr.Start(obs.PhaseJoin)
+	err = runJoins(ctx, p)
+	stop()
+	if err != nil {
 		return nil, err
 	}
 
 	// Phase 4: refresh catalog metadata for every touched view chunk.
-	if err := refreshViewCatalog(ctx, p, moved); err != nil {
+	stop = tr.Start(obs.PhaseCatalog)
+	err = refreshViewCatalog(ctx, p, moved)
+	stop()
+	if err != nil {
 		return nil, err
 	}
 
 	// Phase 5: ingest delta chunks into the base array and apply array
-	// chunk reassignments; then drop scratch replicas.
+	// chunk reassignments; then drop scratch replicas (the cleanup span is
+	// recorded inside, around cleanupBatch).
 	if err := ingestAndRehome(ctx, p); err != nil {
 		return nil, err
 	}
@@ -102,6 +124,7 @@ func moveViewChunks(ctx *Context, p *Plan) (map[array.ChunkKey]bool, error) {
 func runJoins(ctx *Context, p *Plan) error {
 	cl := ctx.Cluster
 	def := ctx.Def
+	tr := ctx.Trace
 	stateSpec := def.StateMergeSpec()
 	joinFabric, _ := cl.Fabric().(cluster.JoinFabric)
 
@@ -119,6 +142,8 @@ func runJoins(ctx *Context, p *Plan) error {
 			sign = -1
 		}
 		tasks[site] = append(tasks[site], func() error {
+			taskStart := time.Now()
+			defer func() { tr.AddNode(site, time.Since(taskStart)) }()
 			var partials []*array.Chunk
 			if joinFabric != nil {
 				remote, err := joinFabric.ExecuteJoin(site, cluster.JoinRequest{
@@ -149,6 +174,8 @@ func runJoins(ctx *Context, p *Plan) error {
 					partials = append(partials, part)
 				}
 			}
+			mergeStart := time.Now()
+			defer func() { tr.Add(obs.PhaseMerge, time.Since(mergeStart)) }()
 			for _, part := range partials {
 				home, ok := p.ViewHome[part.Key()]
 				if !ok {
@@ -198,20 +225,34 @@ func refreshViewCatalog(ctx *Context, p *Plan, moved map[array.ChunkKey]bool) er
 // for a deletion batch, removes their cells) and applies the plan's array
 // chunk reassignments, then clears scratch replicas from the batch.
 func ingestAndRehome(ctx *Context, p *Plan) error {
-	cl := ctx.Cluster
-	cat := cl.Catalog()
-	n := cl.NumNodes()
-
 	deltaNames := []string{ctx.DeltaAlpha}
 	if ctx.DeltaBeta != ctx.DeltaAlpha {
 		deltaNames = append(deltaNames, ctx.DeltaBeta)
 	}
+	stop := ctx.Trace.Start(obs.PhaseIngest)
+	var err error
 	if ctx.Deleting {
-		if err := removeDeleted(ctx, deltaNames); err != nil {
-			return err
-		}
-		return cleanupBatch(ctx, p, deltaNames)
+		err = removeDeleted(ctx, deltaNames)
+	} else {
+		err = ingestInserts(ctx, p, deltaNames)
 	}
+	stop()
+	if err != nil {
+		return err
+	}
+	stop = ctx.Trace.Start(obs.PhaseCleanup)
+	err = cleanupBatch(ctx, p, deltaNames)
+	stop()
+	return err
+}
+
+// ingestInserts merges the staged insert chunks into the base array and
+// applies the plan's array chunk reassignments.
+func ingestInserts(ctx *Context, p *Plan, deltaNames []string) error {
+	cl := ctx.Cluster
+	cat := cl.Catalog()
+	n := cl.NumNodes()
+
 	handled := make(map[view.ChunkRef]bool)
 	for _, dn := range deltaNames {
 		baseName := ctx.BaseNameFor(dn)
@@ -292,7 +333,7 @@ func ingestAndRehome(ctx *Context, p *Plan) error {
 		}
 	}
 
-	return cleanupBatch(ctx, p, deltaNames)
+	return nil
 }
 
 // removeDeleted erases the staged deletion cells from the base array,

@@ -7,6 +7,7 @@ import (
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/view"
 )
 
@@ -48,6 +49,10 @@ type Report struct {
 	NumTransfers int
 	Plan         *Plan
 	Ledger       *cluster.Ledger
+	// Trace is the phase-span breakdown of Execute: where ExecSeconds went
+	// (transfer, view-move, join, merge, catalog-refresh, ingest, cleanup)
+	// and per-node task busy time.
+	Trace *obs.Trace
 }
 
 // NewMaintainer wires a maintainer for the given view on the cluster. The
@@ -210,6 +215,7 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 	}
 	planning := time.Since(planStart)
 
+	ctx.Trace = obs.NewTrace()
 	execStart := time.Now()
 	ledger, err := Execute(ctx, plan)
 	if err != nil {
@@ -233,6 +239,7 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 		NumTransfers:        plan.NumTransfers(),
 		Plan:                plan,
 		Ledger:              ledger,
+		Trace:               ctx.Trace,
 	}, nil
 }
 

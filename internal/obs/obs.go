@@ -1,0 +1,205 @@
+// Package obs is the observability substrate of the maintenance pipeline:
+// per-batch phase spans and atomic counters. It is deliberately pull-based
+// and allocation-light — recording a span is two time.Now calls and an
+// atomic add, so instrumentation never perturbs the numbers it reports.
+//
+// A Trace accumulates wall-clock per named phase plus per-node busy time.
+// Sequential phases (validate, transfer, view-move, catalog-refresh,
+// ingest, cleanup) are recorded as wall-clock spans; the join phase is the
+// wall-clock of the whole per-node task run, while merge and per-node
+// timings accumulate busy seconds across concurrent tasks and may exceed
+// the join wall-clock on a multi-worker cluster.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical phase names of one maintained batch, in pipeline order.
+const (
+	PhaseValidate = "validate"       // plan validation + ledger charge
+	PhaseTransfer = "transfer"       // chunk replication per the plan
+	PhaseViewMove = "view-move"      // relocating view chunks to new homes
+	PhaseJoin     = "join"           // per-node chunk-pair joins (wall-clock)
+	PhaseMerge    = "merge"          // folding partials into the view (busy)
+	PhaseCatalog  = "catalog-refresh" // view chunk metadata refresh
+	PhaseIngest   = "ingest"         // delta ingestion + array rehoming
+	PhaseCleanup  = "cleanup"        // scratch replica + namespace teardown
+)
+
+// Counter is an atomic cumulative counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// PhaseTiming is the snapshot of one phase of a trace.
+type PhaseTiming struct {
+	Name    string
+	Seconds float64
+	// Count is how many spans contributed to the phase.
+	Count int64
+}
+
+// NodeTiming is the snapshot of one node's accumulated task time.
+type NodeTiming struct {
+	Node    int
+	Seconds float64
+	Tasks   int64
+}
+
+// phase accumulates one named phase; nanos and count are written by
+// concurrent tasks, so they are atomic.
+type phase struct {
+	name  string
+	nanos atomic.Int64
+	count atomic.Int64
+}
+
+// Trace collects the phase breakdown of one maintained batch. Methods are
+// safe for concurrent use and are no-ops on a nil receiver, so untraced
+// call paths pay nothing.
+type Trace struct {
+	mu     sync.Mutex
+	order  []*phase
+	phases map[string]*phase
+	nodes  map[int]*phase
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{phases: make(map[string]*phase), nodes: make(map[int]*phase)}
+}
+
+// lookup returns the named phase, registering it on first use.
+func (t *Trace) lookup(name string) *phase {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.phases[name]
+	if !ok {
+		p = &phase{name: name}
+		t.phases[name] = p
+		t.order = append(t.order, p)
+	}
+	return p
+}
+
+// Start opens a span of the named phase and returns its stop function.
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	p := t.lookup(name)
+	begin := time.Now()
+	return func() {
+		p.nanos.Add(int64(time.Since(begin)))
+		p.count.Add(1)
+	}
+}
+
+// Add folds an already-measured duration into the named phase.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	p := t.lookup(name)
+	p.nanos.Add(int64(d))
+	p.count.Add(1)
+}
+
+// AddNode folds one task's duration into a node's busy time.
+func (t *Trace) AddNode(node int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	p, ok := t.nodes[node]
+	if !ok {
+		p = &phase{}
+		t.nodes[node] = p
+	}
+	t.mu.Unlock()
+	p.nanos.Add(int64(d))
+	p.count.Add(1)
+}
+
+// Phases snapshots every recorded phase in first-start order.
+func (t *Trace) Phases() []PhaseTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	order := append([]*phase(nil), t.order...)
+	t.mu.Unlock()
+	out := make([]PhaseTiming, 0, len(order))
+	for _, p := range order {
+		out = append(out, PhaseTiming{
+			Name:    p.name,
+			Seconds: time.Duration(p.nanos.Load()).Seconds(),
+			Count:   p.count.Load(),
+		})
+	}
+	return out
+}
+
+// PhaseSeconds returns the accumulated seconds of one phase (0 if never
+// recorded).
+func (t *Trace) PhaseSeconds(name string) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	p, ok := t.phases[name]
+	t.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return time.Duration(p.nanos.Load()).Seconds()
+}
+
+// Nodes snapshots per-node busy time, sorted by node ID.
+func (t *Trace) Nodes() []NodeTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ids := make([]int, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]NodeTiming, 0, len(ids))
+	for _, id := range ids {
+		p := t.nodes[id]
+		out = append(out, NodeTiming{
+			Node:    id,
+			Seconds: time.Duration(p.nanos.Load()).Seconds(),
+			Tasks:   p.count.Load(),
+		})
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// String renders a one-line span summary ("validate 12µs · join 3.1ms …").
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range t.Phases() {
+		if i > 0 {
+			b.WriteString(" · ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Name, time.Duration(p.Seconds*float64(time.Second)).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAccumulate(t *testing.T) {
+	tr := NewTrace()
+	stop := tr.Start(PhaseTransfer)
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	tr.Add(PhaseTransfer, 5*time.Millisecond)
+	tr.Add(PhaseMerge, time.Millisecond)
+
+	ph := tr.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("got %d phases, want 2", len(ph))
+	}
+	if ph[0].Name != PhaseTransfer || ph[1].Name != PhaseMerge {
+		t.Fatalf("phase order = %v; want first-start order", ph)
+	}
+	if ph[0].Count != 2 {
+		t.Errorf("transfer count = %d, want 2", ph[0].Count)
+	}
+	if got := tr.PhaseSeconds(PhaseTransfer); got < 0.007 {
+		t.Errorf("transfer seconds = %v, want >= 7ms", got)
+	}
+	if tr.PhaseSeconds("absent") != 0 {
+		t.Error("unknown phase must read 0")
+	}
+	if s := tr.String(); !strings.Contains(s, PhaseTransfer) || !strings.Contains(s, "·") {
+		t.Errorf("summary %q lacks phases", s)
+	}
+}
+
+func TestTraceConcurrentNodeTimings(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for node := 0; node < 4; node++ {
+		for task := 0; task < 8; task++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				tr.AddNode(node, time.Millisecond)
+				tr.Add(PhaseMerge, time.Millisecond)
+			}(node)
+		}
+	}
+	wg.Wait()
+	nodes := tr.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes, want 4", len(nodes))
+	}
+	for i, n := range nodes {
+		if n.Node != i {
+			t.Errorf("nodes not sorted: %v", nodes)
+		}
+		if n.Tasks != 8 {
+			t.Errorf("node %d: %d tasks, want 8", n.Node, n.Tasks)
+		}
+		if n.Seconds < 0.008 {
+			t.Errorf("node %d: %v seconds, want >= 8ms", n.Node, n.Seconds)
+		}
+	}
+	if got := tr.Phases()[0]; got.Count != 32 {
+		t.Errorf("merge count = %d, want 32", got.Count)
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Start(PhaseJoin)()
+	tr.Add(PhaseJoin, time.Second)
+	tr.AddNode(0, time.Second)
+	if tr.Phases() != nil || tr.Nodes() != nil || tr.PhaseSeconds(PhaseJoin) != 0 || tr.String() != "" {
+		t.Error("nil trace must read empty")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Add(3) }()
+	}
+	wg.Wait()
+	if c.Load() != 30 {
+		t.Errorf("counter = %d, want 30", c.Load())
+	}
+}

@@ -3,9 +3,12 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/arrayview/arrayview/internal/obs"
 )
 
 // RemoteError is an application-level failure reported by the node (the
@@ -27,7 +30,8 @@ type ClientConfig struct {
 	// MaxRetries is how many times a transiently-failed request is retried
 	// (default 2; 0 disables retries, negative also disables).
 	MaxRetries int
-	// RetryBackoff is the first retry's delay, doubled per attempt
+	// RetryBackoff is the first retry's base delay, doubled per attempt
+	// with uniform jitter in [base/2, base] to avoid retry synchronization
 	// (default 20 milliseconds).
 	RetryBackoff time.Duration
 }
@@ -56,12 +60,99 @@ func DefaultClientConfig() ClientConfig {
 	return ClientConfig{MaxRetries: 2}.withDefaults()
 }
 
+// ClientStats is a snapshot of one client's cumulative wire counters.
+type ClientStats struct {
+	// Requests counts wire attempts by message type name (a retried
+	// request counts once per attempt).
+	Requests map[string]int64
+	// BytesOut and BytesIn are raw socket bytes written and read.
+	BytesOut, BytesIn int64
+	// FramesOut and FramesIn count fully written requests and fully read
+	// responses.
+	FramesOut, FramesIn int64
+	// Retries counts re-attempts after a transient failure.
+	Retries int64
+	// Dials counts established connections (the first connection included).
+	Dials int64
+	// PoolHits and PoolMisses describe idle-connection reuse.
+	PoolHits, PoolMisses int64
+	// RemoteErrors counts application failures reported by the node.
+	RemoteErrors int64
+}
+
+// clientCounters is the live atomic form of ClientStats.
+type clientCounters struct {
+	mu       sync.Mutex
+	requests map[MsgType]int64
+
+	bytesOut, bytesIn   obs.Counter
+	framesOut, framesIn obs.Counter
+	retries             obs.Counter
+	dials               obs.Counter
+	poolHits, poolMiss  obs.Counter
+	remoteErrs          obs.Counter
+}
+
+func (c *clientCounters) countRequest(t MsgType) {
+	c.mu.Lock()
+	if c.requests == nil {
+		c.requests = make(map[MsgType]int64)
+	}
+	c.requests[t]++
+	c.mu.Unlock()
+}
+
+func (c *clientCounters) snapshot() ClientStats {
+	c.mu.Lock()
+	reqs := make(map[string]int64, len(c.requests))
+	for t, n := range c.requests {
+		reqs[t.String()] = n
+	}
+	c.mu.Unlock()
+	return ClientStats{
+		Requests:     reqs,
+		BytesOut:     c.bytesOut.Load(),
+		BytesIn:      c.bytesIn.Load(),
+		FramesOut:    c.framesOut.Load(),
+		FramesIn:     c.framesIn.Load(),
+		Retries:      c.retries.Load(),
+		Dials:        c.dials.Load(),
+		PoolHits:     c.poolHits.Load(),
+		PoolMisses:   c.poolMiss.Load(),
+		RemoteErrors: c.remoteErrs.Load(),
+	}
+}
+
+// countingConn wraps a connection so every byte moved is accounted on the
+// owning client, pooled reuse included.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
 // Client is a connection-pooled client for one node. It is safe for
 // concurrent use; concurrent requests beyond the pool size dial extra
 // connections that are pooled on return (up to the cap) or closed.
 type Client struct {
 	addr string
 	cfg  ClientConfig
+	// dial is the connection factory; tests substitute fault-injecting
+	// connections here.
+	dial func() (net.Conn, error)
+
+	stats clientCounters
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -71,11 +162,18 @@ type Client struct {
 // NewClient returns a client for the node at addr. No connection is made
 // until the first request.
 func NewClient(addr string, cfg ClientConfig) *Client {
-	return &Client{addr: addr, cfg: cfg.withDefaults()}
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.dial = func() (net.Conn, error) {
+		return net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	}
+	return c
 }
 
 // Addr returns the node address.
 func (c *Client) Addr() string { return c.addr }
+
+// Stats snapshots the client's cumulative wire counters.
+func (c *Client) Stats() ClientStats { return c.stats.snapshot() }
 
 // Close closes every pooled connection. In-flight requests finish on their
 // own connections.
@@ -102,11 +200,17 @@ func (c *Client) getConn() (conn net.Conn, reused bool, err error) {
 		conn = c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		c.stats.poolHits.Add(1)
 		return conn, true, nil
 	}
 	c.mu.Unlock()
-	conn, err = net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	return conn, false, err
+	c.stats.poolMiss.Add(1)
+	raw, err := c.dial()
+	if err != nil {
+		return nil, false, err
+	}
+	c.stats.dials.Add(1)
+	return &countingConn{Conn: raw, in: &c.stats.bytesIn, out: &c.stats.bytesOut}, false, nil
 }
 
 // putConn returns a healthy connection to the pool.
@@ -135,16 +239,28 @@ func idempotent(t MsgType) bool {
 	}
 }
 
+// jitteredBackoff draws a uniform delay in [d/2, d]: exponential growth
+// sets the scale, jitter keeps a burst of failed requests from retrying in
+// lockstep.
+func jitteredBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
 // Do performs one request/response round trip, retrying transient
-// transport failures with exponential backoff. Retry policy:
+// transport failures with jittered exponential backoff. Retry policy:
 //
 //   - dial failures: always retryable (nothing was sent);
-//   - write failures on a REUSED pooled connection: retryable — the usual
-//     cause is the server having closed an idle connection, detected
-//     before the frame was accepted;
-//   - failures after the request was written: retried only for idempotent
-//     message types (a MergeDelta may have been applied even though the
-//     response was lost).
+//   - any failure of an idempotent request: retryable — whether or not the
+//     server consumed the frame, re-executing it is harmless by
+//     definition, so write failures on fresh and pooled connections alike
+//     are replayed;
+//   - failures of a non-idempotent request (MergeDelta) once any part of
+//     the frame may have been written: never retried — the server may
+//     have applied the merge even though the response was lost.
 //
 // A RemoteError (the server executed the request and reported an
 // application failure) is returned as-is and never retried.
@@ -164,7 +280,8 @@ func (c *Client) Do(req *Message) (*Message, error) {
 		if !retryable || attempt >= c.cfg.MaxRetries {
 			break
 		}
-		time.Sleep(backoff)
+		c.stats.retries.Add(1)
+		time.Sleep(jitteredBackoff(backoff))
 		backoff *= 2
 	}
 	return nil, fmt.Errorf("transport: %s to %s: %w", req.Type, c.addr, lastErr)
@@ -172,28 +289,38 @@ func (c *Client) Do(req *Message) (*Message, error) {
 
 // try performs one attempt, reporting whether a failure is safe to retry.
 func (c *Client) try(req *Message) (resp *Message, retryable bool, err error) {
-	conn, reused, err := c.getConn()
+	conn, _, err := c.getConn()
 	if err != nil {
 		return nil, true, err // nothing sent
 	}
-	deadline := time.Now().Add(c.cfg.Timeout)
-	conn.SetDeadline(deadline)
+	c.stats.countRequest(req.Type)
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+		conn.Close()
+		return nil, true, err // nothing sent
+	}
 	if err := WriteMessage(conn, req); err != nil {
 		conn.Close()
-		// On a fresh connection the server may have consumed a partial
-		// frame; only a stale pooled connection is provably safe, and then
-		// only if the request is idempotent anyway — a closed idle socket
-		// can still have accepted the bytes into its receive buffer.
-		return nil, reused && idempotent(req.Type), err
+		// The server may have consumed part of the frame (even a stale
+		// pooled connection can have accepted bytes into its receive
+		// buffer), so only requests that are safe to re-execute retry.
+		return nil, idempotent(req.Type), err
 	}
+	c.stats.framesOut.Add(1)
 	m, err := ReadMessage(conn)
 	if err != nil {
 		conn.Close()
 		return nil, idempotent(req.Type), err
 	}
-	conn.SetDeadline(time.Time{})
-	c.putConn(conn)
+	c.stats.framesIn.Add(1)
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		// The response is in hand; just don't pool a connection whose
+		// deadline state is unknown.
+		conn.Close()
+	} else {
+		c.putConn(conn)
+	}
 	if m.Type == MsgErr {
+		c.stats.remoteErrs.Add(1)
 		return nil, false, &RemoteError{Msg: m.Err}
 	}
 	return m, false, nil

@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptConn is a fault-injecting net.Conn: writes can be made to fail,
+// reads serve a pre-encoded response frame or a scripted error. It records
+// every byte written so tests can assert what actually went on the wire.
+type scriptConn struct {
+	mu          sync.Mutex
+	writeErr    error // returned by Write when set
+	readErr     error // returned by Read once the response is drained
+	deadlineErr error // returned by SetDeadline when set
+	resp        *bytes.Reader
+	wrote       bytes.Buffer
+	closed      bool
+}
+
+// withResponse pre-encodes a response frame for the conn to serve.
+func (c *scriptConn) withResponse(t *testing.T, m *Message) *scriptConn {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("encoding scripted response: %v", err)
+	}
+	c.resp = bytes.NewReader(buf.Bytes())
+	return c
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resp != nil && c.resp.Len() > 0 {
+		return c.resp.Read(p)
+	}
+	if c.readErr != nil {
+		return 0, c.readErr
+	}
+	return 0, errors.New("scriptConn: no response scripted")
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.writeErr != nil {
+		return 0, c.writeErr
+	}
+	return c.wrote.Write(p)
+}
+
+func (c *scriptConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *scriptConn) written() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wrote.Len()
+}
+
+func (c *scriptConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *scriptConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *scriptConn) SetDeadline(t time.Time) error      { return c.deadlineErr }
+func (c *scriptConn) SetReadDeadline(t time.Time) error  { return c.deadlineErr }
+func (c *scriptConn) SetWriteDeadline(t time.Time) error { return c.deadlineErr }
+
+// scriptedClient builds a client whose dial hook hands out the given conns
+// in order; dialing past the end fails.
+func scriptedClient(conns ...net.Conn) *Client {
+	c := NewClient("scripted", ClientConfig{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	}.withDefaults())
+	i := 0
+	var mu sync.Mutex
+	c.dial = func() (net.Conn, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(conns) {
+			return nil, errors.New("scriptConn: dial budget exhausted")
+		}
+		conn := conns[i]
+		i++
+		return conn, nil
+	}
+	return c
+}
+
+// Regression: a write failure for an idempotent request on a FRESH
+// connection used to be classified non-retryable (the old policy only
+// retried `reused && idempotent`), so a single dead dial failed the whole
+// request even though replaying a Ping is harmless.
+func TestWriteFailureFreshConnIdempotentRetried(t *testing.T) {
+	bad := &scriptConn{writeErr: errors.New("injected write failure")}
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(bad, good)
+	defer c.Close()
+
+	resp, err := c.Do(&Message{Type: MsgPing})
+	if err != nil {
+		t.Fatalf("Do(Ping) after fresh-conn write failure: %v", err)
+	}
+	if resp.Type != MsgOK {
+		t.Fatalf("resp.Type = %v, want OK", resp.Type)
+	}
+	st := c.Stats()
+	if st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+	if !bad.closed {
+		t.Fatal("failed connection was not closed")
+	}
+	if st.Requests["Ping"] != 2 {
+		t.Fatalf("Requests[Ping] = %d, want 2 (one per attempt)", st.Requests["Ping"])
+	}
+}
+
+// A write failure on a REUSED (pooled) connection retries as before.
+func TestWriteFailureReusedConnRetried(t *testing.T) {
+	stale := &scriptConn{writeErr: errors.New("stale pooled conn")}
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(good)
+	defer c.Close()
+	c.idle = append(c.idle, stale) // plant the stale conn in the pool
+
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatalf("Do(Ping) after pooled-conn write failure: %v", err)
+	}
+	st := c.Stats()
+	if st.PoolHits != 1 || st.Retries != 1 {
+		t.Fatalf("PoolHits=%d Retries=%d, want 1 and 1", st.PoolHits, st.Retries)
+	}
+}
+
+// A lost response (write succeeded, read failed) retries when the request
+// is idempotent.
+func TestLostResponseIdempotentRetried(t *testing.T) {
+	mute := &scriptConn{readErr: errors.New("injected read failure")}
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgBool, Flag: true})
+	c := scriptedClient(mute, good)
+	defer c.Close()
+
+	resp, err := c.Do(&Message{Type: MsgHasChunk, Array: "A", Key: "0|0"})
+	if err != nil {
+		t.Fatalf("Do(HasChunk) after lost response: %v", err)
+	}
+	if resp.Type != MsgBool || !resp.Flag {
+		t.Fatalf("resp = %+v, want Bool/true", resp)
+	}
+	if got := c.Stats().Retries; got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+	if mute.written() == 0 {
+		t.Fatal("first attempt should have written the frame")
+	}
+}
+
+// MergeDelta is NOT idempotent: once the frame may have been written, a
+// lost response must surface as an error with no replay — the server may
+// have applied the merge, and folding it twice corrupts the view.
+func TestLostResponseMergeDeltaNotRetried(t *testing.T) {
+	mute := &scriptConn{readErr: errors.New("injected read failure")}
+	spare := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(mute, spare)
+	defer c.Close()
+
+	req := &Message{Type: MsgMergeDelta, Array: "V", Chunk: []byte{1, 2, 3}}
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("Do(MergeDelta) with lost response must fail, not retry")
+	}
+	st := c.Stats()
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", st.Retries)
+	}
+	if st.Requests["MergeDelta"] != 1 {
+		t.Fatalf("Requests[MergeDelta] = %d, want exactly 1 attempt", st.Requests["MergeDelta"])
+	}
+	if spare.written() != 0 {
+		t.Fatal("MergeDelta was replayed on a second connection")
+	}
+}
+
+// A MergeDelta write failure is also terminal: bytes may have reached the
+// server's receive buffer even if Write reported an error.
+func TestWriteFailureMergeDeltaNotRetried(t *testing.T) {
+	bad := &scriptConn{writeErr: errors.New("injected write failure")}
+	spare := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(bad, spare)
+	defer c.Close()
+
+	if _, err := c.Do(&Message{Type: MsgMergeDelta, Array: "V"}); err == nil {
+		t.Fatal("Do(MergeDelta) with write failure must fail, not retry")
+	}
+	if spare.written() != 0 {
+		t.Fatal("MergeDelta was replayed after a write failure")
+	}
+}
+
+// Dial failures retry regardless of request type: nothing was sent.
+func TestDialFailureRetried(t *testing.T) {
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(good)
+	defer c.Close()
+	inner := c.dial
+	calls := 0
+	c.dial = func() (net.Conn, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("injected dial failure")
+		}
+		return inner()
+	}
+
+	if _, err := c.Do(&Message{Type: MsgMergeDelta, Array: "V"}); err != nil {
+		t.Fatalf("Do(MergeDelta) after dial failure: %v", err)
+	}
+	if got := c.Stats().Retries; got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+}
+
+// A SetDeadline failure before the write is retryable (nothing sent) and
+// must not be ignored: the connection is condemned.
+func TestSetDeadlineFailureRetried(t *testing.T) {
+	bad := &scriptConn{deadlineErr: errors.New("injected deadline failure")}
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(bad, good)
+	defer c.Close()
+
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatalf("Do(Ping) after SetDeadline failure: %v", err)
+	}
+	if !bad.closed {
+		t.Fatal("connection with failing SetDeadline was not closed")
+	}
+	if bad.written() != 0 {
+		t.Fatal("no frame should be written after SetDeadline fails")
+	}
+}
+
+// A RemoteError is an application failure: the server executed the request,
+// so it is never retried — not even for idempotent types.
+func TestRemoteErrorNotRetried(t *testing.T) {
+	errConn := (&scriptConn{}).withResponse(t, &Message{Type: MsgErr, Err: "no such chunk"})
+	spare := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(errConn, spare)
+	defer c.Close()
+
+	_, err := c.Do(&Message{Type: MsgGetChunk, Array: "A", Key: "0|0"})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	st := c.Stats()
+	if st.Retries != 0 || st.RemoteErrors != 1 {
+		t.Fatalf("Retries=%d RemoteErrors=%d, want 0 and 1", st.Retries, st.RemoteErrors)
+	}
+}
+
+// Retries stop at MaxRetries even for idempotent requests.
+func TestRetriesExhausted(t *testing.T) {
+	mk := func() *scriptConn { return &scriptConn{writeErr: errors.New("down")} }
+	c := scriptedClient(mk(), mk(), mk(), mk())
+	defer c.Close()
+
+	if _, err := c.Do(&Message{Type: MsgPing}); err == nil {
+		t.Fatal("Do must fail once retries are exhausted")
+	}
+	st := c.Stats()
+	if st.Retries != int64(c.cfg.MaxRetries) {
+		t.Fatalf("Retries = %d, want %d", st.Retries, c.cfg.MaxRetries)
+	}
+	if st.Requests["Ping"] != int64(c.cfg.MaxRetries)+1 {
+		t.Fatalf("Requests[Ping] = %d, want %d", st.Requests["Ping"], c.cfg.MaxRetries+1)
+	}
+}
+
+// jitteredBackoff draws uniformly in [d/2, d].
+func TestJitteredBackoffBounds(t *testing.T) {
+	d := 20 * time.Millisecond
+	lo, hi := d, time.Duration(0)
+	for i := 0; i < 500; i++ {
+		got := jitteredBackoff(d)
+		if got < d/2 || got > d {
+			t.Fatalf("jitteredBackoff(%v) = %v, outside [%v, %v]", d, got, d/2, d)
+		}
+		if got < lo {
+			lo = got
+		}
+		if got > hi {
+			hi = got
+		}
+	}
+	// With 500 draws the spread should cover a good part of the range; a
+	// constant result would mean the jitter is broken.
+	if lo == hi {
+		t.Fatalf("jitteredBackoff is constant at %v", lo)
+	}
+	if jitteredBackoff(0) != 0 || jitteredBackoff(1) != 1 {
+		t.Fatal("degenerate durations must pass through")
+	}
+}
+
+// Wire counters reflect what actually moved: bytes/frames on success, per
+// attempt request counts, pool accounting.
+func TestClientStatsCounters(t *testing.T) {
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(good)
+	defer c.Close()
+
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatalf("Do(Ping): %v", err)
+	}
+	st := c.Stats()
+	if st.FramesOut != 1 || st.FramesIn != 1 {
+		t.Fatalf("FramesOut=%d FramesIn=%d, want 1 and 1", st.FramesOut, st.FramesIn)
+	}
+	if st.Dials != 1 || st.PoolMisses != 1 {
+		t.Fatalf("Dials=%d PoolMisses=%d, want 1 and 1", st.Dials, st.PoolMisses)
+	}
+	// scriptConn is not wrapped by countingConn only when planted in the
+	// pool; dialed conns are wrapped, so byte counters must have moved.
+	if st.BytesOut == 0 || st.BytesIn == 0 {
+		t.Fatalf("BytesOut=%d BytesIn=%d, want both > 0", st.BytesOut, st.BytesIn)
+	}
+}

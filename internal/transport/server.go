@@ -9,6 +9,7 @@ import (
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/storage"
 	"github.com/arrayview/arrayview/internal/view"
 )
@@ -45,12 +46,72 @@ func (c *ServerConfig) write() time.Duration {
 	}
 }
 
+// ServerStats is a snapshot of one node daemon's cumulative counters,
+// plus its current storage footprint.
+type ServerStats struct {
+	// Accepted counts connections accepted since start; Active is the
+	// number currently open.
+	Accepted, Active int64
+	// BytesIn and BytesOut are raw socket bytes read and written.
+	BytesIn, BytesOut int64
+	// FramesIn and FramesOut count decoded requests and written responses.
+	FramesIn, FramesOut int64
+	// Requests counts handled requests by message type name.
+	Requests map[string]int64
+	// Errors counts requests answered with an error response.
+	Errors int64
+	// StoreChunks and StoreBytes are the store's resident footprint.
+	StoreChunks int64
+	StoreBytes  int64
+}
+
+// serverCounters is the live atomic form of ServerStats.
+type serverCounters struct {
+	mu       sync.Mutex
+	requests map[MsgType]int64
+
+	accepted            obs.Counter
+	active              obs.Counter
+	bytesIn, bytesOut   obs.Counter
+	framesIn, framesOut obs.Counter
+	errors              obs.Counter
+}
+
+func (c *serverCounters) countRequest(t MsgType) {
+	c.mu.Lock()
+	if c.requests == nil {
+		c.requests = make(map[MsgType]int64)
+	}
+	c.requests[t]++
+	c.mu.Unlock()
+}
+
+func (c *serverCounters) snapshot() ServerStats {
+	c.mu.Lock()
+	reqs := make(map[string]int64, len(c.requests))
+	for t, n := range c.requests {
+		reqs[t.String()] = n
+	}
+	c.mu.Unlock()
+	return ServerStats{
+		Accepted:  c.accepted.Load(),
+		Active:    c.active.Load(),
+		BytesIn:   c.bytesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		FramesIn:  c.framesIn.Load(),
+		FramesOut: c.framesOut.Load(),
+		Requests:  reqs,
+		Errors:    c.errors.Load(),
+	}
+}
+
 // NodeServer serves one worker node's chunk store over TCP. Each accepted
 // connection gets its own goroutine running a request/response loop, so a
 // coordinator can hold several concurrent connections to one node.
 type NodeServer struct {
 	store *storage.Store
 	cfg   ServerConfig
+	stats serverCounters
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -77,6 +138,15 @@ func NewNodeServer(store *storage.Store, cfg *ServerConfig) *NodeServer {
 
 // Store returns the served store.
 func (s *NodeServer) Store() *storage.Store { return s.store }
+
+// Stats snapshots the server's cumulative counters and the store's current
+// footprint.
+func (s *NodeServer) Stats() ServerStats {
+	st := s.stats.snapshot()
+	st.StoreChunks = int64(s.store.NumChunks())
+	st.StoreBytes = s.store.Bytes()
+	return st
+}
 
 // Listen binds the address ("host:port"; ":0" picks a free port) and
 // starts accepting connections in the background.
@@ -162,27 +232,41 @@ func (s *NodeServer) acceptLoop(ln net.Listener) {
 
 func (s *NodeServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.stats.accepted.Add(1)
+	s.stats.active.Add(1)
 	defer func() {
 		conn.Close()
+		s.stats.active.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	counted := &countingConn{Conn: conn, in: &s.stats.bytesIn, out: &s.stats.bytesOut}
 	for {
 		if d := s.cfg.idle(); d > 0 {
-			conn.SetReadDeadline(time.Now().Add(d))
+			if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+				return
+			}
 		}
-		req, err := ReadMessage(conn)
+		req, err := ReadMessage(counted)
 		if err != nil {
 			return // EOF, deadline, or protocol error: drop the connection
 		}
+		s.stats.framesIn.Add(1)
+		s.stats.countRequest(req.Type)
 		resp := s.handle(req)
-		if d := s.cfg.write(); d > 0 {
-			conn.SetWriteDeadline(time.Now().Add(d))
+		if resp.Type == MsgErr {
+			s.stats.errors.Add(1)
 		}
-		if err := WriteMessage(conn, resp); err != nil {
+		if d := s.cfg.write(); d > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+				return
+			}
+		}
+		if err := WriteMessage(counted, resp); err != nil {
 			return
 		}
+		s.stats.framesOut.Add(1)
 	}
 }
 

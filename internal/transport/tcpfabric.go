@@ -156,7 +156,8 @@ func (f *TCPFabric) DropArray(node int, arrayName string) (int, error) {
 	return int(resp.Count), nil
 }
 
-// Stats implements cluster.Fabric.
+// Stats implements cluster.Fabric: the node's storage footprint from the
+// daemon plus this coordinator's cumulative wire counters for the node.
 func (f *TCPFabric) Stats(node int) (cluster.FabricStats, error) {
 	c, err := f.client(node)
 	if err != nil {
@@ -166,7 +167,23 @@ func (f *TCPFabric) Stats(node int) (cluster.FabricStats, error) {
 	if err != nil {
 		return cluster.FabricStats{}, err
 	}
-	return cluster.FabricStats{NumChunks: int(resp.NumChunks), Bytes: resp.Bytes}, nil
+	cs := c.Stats()
+	return cluster.FabricStats{
+		NumChunks: int(resp.NumChunks),
+		Bytes:     resp.Bytes,
+		Net: cluster.NetCounters{
+			Requests:     cs.Requests,
+			BytesOut:     cs.BytesOut,
+			BytesIn:      cs.BytesIn,
+			FramesOut:    cs.FramesOut,
+			FramesIn:     cs.FramesIn,
+			Retries:      cs.Retries,
+			Reconnects:   cs.Dials,
+			PoolHits:     cs.PoolHits,
+			PoolMisses:   cs.PoolMisses,
+			RemoteErrors: cs.RemoteErrors,
+		},
+	}, nil
 }
 
 // RegisterView ships the view definition to every node so ExecuteJoin can
