@@ -7,9 +7,10 @@
 //	ivmbench -experiment all -scale small
 //	ivmbench -experiment fig6
 //
-// Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, ablations,
-// all. Datasets: PTF-5, PTF-25, GEO. Modes: real, random, correlated,
-// periodic ("real" maps to "random" for GEO, as in the paper).
+// Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
+// ablations, fabric, kernel, all. Datasets: PTF-5, PTF-25, GEO. Modes: real,
+// random, correlated, periodic ("real" maps to "random" for GEO, as in the
+// paper).
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -166,6 +167,13 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 				counts = []int{2, 4, 8}
 			}
 			r, err := bench.Scaling(out, mkSpec(bench.PTF5, workload.Real), counts)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "kernel":
+			r, err := bench.Kernel(out)
 			if err != nil {
 				return err
 			}

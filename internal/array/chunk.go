@@ -9,13 +9,28 @@ import (
 // cells covered by one regular chunk slot of the schema. Cells are stored
 // sparsely, keyed by their local row-major offset inside the chunk region.
 //
-// A Chunk is not safe for concurrent mutation; the cluster layer serializes
-// writes per chunk.
+// A Chunk maintains two lazily built caches derived from the occupied
+// offset set: a sorted-offset index (backing EachSorted and EachSortedInto)
+// and the tight bounding box of the occupied cells (backing BoundingBox).
+// Both are invalidated by any mutation that changes which cells are
+// occupied and rebuilt on next use, so repeated ordered iteration and
+// pruning — the join kernel's access pattern — pay the sort and the scan
+// once, not per call.
+//
+// A Chunk is not safe for concurrent use: even read-side iteration may
+// build the caches. The cluster layer hands each worker its own copy.
 type Chunk struct {
 	coord  ChunkCoord
 	region Region
 	nattrs int
 	cells  map[int64]Tuple
+
+	// sorted is the row-major offset index; nil when stale.
+	sorted []int64
+	// bbox is the cached bounding box of the occupied cells; valid only
+	// while bboxOK is set and the chunk is non-empty.
+	bbox   Region
+	bboxOK bool
 }
 
 // NewChunk creates an empty chunk covering the slot cc of schema s.
@@ -50,6 +65,30 @@ func (c *Chunk) SizeBytes() int64 {
 	return int64(len(c.cells)) * int64(8+8*c.nattrs)
 }
 
+// invalidate drops the derived caches. Called by every mutation that
+// changes the set of occupied offsets; overwriting an occupied cell keeps
+// both caches valid.
+func (c *Chunk) invalidate() {
+	c.sorted = nil
+	c.bboxOK = false
+}
+
+// index returns the sorted-offset index, rebuilding it if stale. The
+// returned slice is owned by the chunk and must not be mutated; callers
+// iterating it see a snapshot even if the chunk is mutated mid-iteration
+// (matching the historical EachSorted semantics).
+func (c *Chunk) index() []int64 {
+	if c.sorted == nil {
+		offs := make([]int64, 0, len(c.cells))
+		for off := range c.cells {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		c.sorted = offs
+	}
+	return c.sorted
+}
+
 // localOffset converts a global point inside the chunk region to a local
 // row-major offset.
 func (c *Chunk) localOffset(p Point) int64 {
@@ -63,14 +102,19 @@ func (c *Chunk) localOffset(p Point) int64 {
 
 // globalPoint converts a local offset back to a global point.
 func (c *Chunk) globalPoint(off int64) Point {
-	d := len(c.region.Lo)
-	p := make(Point, d)
-	for i := d - 1; i >= 0; i-- {
+	p := make(Point, len(c.region.Lo))
+	c.globalPointInto(off, p)
+	return p
+}
+
+// globalPointInto decodes a local offset into the caller-provided point,
+// which must have the chunk's dimensionality.
+func (c *Chunk) globalPointInto(off int64, p Point) {
+	for i := len(c.region.Lo) - 1; i >= 0; i-- {
 		span := c.region.Hi[i] - c.region.Lo[i] + 1
 		p[i] = c.region.Lo[i] + off%span
 		off /= span
 	}
-	return p
 }
 
 // Set writes the tuple at point p, which must lie inside the chunk region
@@ -82,7 +126,11 @@ func (c *Chunk) Set(p Point, t Tuple) error {
 	if len(t) != c.nattrs {
 		return fmt.Errorf("array: tuple has %d attrs, chunk needs %d", len(t), c.nattrs)
 	}
-	c.cells[c.localOffset(p)] = t.Clone()
+	off := c.localOffset(p)
+	if _, occupied := c.cells[off]; !occupied {
+		c.invalidate()
+	}
+	c.cells[off] = t.Clone()
 	return nil
 }
 
@@ -92,6 +140,15 @@ func (c *Chunk) Get(p Point) (t Tuple, ok bool) {
 		return nil, false
 	}
 	t, ok = c.cells[c.localOffset(p)]
+	return t, ok
+}
+
+// GetOffset returns the tuple stored at a local row-major offset. It is the
+// join kernel's probe fast path: the kernel derives offsets incrementally
+// from the region's strides, so the per-probe point decoding and bounds
+// check of Get are skipped.
+func (c *Chunk) GetOffset(off int64) (t Tuple, ok bool) {
+	t, ok = c.cells[off]
 	return t, ok
 }
 
@@ -105,6 +162,7 @@ func (c *Chunk) Delete(p Point) bool {
 		return false
 	}
 	delete(c.cells, off)
+	c.invalidate()
 	return true
 }
 
@@ -121,19 +179,28 @@ func (c *Chunk) Each(fn func(p Point, t Tuple) bool) {
 
 // EachSorted calls fn for every non-empty cell in row-major order.
 func (c *Chunk) EachSorted(fn func(p Point, t Tuple) bool) {
-	offs := make([]int64, 0, len(c.cells))
-	for off := range c.cells {
-		offs = append(offs, off)
-	}
-	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
-	for _, off := range offs {
+	for _, off := range c.index() {
 		if !fn(c.globalPoint(off), c.cells[off]) {
 			return
 		}
 	}
 }
 
-// Clone returns a deep copy of the chunk.
+// EachSortedInto is EachSorted with a caller-provided coordinate buffer:
+// buf (which must have the chunk's dimensionality) is refilled and passed
+// to fn for every cell, so the iteration itself allocates nothing. The
+// point is valid only for the duration of the callback.
+func (c *Chunk) EachSortedInto(buf Point, fn func(p Point, t Tuple) bool) {
+	for _, off := range c.index() {
+		c.globalPointInto(off, buf)
+		if !fn(buf, c.cells[off]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the chunk. Derived caches are not copied;
+// the clone rebuilds them on first use.
 func (c *Chunk) Clone() *Chunk {
 	out := &Chunk{
 		coord:  c.coord.Clone(),
@@ -148,7 +215,9 @@ func (c *Chunk) Clone() *Chunk {
 }
 
 // MergeFrom copies every non-empty cell of src into c, overwriting
-// collisions. Both chunks must cover the same region.
+// collisions. Both chunks must cover the same region. Tuples are cloned;
+// src is untouched. Use AbsorbFrom when src is a scratch chunk that will be
+// discarded.
 func (c *Chunk) MergeFrom(src *Chunk) error {
 	if !c.coord.Equal(src.coord) {
 		return fmt.Errorf("array: merging chunk %v into %v", src.coord, c.coord)
@@ -156,21 +225,54 @@ func (c *Chunk) MergeFrom(src *Chunk) error {
 	for off, t := range src.cells {
 		c.cells[off] = t.Clone()
 	}
+	if len(src.cells) > 0 {
+		c.invalidate()
+	}
+	return nil
+}
+
+// AbsorbFrom moves every non-empty cell of src into c, overwriting
+// collisions. Both chunks must cover the same region. Unlike MergeFrom the
+// tuples are moved, not cloned: c takes ownership and src is left empty, so
+// a batch-local source chunk can be dropped afterwards without aliasing c's
+// data.
+func (c *Chunk) AbsorbFrom(src *Chunk) error {
+	if !c.coord.Equal(src.coord) {
+		return fmt.Errorf("array: absorbing chunk %v into %v", src.coord, c.coord)
+	}
+	if len(src.cells) == 0 {
+		return nil
+	}
+	for off, t := range src.cells {
+		c.cells[off] = t
+	}
+	clear(src.cells)
+	c.invalidate()
+	src.invalidate()
 	return nil
 }
 
 // BoundingBox returns the tight bounding region of the non-empty cells and
 // ok=false when the chunk is empty. Used for cell-granularity join pruning.
+// The result is cached until the next occupancy change; the returned region
+// shares the cache's storage and must be treated as read-only (clone before
+// mutating or retaining across chunk mutations).
 func (c *Chunk) BoundingBox() (Region, bool) {
 	if len(c.cells) == 0 {
 		return Region{}, false
 	}
-	var bb Region
+	if c.bboxOK {
+		return c.bbox, true
+	}
+	d := len(c.region.Lo)
+	bb := Region{Lo: make(Point, d), Hi: make(Point, d)}
+	p := make(Point, d)
 	first := true
 	for off := range c.cells {
-		p := c.globalPoint(off)
+		c.globalPointInto(off, p)
 		if first {
-			bb = Region{Lo: p.Clone(), Hi: p.Clone()}
+			copy(bb.Lo, p)
+			copy(bb.Hi, p)
 			first = false
 			continue
 		}
@@ -183,5 +285,7 @@ func (c *Chunk) BoundingBox() (Region, bool) {
 			}
 		}
 	}
-	return bb, true
+	c.bbox = bb
+	c.bboxOK = true
+	return c.bbox, true
 }

@@ -1,0 +1,294 @@
+package array
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// indexSchema gives chunks enough cells (200) for interleaved and randomized
+// cache-invalidation sequences.
+func indexSchema() *Schema {
+	return MustSchema("IX",
+		[]Dimension{
+			{Name: "x", Start: 0, End: 39, ChunkSize: 20},
+			{Name: "y", Start: 0, End: 9, ChunkSize: 10},
+		},
+		[]Attribute{{Name: "v", Type: Float64}})
+}
+
+// cachesStale reports which of the two lazily-built caches are invalidated.
+func cachesStale(c *Chunk) (sortedStale, bboxStale bool) {
+	return c.sorted == nil, !c.bboxOK
+}
+
+// TestChunkIndexInvalidation interleaves mutations with the cached read
+// paths and checks the caches go stale exactly when the cell set changes.
+func TestChunkIndexInvalidation(t *testing.T) {
+	c := NewChunk(indexSchema(), ChunkCoord{0, 0})
+	mustSet := func(p Point, v float64) {
+		t.Helper()
+		if err := c.Set(p, Tuple{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sortedPoints := func() []Point {
+		var pts []Point
+		c.EachSorted(func(p Point, _ Tuple) bool {
+			pts = append(pts, p.Clone())
+			return true
+		})
+		return pts
+	}
+
+	mustSet(Point{3, 4}, 1)
+	mustSet(Point{1, 2}, 2)
+	mustSet(Point{19, 9}, 3)
+
+	// Build both caches.
+	pts := sortedPoints()
+	if len(pts) != 3 {
+		t.Fatalf("EachSorted visited %d cells, want 3", len(pts))
+	}
+	bb, ok := c.BoundingBox()
+	if !ok || !bb.Lo.Equal(Point{1, 2}) || !bb.Hi.Equal(Point{19, 9}) {
+		t.Fatalf("BoundingBox = %v, %v", bb, ok)
+	}
+	if s, b := cachesStale(c); s || b {
+		t.Fatal("caches must be built after EachSorted+BoundingBox")
+	}
+
+	// Overwriting an occupied cell changes no offsets: caches stay valid.
+	mustSet(Point{3, 4}, 42)
+	if s, b := cachesStale(c); s || b {
+		t.Fatal("overwrite of an occupied cell must keep the caches")
+	}
+	if got, _ := c.Get(Point{3, 4}); got[0] != 42 {
+		t.Fatalf("overwrite lost: Get = %v", got)
+	}
+
+	// Deleting an absent cell is a no-op for the caches too.
+	if c.Delete(Point{0, 0}) {
+		t.Fatal("Delete of empty cell reported occupancy")
+	}
+	if s, b := cachesStale(c); s || b {
+		t.Fatal("Delete of an absent cell must keep the caches")
+	}
+
+	// A new cell invalidates; the rebuilt index must include it in order.
+	mustSet(Point{0, 0}, 4)
+	if s, b := cachesStale(c); !s || !b {
+		t.Fatal("Set of a fresh cell must invalidate both caches")
+	}
+	pts = sortedPoints()
+	want := []Point{{0, 0}, {1, 2}, {3, 4}, {19, 9}}
+	if len(pts) != len(want) {
+		t.Fatalf("EachSorted visited %d cells, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if !pts[i].Equal(want[i]) {
+			t.Fatalf("EachSorted[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+
+	// A real deletion invalidates, and the bounding box shrinks.
+	if !c.Delete(Point{19, 9}) {
+		t.Fatal("Delete of occupied cell reported empty")
+	}
+	if s, b := cachesStale(c); !s || !b {
+		t.Fatal("Delete of an occupied cell must invalidate both caches")
+	}
+	bb, ok = c.BoundingBox()
+	if !ok || !bb.Lo.Equal(Point{0, 0}) || !bb.Hi.Equal(Point{3, 4}) {
+		t.Fatalf("BoundingBox after delete = %v, %v", bb, ok)
+	}
+}
+
+// TestChunkIndexRandomOps drives a chunk and a naive reference map through
+// the same random Set/Delete sequence, comparing the cached read paths
+// against answers recomputed from scratch after every step.
+func TestChunkIndexRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewChunk(indexSchema(), ChunkCoord{0, 0})
+	type key [2]int64
+	ref := make(map[key]float64)
+
+	check := func(step int) {
+		t.Helper()
+		// Reference answer: offsets in row-major order = points in
+		// lexicographic order for this schema.
+		var keys []key
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		i := 0
+		c.EachSorted(func(p Point, tup Tuple) bool {
+			if i >= len(keys) {
+				t.Fatalf("step %d: EachSorted visited more than %d cells", step, len(keys))
+			}
+			k := key{p[0], p[1]}
+			if k != keys[i] {
+				t.Fatalf("step %d: EachSorted[%d] = %v, want %v", step, i, k, keys[i])
+			}
+			if tup[0] != ref[k] {
+				t.Fatalf("step %d: cell %v = %v, want %v", step, k, tup[0], ref[k])
+			}
+			i++
+			return true
+		})
+		if i != len(keys) {
+			t.Fatalf("step %d: EachSorted visited %d cells, want %d", step, i, len(keys))
+		}
+
+		bb, ok := c.BoundingBox()
+		if ok != (len(ref) > 0) {
+			t.Fatalf("step %d: BoundingBox ok = %v with %d cells", step, ok, len(ref))
+		}
+		if ok {
+			lo := Point{int64(1 << 40), int64(1 << 40)}
+			hi := Point{int64(-1 << 40), int64(-1 << 40)}
+			for k := range ref {
+				for d := 0; d < 2; d++ {
+					if k[d] < lo[d] {
+						lo[d] = k[d]
+					}
+					if k[d] > hi[d] {
+						hi[d] = k[d]
+					}
+				}
+			}
+			if !bb.Lo.Equal(lo) || !bb.Hi.Equal(hi) {
+				t.Fatalf("step %d: BoundingBox = [%v,%v], want [%v,%v]", step, bb.Lo, bb.Hi, lo, hi)
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		p := Point{rng.Int63n(20), rng.Int63n(10)}
+		switch rng.Intn(4) {
+		case 0, 1: // Set dominates so the chunk actually fills up.
+			v := float64(step)
+			if err := c.Set(p, Tuple{v}); err != nil {
+				t.Fatal(err)
+			}
+			ref[key{p[0], p[1]}] = v
+		case 2:
+			got := c.Delete(p)
+			_, had := ref[key{p[0], p[1]}]
+			if got != had {
+				t.Fatalf("step %d: Delete(%v) = %v, reference %v", step, p, got, had)
+			}
+			delete(ref, key{p[0], p[1]})
+		case 3: // Read-only step: exercise cache reuse between mutations.
+		}
+		if step%7 == 0 || step > 380 {
+			check(step)
+		}
+	}
+	check(400)
+}
+
+// TestChunkAbsorbFrom proves the move-semantics merge: the destination gets
+// every cell, and the drained source can be mutated or dropped without
+// aliasing the destination's tuples.
+func TestChunkAbsorbFrom(t *testing.T) {
+	s := indexSchema()
+	dst := NewChunk(s, ChunkCoord{0, 0})
+	src := NewChunk(s, ChunkCoord{0, 0})
+	if err := dst.Set(Point{1, 1}, Tuple{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Set(Point{1, 1}, Tuple{20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Set(Point{5, 5}, Tuple{30}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dst.AbsorbFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if src.NumCells() != 0 {
+		t.Fatalf("source holds %d cells after absorb, want 0", src.NumCells())
+	}
+	// The drained source is safe to reuse or drop: writing through it must
+	// not reach tuples now owned by the destination.
+	if err := src.Set(Point{5, 5}, Tuple{-1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := dst.Get(Point{5, 5}); !ok || got[0] != 30 {
+		t.Fatalf("dst cell (5,5) = %v, %v after source reuse, want 30", got, ok)
+	}
+	if got, ok := dst.Get(Point{1, 1}); !ok || got[0] != 20 {
+		t.Fatalf("dst cell (1,1) = %v, %v, want absorbed 20", got, ok)
+	}
+	if dst.NumCells() != 2 {
+		t.Fatalf("dst holds %d cells, want 2", dst.NumCells())
+	}
+
+	// Coordinate mismatch is rejected, like MergeFrom.
+	other := NewChunk(s, ChunkCoord{1, 0})
+	if err := dst.AbsorbFrom(other); err == nil {
+		t.Fatal("absorbing a chunk with a different coordinate must fail")
+	}
+
+	// Empty source: no-op that must not invalidate the caches.
+	dst.EachSorted(func(Point, Tuple) bool { return true })
+	if _, ok := dst.BoundingBox(); !ok {
+		t.Fatal("BoundingBox on populated chunk")
+	}
+	empty := NewChunk(s, ChunkCoord{0, 0})
+	if err := dst.AbsorbFrom(empty); err != nil {
+		t.Fatal(err)
+	}
+	if sStale, bStale := cachesStale(dst); sStale || bStale {
+		t.Fatal("absorbing an empty chunk must keep the caches")
+	}
+}
+
+// TestChunkEachSortedIntoMatches pins the allocation-free iteration variant
+// to the public EachSorted order and contents.
+func TestChunkEachSortedIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewChunk(indexSchema(), ChunkCoord{1, 0})
+	for i := 0; i < 120; i++ {
+		p := Point{20 + rng.Int63n(20), rng.Int63n(10)}
+		if err := c.Set(p, Tuple{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []Point
+	var wantV []float64
+	c.EachSorted(func(p Point, tup Tuple) bool {
+		want = append(want, p.Clone())
+		wantV = append(wantV, tup[0])
+		return true
+	})
+	buf := make(Point, 2)
+	i := 0
+	c.EachSortedInto(buf, func(p Point, tup Tuple) bool {
+		if &p[0] != &buf[0] {
+			t.Fatal("EachSortedInto must yield the caller's buffer")
+		}
+		if !p.Equal(want[i]) || tup[0] != wantV[i] {
+			t.Fatalf("EachSortedInto[%d] = %v/%v, want %v/%v", i, p, tup[0], want[i], wantV[i])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("EachSortedInto visited %d cells, want %d", i, len(want))
+	}
+	// Early termination is honored.
+	n := 0
+	c.EachSortedInto(buf, func(Point, Tuple) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("EachSortedInto visited %d cells after stop, want 5", n)
+	}
+}

@@ -149,7 +149,9 @@ func (c *Cluster) DeleteAt(node int, arrayName string, key array.ChunkKey) (bool
 }
 
 // MergeAt folds src into the node-resident chunk with the same coordinate
-// under the spec's semantics.
+// under the spec's semantics. The source chunk is consumed — a cell merge
+// moves its tuples instead of cloning them — so callers must not reuse src
+// after the call.
 func (c *Cluster) MergeAt(node int, arrayName string, src *array.Chunk, spec MergeSpec) error {
 	if node == Coordinator {
 		fn, err := spec.Func()

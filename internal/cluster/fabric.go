@@ -28,7 +28,9 @@ type Fabric interface {
 	// Delete evicts a chunk, reporting whether it was resident.
 	Delete(node int, arrayName string, key array.ChunkKey) (bool, error)
 	// Merge folds src into the node's resident chunk with the same
-	// coordinate (creating it if absent) under the spec's semantics.
+	// coordinate (creating it if absent) under the spec's semantics. The
+	// source chunk is consumed: a cell merge may move its tuples instead
+	// of cloning them, so callers must not reuse src afterwards.
 	Merge(node int, arrayName string, src *array.Chunk, spec MergeSpec) error
 	// Keys lists the node's resident chunk keys for one array, sorted.
 	Keys(node int, arrayName string) ([]array.ChunkKey, error)

@@ -85,7 +85,10 @@ func (s MergeSpec) Func() (func(dst, src *array.Chunk) error, error) {
 	}
 	switch s.Kind {
 	case MergeCells:
-		return func(dst, src *array.Chunk) error { return dst.MergeFrom(src) }, nil
+		// The source is always batch-local here — a chunk decoded from the
+		// wire or from the store for this one merge and discarded after —
+		// so its tuples move instead of being cloned.
+		return func(dst, src *array.Chunk) error { return dst.AbsorbFrom(src) }, nil
 	case MergeErase:
 		return func(dst, src *array.Chunk) error {
 			src.Each(func(pt array.Point, _ array.Tuple) bool {

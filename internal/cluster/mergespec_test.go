@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// TestMergeCellsAbsorbsSource pins the move semantics of the cell merge:
+// the compiled function drains the batch-local source into the destination,
+// and the drained source can be mutated or discarded without reaching the
+// destination's tuples.
+func TestMergeCellsAbsorbsSource(t *testing.T) {
+	fn, err := MergeSpec{Kind: MergeCells}.Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig1Schema()
+	dst := array.NewChunk(s, array.ChunkCoord{0, 0})
+	src := array.NewChunk(s, array.ChunkCoord{0, 0})
+	if err := dst.Set(array.Point{1, 1}, array.Tuple{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Set(array.Point{2, 2}, array.Tuple{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if src.NumCells() != 0 {
+		t.Fatalf("source holds %d cells after cell merge, want 0 (moved)", src.NumCells())
+	}
+	if err := src.Set(array.Point{2, 2}, array.Tuple{-1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Get(array.Point{2, 2})
+	if !ok || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("dst cell = %v, %v after source reuse, want {7 8}", got, ok)
+	}
+}
+
+// TestMergeAtCellsThroughFabric exercises the same merge through the
+// cluster data plane: MergeAt consumes the caller's chunk (its tuples move
+// into the resident chunk on the local fabric), and the merged result
+// accumulates the cells of both.
+func TestMergeAtCellsThroughFabric(t *testing.T) {
+	cl, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Catalog().Register(fig1Schema()); err != nil {
+		t.Fatal(err)
+	}
+	s := fig1Schema()
+	base := array.NewChunk(s, array.ChunkCoord{0, 0})
+	if err := base.Set(array.Point{1, 1}, array.Tuple{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PutAt(1, "A", base); err != nil {
+		t.Fatal(err)
+	}
+	delta := array.NewChunk(s, array.ChunkCoord{0, 0})
+	if err := delta.Set(array.Point{2, 2}, array.Tuple{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MergeAt(1, "A", delta, MergeSpec{Kind: MergeCells}); err != nil {
+		t.Fatal(err)
+	}
+	// MergeAt consumed the delta: on the local fabric its tuples moved into
+	// the resident chunk, so the drained source is safe to drop.
+	if delta.NumCells() != 0 {
+		t.Fatalf("caller's delta chunk holds %d cells after MergeAt, want 0 (consumed)", delta.NumCells())
+	}
+	merged, err := cl.GetAt(1, "A", base.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumCells() != 2 {
+		t.Fatalf("merged chunk holds %d cells, want 2", merged.NumCells())
+	}
+	got, ok := merged.Get(array.Point{2, 2})
+	if !ok || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("merged cell = %v, %v, want {7 8}", got, ok)
+	}
+}

@@ -140,10 +140,7 @@ func chooseJoinSiteParallel(ctx *Context, ledger *cluster.Ledger, holders *holde
 	costs := make([]float64, n)
 	loads := make([]float64, n)
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
+	workers := candidateWorkers(n)
 	next := int64(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -174,6 +171,20 @@ func chooseJoinSiteParallel(ctx *Context, ledger *cluster.Ledger, holders *holde
 		}
 	}
 	return dest
+}
+
+// candidateWorkers bounds the candidate-loop fan-out: never more goroutines
+// than candidate nodes (spawning idle workers for small clusters is pure
+// overhead) and never more than the scheduler can actually run.
+func candidateWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func sum(v []float64) float64 {

@@ -40,17 +40,15 @@ func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 	}
 	ledger := p.Charge(ctx)
 	stop()
-	cl := ctx.Cluster
 
-	// Phase 1: replicate chunks per the plan (x variables).
+	// Phase 1: replicate chunks per the plan (x variables), concurrently
+	// grouped by destination node.
 	stop = tr.Start(obs.PhaseTransfer)
-	for _, t := range p.Transfers {
-		if err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To); err != nil {
-			stop()
-			return nil, err
-		}
-	}
+	err = runTransfers(ctx, p)
 	stop()
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: move view chunks whose home changes, so differential merges
 	// land on the fresh home.
@@ -87,6 +85,53 @@ func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 		return nil, err
 	}
 	return ledger, nil
+}
+
+// runTransfers executes the plan's Phase-1 replications (x variables)
+// concurrently: identical ships — the same chunk bound for the same
+// destination — are deduplicated, and the rest are grouped by destination
+// node and drained through the cluster's bounded per-node worker pools, so
+// a batch shipping to k destinations overlaps its network transfers
+// instead of serializing them. The first error aborts the remaining
+// queues.
+//
+// Plans may chain ships (the baseline stages a delta chunk at its placed
+// node and fans out from there), so transfers are scheduled in waves: a
+// transfer whose source replica is itself created by this plan runs one
+// wave after the transfer creating it, preserving the in-order residency
+// guarantee Validate checks while everything within a wave runs in
+// parallel.
+func runTransfers(ctx *Context, p *Plan) error {
+	cl := ctx.Cluster
+	type ship struct {
+		ref view.ChunkRef
+		to  int
+	}
+	seen := make(map[ship]int, len(p.Transfers)) // destination replica → wave it lands in
+	var waves []map[int][]cluster.Task
+	for _, t := range p.Transfers {
+		s := ship{t.Ref, t.To}
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		w := 0
+		if src, created := seen[ship{t.Ref, t.From}]; created {
+			w = src + 1
+		}
+		seen[s] = w
+		for len(waves) <= w {
+			waves = append(waves, make(map[int][]cluster.Task))
+		}
+		waves[w][t.To] = append(waves[w][t.To], func() error {
+			return cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To)
+		})
+	}
+	for _, wave := range waves {
+		if err := cl.RunPerNode(wave); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // moveViewChunks relocates existing view chunks to their newly assigned
@@ -377,38 +422,52 @@ func removeDeleted(ctx *Context, deltaNames []string) error {
 
 // cleanupBatch drops the delta namespaces and scrubs scratch replicas:
 // every node that holds a copy of a chunk away from its final home loses
-// it.
+// it. Discards target independent (node, array, key) triples, so they are
+// decided serially against the catalog and then drained concurrently
+// through the same bounded per-node worker pools as the transfer phase.
 func cleanupBatch(ctx *Context, p *Plan, deltaNames []string) error {
 	cl := ctx.Cluster
 	cat := cl.Catalog()
 	n := cl.NumNodes()
+	tasks := make(map[int][]cluster.Task)
 	for _, dn := range deltaNames {
 		for node := 0; node < n; node++ {
-			if _, err := cl.DropArrayAt(node, dn); err != nil {
+			tasks[node] = append(tasks[node], func() error {
+				_, err := cl.DropArrayAt(node, dn)
 				return err
-			}
+			})
 		}
-		cat.Drop(dn)
 	}
+	type scrub struct {
+		ref view.ChunkRef
+		to  int
+	}
+	seen := make(map[scrub]bool, len(p.Transfers))
 	for _, t := range p.Transfers {
-		name := t.Ref.Array
-		key := t.Ref.Key
 		if ctx.IsDelta(t.Ref) {
 			continue // already dropped with the namespace
 		}
-		home, exists := cat.Home(name, key)
-		if !exists {
-			// The chunk vanished (fully deleted); scrub every copy.
-			if _, err := cl.DeleteAt(t.To, name, key); err != nil {
-				return err
-			}
+		s := scrub{t.Ref, t.To}
+		if seen[s] {
 			continue
 		}
-		if t.To != home {
-			if _, err := cl.DeleteAt(t.To, name, key); err != nil {
-				return err
-			}
+		seen[s] = true
+		home, exists := cat.Home(t.Ref.Array, t.Ref.Key)
+		if exists && t.To == home {
+			continue // the scratch replica became the chunk's home; keep it
 		}
+		// The chunk vanished (fully deleted) or t.To holds a copy away from
+		// the final home; scrub it.
+		tasks[t.To] = append(tasks[t.To], func() error {
+			_, err := cl.DeleteAt(t.To, t.Ref.Array, t.Ref.Key)
+			return err
+		})
+	}
+	if err := cl.RunPerNode(tasks); err != nil {
+		return err
+	}
+	for _, dn := range deltaNames {
+		cat.Drop(dn)
 	}
 	for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
 		cat.ClearReplicas(name)

@@ -12,7 +12,14 @@ import (
 // stageFig1Batch stages the Figure 1 delta and returns a ready context.
 func stageFig1Batch(t *testing.T) (*Context, *cluster.Cluster) {
 	t.Helper()
-	cl, err := cluster.New(3, cluster.WithWorkersPerNode(2))
+	return stageFig1BatchWith(t)
+}
+
+// stageFig1BatchWith is stageFig1Batch with extra cluster options (e.g. a
+// custom fabric) appended to the defaults.
+func stageFig1BatchWith(t *testing.T, opts ...cluster.Option) (*Context, *cluster.Cluster) {
+	t.Helper()
+	cl, err := cluster.New(3, append([]cluster.Option{cluster.WithWorkersPerNode(2)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,157 @@
+package maintain
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/storage"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// delayFabric wraps a fabric with fixed latency on Put — the shipping leg of
+// a transfer — and counts the Puts it serves, so tests can observe both
+// transfer overlap and ship deduplication.
+type delayFabric struct {
+	cluster.Fabric
+	delay time.Duration
+	puts  atomic.Int64
+}
+
+func (f *delayFabric) Put(node int, arrayName string, ch *array.Chunk) error {
+	time.Sleep(f.delay)
+	f.puts.Add(1)
+	return f.Fabric.Put(node, arrayName, ch)
+}
+
+func newDelayFabric(nodes int, delay time.Duration) *delayFabric {
+	stores := make([]*storage.Store, nodes)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	return &delayFabric{Fabric: cluster.NewLocalFabric(stores), delay: delay}
+}
+
+// TestRunTransfersChainedWaves checks the wave scheduler: a transfer whose
+// source replica is created by an earlier transfer of the same plan must
+// land after it, and duplicated ships collapse to one Put.
+func TestRunTransfersChainedWaves(t *testing.T) {
+	df := newDelayFabric(3, 0)
+	ctx, cl := stageFig1BatchWith(t, cluster.WithFabric(df))
+	keys := cl.Catalog().Keys("A")
+	if len(keys) == 0 {
+		t.Fatal("no base chunks staged")
+	}
+	k := keys[0]
+	home, _ := cl.Catalog().Home("A", k)
+	a, b := (home+1)%3, (home+2)%3
+	ref := view.ChunkRef{Array: "A", Key: k}
+
+	p := NewPlan("test", 0)
+	p.Transfers = []Transfer{
+		{Ref: ref, From: home, To: a},
+		{Ref: ref, From: home, To: a}, // duplicate ship: must be elided
+		{Ref: ref, From: a, To: b},    // chained: source created above
+	}
+	df.puts.Store(0)
+	if err := runTransfers(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{a, b} {
+		resident, err := cl.HasAt(node, "A", k)
+		if err != nil || !resident {
+			t.Fatalf("chunk %v not resident on node %d after transfers (err %v)", k, node, err)
+		}
+	}
+	if got := df.puts.Load(); got != 2 {
+		t.Errorf("fabric served %d Puts, want 2 (dedup + chain)", got)
+	}
+}
+
+// TestRunTransfersOverlap is the phase-level acceptance check: with ≥4
+// transfers in a batch on a slow fabric, the concurrent transfer phase must
+// finish well under the serial sum of the per-ship latencies.
+func TestRunTransfersOverlap(t *testing.T) {
+	const delay = 25 * time.Millisecond
+	df := newDelayFabric(3, delay)
+	ctx, cl := stageFig1BatchWith(t, cluster.WithFabric(df))
+	ctx.Trace = obs.NewTrace()
+
+	p := NewPlan("test", 0)
+	for _, k := range cl.Catalog().Keys("A") {
+		home, _ := cl.Catalog().Home("A", k)
+		ref := view.ChunkRef{Array: "A", Key: k}
+		p.Transfers = append(p.Transfers,
+			Transfer{Ref: ref, From: home, To: (home + 1) % 3},
+			Transfer{Ref: ref, From: home, To: (home + 2) % 3},
+		)
+	}
+	if len(p.Transfers) < 4 {
+		t.Fatalf("need at least 4 transfers for the overlap check, have %d", len(p.Transfers))
+	}
+
+	stop := ctx.Trace.Start(obs.PhaseTransfer)
+	err := runTransfers(ctx, p)
+	stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Duration(len(p.Transfers)) * delay
+	got := time.Duration(ctx.Trace.PhaseSeconds(obs.PhaseTransfer) * float64(time.Second))
+	// Two workers per node on three nodes: the span must beat the serial
+	// sum by a wide margin even on a loaded machine.
+	if limit := serial * 11 / 20; got >= limit {
+		t.Errorf("transfer span %v, want < %v (serial sum %v over %d ships)", got, limit, serial, len(p.Transfers))
+	}
+	for _, tr := range p.Transfers {
+		resident, err := cl.HasAt(tr.To, tr.Ref.Array, tr.Ref.Key)
+		if err != nil || !resident {
+			t.Fatalf("chunk %v not resident on node %d (err %v)", tr.Ref.Key, tr.To, err)
+		}
+	}
+}
+
+// TestExecuteParallelPhasesEndToEnd runs full maintenance batches over the
+// delay fabric with every planner, exercising the concurrent transfer and
+// cleanup phases end to end (and under -race, their synchronization).
+func TestExecuteParallelPhasesEndToEnd(t *testing.T) {
+	for _, planner := range []Planner{Baseline{}, Differential{}, Reassign{}} {
+		t.Run(planner.Name(), func(t *testing.T) {
+			df := newDelayFabric(3, time.Millisecond)
+			ctx, _ := stageFig1BatchWith(t, cluster.WithFabric(df))
+			ctx.Trace = obs.NewTrace()
+			p, err := planner.Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Execute(ctx, p); err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Transfers) > 0 && ctx.Trace.PhaseSeconds(obs.PhaseTransfer) <= 0 {
+				t.Error("transfer phase left no span in the trace")
+			}
+			if ctx.Trace.PhaseSeconds(obs.PhaseCleanup) <= 0 {
+				t.Error("cleanup phase left no span in the trace")
+			}
+		})
+	}
+}
+
+// TestCandidateWorkers pins the fan-out clamp of the parallel candidate
+// loop: never more workers than candidates, never fewer than one.
+func TestCandidateWorkers(t *testing.T) {
+	if got := candidateWorkers(1); got != 1 {
+		t.Errorf("candidateWorkers(1) = %d, want 1", got)
+	}
+	if got := candidateWorkers(0); got != 1 {
+		t.Errorf("candidateWorkers(0) = %d, want 1", got)
+	}
+	for _, n := range []int{1, 2, 3, 16, 1000} {
+		if got := candidateWorkers(n); got > n || got < 1 {
+			t.Errorf("candidateWorkers(%d) = %d, want within [1, %d]", n, got, n)
+		}
+	}
+}

@@ -204,6 +204,13 @@ func (s *Shape) NumDims() int { return len(s.lo) }
 // Box returns copies of the inclusive offset bounds.
 func (s *Shape) Box() (lo, hi []int64) { return cloneI64(s.lo), cloneI64(s.hi) }
 
+// BoxInto copies the inclusive offset bounds into caller-provided buffers
+// (each of length NumDims), avoiding Box's per-call clones in hot loops.
+func (s *Shape) BoxInto(lo, hi []int64) {
+	copy(lo, s.lo)
+	copy(hi, s.hi)
+}
+
 // Contains reports whether off is a member of the shape.
 func (s *Shape) Contains(off []int64) bool {
 	if len(off) != len(s.lo) {

@@ -77,7 +77,8 @@ func (p Pred) PairChunks(ra, rb array.Region) bool {
 // JoinChunkPair enumerates all matching cell pairs between chunks ca (α
 // side) and cb (β side) and calls emit for each; emit returning false stops
 // the enumeration. The points and tuples passed to emit are owned by the
-// chunks — clone before retaining.
+// kernel and its chunks and are valid only for the duration of the callback
+// — clone before retaining.
 //
 // Two strategies are used per α cell: when the shape's bounding box is
 // small, the box is probed directly against cb (offset probing); when the
@@ -85,65 +86,136 @@ func (p Pred) PairChunks(ra, rb array.Region) bool {
 // tested against the predicate (scan filtering). The crossover is chosen on
 // cardinalities, mirroring how the similarity join operator picks between
 // shape-order and data-order evaluation.
+//
+// The kernel iterates both chunks through their cached sorted-offset
+// indexes and runs every per-cell step out of a pooled scratch, so the
+// steady-state inner loop performs no allocations and no per-call sorting.
 func (p Pred) JoinChunkPair(ca, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool) {
 	if ca.NumCells() == 0 || cb.NumCells() == 0 {
 		return
 	}
-	// Prune using the actual occupancy of ca, not just its chunk region.
+	sc := getScratch(ca.Region().NumDims(), cb.Region().NumDims())
+	defer putScratch(sc)
+	p.Shape.BoxInto(sc.shLo, sc.shHi)
+	// Prune using the actual occupancy of ca, not just its chunk region:
+	// the reach of ca's bounding box (dilate(M(bbox), shape box)) must
+	// intersect cb's region. Unrolled over the scratch buffers instead of
+	// composing ReachRegion/Intersects, which would allocate regions.
 	bbA, _ := ca.BoundingBox()
-	if !p.ReachRegion(bbA).Intersects(cb.Region()) {
-		return
+	p.Mapping.MapInto(bbA.Lo, sc.mlo)
+	p.Mapping.MapInto(bbA.Hi, sc.mhi)
+	rb := cb.Region()
+	for i := range rb.Lo {
+		if sc.mlo[i]+sc.shLo[i] > rb.Hi[i] || sc.mhi[i]+sc.shHi[i] < rb.Lo[i] {
+			return
+		}
 	}
 	boxVol := p.Shape.BoxVolume()
 	probe := boxVol <= int64(cb.NumCells())*4
+	if probe {
+		// Probes address cb by local row-major offset, tracked incrementally
+		// from these strides. When the pair performs more probes than cb's
+		// region has cells, materializing the occupancy into a flat table
+		// pays for itself and replaces every map lookup with a slice load.
+		vol := int64(1)
+		for i := rb.NumDims() - 1; i >= 0; i-- {
+			sc.stride[i] = vol
+			vol *= rb.Hi[i] - rb.Lo[i] + 1
+		}
+		if vol <= maxDenseVol && vol <= int64(ca.NumCells())*boxVol {
+			sc.prepDense(vol)
+			cb.EachSortedInto(sc.b, func(b array.Point, tb array.Tuple) bool {
+				idx := int64(0)
+				for i := range b {
+					idx += (b[i] - rb.Lo[i]) * sc.stride[i]
+				}
+				sc.tuples = append(sc.tuples, tb)
+				sc.dense[idx] = int32(len(sc.tuples))
+				return true
+			})
+		}
+	}
 	stop := false
-	ca.EachSorted(func(a array.Point, ta array.Tuple) bool {
+	ca.EachSortedInto(sc.a, func(a array.Point, ta array.Tuple) bool {
 		if probe {
-			p.probeCell(a, ta, cb, emit, &stop)
+			p.probeCell(sc, a, ta, cb, emit, &stop)
 		} else {
-			p.scanCell(a, ta, cb, emit, &stop)
+			p.scanCell(sc, a, ta, cb, emit, &stop)
 		}
 		return !stop
 	})
 }
 
 // probeCell enumerates shape offsets around M(a) and probes cb.
-func (p Pred) probeCell(a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
-	ma := p.Mapping.Map(a)
-	lo, hi := p.Shape.Box()
-	cand, ok := array.Region{Lo: ma.Add(lo), Hi: ma.Add(hi)}.Intersect(cb.Region())
-	if !ok {
-		return
+func (p Pred) probeCell(sc *joinScratch, a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
+	p.Mapping.MapInto(a, sc.ma)
+	rb := cb.Region()
+	d := len(sc.ma)
+	// Candidate region: [M(a)+shLo, M(a)+shHi] ∩ cb's region.
+	for i := 0; i < d; i++ {
+		lo := sc.ma[i] + sc.shLo[i]
+		if rb.Lo[i] > lo {
+			lo = rb.Lo[i]
+		}
+		hi := sc.ma[i] + sc.shHi[i]
+		if rb.Hi[i] < hi {
+			hi = rb.Hi[i]
+		}
+		if lo > hi {
+			return
+		}
+		sc.candLo[i], sc.candHi[i] = lo, hi
 	}
-	off := make([]int64, len(ma))
-	cand.Each(func(b array.Point) bool {
-		for i := range b {
-			off[i] = b[i] - ma[i]
+	copy(sc.b, sc.candLo)
+	idx := int64(0)
+	for i := 0; i < d; i++ {
+		idx += (sc.b[i] - rb.Lo[i]) * sc.stride[i]
+	}
+	for {
+		for i := 0; i < d; i++ {
+			sc.off[i] = sc.b[i] - sc.ma[i]
 		}
-		if !p.Shape.Contains(off) {
-			return true
+		if p.Shape.Contains(sc.off) {
+			var tb array.Tuple
+			var found bool
+			if sc.denseOK {
+				if k := sc.dense[idx]; k > 0 {
+					tb, found = sc.tuples[k-1], true
+				}
+			} else {
+				tb, found = cb.GetOffset(idx)
+			}
+			if found {
+				if !emit(a, sc.b, ta, tb) {
+					*stop = true
+					return
+				}
+			}
 		}
-		tb, found := cb.Get(b)
-		if !found {
-			return true
+		i := d - 1
+		for ; i >= 0; i-- {
+			sc.b[i]++
+			idx += sc.stride[i]
+			if sc.b[i] <= sc.candHi[i] {
+				break
+			}
+			sc.b[i] = sc.candLo[i]
+			idx -= (sc.candHi[i] - sc.candLo[i] + 1) * sc.stride[i]
 		}
-		if !emit(a, b, ta, tb) {
-			*stop = true
-			return false
+		if i < 0 {
+			return
 		}
-		return true
-	})
+	}
 }
 
 // scanCell scans cb's occupied cells and filters by the predicate.
-func (p Pred) scanCell(a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
-	ma := p.Mapping.Map(a)
-	off := make([]int64, len(ma))
-	cb.EachSorted(func(b array.Point, tb array.Tuple) bool {
+func (p Pred) scanCell(sc *joinScratch, a array.Point, ta array.Tuple, cb *array.Chunk, emit func(a, b array.Point, ta, tb array.Tuple) bool, stop *bool) {
+	p.Mapping.MapInto(a, sc.ma)
+	cb.EachSortedInto(sc.b, func(b array.Point, tb array.Tuple) bool {
 		for i := range b {
-			off[i] = b[i] - ma[i]
+			sc.off[i] = b[i] - sc.ma[i]
 		}
-		if !p.Shape.Contains(off) {
+		if !p.Shape.Contains(sc.off) {
 			return true
 		}
 		if !emit(a, b, ta, tb) {

@@ -22,6 +22,10 @@ import (
 type Mapping interface {
 	// Map transforms one α coordinate into β space.
 	Map(p array.Point) array.Point
+	// MapInto writes the β coordinate of p into dst (which must have the β
+	// dimensionality) without allocating; the join kernel's inner loop uses
+	// it with a reused buffer.
+	MapInto(p, dst array.Point)
 	// MapRegion transforms an α region into the bounding β region of its
 	// image.
 	MapRegion(r array.Region) array.Region
@@ -35,6 +39,9 @@ type Identity struct{}
 
 // Map implements Mapping.
 func (Identity) Map(p array.Point) array.Point { return p }
+
+// MapInto implements Mapping.
+func (Identity) MapInto(p, dst array.Point) { copy(dst, p) }
 
 // MapRegion implements Mapping.
 func (Identity) MapRegion(r array.Region) array.Region { return r }
@@ -50,6 +57,13 @@ type Translate struct {
 
 // Map implements Mapping.
 func (t Translate) Map(p array.Point) array.Point { return p.Add(t.Offset) }
+
+// MapInto implements Mapping.
+func (t Translate) MapInto(p, dst array.Point) {
+	for i := range p {
+		dst[i] = p[i] + t.Offset[i]
+	}
+}
 
 // MapRegion implements Mapping.
 func (t Translate) MapRegion(r array.Region) array.Region {
@@ -70,10 +84,15 @@ type Regrid struct {
 // Map implements Mapping.
 func (g Regrid) Map(p array.Point) array.Point {
 	q := make(array.Point, len(p))
-	for i := range p {
-		q[i] = floorDiv(p[i], g.Factor[i])
-	}
+	g.MapInto(p, q)
 	return q
+}
+
+// MapInto implements Mapping.
+func (g Regrid) MapInto(p, dst array.Point) {
+	for i := range p {
+		dst[i] = floorDiv(p[i], g.Factor[i])
+	}
 }
 
 // MapRegion implements Mapping.

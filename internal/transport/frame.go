@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"github.com/arrayview/arrayview/internal/array"
 )
@@ -159,9 +160,14 @@ func appendBytes(buf []byte, b []byte) []byte {
 }
 
 // EncodePayload serializes the message's payload (everything after the
-// type byte).
+// type byte) into a fresh buffer.
 func EncodePayload(m *Message) []byte {
-	var buf []byte
+	return appendPayload(nil, m)
+}
+
+// appendPayload appends the message's payload to buf, which may be a
+// pooled buffer being reused across frames.
+func appendPayload(buf []byte, m *Message) []byte {
 	switch m.Type {
 	case MsgPing, MsgStats, MsgOK:
 		// empty payload
@@ -368,22 +374,58 @@ func cloneBytes(b []byte) []byte {
 	return append([]byte(nil), b...)
 }
 
-// WriteMessage frames and writes one message.
-func WriteMessage(w io.Writer, m *Message) error {
-	payload := EncodePayload(m)
-	if 1+len(payload) > maxFrame {
-		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit", m.Type, 1+len(payload))
+// framePool recycles frame buffers across requests: WriteMessage builds
+// header plus payload in one pooled buffer and issues a single Write, and
+// ReadMessage reads each frame body into a pooled buffer. Pooling is safe
+// because DecodePayload copies every byte field out of the payload. The
+// pool stores pointers (not slices) so putting a buffer back does not
+// itself allocate.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so one
+// outsized chunk frame does not pin its memory for the process lifetime.
+const maxPooledBuf = 1 << 22
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
-	hdr[4] = uint8(m.Type)
-	frame := append(hdr, payload...)
+	framePool.Put(bp)
+}
+
+// grownBuf reslices the pooled buffer to length n, reallocating only when
+// its capacity is insufficient.
+func grownBuf(bp *[]byte, n int) []byte {
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return *bp
+}
+
+// WriteMessage frames and writes one message. The frame is assembled in a
+// pooled buffer and written with a single Write call.
+func WriteMessage(w io.Writer, m *Message) error {
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	frame := append((*bp)[:0], 0, 0, 0, 0, uint8(m.Type))
+	frame = appendPayload(frame, m)
+	*bp = frame
+	if len(frame)-4 > maxFrame {
+		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit", m.Type, len(frame)-4)
+	}
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
 	_, err := w.Write(frame)
 	return err
 }
 
 // ReadMessage reads and decodes one frame. io.EOF is returned unchanged on
-// a clean close before the first header byte.
+// a clean close before the first header byte. The frame body lands in a
+// pooled buffer that is reused across calls; the decoded message owns
+// copies of everything it needs.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
@@ -399,7 +441,9 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
 		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
 	}
-	payload := make([]byte, length-1)
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	payload := grownBuf(bp, int(length-1))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("transport: truncated frame body: %w", err)
 	}
