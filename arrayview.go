@@ -207,9 +207,11 @@ func EmbedShape(inner *Shape, ndims int, dims []int, window map[int][2]int64) (*
 }
 
 // DeltaShape returns the positional symmetric difference of two shapes
-// (nil when identical) — the Δ shape of differential query answering.
-func DeltaShape(viewShape, queryShape *Shape) *Shape {
-	return shape.Delta(viewShape, queryShape)
+// (nil when identical) — the Δ shape of differential query answering. Both
+// shapes are caller-supplied, so a dimensionality mismatch is reported as
+// an error rather than a panic.
+func DeltaShape(viewShape, queryShape *Shape) (*Shape, error) {
+	return shape.DeltaChecked(viewShape, queryShape)
 }
 
 // Pred bundles a shape and mapping into a join predicate; a nil mapping

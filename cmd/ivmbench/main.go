@@ -8,7 +8,7 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, all. Datasets: PTF-5, PTF-25, GEO. Modes: real,
+// ablations, fabric, kernel, chaos, all. Datasets: PTF-5, PTF-25, GEO. Modes: real,
 // random, correlated, periodic ("real" maps to "random" for GEO, as in the
 // paper).
 package main
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -174,6 +174,13 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 			return nil
 		case "kernel":
 			r, err := bench.Kernel(out)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "chaos":
+			r, err := bench.Chaos(out, mkSpec(bench.GEO, workload.Correlated))
 			if err != nil {
 				return err
 			}

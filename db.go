@@ -259,7 +259,10 @@ func (cv *ChainView) Update(k int, delta *Array) error {
 			mergeErr = err
 			return false
 		}
-		cat.SetChunk(viewName, c.Key(), home, merged.SizeBytes(), merged.NumCells())
+		if err := cat.SetChunk(viewName, c.Key(), home, merged.SizeBytes(), merged.NumCells()); err != nil {
+			mergeErr = err
+			return false
+		}
 		return true
 	})
 	if mergeErr != nil {
@@ -282,9 +285,15 @@ func (cv *ChainView) Update(k int, delta *Array) error {
 			ingestErr = err
 			return false
 		}
-		cat.SetChunk(inputName, c.Key(), home, merged.SizeBytes(), merged.NumCells())
+		if err := cat.SetChunk(inputName, c.Key(), home, merged.SizeBytes(), merged.NumCells()); err != nil {
+			ingestErr = err
+			return false
+		}
 		if bb, ok := merged.BoundingBox(); ok {
-			cat.SetChunkBBox(inputName, c.Key(), bb)
+			if err := cat.SetChunkBBox(inputName, c.Key(), bb); err != nil {
+				ingestErr = err
+				return false
+			}
 		}
 		return true
 	})

@@ -158,12 +158,15 @@ func TestFacadeShapeHelpers(t *testing.T) {
 	if L1(2, 1).Card() != 5 || Linf(2, 1).Card() != 9 || L2(2, 1).Card() != 5 {
 		t.Error("norm ball cardinalities")
 	}
-	d := DeltaShape(L1(2, 1), Linf(2, 1))
-	if d == nil || d.Card() != 4 {
-		t.Errorf("DeltaShape = %v", d)
+	d, err := DeltaShape(L1(2, 1), Linf(2, 1))
+	if err != nil || d == nil || d.Card() != 4 {
+		t.Errorf("DeltaShape = %v, %v", d, err)
 	}
-	if DeltaShape(L1(2, 2), L1(2, 2)) != nil {
+	if same, err := DeltaShape(L1(2, 2), L1(2, 2)); err != nil || same != nil {
 		t.Error("identical shapes have nil delta")
+	}
+	if _, err := DeltaShape(L1(2, 1), L1(3, 1)); err == nil {
+		t.Error("arity mismatch must return an error, not panic")
 	}
 	s, err := ShapeFromOffsets("ring", [][]int64{{0, 1}, {1, 0}, {0, -1}, {-1, 0}})
 	if err != nil || s.Card() != 4 {

@@ -61,7 +61,10 @@ func Example() {
 func ExampleDeltaShape() {
 	view := arrayview.L1(2, 1)    // the view's 5-cell cross
 	query := arrayview.Linf(2, 1) // a 9-cell square query
-	delta := arrayview.DeltaShape(view, query)
+	delta, err := arrayview.DeltaShape(view, query)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("|view|=%d |query|=%d |delta|=%d\n", view.Card(), query.Card(), delta.Card())
 	// Output: |view|=5 |query|=9 |delta|=4
 }

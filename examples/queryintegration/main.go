@@ -54,7 +54,10 @@ func main() {
 		}
 
 		// The Δ shape drives the decision.
-		delta := arrayview.DeltaShape(pair.view, pair.query)
+		delta, err := arrayview.DeltaShape(pair.view, pair.query)
+		if err != nil {
+			log.Fatal(err)
+		}
 		choice, err := mv.DecideQuery(pair.query)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/storage"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// ChaosClassResult aggregates one fault class's run of the batch sequence.
+type ChaosClassResult struct {
+	Class          string
+	Batches        int
+	Completed      int
+	Failed         int
+	CompletionRate float64
+	// WallSeconds is the measured wall-clock of the maintenance loop;
+	// Overhead is WallSeconds relative to the fault-free class — the price
+	// of retries, replica reads, and re-planned work under that fault.
+	WallSeconds float64
+	Overhead    float64
+	Faults      cluster.FaultCounts
+	// FinalStateOK reports whether the end-of-sequence base and view equal
+	// a fault-free replay of exactly the batches that committed — a failed
+	// batch that left a hybrid behind, or a committed batch that lost
+	// writes, shows up here.
+	FinalStateOK bool
+}
+
+// ChaosResult is the chaos experiment: the same seeded batch sequence run
+// once per injected fault class.
+type ChaosResult struct {
+	Dataset  Dataset
+	Mode     workload.BatchMode
+	Strategy string
+	Classes  []ChaosClassResult
+}
+
+// chaosClass describes one fault class of the experiment matrix.
+type chaosClass struct {
+	name   string
+	inject func(ff *cluster.FaultFabric)
+	// blackoutBatch, when >= 0, blacks node 0 out for that batch (0-based)
+	// and restores it afterwards.
+	blackoutBatch int
+}
+
+// Chaos runs the spec's batch sequence once per fault class on a
+// fault-injecting fabric and reports completion rate and failover overhead
+// per class. Every run sees identical data (same seed); faults are seeded
+// too, so the whole experiment is reproducible.
+func Chaos(w io.Writer, spec Spec) (*ChaosResult, error) {
+	const strategy = "reassign"
+	classes := []chaosClass{
+		{name: "fault-free", blackoutBatch: -1},
+		{name: "latency", blackoutBatch: -1, inject: func(ff *cluster.FaultFabric) {
+			ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: cluster.AnyOp,
+				Kind: cluster.FaultLatency, Latency: 200 * time.Microsecond, P: 0.2})
+		}},
+		{name: "ack-loss", blackoutBatch: -1, inject: func(ff *cluster.FaultFabric) {
+			ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Put",
+				Kind: cluster.FaultDropAfterWrite, P: 0.05})
+		}},
+		{name: "node-errors", blackoutBatch: -1, inject: func(ff *cluster.FaultFabric) {
+			// A bursty episode of failed reads on one node, then recovery.
+			ff.Inject(&cluster.FaultRule{Node: 0, Op: "Get",
+				Kind: cluster.FaultError, P: 0.5, Count: 40})
+		}},
+		{name: "blackout", blackoutBatch: 1},
+	}
+
+	res := &ChaosResult{Dataset: spec.Dataset, Mode: spec.Mode, Strategy: strategy}
+	fmt.Fprintf(w, "Chaos: %s/%s, %d nodes, strategy %s\n", spec.Dataset, spec.Mode, spec.Nodes, strategy)
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %8s %6s\n",
+		"class", "batches", "completed", "rate", "wall(s)", "overhead", "state")
+	var baseWall float64
+	for _, cc := range classes {
+		r, err := runChaosClass(spec, strategy, cc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: chaos class %s: %w", cc.name, err)
+		}
+		if cc.name == "fault-free" {
+			baseWall = r.WallSeconds
+		}
+		if baseWall > 0 {
+			r.Overhead = r.WallSeconds / baseWall
+		}
+		res.Classes = append(res.Classes, *r)
+		okStr := "ok"
+		if !r.FinalStateOK {
+			okStr = "FAIL"
+		}
+		fmt.Fprintf(w, "%-12s %8d %10d %9.0f%% %10.3f %7.2fx %6s\n",
+			r.Class, r.Batches, r.Completed, r.CompletionRate*100, r.WallSeconds, r.Overhead, okStr)
+	}
+	return res, nil
+}
+
+// runChaosClass runs the full batch sequence under one fault class.
+func runChaosClass(spec Spec, strategy string, cc chaosClass) (*ChaosClassResult, error) {
+	planner, ok := maintain.Strategies()[strategy]
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	data, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*storage.Store, spec.Nodes)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	ff := cluster.NewFaultFabric(cluster.NewLocalFabric(stores), 1)
+	cl, err := cluster.New(spec.Nodes, cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(ff.AsFabric()))
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		return nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		return nil, err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+
+	if cc.inject != nil {
+		cc.inject(ff)
+	}
+	r := &ChaosClassResult{Class: cc.name, Batches: len(data.Batches)}
+	var committed []int
+	start := time.Now()
+	for i, batch := range data.Batches {
+		// Re-replicate before every batch: cleanup scrubs the scratch
+		// replicas, and failover needs somewhere to go.
+		replicateOnce(cl, def.Alpha.Name)
+		replicateOnce(cl, def.Name)
+		if cc.blackoutBatch == i {
+			ff.Blackout(0)
+		}
+		_, err := m.ApplyBatch(batch)
+		if cc.blackoutBatch == i {
+			ff.Restore(0)
+		}
+		if err != nil {
+			r.Failed++
+			continue
+		}
+		r.Completed++
+		committed = append(committed, i)
+	}
+	r.WallSeconds = time.Since(start).Seconds()
+	if r.Batches > 0 {
+		r.CompletionRate = float64(r.Completed) / float64(r.Batches)
+	}
+	r.Faults = ff.FaultCounts()
+
+	// The chaos contract: the surviving state must equal a fault-free
+	// replay of exactly the batches that committed — failed batches rolled
+	// back completely, committed ones lost nothing.
+	ff.ClearRules()
+	base, err := cl.Gather(def.Alpha.Name)
+	if err != nil {
+		return nil, err
+	}
+	got, err := cl.Gather(def.Name)
+	if err != nil {
+		return nil, err
+	}
+	wantBase, wantView, err := replayClean(spec, planner, committed)
+	if err != nil {
+		return nil, err
+	}
+	r.FinalStateOK = arraysEqual(base, wantBase) && arraysEqual(got, wantView)
+	return r, nil
+}
+
+// replayClean applies the given batches (by index, same seeded data) on a
+// fresh fault-free cluster and returns the final base and view.
+func replayClean(spec Spec, planner maintain.Planner, batches []int) (*array.Array, *array.Array, error) {
+	data, err := spec.Generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := spec.Cluster()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		return nil, nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		return nil, nil, err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+	for _, i := range batches {
+		if _, err := m.ApplyBatch(data.Batches[i]); err != nil {
+			return nil, nil, fmt.Errorf("clean replay of batch %d: %w", i, err)
+		}
+	}
+	base, err := cl.Gather(def.Alpha.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	vw, err := cl.Gather(def.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, vw, nil
+}
+
+// replicateOnce best-effort ships one replica of each chunk of the array
+// to the next node over; errors are ignored (a dead node just means no
+// replica lands there this round).
+func replicateOnce(cl *cluster.Cluster, name string) {
+	cat := cl.Catalog()
+	n := cl.NumNodes()
+	if n < 2 {
+		return
+	}
+	for _, key := range cat.Keys(name) {
+		home, ok := cat.Home(name, key)
+		if !ok {
+			continue
+		}
+		_ = cl.Transfer(nil, name, key, home, (home+1)%n)
+	}
+}
+
+// arraysEqual compares two aggregate states cell-wise, treating a missing
+// cell as an all-zero tuple.
+func arraysEqual(a, b *array.Array) bool {
+	ok := true
+	check := func(x, y *array.Array) {
+		x.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := y.Get(p)
+			if !found {
+				for _, v := range tup {
+					if v != 0 {
+						ok = false
+						return false
+					}
+				}
+				return true
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(a, b)
+	check(b, a)
+	return ok
+}

@@ -81,25 +81,32 @@ func (c *Catalog) Schema(name string) *array.Schema {
 	return nil
 }
 
-// meta fetches the entry or panics; internal callers guarantee existence.
-func (c *Catalog) meta(name string) *ArrayMeta {
+// meta fetches the entry, reporting an error for unregistered arrays.
+// Requests naming unknown arrays can arrive from remote peers over the
+// fabric, so the catalog must refuse them instead of crashing the
+// coordinator.
+func (c *Catalog) meta(name string) (*ArrayMeta, error) {
 	m, ok := c.arrays[name]
 	if !ok {
-		panic(fmt.Sprintf("cluster: array %q not registered", name))
+		return nil, fmt.Errorf("cluster: array %q not registered", name)
 	}
-	return m
+	return m, nil
 }
 
 // SetChunk records or updates the metadata of one chunk: home node, byte
 // size, and cell count. It resets the replica set to just the home node.
-func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64, cells int) {
+func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64, cells int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m := c.meta(name)
+	m, err := c.meta(name)
+	if err != nil {
+		return err
+	}
 	m.Home[key] = home
 	m.Size[key] = size
 	m.Cells[key] = cells
 	m.Replicas[key] = map[int]bool{home: true}
+	return nil
 }
 
 // Home returns the home node of a chunk; ok=false when the chunk is not in
@@ -138,10 +145,15 @@ func (c *Catalog) ChunkCells(name string, key array.ChunkKey) int {
 }
 
 // SetChunkBBox records the tight bounding region of a chunk's cells.
-func (c *Catalog) SetChunkBBox(name string, key array.ChunkKey, bb array.Region) {
+func (c *Catalog) SetChunkBBox(name string, key array.ChunkKey, bb array.Region) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.meta(name).BBox[key] = bb.Clone()
+	m, err := c.meta(name)
+	if err != nil {
+		return err
+	}
+	m.BBox[key] = bb.Clone()
+	return nil
 }
 
 // ChunkBBox returns the cached cell bounding box of a chunk, if recorded.
@@ -157,16 +169,33 @@ func (c *Catalog) ChunkBBox(name string, key array.ChunkKey) (array.Region, bool
 }
 
 // AddReplica records that node holds a copy of the chunk.
-func (c *Catalog) AddReplica(name string, key array.ChunkKey, node int) {
+func (c *Catalog) AddReplica(name string, key array.ChunkKey, node int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m := c.meta(name)
+	m, err := c.meta(name)
+	if err != nil {
+		return err
+	}
 	reps, ok := m.Replicas[key]
 	if !ok {
 		reps = make(map[int]bool)
 		m.Replicas[key] = reps
 	}
 	reps[node] = true
+	return nil
+}
+
+// RemoveReplica forgets node's copy of the chunk. Removing the home copy's
+// entry is allowed (the home node still counts as a replica via HasReplica);
+// unknown arrays or chunks are a no-op.
+func (c *Catalog) RemoveReplica(name string, key array.ChunkKey, node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return
+	}
+	delete(m.Replicas[key], node)
 }
 
 // HasReplica reports whether node holds a copy of the chunk (the home node
@@ -222,7 +251,10 @@ func (c *Catalog) DropChunk(name string, key array.ChunkKey) {
 func (c *Catalog) Rehome(name string, key array.ChunkKey, node int, requireReplica bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m := c.meta(name)
+	m, err := c.meta(name)
+	if err != nil {
+		return err
+	}
 	if _, ok := m.Home[key]; !ok {
 		return fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
 	}
@@ -238,14 +270,66 @@ func (c *Catalog) Rehome(name string, key array.ChunkKey, node int, requireRepli
 }
 
 // ClearReplicas trims every chunk's replica set back to its home node,
-// modelling the end-of-batch garbage collection of scratch copies.
+// modelling the end-of-batch garbage collection of scratch copies. Unknown
+// arrays are a no-op (the batch may have dropped the array already).
 func (c *Catalog) ClearReplicas(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m := c.meta(name)
+	m, ok := c.arrays[name]
+	if !ok {
+		return
+	}
 	for key := range m.Replicas {
 		m.Replicas[key] = map[int]bool{m.Home[key]: true}
 	}
+}
+
+// SnapshotMeta deep-copies the catalog entry of one array, for restoration
+// after a failed batch. ok=false when the array is not registered.
+func (c *Catalog) SnapshotMeta(name string) (*ArrayMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return nil, false
+	}
+	return copyArrayMeta(m), true
+}
+
+// RestoreMeta replaces (or re-creates) the catalog entry of one array with a
+// snapshot taken by SnapshotMeta. The snapshot is deep-copied again so the
+// caller may restore the same snapshot more than once.
+func (c *Catalog) RestoreMeta(name string, m *ArrayMeta) {
+	if m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.arrays[name] = copyArrayMeta(m)
+}
+
+func copyArrayMeta(m *ArrayMeta) *ArrayMeta {
+	out := newArrayMeta(m.Schema)
+	for k, v := range m.Home {
+		out.Home[k] = v
+	}
+	for k, v := range m.Size {
+		out.Size[k] = v
+	}
+	for k, v := range m.Cells {
+		out.Cells[k] = v
+	}
+	for k, reps := range m.Replicas {
+		cp := make(map[int]bool, len(reps))
+		for n, b := range reps {
+			cp[n] = b
+		}
+		out.Replicas[k] = cp
+	}
+	for k, bb := range m.BBox {
+		out.BBox[k] = bb.Clone()
+	}
+	return out
 }
 
 // Keys returns the sorted chunk keys of the named array.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -197,9 +198,13 @@ func (c *Cluster) LoadArray(a *array.Array, p Placement) error {
 		if err = c.fabric.Put(node, name, ch); err != nil {
 			return false
 		}
-		c.catalog.SetChunk(name, ch.Key(), node, ch.SizeBytes(), ch.NumCells())
+		if err = c.catalog.SetChunk(name, ch.Key(), node, ch.SizeBytes(), ch.NumCells()); err != nil {
+			return false
+		}
 		if bb, ok := ch.BoundingBox(); ok {
-			c.catalog.SetChunkBBox(name, ch.Key(), bb)
+			if err = c.catalog.SetChunkBBox(name, ch.Key(), bb); err != nil {
+				return false
+			}
 		}
 		return true
 	})
@@ -215,9 +220,13 @@ func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
 	}
 	for _, ch := range chunks {
 		c.coordinator.Put(name, ch)
-		c.catalog.SetChunk(name, ch.Key(), Coordinator, ch.SizeBytes(), ch.NumCells())
+		if err := c.catalog.SetChunk(name, ch.Key(), Coordinator, ch.SizeBytes(), ch.NumCells()); err != nil {
+			return err
+		}
 		if bb, ok := ch.BoundingBox(); ok {
-			c.catalog.SetChunkBBox(name, ch.Key(), bb)
+			if err := c.catalog.SetChunkBBox(name, ch.Key(), bb); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -240,18 +249,77 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 		}
 		// Stale replica entry: fall through and re-ship the chunk.
 	}
-	ch, err := c.GetAt(from, name, key)
+	ch, src, err := c.readReplica(name, key, from)
 	if err != nil {
 		return fmt.Errorf("cluster: transfer %v of %q from node %d: %w", key, name, from, err)
 	}
-	if err := c.PutAt(to, name, ch); err != nil {
+	if err := c.PutAtRetry(to, name, ch); err != nil {
 		return fmt.Errorf("cluster: transfer %v of %q to node %d: %w", key, name, to, err)
 	}
-	c.catalog.AddReplica(name, key, to)
+	if err := c.catalog.AddReplica(name, key, to); err != nil {
+		return err
+	}
 	if ledger != nil {
-		ledger.ChargeTransferTo(from, to, c.catalog.ChunkSize(name, key))
+		// Charge the node actually read: under failover the sender differs
+		// from the planned source, and the ledger should reflect the bytes
+		// that really moved.
+		ledger.ChargeTransferTo(src, to, c.catalog.ChunkSize(name, key))
 	}
 	return nil
+}
+
+// PutAtRetry stores a chunk with bounded retries. A write whose ack was lost
+// may actually have applied, and Put is an idempotent overwrite, so retrying
+// recovers one-shot ack loss; retries stop early when the node itself is
+// down (failover, not persistence, is the answer there).
+func (c *Cluster) PutAtRetry(node int, arrayName string, ch *array.Chunk) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = c.PutAt(node, arrayName, ch); err == nil {
+			return nil
+		}
+		if IsNodeDown(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// ReadReplica fetches a chunk from the preferred node, failing over to every
+// catalog replica (and the home node); it returns the node actually read so
+// callers can charge the true sender. Exported for executors that need to
+// know the source of a failover read.
+func (c *Cluster) ReadReplica(name string, key array.ChunkKey, prefer int) (*array.Chunk, int, error) {
+	return c.readReplica(name, key, prefer)
+}
+
+// readReplica fetches a chunk from the preferred node, failing over to every
+// other catalog replica (and the home node) when the preferred copy is
+// unreachable or missing. It returns the chunk and the node actually read so
+// callers can charge the true sender. With no usable copy anywhere it
+// returns the last read error.
+func (c *Cluster) readReplica(name string, key array.ChunkKey, prefer int) (*array.Chunk, int, error) {
+	cands := append([]int{prefer}, c.catalog.Replicas(name, key)...)
+	if home, ok := c.catalog.Home(name, key); ok {
+		cands = append(cands, home)
+	}
+	seen := make(map[int]bool, len(cands))
+	var lastErr error
+	for _, n := range cands {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		ch, err := c.GetAt(n, name, key)
+		if err == nil {
+			return ch, n, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
+	}
+	return nil, 0, lastErr
 }
 
 // FetchChunk reads a chunk from whichever node it is resident on (preferring
@@ -260,14 +328,17 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 func (c *Cluster) FetchChunk(name string, key array.ChunkKey, at int) (*array.Chunk, error) {
 	if at != Coordinator {
 		if ok, err := c.HasAt(at, name, key); err == nil && ok {
-			return c.GetAt(at, name, key)
+			if ch, err := c.GetAt(at, name, key); err == nil {
+				return ch, nil
+			}
 		}
 	}
 	home, ok := c.catalog.Home(name, key)
 	if !ok {
 		return nil, fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
 	}
-	return c.GetAt(home, name, key)
+	ch, _, err := c.readReplica(name, key, home)
+	return ch, err
 }
 
 // Gather reconstructs the full logical array from the distributed chunks,
@@ -281,7 +352,7 @@ func (c *Cluster) Gather(name string) (*array.Array, error) {
 	out := array.New(s)
 	for _, key := range c.catalog.Keys(name) {
 		home, _ := c.catalog.Home(name, key)
-		ch, err := c.GetAt(home, name, key)
+		ch, _, err := c.readReplica(name, key, home)
 		if err != nil {
 			return nil, err
 		}
@@ -299,6 +370,15 @@ type Task func() error
 // servers. The first error aborts scheduling of further tasks and is
 // returned.
 func (c *Cluster) RunPerNode(tasks map[int][]Task) error {
+	return c.RunPerNodeCtx(context.Background(), tasks)
+}
+
+// RunPerNodeCtx is RunPerNode with cancellation: when the context is
+// cancelled, no further tasks are scheduled (in-flight tasks run to
+// completion) and the context error is returned unless a task failed first.
+// This is what lets a hung node cancel the rest of a wave instead of wedging
+// the batch.
+func (c *Cluster) RunPerNodeCtx(ctx context.Context, tasks map[int][]Task) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -340,7 +420,7 @@ func (c *Cluster) RunPerNode(tasks map[int][]Task) error {
 				}()
 			}
 			for _, t := range queue {
-				if failed() {
+				if failed() || ctx.Err() != nil {
 					break
 				}
 				ch <- t
@@ -350,6 +430,9 @@ func (c *Cluster) RunPerNode(tasks map[int][]Task) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
 	return firstErr
 }
 

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
+)
+
+// ErrNodeDown is the sentinel for a node that is unreachable as a whole —
+// blacked out by fault injection or dead on the network — as opposed to an
+// application failure (chunk not resident, decode error) reported by a live
+// node. Failover paths test for it with IsNodeDown and retry against
+// replicas instead of aborting the batch.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// IsNodeDown reports whether err means the addressed node is unreachable:
+// either it wraps ErrNodeDown (fault injection, daemon shutdown) or it
+// carries a network-level error (dial refused, timeout, reset) from a real
+// fabric. Application errors from a live node — including transport
+// RemoteError — are not node-down.
+func IsNodeDown(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNodeDown) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// Fault-rule wildcards: AnyNode matches every worker node, AnyOp every
+// fabric operation.
+const (
+	AnyNode = -1
+	AnyOp   = "*"
+)
+
+// FaultKind selects what an injected fault does to a matched operation.
+type FaultKind uint8
+
+const (
+	// FaultError fails the operation before it reaches the inner fabric
+	// (the node never saw the request).
+	FaultError FaultKind = iota
+	// FaultLatency delays the operation; it then proceeds normally, so a
+	// latency spike composes with context deadlines rather than errors.
+	FaultLatency
+	// FaultDropAfterWrite lets a mutating operation apply on the inner
+	// fabric and then reports failure — the chunk shipped but the ack was
+	// lost, the classic ambiguous outcome crash consistency must survive.
+	FaultDropAfterWrite
+)
+
+// String names the kind for diagnostics and counters.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultDropAfterWrite:
+		return "drop-after-write"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultRule describes one injected fault. Matching is deterministic by
+// default: the rule skips its first After matching operations, then fires on
+// every match (up to Count total firings, 0 = unlimited). Setting P in (0,1)
+// makes firing probabilistic under the fabric's seeded generator — still
+// reproducible for a fixed seed and operation order.
+type FaultRule struct {
+	// Node is the target worker, or AnyNode.
+	Node int
+	// Op is the fabric operation name ("Put", "Get", "Has", "Delete",
+	// "Merge", "Keys", "DropArray", "Stats", "ExecuteJoin"), or AnyOp.
+	Op string
+	// Kind is what the fault does.
+	Kind FaultKind
+	// After skips the first After matching operations.
+	After int
+	// Count caps how many times the rule fires (0 = unlimited).
+	Count int
+	// Latency is the injected delay for FaultLatency.
+	Latency time.Duration
+	// Err overrides the injected error for FaultError (default: a wrapped
+	// ErrNodeDown, so failover treats the node as unreachable).
+	Err error
+	// P is the firing probability for matched operations; 0 (and 1) mean
+	// always fire.
+	P float64
+
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// Fired returns how many times the rule has injected its fault.
+func (r *FaultRule) Fired() int64 { return r.fired.Load() }
+
+// FaultCounts is a snapshot of every fault the fabric has injected, by
+// class.
+type FaultCounts struct {
+	Errors      int64
+	Latencies   int64
+	AcksDropped int64
+	Blackouts   int64
+}
+
+// Total sums the injected faults across classes.
+func (c FaultCounts) Total() int64 {
+	return c.Errors + c.Latencies + c.AcksDropped + c.Blackouts
+}
+
+// FaultFabric wraps any Fabric and injects deterministic, seedable faults:
+// per-node/per-op error returns, latency spikes, drop-after-write (the
+// write applies but the ack is lost), and full node blackouts. Every
+// injected fault is counted by class. Use AsFabric to build the value a
+// cluster should run on: it preserves the inner fabric's join-pushdown
+// capability, so a FaultFabric over a plain Fabric does not accidentally
+// advertise ExecuteJoin.
+type FaultFabric struct {
+	inner Fabric
+	join  JoinFabric // inner's pushdown capability, when present
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*FaultRule
+	dark  map[int]bool
+
+	errors      obs.Counter
+	latencies   obs.Counter
+	acksDropped obs.Counter
+	blackouts   obs.Counter
+}
+
+// NewFaultFabric wraps inner with a fault injector seeded for reproducible
+// probabilistic rules.
+func NewFaultFabric(inner Fabric, seed int64) *FaultFabric {
+	f := &FaultFabric{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		dark:  make(map[int]bool),
+	}
+	f.join, _ = inner.(JoinFabric)
+	return f
+}
+
+// AsFabric returns the fabric a cluster should be built on: the FaultFabric
+// itself when the inner fabric has no join pushdown, or a join-capable
+// wrapper when it does. This keeps `fabric.(JoinFabric)` type assertions
+// truthful about the inner fabric's capabilities.
+func (f *FaultFabric) AsFabric() Fabric {
+	if f.join != nil {
+		return &faultJoinFabric{f}
+	}
+	return f
+}
+
+// Inject registers a fault rule and returns it (for Fired inspection).
+// Rules are evaluated in registration order; the first non-latency match
+// decides the operation's fate, while latency rules compose.
+func (f *FaultFabric) Inject(r *FaultRule) *FaultRule {
+	f.mu.Lock()
+	f.rules = append(f.rules, r)
+	f.mu.Unlock()
+	return r
+}
+
+// ClearRules removes every registered rule (blackouts persist).
+func (f *FaultFabric) ClearRules() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// Blackout makes every operation against the node fail with ErrNodeDown
+// until Restore. The inner fabric is never reached, so no write applies.
+func (f *FaultFabric) Blackout(node int) {
+	f.mu.Lock()
+	f.dark[node] = true
+	f.mu.Unlock()
+}
+
+// Restore lifts a blackout.
+func (f *FaultFabric) Restore(node int) {
+	f.mu.Lock()
+	delete(f.dark, node)
+	f.mu.Unlock()
+}
+
+// FaultCounts snapshots the injected-fault counters.
+func (f *FaultFabric) FaultCounts() FaultCounts {
+	return FaultCounts{
+		Errors:      f.errors.Load(),
+		Latencies:   f.latencies.Load(),
+		AcksDropped: f.acksDropped.Load(),
+		Blackouts:   f.blackouts.Load(),
+	}
+}
+
+// verdict is the decided fate of one operation.
+type verdict struct {
+	err     error // fail before the inner fabric runs
+	dropAck bool  // run the inner op, then report failure
+}
+
+// decide evaluates blackout state and rules for one operation.
+func (f *FaultFabric) decide(node int, op string) verdict {
+	f.mu.Lock()
+	if f.dark[node] {
+		f.mu.Unlock()
+		f.blackouts.Add(1)
+		return verdict{err: fmt.Errorf("cluster: fault: %s on blacked-out node %d: %w", op, node, ErrNodeDown)}
+	}
+	var sleep time.Duration
+	var out verdict
+	for _, r := range f.rules {
+		if r.Node != AnyNode && r.Node != node {
+			continue
+		}
+		if r.Op != AnyOp && r.Op != op {
+			continue
+		}
+		if int(r.hits.Add(1)) <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired.Load() >= int64(r.Count) {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && f.rng.Float64() >= r.P {
+			continue
+		}
+		r.fired.Add(1)
+		if r.Kind == FaultLatency {
+			sleep += r.Latency
+			continue // latency composes; keep evaluating
+		}
+		if r.Kind == FaultDropAfterWrite {
+			out.dropAck = true
+		} else {
+			cause := r.Err
+			if cause == nil {
+				cause = ErrNodeDown
+			}
+			out.err = fmt.Errorf("cluster: fault: injected %s failure on node %d: %w", op, node, cause)
+		}
+		break
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		f.latencies.Add(1)
+		time.Sleep(sleep)
+	}
+	if out.err != nil {
+		f.errors.Add(1)
+	}
+	return out
+}
+
+// ackLost builds the drop-after-write error for a mutating op that applied.
+func (f *FaultFabric) ackLost(node int, op string) error {
+	f.acksDropped.Add(1)
+	return fmt.Errorf("cluster: fault: ack for %s on node %d lost (write applied)", op, node)
+}
+
+// Put implements Fabric.
+func (f *FaultFabric) Put(node int, arrayName string, ch *array.Chunk) error {
+	v := f.decide(node, "Put")
+	if v.err != nil {
+		return v.err
+	}
+	err := f.inner.Put(node, arrayName, ch)
+	if err == nil && v.dropAck {
+		return f.ackLost(node, "Put")
+	}
+	return err
+}
+
+// Get implements Fabric.
+func (f *FaultFabric) Get(node int, arrayName string, key array.ChunkKey) (*array.Chunk, error) {
+	if v := f.decide(node, "Get"); v.err != nil {
+		return nil, v.err
+	}
+	return f.inner.Get(node, arrayName, key)
+}
+
+// Has implements Fabric.
+func (f *FaultFabric) Has(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	if v := f.decide(node, "Has"); v.err != nil {
+		return false, v.err
+	}
+	return f.inner.Has(node, arrayName, key)
+}
+
+// Delete implements Fabric.
+func (f *FaultFabric) Delete(node int, arrayName string, key array.ChunkKey) (bool, error) {
+	v := f.decide(node, "Delete")
+	if v.err != nil {
+		return false, v.err
+	}
+	ok, err := f.inner.Delete(node, arrayName, key)
+	if err == nil && v.dropAck {
+		return false, f.ackLost(node, "Delete")
+	}
+	return ok, err
+}
+
+// Merge implements Fabric.
+func (f *FaultFabric) Merge(node int, arrayName string, src *array.Chunk, spec MergeSpec) error {
+	v := f.decide(node, "Merge")
+	if v.err != nil {
+		return v.err
+	}
+	err := f.inner.Merge(node, arrayName, src, spec)
+	if err == nil && v.dropAck {
+		return f.ackLost(node, "Merge")
+	}
+	return err
+}
+
+// Keys implements Fabric.
+func (f *FaultFabric) Keys(node int, arrayName string) ([]array.ChunkKey, error) {
+	if v := f.decide(node, "Keys"); v.err != nil {
+		return nil, v.err
+	}
+	return f.inner.Keys(node, arrayName)
+}
+
+// DropArray implements Fabric.
+func (f *FaultFabric) DropArray(node int, arrayName string) (int, error) {
+	v := f.decide(node, "DropArray")
+	if v.err != nil {
+		return 0, v.err
+	}
+	n, err := f.inner.DropArray(node, arrayName)
+	if err == nil && v.dropAck {
+		return 0, f.ackLost(node, "DropArray")
+	}
+	return n, err
+}
+
+// Stats implements Fabric.
+func (f *FaultFabric) Stats(node int) (FabricStats, error) {
+	if v := f.decide(node, "Stats"); v.err != nil {
+		return FabricStats{}, v.err
+	}
+	return f.inner.Stats(node)
+}
+
+// NumNodes implements Fabric.
+func (f *FaultFabric) NumNodes() int { return f.inner.NumNodes() }
+
+// Close implements Fabric.
+func (f *FaultFabric) Close() error { return f.inner.Close() }
+
+// faultJoinFabric is the join-capable face of a FaultFabric over a
+// JoinFabric inner.
+type faultJoinFabric struct {
+	*FaultFabric
+}
+
+// ExecuteJoin implements JoinFabric. A drop-after-write fault on the join
+// discards the computed partials (the response was lost; nothing mutated).
+func (f *faultJoinFabric) ExecuteJoin(node int, req JoinRequest) ([]*array.Chunk, error) {
+	v := f.decide(node, "ExecuteJoin")
+	if v.err != nil {
+		return nil, v.err
+	}
+	parts, err := f.join.ExecuteJoin(node, req)
+	if err == nil && v.dropAck {
+		return nil, f.ackLost(node, "ExecuteJoin")
+	}
+	return parts, err
+}

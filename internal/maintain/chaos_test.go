@@ -1,0 +1,329 @@
+package maintain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/storage"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// chaosBatch builds the Figure 1 batch on a 3-node cluster whose fabric is
+// wrapped in a FaultFabric, and snapshots the pre-batch base and view
+// states for atomicity checks.
+func chaosBatch(t *testing.T, seed int64) (*Context, *cluster.Cluster, *cluster.FaultFabric, *array.Array, *array.Array) {
+	t.Helper()
+	stores := make([]*storage.Store, 3)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	ff := cluster.NewFaultFabric(cluster.NewLocalFabric(stores), seed)
+	ctx, cl := stageFig1BatchWith(t, cluster.WithFabric(ff.AsFabric()))
+	preBase, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preView, err := cl.Gather("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, cl, ff, preBase, preView
+}
+
+// replicateAll ships one replica of every chunk of the named arrays to the
+// next node over, giving failover somewhere to go.
+func replicateAll(t *testing.T, cl *cluster.Cluster, names ...string) {
+	t.Helper()
+	cat := cl.Catalog()
+	for _, name := range names {
+		for _, key := range cat.Keys(name) {
+			home, ok := cat.Home(name, key)
+			if !ok {
+				t.Fatalf("no home for %v of %s", key, name)
+			}
+			to := (home + 1) % cl.NumNodes()
+			if err := cl.Transfer(nil, name, key, home, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// checkCompleted verifies the post-batch invariant: the base holds the
+// delta's cells and the view equals a from-scratch recompute.
+func checkCompleted(t *testing.T, cl *cluster.Cluster, ctx *Context) {
+	t.Helper()
+	base, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := base.Get(array.Point{1, 5}); !found {
+		t.Fatal("batch reported success but delta cell (1,5) is absent from the base")
+	}
+	verifyView(t, cl, ctx.Def)
+}
+
+// checkAtomic verifies the failed-batch invariant: base and view both equal
+// their pre-batch snapshots — no hybrid state.
+func checkAtomic(t *testing.T, cl *cluster.Cluster, preBase, preView *array.Array) {
+	t.Helper()
+	base, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(base, preBase) {
+		t.Fatal("failed batch left the base in a hybrid state")
+	}
+	v, err := cl.Gather("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(v, preView) {
+		t.Fatal("failed batch left the view in a hybrid state")
+	}
+}
+
+// TestChaosFaultMatrix injects one fault class at a time into the Figure 1
+// batch and checks the chaos contract: every execution either completes
+// (and the view matches a from-scratch recompute) or fails atomically (and
+// a gather of base and view equals the pre-batch state).
+func TestChaosFaultMatrix(t *testing.T) {
+	const (
+		wantEither = iota // contract only: completed XOR atomic
+		wantComplete
+		wantFail
+	)
+	scenarios := []struct {
+		name      string
+		replicate bool // pre-ship replicas of A and V
+		inject    func(ff *cluster.FaultFabric)
+		restore   func(ff *cluster.FaultFabric)
+		want      int
+	}{
+		{
+			name: "latency-spikes",
+			inject: func(ff *cluster.FaultFabric) {
+				ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: cluster.AnyOp,
+					Kind: cluster.FaultLatency, Latency: 200 * time.Microsecond, Count: 25})
+			},
+			want: wantComplete,
+		},
+		{
+			name: "put-ack-lost-once",
+			inject: func(ff *cluster.FaultFabric) {
+				ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Put",
+					Kind: cluster.FaultDropAfterWrite, Count: 1})
+			},
+			want: wantComplete,
+		},
+		{
+			name: "merge-ack-lost-once",
+			inject: func(ff *cluster.FaultFabric) {
+				// A merge cannot be retried blindly (double-apply), so a
+				// lost merge ack must abort the batch atomically.
+				ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Merge",
+					Kind: cluster.FaultDropAfterWrite, Count: 1})
+			},
+			want: wantFail,
+		},
+		{
+			name:      "transient-get-errors",
+			replicate: true,
+			inject: func(ff *cluster.FaultFabric) {
+				ff.Inject(&cluster.FaultRule{Node: 0, Op: "Get",
+					Kind: cluster.FaultError, Count: 2})
+			},
+			want: wantComplete,
+		},
+		{
+			name:      "node0-dead-all-ops",
+			replicate: true,
+			inject: func(ff *cluster.FaultFabric) {
+				ff.Inject(&cluster.FaultRule{Node: 0, Op: cluster.AnyOp,
+					Kind: cluster.FaultError})
+			},
+			want: wantComplete,
+		},
+		{
+			name:      "blackout-with-replicas",
+			replicate: true,
+			inject:    func(ff *cluster.FaultFabric) { ff.Blackout(2) },
+			restore:   func(ff *cluster.FaultFabric) { ff.Restore(2) },
+			want:      wantComplete,
+		},
+		{
+			name:    "blackout-no-replicas",
+			inject:  func(ff *cluster.FaultFabric) { ff.Blackout(1) },
+			restore: func(ff *cluster.FaultFabric) { ff.Restore(1) },
+			want:    wantEither,
+		},
+		{
+			name: "disk-full-one-node",
+			inject: func(ff *cluster.FaultFabric) {
+				// A persistent non-node-down error is not recoverable by
+				// retry or failover; it must surface and roll back. (A
+				// single flaky put is absorbed by the put retry loop.)
+				ff.Inject(&cluster.FaultRule{Node: 1, Op: "Put",
+					Kind: cluster.FaultError, Err: errors.New("store: disk full")})
+			},
+			want: wantFail,
+		},
+		{
+			name: "flaky-everything-seeded",
+			inject: func(ff *cluster.FaultFabric) {
+				ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: cluster.AnyOp,
+					Kind: cluster.FaultError, P: 0.05})
+			},
+			want: wantEither,
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			ctx, cl, ff, preBase, preView := chaosBatch(t, 42)
+			if sc.replicate {
+				replicateAll(t, cl, "A", "V")
+			}
+			p, err := (Differential{}).Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.inject(ff)
+			_, execErr := Execute(ctx, p)
+			// Lift every fault before inspecting state: verification reads
+			// must see the cluster, not the chaos.
+			ff.ClearRules()
+			if sc.restore != nil {
+				sc.restore(ff)
+			}
+			if ff.FaultCounts().Total() == 0 && sc.name != "flaky-everything-seeded" {
+				t.Fatal("scenario injected no faults — matrix entry is vacuous")
+			}
+			switch {
+			case execErr == nil:
+				if sc.want == wantFail {
+					t.Fatal("expected the batch to fail, but it completed")
+				}
+				checkCompleted(t, cl, ctx)
+			default:
+				if sc.want == wantComplete {
+					t.Fatalf("expected failover to complete the batch, got: %v", execErr)
+				}
+				checkAtomic(t, cl, preBase, preView)
+			}
+		})
+	}
+}
+
+// TestChaosReexecutionAfterFailure checks that a batch that failed
+// atomically can be safely re-executed: after the fault clears, re-staging
+// and re-running the same delta converges to the correct state.
+func TestChaosReexecutionAfterFailure(t *testing.T) {
+	ctx, cl, ff, preBase, preView := chaosBatch(t, 7)
+	p, err := (Differential{}).Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Put",
+		Kind: cluster.FaultError, Err: errors.New("store: write refused")})
+	if _, err := Execute(ctx, p); err == nil {
+		t.Fatal("expected the injected write error to fail the batch")
+	}
+	ff.ClearRules()
+	checkAtomic(t, cl, preBase, preView)
+
+	// The failed batch's scratch state is gone; re-stage the delta under a
+	// fresh namespace, exactly as a retrying maintainer would.
+	deltaName := "A#x2"
+	ds := *fig1Schema()
+	ds.Name = deltaName
+	if err := cl.Catalog().Register(&ds); err != nil {
+		t.Fatal(err)
+	}
+	var chunks []*array.Chunk
+	fig1Delta().EachChunk(func(c *array.Chunk) bool { chunks = append(chunks, c); return true })
+	if err := cl.StageDelta(deltaName, chunks); err != nil {
+		t.Fatal(err)
+	}
+	gen := &view.UnitGen{Catalog: cl.Catalog(), Def: ctx.Def,
+		BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: deltaName, DeltaBeta: deltaName}
+	units, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, err := NewContext(cl, ctx.Def, units, "A", "A", deltaName, deltaName, "V", nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (Differential{}).Plan(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(ctx2, p2); err != nil {
+		t.Fatal(err)
+	}
+	checkCompleted(t, cl, ctx2)
+}
+
+// TestChaosDeletionAtomicity runs a deletion batch under an injected
+// commit-phase failure and checks that erased cells reappear after
+// rollback.
+func TestChaosDeletionAtomicity(t *testing.T) {
+	stores := make([]*storage.Store, 3)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	ff := cluster.NewFaultFabric(cluster.NewLocalFabric(stores), 11)
+	cl, err := cluster.New(3, cluster.WithWorkersPerNode(2), cluster.WithFabric(ff.AsFabric()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(fig1Array(), &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def := fig1Def(t)
+	if err := BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(cl, def, Differential{}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preBase, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preView, err := cl.Gather("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Retract one existing cell; fail the commit's first write.
+	del := array.New(fig1Schema())
+	if err := del.Set(array.Point{1, 2}, array.Tuple{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Put",
+		Kind: cluster.FaultError, Err: errors.New("store: write refused")})
+	if _, err := m.ApplyDelete(del); err == nil {
+		t.Fatal("expected the injected write error to fail the deletion batch")
+	}
+	ff.ClearRules()
+	checkAtomic(t, cl, preBase, preView)
+
+	// With the fault cleared the same deletion applies cleanly.
+	if _, err := m.ApplyDelete(del); err != nil {
+		t.Fatal(err)
+	}
+	base, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := base.Get(array.Point{1, 2}); found {
+		t.Fatal("retracted cell survived the deletion batch")
+	}
+	verifyView(t, cl, def)
+}

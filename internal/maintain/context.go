@@ -1,6 +1,7 @@
 package maintain
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -53,7 +54,20 @@ type Context struct {
 	// timings of Execute. A nil trace costs nothing.
 	Trace *obs.Trace
 
+	// Ctx, when non-nil, bounds the batch: cancellation or deadline expiry
+	// stops scheduling further work in the parallel phases, so a hung node
+	// fails the batch (atomically) instead of wedging it.
+	Ctx context.Context
+
 	viewHints map[array.ChunkKey]int
+}
+
+// execContext returns the batch's context, defaulting to Background.
+func (c *Context) execContext() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // NewContext validates and completes a context.

@@ -2,6 +2,8 @@ package maintain
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/arrayview/arrayview/internal/array"
@@ -18,17 +20,26 @@ type Planner interface {
 	Plan(ctx *Context) (*Plan, error)
 }
 
-// Execute applies a validated plan to the cluster: it performs the chunk
-// transfers, runs every chunk-pair join concurrently on its assigned node,
-// merges differential results into the view at each view chunk's assigned
-// home, ingests the delta chunks into the base array, and applies the
-// array chunk reassignments. It returns the plan's deterministic cost
-// ledger (the modeled maintenance time of the batch).
+// Execute applies a validated plan to the cluster with crash-consistent,
+// fault-tolerant semantics: the batch either commits fully or leaves the
+// view and base arrays provably unchanged.
 //
-// Every chunk movement goes through the cluster's fabric: on the default
-// LocalFabric this is the paper's in-process simulator; on a network
-// fabric the same plan ships real bytes, and joins are pushed down to the
-// node holding the chunks when the fabric supports it.
+// The pipeline stages all mutations before touching any live state. Phase 1
+// replicates chunks per the plan (transfers whose endpoints are dead are
+// skipped — the join phase re-plans around them). Phase 2 runs every
+// chunk-pair join at its assigned node, accumulating partial view state
+// under a shadow staging namespace ("<view>#stage") instead of merging into
+// the view directly; joins and staging merges that hit a dead node fail over
+// to surviving nodes with the ledger re-charged. Phase 3 commits: for every
+// touched view and base chunk it reads the pre-image, records it in an undo
+// log, and applies the final content with idempotent put/delete operations,
+// so an ack-lost write can be retried and a failed commit rolls back to the
+// exact pre-batch state (including a catalog snapshot). Phase 4 tears down
+// staging data, delta namespaces, and scratch replicas best-effort — cleanup
+// hiccups never fail a committed batch.
+//
+// It returns the plan's deterministic cost ledger (the modeled maintenance
+// time of the batch, plus any failover re-charges).
 func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 	tr := ctx.Trace
 
@@ -41,50 +52,176 @@ func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 	ledger := p.Charge(ctx)
 	stop()
 
+	es := newExecState(ctx, ledger)
+
 	// Phase 1: replicate chunks per the plan (x variables), concurrently
 	// grouped by destination node.
 	stop = tr.Start(obs.PhaseTransfer)
 	err = runTransfers(ctx, p)
 	stop()
 	if err != nil {
-		return nil, err
+		return nil, es.abort(ctx, p, err)
 	}
 
-	// Phase 2: move view chunks whose home changes, so differential merges
-	// land on the fresh home.
-	stop = tr.Start(obs.PhaseViewMove)
-	moved, err := moveViewChunks(ctx, p)
-	stop()
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 3: evaluate joins per node, merging partial differentials into
-	// the view as they are produced (asynchronously, as in the paper). The
-	// join span is the wall-clock of the whole per-node run; merge busy
-	// time and per-node task time accumulate inside it.
+	// Phase 2: evaluate joins per node, staging partial differentials under
+	// the shadow namespace. The join span is the wall-clock of the whole
+	// per-node run; merge busy time and per-node task time accumulate inside
+	// it.
 	stop = tr.Start(obs.PhaseJoin)
-	err = runJoins(ctx, p)
+	err = runJoins(ctx, p, es)
 	stop()
 	if err != nil {
-		return nil, err
+		return nil, es.abort(ctx, p, err)
 	}
 
-	// Phase 4: refresh catalog metadata for every touched view chunk.
-	stop = tr.Start(obs.PhaseCatalog)
-	err = refreshViewCatalog(ctx, p, moved)
+	// Phase 3: commit — fold staged state into the view, ingest deltas into
+	// the base array, apply rehomes; every write is undo-logged.
+	stop = tr.Start(obs.PhaseCommit)
+	err = commitBatch(ctx, p, es)
 	stop()
 	if err != nil {
-		return nil, err
+		return nil, es.abort(ctx, p, err)
 	}
 
-	// Phase 5: ingest delta chunks into the base array and apply array
-	// chunk reassignments; then drop scratch replicas (the cleanup span is
-	// recorded inside, around cleanupBatch).
-	if err := ingestAndRehome(ctx, p); err != nil {
-		return nil, err
-	}
+	// Phase 4: best-effort teardown of staging and scratch state.
+	stop = tr.Start(obs.PhaseCleanup)
+	cleanupBatch(ctx, p, es)
+	stop()
 	return ledger, nil
+}
+
+// extraShip records a failover-driven chunk copy not present in the plan's
+// transfer list, so cleanup can scrub it.
+type extraShip struct {
+	ref view.ChunkRef
+	to  int
+}
+
+// execState is the mutable bookkeeping of one Execute call: dead-node
+// tracking, the staging location of every view chunk, failover re-charges
+// against the (not thread-safe) ledger, and the commit undo log.
+type execState struct {
+	mu         sync.Mutex
+	ledger     *cluster.Ledger
+	dead       map[int]bool
+	stageHome  map[array.ChunkKey]int
+	stageCount map[array.ChunkKey]int
+	keyLocks   map[array.ChunkKey]*sync.Mutex
+	extra      []extraShip
+	snaps      map[string]*cluster.ArrayMeta
+	staging    string
+	deltaNames []string
+	cm         *committer
+}
+
+func newExecState(ctx *Context, ledger *cluster.Ledger) *execState {
+	es := &execState{
+		ledger:     ledger,
+		dead:       make(map[int]bool),
+		stageHome:  make(map[array.ChunkKey]int),
+		stageCount: make(map[array.ChunkKey]int),
+		keyLocks:   make(map[array.ChunkKey]*sync.Mutex),
+		snaps:      make(map[string]*cluster.ArrayMeta),
+		staging:    ctx.ViewName + "#stage",
+		deltaNames: []string{ctx.DeltaAlpha},
+	}
+	if ctx.DeltaBeta != ctx.DeltaAlpha {
+		es.deltaNames = append(es.deltaNames, ctx.DeltaBeta)
+	}
+	// Snapshot the catalog metadata of every array the batch mutates, so a
+	// failed batch restores the catalog to its exact pre-batch state.
+	cat := ctx.Cluster.Catalog()
+	for _, name := range []string{ctx.ViewName, ctx.BaseAlpha, ctx.BaseBeta} {
+		if _, dup := es.snaps[name]; dup {
+			continue
+		}
+		if m, ok := cat.SnapshotMeta(name); ok {
+			es.snaps[name] = m
+		}
+	}
+	return es
+}
+
+func (es *execState) isDead(node int) bool {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.dead[node]
+}
+
+func (es *execState) markDead(node int) {
+	es.mu.Lock()
+	es.dead[node] = true
+	es.mu.Unlock()
+}
+
+// pickAlive returns the lowest-numbered surviving worker.
+func (es *execState) pickAlive(n int) (int, error) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.pickAliveLocked(n)
+}
+
+func (es *execState) pickAliveLocked(n int) (int, error) {
+	for node := 0; node < n; node++ {
+		if !es.dead[node] {
+			return node, nil
+		}
+	}
+	return 0, fmt.Errorf("maintain: no surviving nodes")
+}
+
+// chargeTransfer re-charges the ledger for a failover ship. The ledger is
+// not thread-safe and join tasks run concurrently, so charges serialize here.
+func (es *execState) chargeTransfer(from, to int, size int64) {
+	es.mu.Lock()
+	es.ledger.ChargeTransferTo(from, to, size)
+	es.mu.Unlock()
+}
+
+// chargeJoin re-charges a join re-planned onto a surviving node.
+func (es *execState) chargeJoin(at int, size int64) {
+	es.mu.Lock()
+	es.ledger.ChargeJoin(at, size)
+	es.mu.Unlock()
+}
+
+func (es *execState) keyLock(v array.ChunkKey) *sync.Mutex {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	lk, ok := es.keyLocks[v]
+	if !ok {
+		lk = &sync.Mutex{}
+		es.keyLocks[v] = lk
+	}
+	return lk
+}
+
+func (es *execState) addExtraShip(ref view.ChunkRef, to int) {
+	es.mu.Lock()
+	es.extra = append(es.extra, extraShip{ref, to})
+	es.mu.Unlock()
+}
+
+func (es *execState) extraShips() []extraShip {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return append([]extraShip(nil), es.extra...)
+}
+
+// abort undoes a failed batch: roll back every committed write, restore the
+// catalog snapshots, and tear down staging state. The original cause is
+// returned; rollback itself is best-effort (a node that is down never
+// received the write being undone).
+func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
+	if es.cm != nil {
+		es.cm.rollback()
+	}
+	cat := ctx.Cluster.Catalog()
+	for name, m := range es.snaps {
+		cat.RestoreMeta(name, m)
+	}
+	cleanupBatch(ctx, p, es)
+	return cause
 }
 
 // runTransfers executes the plan's Phase-1 replications (x variables)
@@ -101,6 +238,13 @@ func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 // wave after the transfer creating it, preserving the in-order residency
 // guarantee Validate checks while everything within a wave runs in
 // parallel.
+//
+// A transfer that fails because a node is down — dead destination, or dead
+// source with no surviving replica — is skipped rather than fatal: the join
+// phase re-plans work around dead nodes and re-fetches from replicas, and a
+// chunk that is truly unreachable everywhere fails the batch there,
+// atomically. Application failures (chunk not resident on a live node)
+// still abort immediately.
 func runTransfers(ctx *Context, p *Plan) error {
 	cl := ctx.Cluster
 	type ship struct {
@@ -123,50 +267,34 @@ func runTransfers(ctx *Context, p *Plan) error {
 			waves = append(waves, make(map[int][]cluster.Task))
 		}
 		waves[w][t.To] = append(waves[w][t.To], func() error {
-			return cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To)
+			err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To)
+			if err != nil && cluster.IsNodeDown(err) {
+				return nil
+			}
+			return err
 		})
 	}
 	for _, wave := range waves {
-		if err := cl.RunPerNode(wave); err != nil {
+		if err := cl.RunPerNodeCtx(ctx.execContext(), wave); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// moveViewChunks relocates existing view chunks to their newly assigned
-// homes. Returns the set of keys that physically moved.
-func moveViewChunks(ctx *Context, p *Plan) (map[array.ChunkKey]bool, error) {
-	cl := ctx.Cluster
-	moved := make(map[array.ChunkKey]bool)
-	for v, j := range p.ViewHome {
-		cur, exists := ctx.ViewHomeOf(v)
-		if !exists || cur == j {
-			continue
-		}
-		ch, err := cl.GetAt(cur, ctx.ViewName, v)
-		if err != nil {
-			return nil, fmt.Errorf("maintain: moving view chunk %v: %w", v, err)
-		}
-		if err := cl.PutAt(j, ctx.ViewName, ch); err != nil {
-			return nil, fmt.Errorf("maintain: moving view chunk %v: %w", v, err)
-		}
-		if _, err := cl.DeleteAt(cur, ctx.ViewName, v); err != nil {
-			return nil, err
-		}
-		moved[v] = true
-	}
-	return moved, nil
-}
-
 // runJoins executes every unit at its planned node with the cluster's
 // per-node worker pools. Each task joins one chunk pair (both orientations
-// when required), accumulates per-view-chunk partial state chunks, and
-// merges them into the view store of each view chunk's home node. On a
-// JoinFabric with the view registered, the join itself executes on the
-// remote node (only the differential partials travel back); otherwise the
-// chunks are fetched through the fabric and joined here.
-func runJoins(ctx *Context, p *Plan) error {
+// when required) and stages the per-view-chunk partial state chunks under
+// the shadow namespace at each view chunk's planned home. On a JoinFabric
+// with the view registered, the join itself executes on the remote node
+// (only the differential partials travel back); otherwise the chunks are
+// fetched through the fabric and joined here.
+//
+// A unit whose site is unreachable is re-planned onto a surviving node: the
+// input chunks are re-fetched from catalog replicas (shipping them to the
+// fallback node when the fabric pushes joins down), the join re-executes
+// there, and the ledger is re-charged for the extra work.
+func runJoins(ctx *Context, p *Plan, es *execState) error {
 	cl := ctx.Cluster
 	def := ctx.Def
 	tr := ctx.Trace
@@ -189,288 +317,197 @@ func runJoins(ctx *Context, p *Plan) error {
 		tasks[site] = append(tasks[site], func() error {
 			taskStart := time.Now()
 			defer func() { tr.AddNode(site, time.Since(taskStart)) }()
-			var partials []*array.Chunk
-			if joinFabric != nil {
-				remote, err := joinFabric.ExecuteJoin(site, cluster.JoinRequest{
-					View:   ctx.ViewName,
-					PArray: u.P.Array, PKey: u.P.Key,
-					QArray: u.Q.Array, QKey: u.Q.Key,
-					BothDirections: u.BothDirections,
-					Sign:           sign,
-				})
-				if err != nil {
-					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-				}
-				partials = remote
-			} else {
-				cp, err := cl.GetAt(site, u.P.Array, u.P.Key)
-				if err != nil {
-					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-				}
-				cq, err := cl.GetAt(site, u.Q.Array, u.Q.Key)
-				if err != nil {
-					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-				}
-				parts, err := view.JoinPartials(def, cp, cq, u.BothDirections, sign)
-				if err != nil {
-					return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
-				}
-				for _, part := range parts {
-					partials = append(partials, part)
-				}
+			at := site
+			partials, err := joinUnitAt(ctx, es, u, at, sign, joinFabric)
+			if err != nil && cluster.IsNodeDown(err) {
+				es.markDead(at)
+				partials, at, err = failoverJoin(ctx, es, u, i, sign, joinFabric)
+			}
+			if err != nil {
+				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
 			}
 			mergeStart := time.Now()
 			defer func() { tr.Add(obs.PhaseMerge, time.Since(mergeStart)) }()
 			for _, part := range partials {
-				home, ok := p.ViewHome[part.Key()]
-				if !ok {
-					return fmt.Errorf("maintain: partial for unplanned view chunk %v", part.Key().Coord())
-				}
-				if err := cl.MergeAt(home, ctx.ViewName, part, stateSpec); err != nil {
+				if err := es.stagePartial(ctx, p, part, at, stateSpec); err != nil {
 					return err
 				}
 			}
 			return nil
 		})
 	}
-	return cl.RunPerNode(tasks)
+	return cl.RunPerNodeCtx(ctx.execContext(), tasks)
 }
 
-// refreshViewCatalog re-reads every planned view chunk at its home and
-// updates the catalog (home, size, cells). View chunks that received no
-// actual contributions and did not previously exist are skipped.
-func refreshViewCatalog(ctx *Context, p *Plan, moved map[array.ChunkKey]bool) error {
+// joinUnitAt evaluates one unit at the given node, pushing the join down
+// when the fabric supports it.
+func joinUnitAt(ctx *Context, es *execState, u view.Unit, at int, sign float64, joinFabric cluster.JoinFabric) ([]*array.Chunk, error) {
 	cl := ctx.Cluster
-	cat := cl.Catalog()
-	for v, j := range p.ViewHome {
-		resident, err := cl.HasAt(j, ctx.ViewName, v)
-		if err != nil {
-			return err
-		}
-		if !resident {
-			if _, exists := ctx.ViewHomeOf(v); exists && !moved[v] {
-				// Existing chunk untouched at its old home; nothing to do.
-				continue
-			}
-			if moved[v] {
-				return fmt.Errorf("maintain: moved view chunk %v vanished", v.Coord())
-			}
-			continue // planned but no contributions materialized
-		}
-		ch, err := cl.GetAt(j, ctx.ViewName, v)
-		if err != nil {
-			return err
-		}
-		cat.SetChunk(ctx.ViewName, v, j, ch.SizeBytes(), ch.NumCells())
+	if joinFabric != nil {
+		return joinFabric.ExecuteJoin(at, cluster.JoinRequest{
+			View:   ctx.ViewName,
+			PArray: u.P.Array, PKey: u.P.Key,
+			QArray: u.Q.Array, QKey: u.Q.Key,
+			BothDirections: u.BothDirections,
+			Sign:           sign,
+		})
 	}
-	return nil
+	cp, err := cl.GetAt(at, u.P.Array, u.P.Key)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := cl.GetAt(at, u.Q.Array, u.Q.Key)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := view.JoinPartials(ctx.Def, cp, cq, u.BothDirections, sign)
+	if err != nil {
+		return nil, err
+	}
+	return sortedPartials(parts), nil
 }
 
-// ingestAndRehome folds the staged delta chunks into the base array (or,
-// for a deletion batch, removes their cells) and applies the plan's array
-// chunk reassignments, then clears scratch replicas from the batch.
-func ingestAndRehome(ctx *Context, p *Plan) error {
-	deltaNames := []string{ctx.DeltaAlpha}
-	if ctx.DeltaBeta != ctx.DeltaAlpha {
-		deltaNames = append(deltaNames, ctx.DeltaBeta)
+// failoverJoin re-plans a unit whose planned site is dead onto surviving
+// nodes. On a pushdown fabric the input chunks are first made resident on
+// the fallback node from catalog replicas (recorded as extra ships for
+// cleanup and re-charged on the ledger); without pushdown the chunks are
+// fetched from any replica and joined in-process. The node that ran the
+// join is returned for per-node accounting.
+func failoverJoin(ctx *Context, es *execState, u view.Unit, i int, sign float64, joinFabric cluster.JoinFabric) ([]*array.Chunk, int, error) {
+	cl := ctx.Cluster
+	n := cl.NumNodes()
+	for {
+		s, err := es.pickAlive(n)
+		if err != nil {
+			return nil, 0, fmt.Errorf("maintain: unit %d: %w", i, err)
+		}
+		var parts []*array.Chunk
+		if joinFabric != nil {
+			err = es.ensureResident(ctx, s, u.P)
+			if err == nil {
+				err = es.ensureResident(ctx, s, u.Q)
+			}
+			if err == nil {
+				parts, err = joinUnitAt(ctx, es, u, s, sign, joinFabric)
+			}
+		} else {
+			var cp, cq *array.Chunk
+			cp, _, err = cl.ReadReplica(u.P.Array, u.P.Key, s)
+			if err == nil {
+				cq, _, err = cl.ReadReplica(u.Q.Array, u.Q.Key, s)
+			}
+			if err == nil {
+				var pm map[array.ChunkKey]*array.Chunk
+				pm, err = view.JoinPartials(ctx.Def, cp, cq, u.BothDirections, sign)
+				parts = sortedPartials(pm)
+			}
+		}
+		if err == nil {
+			es.chargeJoin(s, ctx.PairBytes(u))
+			return parts, s, nil
+		}
+		if !cluster.IsNodeDown(err) {
+			return nil, 0, err
+		}
+		es.markDead(s)
 	}
-	stop := ctx.Trace.Start(obs.PhaseIngest)
-	var err error
-	if ctx.Deleting {
-		err = removeDeleted(ctx, deltaNames)
-	} else {
-		err = ingestInserts(ctx, p, deltaNames)
+}
+
+// ensureResident ships a chunk to the node from the nearest live replica
+// unless it is already there, re-charging the ledger for the failover copy.
+func (es *execState) ensureResident(ctx *Context, node int, ref view.ChunkRef) error {
+	cl := ctx.Cluster
+	if resident, err := cl.HasAt(node, ref.Array, ref.Key); err == nil && resident {
+		return nil
 	}
-	stop()
+	ch, src, err := cl.ReadReplica(ref.Array, ref.Key, ctx.HomeOf(ref))
 	if err != nil {
 		return err
 	}
-	stop = ctx.Trace.Start(obs.PhaseCleanup)
-	err = cleanupBatch(ctx, p, deltaNames)
-	stop()
-	return err
-}
-
-// ingestInserts merges the staged insert chunks into the base array and
-// applies the plan's array chunk reassignments.
-func ingestInserts(ctx *Context, p *Plan, deltaNames []string) error {
-	cl := ctx.Cluster
-	cat := cl.Catalog()
-	n := cl.NumNodes()
-
-	handled := make(map[view.ChunkRef]bool)
-	for _, dn := range deltaNames {
-		baseName := ctx.BaseNameFor(dn)
-		for _, key := range cat.Keys(dn) {
-			ref := view.ChunkRef{Array: dn, Key: key}
-			ch, err := cl.FetchChunk(dn, key, cluster.Coordinator)
-			if err != nil {
-				return err
-			}
-			if baseHome, exists := cat.Home(baseName, key); exists {
-				// Merge new cells into the existing base chunk — at its
-				// rehome target when the plan moved it and a fresh replica
-				// is already there (free: the join plan shipped it), else
-				// at its current home.
-				baseRef := view.ChunkRef{Array: baseName, Key: key}
-				target := baseHome
-				if j, ok := p.ArrayRehome[baseRef]; ok && j != baseHome && cat.HasReplica(baseName, key, j) {
-					if resident, err := cl.HasAt(j, baseName, key); err == nil && resident {
-						target = j
-					}
-				}
-				if err := cl.MergeAt(target, baseName, ch, cluster.MergeSpec{Kind: cluster.MergeCells}); err != nil {
-					return err
-				}
-				merged, err := cl.GetAt(target, baseName, key)
-				if err != nil {
-					return err
-				}
-				if target != baseHome {
-					if _, err := cl.DeleteAt(baseHome, baseName, key); err != nil {
-						return err
-					}
-				}
-				cat.SetChunk(baseName, key, target, merged.SizeBytes(), merged.NumCells())
-				if bb, ok := merged.BoundingBox(); ok {
-					cat.SetChunkBBox(baseName, key, bb)
-				}
-				handled[baseRef] = true
-				continue
-			}
-			// Brand-new chunk: home from the plan, falling back to static
-			// placement.
-			home, ok := p.ArrayRehome[ref]
-			if !ok {
-				home = ctx.ArrayPlacement.Place(key, n)
-			}
-			if err := cl.PutAt(home, baseName, ch); err != nil {
-				return err
-			}
-			cat.SetChunk(baseName, key, home, ch.SizeBytes(), ch.NumCells())
-			if bb, ok := ch.BoundingBox(); ok {
-				cat.SetChunkBBox(baseName, key, bb)
-			}
-		}
-	}
-
-	// Reassign existing base chunks that gained a replica this batch and
-	// were not already handled by the delta merge above.
-	for ref, j := range p.ArrayRehome {
-		if ctx.IsDelta(ref) || handled[ref] {
-			continue
-		}
-		cur, exists := cat.Home(ref.Array, ref.Key)
-		if !exists || cur == j {
-			continue
-		}
-		if !cat.HasReplica(ref.Array, ref.Key, j) {
-			continue // plan promised a replica; be safe if it is absent
-		}
-		if resident, err := cl.HasAt(j, ref.Array, ref.Key); err != nil || !resident {
-			continue
-		}
-		if _, err := cl.DeleteAt(cur, ref.Array, ref.Key); err != nil {
-			return err
-		}
-		if err := cat.Rehome(ref.Array, ref.Key, j, true); err != nil {
-			return err
-		}
-	}
-
-	return nil
-}
-
-// removeDeleted erases the staged deletion cells from the base array,
-// dropping chunks that become empty.
-func removeDeleted(ctx *Context, deltaNames []string) error {
-	cl := ctx.Cluster
-	cat := cl.Catalog()
-	for _, dn := range deltaNames {
-		baseName := ctx.BaseNameFor(dn)
-		for _, key := range cat.Keys(dn) {
-			dch, err := cl.FetchChunk(dn, key, cluster.Coordinator)
-			if err != nil {
-				return err
-			}
-			baseHome, exists := cat.Home(baseName, key)
-			if !exists {
-				return fmt.Errorf("maintain: deleting from absent chunk %v of %s", key.Coord(), baseName)
-			}
-			if err := cl.MergeAt(baseHome, baseName, dch, cluster.MergeSpec{Kind: cluster.MergeErase}); err != nil {
-				return err
-			}
-			remaining, err := cl.GetAt(baseHome, baseName, key)
-			if err != nil {
-				return err
-			}
-			if remaining.NumCells() == 0 {
-				if _, err := cl.DeleteAt(baseHome, baseName, key); err != nil {
-					return err
-				}
-				cat.DropChunk(baseName, key)
-				continue
-			}
-			cat.SetChunk(baseName, key, baseHome, remaining.SizeBytes(), remaining.NumCells())
-			if bb, ok := remaining.BoundingBox(); ok {
-				cat.SetChunkBBox(baseName, key, bb)
-			}
-		}
-	}
-	return nil
-}
-
-// cleanupBatch drops the delta namespaces and scrubs scratch replicas:
-// every node that holds a copy of a chunk away from its final home loses
-// it. Discards target independent (node, array, key) triples, so they are
-// decided serially against the catalog and then drained concurrently
-// through the same bounded per-node worker pools as the transfer phase.
-func cleanupBatch(ctx *Context, p *Plan, deltaNames []string) error {
-	cl := ctx.Cluster
-	cat := cl.Catalog()
-	n := cl.NumNodes()
-	tasks := make(map[int][]cluster.Task)
-	for _, dn := range deltaNames {
-		for node := 0; node < n; node++ {
-			tasks[node] = append(tasks[node], func() error {
-				_, err := cl.DropArrayAt(node, dn)
-				return err
-			})
-		}
-	}
-	type scrub struct {
-		ref view.ChunkRef
-		to  int
-	}
-	seen := make(map[scrub]bool, len(p.Transfers))
-	for _, t := range p.Transfers {
-		if ctx.IsDelta(t.Ref) {
-			continue // already dropped with the namespace
-		}
-		s := scrub{t.Ref, t.To}
-		if seen[s] {
-			continue
-		}
-		seen[s] = true
-		home, exists := cat.Home(t.Ref.Array, t.Ref.Key)
-		if exists && t.To == home {
-			continue // the scratch replica became the chunk's home; keep it
-		}
-		// The chunk vanished (fully deleted) or t.To holds a copy away from
-		// the final home; scrub it.
-		tasks[t.To] = append(tasks[t.To], func() error {
-			_, err := cl.DeleteAt(t.To, t.Ref.Array, t.Ref.Key)
-			return err
-		})
-	}
-	if err := cl.RunPerNode(tasks); err != nil {
+	if err := cl.PutAtRetry(node, ref.Array, ch); err != nil {
 		return err
 	}
-	for _, dn := range deltaNames {
-		cat.Drop(dn)
+	if err := cl.Catalog().AddReplica(ref.Array, ref.Key, node); err != nil {
+		return err
 	}
-	for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
-		cat.ClearReplicas(name)
-	}
+	es.chargeTransfer(src, node, ctx.SizeOf(ref))
+	es.addExtraShip(ref, node)
 	return nil
+}
+
+// stagePartial folds one partial view-state chunk into the shadow staging
+// namespace at the view chunk's staging home (the planned home while it is
+// alive). The first merge for a key may relocate its staging home to a
+// surviving node; once any merge has landed, the home is pinned — losing it
+// mid-batch means staged contributions are gone and the batch must abort
+// (atomically) rather than silently drop state. State merges do not consume
+// their source, so re-merging the same partial at a fallback node is safe.
+func (es *execState) stagePartial(ctx *Context, p *Plan, part *array.Chunk, site int, spec cluster.MergeSpec) error {
+	cl := ctx.Cluster
+	v := part.Key()
+	home, ok := p.ViewHome[v]
+	if !ok {
+		return fmt.Errorf("maintain: partial for unplanned view chunk %v", v.Coord())
+	}
+	lk := es.keyLock(v)
+	lk.Lock()
+	defer lk.Unlock()
+
+	es.mu.Lock()
+	target, pinned := es.stageHome[v]
+	if !pinned {
+		target = home
+		if es.dead[target] {
+			alt, err := es.pickAliveLocked(cl.NumNodes())
+			if err != nil {
+				es.mu.Unlock()
+				return err
+			}
+			target = alt
+		}
+	}
+	count := es.stageCount[v]
+	es.mu.Unlock()
+
+	size := part.SizeBytes()
+	err := cl.MergeAt(target, es.staging, part, spec)
+	if err != nil && cluster.IsNodeDown(err) && count == 0 {
+		es.markDead(target)
+		alt, aerr := es.pickAlive(cl.NumNodes())
+		if aerr != nil {
+			return err
+		}
+		if merr := cl.MergeAt(alt, es.staging, part, spec); merr != nil {
+			return merr
+		}
+		target = alt
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	es.mu.Lock()
+	es.stageHome[v] = target
+	es.stageCount[v] = count + 1
+	if target != home {
+		// Failover overhead: the plan charged the ship to the planned home.
+		es.ledger.ChargeTransferTo(site, target, size)
+	}
+	es.mu.Unlock()
+	return nil
+}
+
+// sortedPartials flattens a partials map into view-chunk-key order so every
+// execution of the same batch stages merges in the same sequence.
+func sortedPartials(m map[array.ChunkKey]*array.Chunk) []*array.Chunk {
+	keys := make([]array.ChunkKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*array.Chunk, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
 }

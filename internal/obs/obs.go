@@ -22,14 +22,15 @@ import (
 
 // Canonical phase names of one maintained batch, in pipeline order.
 const (
-	PhaseValidate = "validate"       // plan validation + ledger charge
-	PhaseTransfer = "transfer"       // chunk replication per the plan
-	PhaseViewMove = "view-move"      // relocating view chunks to new homes
-	PhaseJoin     = "join"           // per-node chunk-pair joins (wall-clock)
-	PhaseMerge    = "merge"          // folding partials into the view (busy)
-	PhaseCatalog  = "catalog-refresh" // view chunk metadata refresh
-	PhaseIngest   = "ingest"         // delta ingestion + array rehoming
-	PhaseCleanup  = "cleanup"        // scratch replica + namespace teardown
+	PhaseValidate = "validate"        // plan validation + ledger charge
+	PhaseTransfer = "transfer"        // chunk replication per the plan
+	PhaseViewMove = "view-move"       // legacy: pre-commit view relocation
+	PhaseJoin     = "join"            // per-node chunk-pair joins (wall-clock)
+	PhaseMerge    = "merge"           // folding partials into staging (busy)
+	PhaseCommit   = "commit"          // idempotent apply of staged mutations
+	PhaseCatalog  = "catalog-refresh" // legacy: view chunk metadata refresh
+	PhaseIngest   = "ingest"          // legacy: pre-commit delta ingestion
+	PhaseCleanup  = "cleanup"         // staging + scratch replica teardown
 )
 
 // Counter is an atomic cumulative counter.

@@ -82,7 +82,12 @@ func NewEngine(cl *cluster.Cluster, def *view.Definition, params maintain.Params
 // Decide prices both evaluation paths for the query shape without
 // executing either.
 func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
-	delta := shape.Delta(e.Def.Pred.Shape, queryShape)
+	// The query shape is caller-supplied: an arity mismatch is a bad query,
+	// not a broken invariant, so it surfaces as an error.
+	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	if err != nil {
+		return Choice{}, err
+	}
 	ch := Choice{QueryCard: queryShape.Card()}
 	if delta == nil {
 		// The query IS the view; the differential path is free.
@@ -149,7 +154,10 @@ func (e *Engine) answerWithView(queryShape *shape.Shape, ch Choice) (*Result, er
 		_ = out.Set(p, t)
 		return true
 	})
-	delta := shape.Delta(e.Def.Pred.Shape, queryShape)
+	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	if err != nil {
+		return nil, err
+	}
 	if delta == nil {
 		return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
 	}

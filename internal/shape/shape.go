@@ -303,11 +303,24 @@ func (s *Shape) Symmetric() bool {
 // Delta returns the positional symmetric set difference between view and
 // query shapes: (view \ query) ∪ (query \ view). This is the Δ shape of
 // Section 5 used for differential query answering. The shapes must have the
-// same dimensionality. The result is nil when the shapes are identical.
+// same dimensionality — violating that is a programming error and panics.
+// Boundary code handling caller-supplied shapes should use DeltaChecked.
+// The result is nil when the shapes are identical.
 func Delta(view, query *Shape) *Shape {
+	out, err := DeltaChecked(view, query)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// DeltaChecked is Delta with the arity invariant surfaced as an error
+// instead of a panic, for boundaries where the query shape comes from the
+// user rather than from the view definition.
+func DeltaChecked(view, query *Shape) (*Shape, error) {
 	d := len(view.lo)
 	if len(query.lo) != d {
-		panic(fmt.Sprintf("shape: Delta arity mismatch %d vs %d", d, len(query.lo)))
+		return nil, fmt.Errorf("shape: Delta arity mismatch %d vs %d", d, len(query.lo))
 	}
 	var offs [][]int64
 	lo := make([]int64, d)
@@ -323,13 +336,13 @@ func Delta(view, query *Shape) *Shape {
 		}
 	})
 	if len(offs) == 0 {
-		return nil
+		return nil, nil
 	}
 	out, err := FromOffsets(fmt.Sprintf("delta(%s,%s)", view.name, query.name), offs)
 	if err != nil {
 		panic(err) // unreachable: offs is non-empty and uniform
 	}
-	return out
+	return out, nil
 }
 
 // Equal reports whether two shapes contain exactly the same offsets.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -265,10 +266,23 @@ func jitteredBackoff(d time.Duration) time.Duration {
 // A RemoteError (the server executed the request and reported an
 // application failure) is returned as-is and never retried.
 func (c *Client) Do(req *Message) (*Message, error) {
+	return c.DoCtx(context.Background(), req)
+}
+
+// DoCtx is Do bounded by a context. The context's deadline tightens the
+// per-attempt I/O deadline, cancellation interrupts an attempt blocked in
+// I/O, a cancelled request is never retried, and backoff sleeps wake on
+// cancellation. A connection whose request was cancelled mid-flight is
+// closed, never pooled, so a poisoned deadline or a half-read response
+// cannot leak into a later request.
+func (c *Client) DoCtx(ctx context.Context, req *Message) (*Message, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var lastErr error
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		resp, retryable, err := c.try(req)
+		resp, retryable, err := c.try(ctx, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -277,27 +291,50 @@ func (c *Client) Do(req *Message) (*Message, error) {
 			return nil, err
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			// The caller gave up; attribute the failure to the context so
+			// callers can distinguish cancellation from a dead node.
+			lastErr = ctx.Err()
+			break
+		}
 		if !retryable || attempt >= c.cfg.MaxRetries {
 			break
 		}
 		c.stats.retries.Add(1)
-		time.Sleep(jitteredBackoff(backoff))
+		t := time.NewTimer(jitteredBackoff(backoff))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("transport: %s to %s: %w", req.Type, c.addr, ctx.Err())
+		}
 		backoff *= 2
 	}
 	return nil, fmt.Errorf("transport: %s to %s: %w", req.Type, c.addr, lastErr)
 }
 
 // try performs one attempt, reporting whether a failure is safe to retry.
-func (c *Client) try(req *Message) (resp *Message, retryable bool, err error) {
+func (c *Client) try(ctx context.Context, req *Message) (resp *Message, retryable bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	conn, _, err := c.getConn()
 	if err != nil {
 		return nil, true, err // nothing sent
 	}
 	c.stats.countRequest(req.Type)
-	if err := conn.SetDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
 		conn.Close()
 		return nil, true, err // nothing sent
 	}
+	// Cancellation expires the connection's deadline, so an attempt blocked
+	// in Read or Write fails promptly instead of waiting out the timeout.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
 	if err := WriteMessage(conn, req); err != nil {
 		conn.Close()
 		// The server may have consumed part of the frame (even a stale
@@ -312,9 +349,13 @@ func (c *Client) try(req *Message) (resp *Message, retryable bool, err error) {
 		return nil, idempotent(req.Type), err
 	}
 	c.stats.framesIn.Add(1)
-	if err := conn.SetDeadline(time.Time{}); err != nil {
-		// The response is in hand; just don't pool a connection whose
-		// deadline state is unknown.
+	if !stop() {
+		// The cancellation callback fired (or is firing) — the connection's
+		// deadline state is unknown. The response is in hand; just don't
+		// pool the connection.
+		conn.Close()
+	} else if err := conn.SetDeadline(time.Time{}); err != nil {
+		// Same: never pool a connection whose deadline state is unknown.
 		conn.Close()
 	} else {
 		c.putConn(conn)

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDoCtxPreCancelled: a context cancelled before the call makes no
+// attempt at all — no dial, no frame, no retry.
+func TestDoCtxPreCancelled(t *testing.T) {
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(good)
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := c.DoCtx(ctx, &Message{Type: MsgPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := c.Stats()
+	if st.Dials != 0 || st.Requests["Ping"] != 0 || st.Retries != 0 {
+		t.Fatalf("Dials=%d Requests=%d Retries=%d, want all 0", st.Dials, st.Requests["Ping"], st.Retries)
+	}
+}
+
+// cancelOnWriteConn cancels the request's context and then fails the
+// write, simulating a caller that gives up while the attempt is in flight.
+type cancelOnWriteConn struct {
+	*scriptConn
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnWriteConn) Write(p []byte) (int, error) {
+	c.cancel()
+	return 0, errors.New("injected write failure after cancel")
+}
+
+// TestDoCtxCancelledAttemptNotRetried: an attempt that fails after the
+// context is cancelled must not be retried — even for an idempotent
+// request that would normally replay — and the error must say
+// "cancelled", not "node down".
+func TestDoCtxCancelledAttemptNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bad := &cancelOnWriteConn{scriptConn: &scriptConn{}, cancel: cancel}
+	spare := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(bad, spare)
+	defer c.Close()
+
+	_, err := c.DoCtx(ctx, &Message{Type: MsgPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := c.Stats()
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (cancelled requests must not retry)", st.Retries)
+	}
+	if spare.written() != 0 {
+		t.Fatal("cancelled request was replayed on a second connection")
+	}
+	if !bad.closed {
+		t.Fatal("cancelled attempt's connection was not closed")
+	}
+}
+
+// TestDoCtxCancellationInterruptsBlockedRead: cancelling mid-request wakes
+// an attempt blocked on a response that never comes, and the half-used
+// connection is closed, not pooled — a later request must not inherit a
+// poisoned deadline or a stray response frame.
+func TestDoCtxCancellationInterruptsBlockedRead(t *testing.T) {
+	cli, srv := net.Pipe()
+	go func() {
+		// Swallow the request frame, then go silent.
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := srv.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer srv.Close()
+	good := (&scriptConn{}).withResponse(t, &Message{Type: MsgOK})
+	c := scriptedClient(cli, good)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.DoCtx(ctx, &Message{Type: MsgPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to interrupt the blocked read", elapsed)
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", st.Retries)
+	}
+	c.mu.Lock()
+	pooled := len(c.idle)
+	c.mu.Unlock()
+	if pooled != 0 {
+		t.Fatal("connection of a cancelled request was returned to the pool")
+	}
+	// The client must still be healthy for the next request.
+	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
+		t.Fatalf("Do(Ping) after a cancelled request: %v", err)
+	}
+}
+
+// TestDoCtxDeadlineTightensAttempt: a context deadline shorter than the
+// configured request timeout bounds the attempt.
+func TestDoCtxDeadlineTightensAttempt(t *testing.T) {
+	cli, srv := net.Pipe()
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := srv.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer srv.Close()
+	c := scriptedClient(cli)
+	defer c.Close()
+	c.cfg.Timeout = time.Hour // context must win
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.DoCtx(ctx, &Message{Type: MsgPing})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("attempt outlived the context deadline by far: %v", elapsed)
+	}
+}
+
+// TestDoCtxCancelDuringBackoff: cancellation during a retry backoff sleep
+// returns promptly instead of waiting the delay out.
+func TestDoCtxCancelDuringBackoff(t *testing.T) {
+	mk := func() *scriptConn { return &scriptConn{writeErr: errors.New("down")} }
+	c := scriptedClient(mk(), mk(), mk())
+	defer c.Close()
+	c.cfg.RetryBackoff = time.Hour // only cancellation can end the wait
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.DoCtx(ctx, &Message{Type: MsgPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff sleep ignored cancellation for %v", elapsed)
+	}
+}

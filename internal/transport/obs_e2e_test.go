@@ -5,10 +5,12 @@ import (
 	"io"
 	"net/http"
 	"testing"
+	"time"
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/storage"
 	"github.com/arrayview/arrayview/internal/transport"
 )
 
@@ -161,11 +163,34 @@ func TestTransferReshipsAfterNodeRestart(t *testing.T) {
 		t.Fatalf("replica not resident on node 1 after transfer: ok=%v err=%v", ok, err)
 	}
 
-	// Simulate a node-1 daemon restart: its store comes back empty while
-	// the coordinator's catalog still lists the replica.
-	lc.Servers[1].Store().DropArray("cat")
+	// Genuinely restart the node-1 daemon: kill it and bring a new process
+	// instance up on the same address with a fresh, empty store. The
+	// coordinator's catalog still lists the replica, and the fabric's
+	// pooled connections to the old daemon are now dead — both of which
+	// the re-ship path has to cope with.
+	addr := lc.Servers[1].Addr()
+	if err := lc.Servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := transport.NewNodeServer(storage.NewStore(), nil)
+	var lerr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if lerr = srv2.Listen(addr); lerr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("rebinding %s after restart: %v", addr, lerr)
+	}
+	lc.Servers[1] = srv2 // lc.Close tears the new daemon down
 	if !cl.Catalog().HasReplica("cat", key, 1) {
 		t.Fatal("catalog lost the replica entry; test setup broken")
+	}
+	if resident, err := cl.HasAt(1, "cat", key); err != nil {
+		t.Fatalf("HasAt over restarted daemon: %v", err)
+	} else if resident {
+		t.Fatal("restarted daemon still holds the chunk — restart was not genuine")
 	}
 
 	// Pre-fix this was a silent no-op and the GetAt below failed.

@@ -150,7 +150,11 @@ func GenerateGEO(c GEOConfig, mode BatchMode) (*Dataset, error) {
 		allIdx[i] = i
 	}
 	rng.Shuffle(len(allIdx), func(a, b int) { allIdx[a], allIdx[b] = allIdx[b], allIdx[a] })
-	for _, idxs := range footprints {
+	// Shuffle the footprints in band order, not map order: ranging over the
+	// map would consume the rng in a run-dependent sequence and break
+	// same-seed reproducibility.
+	for g := 0; g < 3; g++ {
+		idxs := footprints[g]
 		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
 	}
 	// Draw n unclaimed cells from a pool, returning the remaining pool.
