@@ -8,9 +8,9 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, chaos, all. Datasets: PTF-5, PTF-25, GEO. Modes: real,
-// random, correlated, periodic ("real" maps to "random" for GEO, as in the
-// paper).
+// ablations, fabric, kernel, chaos, wire, all. Datasets: PTF-5, PTF-25, GEO.
+// Modes: real, random, correlated, periodic ("real" maps to "random" for
+// GEO, as in the paper).
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -130,6 +130,8 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 				}
 				return []any{local, tcp}, nil
 			})
+		case "wire":
+			return perPanel(name, func(s bench.Spec) (any, error) { return bench.Wire(out, s) })
 		case "fig6":
 			spec := mkSpec(bench.PTF5, workload.Real)
 			spec.PTF.NumBatches = 1

@@ -31,6 +31,11 @@ type Chunk struct {
 	// while bboxOK is set and the chunk is non-empty.
 	bbox   Region
 	bboxOK bool
+	// hash caches ContentHash; valid only while hashOK is set. Unlike the
+	// occupancy caches above, the hash also goes stale when an occupied
+	// cell is overwritten with a new value.
+	hash   uint64
+	hashOK bool
 }
 
 // NewChunk creates an empty chunk covering the slot cc of schema s.
@@ -65,12 +70,20 @@ func (c *Chunk) SizeBytes() int64 {
 	return int64(len(c.cells)) * int64(8+8*c.nattrs)
 }
 
+// EncodedSize returns the exact length of EncodeChunk's output without
+// encoding: the ACH1 header plus the cell payload.
+func (c *Chunk) EncodedSize() int64 {
+	return int64(4+4+8*len(c.coord)*3+4+8) + c.SizeBytes()
+}
+
 // invalidate drops the derived caches. Called by every mutation that
 // changes the set of occupied offsets; overwriting an occupied cell keeps
-// both caches valid.
+// the occupancy caches valid (the content hash is dropped separately,
+// since any value change alters the canonical encoding).
 func (c *Chunk) invalidate() {
 	c.sorted = nil
 	c.bboxOK = false
+	c.hashOK = false
 }
 
 // index returns the sorted-offset index, rebuilding it if stale. The
@@ -130,6 +143,9 @@ func (c *Chunk) Set(p Point, t Tuple) error {
 	if _, occupied := c.cells[off]; !occupied {
 		c.invalidate()
 	}
+	// Every Set changes content (a fresh cell or a new value), so the
+	// content hash goes stale even when the occupancy caches survive.
+	c.hashOK = false
 	c.cells[off] = t.Clone()
 	return nil
 }

@@ -1,0 +1,163 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hashStale reports whether the cached content hash is invalidated.
+func hashStale(c *Chunk) bool { return !c.hashOK }
+
+// freshHash recomputes the content hash from scratch, bypassing the cache.
+func freshHash(c *Chunk) uint64 { return HashChunkBytes(EncodeChunk(c)) }
+
+// TestChunkHashInvalidation interleaves mutations with ContentHash and checks
+// the cache goes stale exactly when the content changes. Unlike the occupancy
+// caches of chunk_index_test.go, the hash must also go stale when an occupied
+// cell is overwritten: the cell set is unchanged but the encoding is not.
+func TestChunkHashInvalidation(t *testing.T) {
+	c := NewChunk(indexSchema(), ChunkCoord{0, 0})
+	mustSet := func(p Point, v float64) {
+		t.Helper()
+		if err := c.Set(p, Tuple{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mustSet(Point{3, 4}, 1)
+	mustSet(Point{1, 2}, 2)
+	mustSet(Point{19, 9}, 3)
+
+	// Build the cache; re-reads must reuse it without going stale.
+	h1 := c.ContentHash()
+	if hashStale(c) {
+		t.Fatal("cache must be built after ContentHash")
+	}
+	if got := c.ContentHash(); got != h1 {
+		t.Fatalf("ContentHash changed across pure reads: %#x vs %#x", got, h1)
+	}
+	if got := freshHash(c); got != h1 {
+		t.Fatalf("cached hash %#x disagrees with recomputed %#x", h1, got)
+	}
+
+	// Pure reads of the other cached paths must not touch the hash.
+	c.EachSorted(func(Point, Tuple) bool { return true })
+	if _, ok := c.BoundingBox(); !ok {
+		t.Fatal("BoundingBox on populated chunk")
+	}
+	if hashStale(c) {
+		t.Fatal("read-only paths must keep the hash cache")
+	}
+
+	// Overwriting an occupied cell keeps the occupancy caches but MUST
+	// invalidate the hash: the bytes on the wire change.
+	mustSet(Point{3, 4}, 42)
+	if s, b := cachesStale(c); s || b {
+		t.Fatal("overwrite of an occupied cell must keep the occupancy caches")
+	}
+	if !hashStale(c) {
+		t.Fatal("overwrite of an occupied cell must invalidate the hash")
+	}
+	h2 := c.ContentHash()
+	if h2 == h1 {
+		t.Fatalf("hash unchanged after overwrite: %#x", h2)
+	}
+	if got := freshHash(c); got != h2 {
+		t.Fatalf("cached hash %#x disagrees with recomputed %#x", h2, got)
+	}
+
+	// Deleting an absent cell changes nothing: the hash survives.
+	if c.Delete(Point{0, 0}) {
+		t.Fatal("Delete of empty cell reported occupancy")
+	}
+	if hashStale(c) {
+		t.Fatal("Delete of an absent cell must keep the hash")
+	}
+
+	// A fresh cell and a real deletion both invalidate.
+	mustSet(Point{0, 0}, 4)
+	if !hashStale(c) {
+		t.Fatal("Set of a fresh cell must invalidate the hash")
+	}
+	h3 := c.ContentHash()
+	if h3 == h2 {
+		t.Fatalf("hash unchanged after fresh Set: %#x", h3)
+	}
+	if !c.Delete(Point{0, 0}) {
+		t.Fatal("Delete of occupied cell reported empty")
+	}
+	if !hashStale(c) {
+		t.Fatal("Delete of an occupied cell must invalidate the hash")
+	}
+	if got := c.ContentHash(); got != h2 {
+		t.Fatalf("Set+Delete round trip hash %#x, want %#x", got, h2)
+	}
+}
+
+// TestChunkHashApplyDelta checks the delta path invalidates like direct
+// mutation: after ApplyDelta the destination's hash equals the source's.
+func TestChunkHashApplyDelta(t *testing.T) {
+	s := indexSchema()
+	old := NewChunk(s, ChunkCoord{0, 0})
+	next := NewChunk(s, ChunkCoord{0, 0})
+	for i := int64(0); i < 12; i++ {
+		if err := old.Set(Point{i, i % 10}, Tuple{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := next.Set(Point{i, i % 10}, Tuple{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A value change, a new cell, and a deletion relative to old.
+	if err := next.Set(Point{2, 2}, Tuple{-2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Set(Point{15, 3}, Tuple{99}); err != nil {
+		t.Fatal(err)
+	}
+	if !next.Delete(Point{5, 5}) {
+		t.Fatal("Delete of occupied cell reported empty")
+	}
+
+	delta, ok := ComputeDelta(old, next)
+	if !ok {
+		t.Fatal("ComputeDelta refused a small delta")
+	}
+	oldHash := old.ContentHash()
+	if err := ApplyDelta(old, delta); err != nil {
+		t.Fatal(err)
+	}
+	if !hashStale(old) {
+		t.Fatal("ApplyDelta with changes must invalidate the hash")
+	}
+	if got, want := old.ContentHash(), next.ContentHash(); got != want {
+		t.Fatalf("post-delta hash %#x, want source hash %#x", got, want)
+	}
+	if old.ContentHash() == oldHash {
+		t.Fatal("hash unchanged by a non-empty delta")
+	}
+}
+
+// TestChunkHashRandomOps drives random Set/Delete/read steps and compares the
+// cached ContentHash against a hash recomputed from the canonical encoding
+// after every step, so no mutation path can leave a stale cache behind.
+func TestChunkHashRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewChunk(indexSchema(), ChunkCoord{0, 0})
+	for step := 0; step < 400; step++ {
+		p := Point{rng.Int63n(20), rng.Int63n(10)}
+		switch rng.Intn(4) {
+		case 0, 1:
+			if err := c.Set(p, Tuple{float64(step)}); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			c.Delete(p)
+		case 3: // Read-only step: exercise cache reuse between mutations.
+			c.ContentHash()
+		}
+		if got, want := c.ContentHash(), freshHash(c); got != want {
+			t.Fatalf("step %d: cached hash %#x, recomputed %#x", step, got, want)
+		}
+	}
+}

@@ -16,7 +16,17 @@ import (
 //	u32  attributes per cell m
 //	u64  number of cells n
 //	n ×  (i64 local offset, m × f64 attribute values)
+//
+// Cells are written in ascending local-offset order, so the encoding of a
+// given cell set is canonical: equal chunks produce byte-identical
+// encodings and therefore equal content hashes (see ContentHash).
 const chunkMagic = 0x41434831 // "ACH1"
+
+// maxDecodeAttrs bounds the per-cell attribute count a decoder will
+// accept. Schemas carry a handful of attributes; the bound exists so a
+// hostile frame cannot make the decoder allocate per-cell tuples of
+// arbitrary width.
+const maxDecodeAttrs = 1 << 12
 
 // EncodeChunk serializes the chunk into a self-describing byte slice.
 func EncodeChunk(c *Chunk) []byte {
@@ -36,7 +46,8 @@ func EncodeChunk(c *Chunk) []byte {
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(c.nattrs))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(c.cells)))
-	for off, t := range c.cells {
+	for _, off := range c.index() {
+		t := c.cells[off]
 		buf = binary.BigEndian.AppendUint64(buf, uint64(off))
 		for _, v := range t {
 			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
@@ -68,14 +79,24 @@ func DecodeChunk(buf []byte) (*Chunk, error) {
 	for i := range c.region.Hi {
 		c.region.Hi[i] = r.i64()
 	}
-	c.nattrs = int(r.u32())
-	n := int(r.u64())
+	nattrs := r.u32()
+	un := r.u64()
 	if r.err != nil {
 		return nil, r.err
 	}
-	if rem := len(buf) - r.pos; rem != n*(8+8*c.nattrs) {
-		return nil, fmt.Errorf("array: chunk payload is %d bytes, want %d", rem, n*(8+8*c.nattrs))
+	if nattrs > maxDecodeAttrs {
+		return nil, fmt.Errorf("array: implausible attribute count %d", nattrs)
 	}
+	c.nattrs = int(nattrs)
+	// Validate the claimed cell count against the remaining payload in
+	// uint64 space: a hostile count must not overflow into a plausible
+	// product or pre-size a huge map.
+	rem := len(buf) - r.pos
+	cellSize := uint64(8 + 8*c.nattrs)
+	if un > uint64(rem)/cellSize || uint64(rem) != un*cellSize {
+		return nil, fmt.Errorf("array: chunk payload is %d bytes, want %d cells of %d", rem, un, cellSize)
+	}
+	n := int(un)
 	c.cells = make(map[int64]Tuple, n)
 	for i := 0; i < n; i++ {
 		off := r.i64()
@@ -86,6 +107,38 @@ func DecodeChunk(buf []byte) (*Chunk, error) {
 		c.cells[off] = t
 	}
 	return c, r.err
+}
+
+// FNV-1a 64-bit parameters: a cheap, dependency-free content hash. The
+// hash keys the wire-level dedup handshake, where a collision only costs
+// a verification miss (the receiver compares against its own content),
+// never correctness.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashChunkBytes hashes an ACH1 encoding (FNV-1a 64). Because EncodeChunk
+// is canonical, hashing stored chunk bytes and calling ContentHash on the
+// decoded chunk yield the same value.
+func HashChunkBytes(buf []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ContentHash returns the FNV-1a 64 hash of the chunk's canonical ACH1
+// encoding. The value is cached and recomputed only after a content
+// mutation (Set, Delete, MergeFrom, AbsorbFrom).
+func (c *Chunk) ContentHash() uint64 {
+	if !c.hashOK {
+		c.hash = HashChunkBytes(EncodeChunk(c))
+		c.hashOK = true
+	}
+	return c.hash
 }
 
 type reader struct {

@@ -1,0 +1,98 @@
+package array
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedChunk builds a small populated chunk for seeding the fuzzers.
+func fuzzSeedChunk() *Chunk {
+	c := NewChunk(indexSchema(), ChunkCoord{0, 0})
+	for i := int64(0); i < 8; i++ {
+		if err := c.Set(Point{i * 2, i}, Tuple{float64(i) * 1.5}); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// FuzzDecodeChunk throws arbitrary bytes at the ACH1 decoder. Malformed
+// input must fail cleanly — no panic, no runaway allocation — and anything
+// that decodes must re-encode canonically to a stable fixed point whose
+// hash matches the cached ContentHash.
+func FuzzDecodeChunk(f *testing.F) {
+	f.Add(EncodeChunk(fuzzSeedChunk()))
+	f.Add(EncodeChunk(NewChunk(indexSchema(), ChunkCoord{1, 0})))
+	// A corpus of near-valid corruptions: bad magic, truncations, and a
+	// hostile cell count over a valid header.
+	valid := EncodeChunk(fuzzSeedChunk())
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	f.Add(valid[:len(valid)/2])
+	big := append([]byte(nil), valid...)
+	for i := 0; i < 8; i++ {
+		big[len(big)-len(valid)%8-8+i] = 0xFF // stomp into the cell area
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunk(data)
+		if err != nil {
+			return
+		}
+		// Canonical re-encode: decode(enc) must be a fixed point even when
+		// the input listed cells out of order or with duplicate offsets.
+		enc := EncodeChunk(c)
+		c2, err := DecodeChunk(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		enc2 := EncodeChunk(c2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point: %d vs %d bytes", len(enc), len(enc2))
+		}
+		if got, want := c.ContentHash(), HashChunkBytes(enc); got != want {
+			t.Fatalf("ContentHash %#x disagrees with HashChunkBytes %#x", got, want)
+		}
+	})
+}
+
+// FuzzApplyDelta applies arbitrary bytes as an ACHΔ payload to a decoded
+// chunk. Bad deltas must error without mutating the chunk; good ones must
+// leave the hash cache consistent with the new content.
+func FuzzApplyDelta(f *testing.F) {
+	base := fuzzSeedChunk()
+	next := fuzzSeedChunk()
+	if err := next.Set(Point{1, 1}, Tuple{-7}); err != nil {
+		f.Fatal(err)
+	}
+	next.Delete(Point{0, 0})
+	delta, ok := ComputeDelta(base, next)
+	if !ok {
+		f.Fatal("ComputeDelta refused the seed delta")
+	}
+	baseEnc := EncodeChunk(base)
+	f.Add(baseEnc, delta)
+	f.Add(baseEnc, delta[:len(delta)/2])
+	mangled := append([]byte(nil), delta...)
+	mangled[len(mangled)-1] ^= 0xFF
+	f.Add(baseEnc, mangled)
+
+	f.Fuzz(func(t *testing.T, chunkBuf, deltaBuf []byte) {
+		c, err := DecodeChunk(chunkBuf)
+		if err != nil {
+			return
+		}
+		before := EncodeChunk(c)
+		if err := ApplyDelta(c, deltaBuf); err != nil {
+			if after := EncodeChunk(c); !bytes.Equal(before, after) {
+				t.Fatalf("failed ApplyDelta mutated the chunk: %d -> %d bytes", len(before), len(after))
+			}
+			return
+		}
+		if got, want := c.ContentHash(), HashChunkBytes(EncodeChunk(c)); got != want {
+			t.Fatalf("post-delta ContentHash %#x disagrees with recomputed %#x", got, want)
+		}
+	})
+}

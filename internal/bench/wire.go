@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/storage"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// WireVariantResult is one shipping configuration's traffic over the full
+// maintenance sequence.
+type WireVariantResult struct {
+	// Variant names the configuration: "naive" (no wire protocol),
+	// "dedup" (content-addressed offers and pipelined batches, delta
+	// patches refused), "delta" (the full wire layer), "tcp" (loopback
+	// daemons, uncompressed), "tcp-compress" (loopback daemons with
+	// per-frame deflate).
+	Variant string
+	// Baseline is the variant this one's Saved is computed against:
+	// "naive" for the in-process variants, "tcp" for "tcp-compress". The
+	// two families are not comparable to each other — local byte counters
+	// are chunk payload sizes, TCP counters are raw socket bytes.
+	Baseline string
+	// Bytes is the sequence's total data-plane traffic, summed over nodes
+	// and both directions.
+	Bytes int64
+	// Saved is the fractional byte reduction against Baseline (0 for the
+	// baselines themselves).
+	Saved float64
+	// TransferBytes is the traffic of the per-batch replication step alone
+	// — the Phase-1-style repeated chunk ships the wire layer targets.
+	// Join reads and staging merges, identical across variants, are
+	// excluded here, so this is where the dedup and delta savings show
+	// undiluted.
+	TransferBytes int64
+	// SavedTransfers is the fractional TransferBytes reduction against
+	// Baseline.
+	SavedTransfers float64
+
+	DedupHits          int64
+	BytesSavedDedup    int64
+	DeltaShips         int64
+	BytesSavedDelta    int64
+	BytesSavedCompress int64
+	RoundTripsSaved    int64
+}
+
+// WireRepeatProbe checks the repeat-ship contract: re-transferring chunks
+// whose content the destination has already seen (its resident copy was
+// evicted, not changed) must move only the offer handshake — zero payload
+// bytes — with every chunk adopted from the destination's content cache.
+type WireRepeatProbe struct {
+	Chunks     int
+	BytesMoved int64
+	DedupHits  int64
+	// HandshakeOnly is true when no payload byte moved and every probed
+	// chunk was a dedup hit.
+	HandshakeOnly bool
+}
+
+// WireResult is the wire-efficiency experiment for one (dataset, mode)
+// panel: the same seeded maintenance sequence shipped under each variant,
+// plus the repeat-ship probe run on the full-featured in-process cluster.
+type WireResult struct {
+	Dataset  Dataset
+	Mode     workload.BatchMode
+	Strategy string
+	Variants []WireVariantResult
+	Repeat   WireRepeatProbe
+}
+
+// Wire runs the wire-efficiency experiment on one panel: the identical
+// seeded batch sequence — with the chaos suite's per-batch re-replication,
+// the workload where repeated ships dominate — executed under each
+// shipping variant, reporting bytes on the wire and the savings
+// attribution for each. The in-process variants compare payload bytes;
+// the loopback-TCP pair compares raw socket bytes with and without
+// per-frame compression.
+func Wire(w io.Writer, spec Spec) (*WireResult, error) {
+	const strategy = "reassign"
+	res := &WireResult{Dataset: spec.Dataset, Mode: spec.Mode, Strategy: strategy}
+
+	fmt.Fprintf(w, "Wire shipping: %s/%s, %d nodes, strategy %s\n", spec.Dataset, spec.Mode, spec.Nodes, strategy)
+
+	// In-process variants over identical data.
+	naive, _, _, err := runWireVariant(spec, strategy, wireNaive)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire naive: %w", err)
+	}
+	dedup, _, _, err := runWireVariant(spec, strategy, wireDedup)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire dedup: %w", err)
+	}
+	delta, deltaCl, baseName, err := runWireVariant(spec, strategy, wireDelta)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire delta: %w", err)
+	}
+	naive.Variant, naive.Baseline = "naive", "naive"
+	dedup.Variant, dedup.Baseline = "dedup", "naive"
+	delta.Variant, delta.Baseline = "delta", "naive"
+	saveVs(&dedup, naive)
+	saveVs(&delta, naive)
+	res.Variants = append(res.Variants, naive, dedup, delta)
+
+	// Loopback-TCP pair: identical wire layer, compression off vs on.
+	tcpPlain, err := runWireTCP(spec, strategy, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire tcp: %w", err)
+	}
+	tcpComp, err := runWireTCP(spec, strategy, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire tcp-compress: %w", err)
+	}
+	tcpPlain.Variant, tcpPlain.Baseline = "tcp", "tcp"
+	tcpComp.Variant, tcpComp.Baseline = "tcp-compress", "tcp"
+	saveVs(&tcpComp, tcpPlain)
+	res.Variants = append(res.Variants, tcpPlain, tcpComp)
+
+	// Repeat-ship probe on the full-featured in-process cluster.
+	res.Repeat = repeatShipProbe(deltaCl, baseName)
+
+	for _, v := range res.Variants {
+		fmt.Fprintf(w, "  %-14s %12dB (saved %5.1f%%)  transfers %10dB (saved %5.1f%%) vs %-6s dedup=%d(%dB) delta=%d(%dB) compress=%dB rt-saved=%d\n",
+			v.Variant, v.Bytes, v.Saved*100, v.TransferBytes, v.SavedTransfers*100, v.Baseline,
+			v.DedupHits, v.BytesSavedDedup, v.DeltaShips, v.BytesSavedDelta,
+			v.BytesSavedCompress, v.RoundTripsSaved)
+	}
+	probeState := "handshake-only"
+	if !res.Repeat.HandshakeOnly {
+		probeState = "FAIL (payload moved)"
+	}
+	fmt.Fprintf(w, "  repeat-ship probe: %d chunks, %dB moved, %d dedup hits — %s\n",
+		res.Repeat.Chunks, res.Repeat.BytesMoved, res.Repeat.DedupHits, probeState)
+	return res, nil
+}
+
+// wireVariant selects the fabric a variant runs on.
+type wireVariant int
+
+const (
+	wireNaive wireVariant = iota // wire protocol stripped: every ship is a full body
+	wireDedup                    // offers and pipelined batches, delta patches refused
+	wireDelta                    // the full wire layer
+)
+
+// plainFabric strips every optional capability from the inner fabric, so
+// type assertions for WireFabric (and JoinFabric) fail and the cluster
+// ships everything the pre-wire way.
+type plainFabric struct {
+	cluster.Fabric
+}
+
+// dedupOnlyFabric passes the wire protocol through except for Patch, which
+// always refuses: callers fall back to full puts, isolating dedup and
+// batching from delta shipping.
+type dedupOnlyFabric struct {
+	*cluster.LocalFabric
+}
+
+// Patch implements cluster.WireFabric by refusing every delta.
+func (f dedupOnlyFabric) Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	return false, nil
+}
+
+var _ cluster.WireFabric = dedupOnlyFabric{}
+
+// runWireVariant drives the spec's sequence through maintenance on an
+// in-process fabric dressed per the variant, returning the summed traffic,
+// the live cluster, and the base array's name (for the repeat-ship probe).
+func runWireVariant(spec Spec, strategy string, v wireVariant) (WireVariantResult, *cluster.Cluster, string, error) {
+	stores := make([]*storage.Store, spec.Nodes)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	lf := cluster.NewLocalFabric(stores)
+	var fab cluster.Fabric
+	switch v {
+	case wireNaive:
+		fab = plainFabric{lf}
+	case wireDedup:
+		fab = dedupOnlyFabric{lf}
+	default:
+		fab = lf
+	}
+	cl, err := cluster.New(spec.Nodes, cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
+	if err != nil {
+		return WireVariantResult{}, nil, "", err
+	}
+	baseName, transferBytes, err := runWireSequence(spec, strategy, cl)
+	if err != nil {
+		return WireVariantResult{}, nil, "", err
+	}
+	out, err := sumWire(cl)
+	out.TransferBytes = transferBytes
+	return out, cl, baseName, err
+}
+
+// runWireTCP drives the sequence over loopback node daemons, with or
+// without per-frame compression.
+func runWireTCP(spec Spec, strategy string, compress bool) (WireVariantResult, error) {
+	lc, err := transport.StartLoopback(spec.Nodes, nil)
+	if err != nil {
+		return WireVariantResult{}, err
+	}
+	defer lc.Close()
+	cfg := transport.DefaultClientConfig()
+	cfg.Compress = compress
+	fab, err := lc.Fabric(cfg)
+	if err != nil {
+		return WireVariantResult{}, err
+	}
+	defer fab.Close()
+	cl, err := cluster.New(spec.Nodes, cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
+	if err != nil {
+		return WireVariantResult{}, err
+	}
+	_, transferBytes, err := runWireSequence(spec, strategy, cl)
+	if err != nil {
+		return WireVariantResult{}, err
+	}
+	out, err := sumWire(cl)
+	out.TransferBytes = transferBytes
+	return out, err
+}
+
+// runWireSequence is the shared workload: load, build the view, then per
+// batch re-replicate base and view (as the chaos harness does — cleanup
+// scrubs scratch replicas, so every batch re-ships them) and maintain.
+// Returns the base array's name and the bytes moved by the replication
+// steps alone, measured by snapshotting the fabric counters around them.
+func runWireSequence(spec Spec, strategy string, cl *cluster.Cluster) (string, int64, error) {
+	planner, ok := maintain.Strategies()[strategy]
+	if !ok {
+		return "", 0, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	data, err := spec.Generate()
+	if err != nil {
+		return "", 0, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		return "", 0, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		return "", 0, err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return "", 0, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+	var transferBytes int64
+	for i, batch := range data.Batches {
+		before, err := sumWire(cl)
+		if err != nil {
+			return "", 0, err
+		}
+		replicateOnce(cl, def.Alpha.Name)
+		replicateOnce(cl, def.Name)
+		after, err := sumWire(cl)
+		if err != nil {
+			return "", 0, err
+		}
+		transferBytes += after.Bytes - before.Bytes
+		if _, err := m.ApplyBatch(batch); err != nil {
+			return "", 0, fmt.Errorf("batch %d: %w", i, err)
+		}
+	}
+	return def.Alpha.Name, transferBytes, nil
+}
+
+// sumWire totals the per-node fabric counters into one variant row.
+func sumWire(cl *cluster.Cluster) (WireVariantResult, error) {
+	var out WireVariantResult
+	for node := 0; node < cl.NumNodes(); node++ {
+		st, err := cl.Fabric().Stats(node)
+		if err != nil {
+			return out, err
+		}
+		out.Bytes += st.Net.BytesIn + st.Net.BytesOut
+		out.DedupHits += st.Net.DedupHits
+		out.BytesSavedDedup += st.Net.BytesSavedDedup
+		out.DeltaShips += st.Net.DeltaShips
+		out.BytesSavedDelta += st.Net.BytesSavedDelta
+		out.BytesSavedCompress += st.Net.BytesSavedCompress
+		out.RoundTripsSaved += st.Net.RoundTripsSaved
+	}
+	return out, nil
+}
+
+// saveVs fills a variant's fractional savings against the baseline's byte
+// counts.
+func saveVs(v *WireVariantResult, baseline WireVariantResult) {
+	if baseline.Bytes > 0 {
+		v.Saved = 1 - float64(v.Bytes)/float64(baseline.Bytes)
+	}
+	if baseline.TransferBytes > 0 {
+		v.SavedTransfers = 1 - float64(v.TransferBytes)/float64(baseline.TransferBytes)
+	}
+}
+
+// repeatShipProbe exercises the repeat-ship contract on a cluster that has
+// finished its sequence: every base chunk is replicated out, the replica
+// is evicted at the destination (sidelining its encoding in the content
+// cache), and the same transfer runs again. The second round must move
+// only hash handshakes: zero payload bytes, one dedup hit per chunk.
+func repeatShipProbe(cl *cluster.Cluster, name string) WireRepeatProbe {
+	var probe WireRepeatProbe
+	if cl == nil || name == "" {
+		return probe
+	}
+	n := cl.NumNodes()
+	if n < 2 {
+		return probe
+	}
+	cat := cl.Catalog()
+	type shipped struct {
+		key  array.ChunkKey
+		home int
+		dst  int
+	}
+	var ships []shipped
+	for _, key := range cat.Keys(name) {
+		home, ok := cat.Home(name, key)
+		if !ok || home < 0 {
+			continue
+		}
+		dst := (home + 1) % n
+		// First round: make the replica resident, and make sure the
+		// content hash is known (a transfer that finds the chunk already
+		// resident records nothing, so refresh it from current content).
+		if err := cl.Transfer(nil, name, key, home, dst); err != nil {
+			continue
+		}
+		if _, _, known := cat.ChunkHash(name, key); !known {
+			ch, _, err := cl.ReadReplica(name, key, home)
+			if err != nil {
+				continue
+			}
+			_ = cat.SetChunkHash(name, key, ch.ContentHash(), ch.EncodedSize())
+		}
+		ships = append(ships, shipped{key, home, dst})
+	}
+	// Evict the destination copies; Store.Delete sidelines the encoding in
+	// the content cache, which is exactly what the second round should hit.
+	for _, s := range ships {
+		_, _ = cl.DeleteAt(s.dst, name, s.key)
+	}
+	before, _ := sumWire(cl)
+	for _, s := range ships {
+		_ = cl.Transfer(nil, name, s.key, s.home, s.dst)
+	}
+	after, _ := sumWire(cl)
+	probe.Chunks = len(ships)
+	probe.BytesMoved = after.Bytes - before.Bytes
+	probe.DedupHits = after.DedupHits - before.DedupHits
+	probe.HandshakeOnly = len(ships) > 0 && probe.BytesMoved == 0 && probe.DedupHits >= int64(len(ships))
+	return probe
+}

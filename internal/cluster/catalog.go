@@ -27,6 +27,15 @@ type ArrayMeta struct {
 	// non-empty cells — the "positional information on non-empty cells"
 	// the paper says cell-granularity maintenance requires.
 	BBox map[array.ChunkKey]array.Region
+	// Hash optionally caches the FNV-1a content hash of each chunk's
+	// canonical encoding, and EncSize the encoded length it covers. An
+	// entry exists only while it is known to describe the current content:
+	// SetChunk drops it, and only an explicit SetChunkHash by a writer that
+	// holds the chunk restores it. A stale hash would make the dedup
+	// handshake adopt old content while reporting success, so absence (and
+	// a full ship) is always the safe state.
+	Hash    map[array.ChunkKey]uint64
+	EncSize map[array.ChunkKey]int64
 }
 
 func newArrayMeta(s *array.Schema) *ArrayMeta {
@@ -37,6 +46,8 @@ func newArrayMeta(s *array.Schema) *ArrayMeta {
 		Cells:    make(map[array.ChunkKey]int),
 		Replicas: make(map[array.ChunkKey]map[int]bool),
 		BBox:     make(map[array.ChunkKey]array.Region),
+		Hash:     make(map[array.ChunkKey]uint64),
+		EncSize:  make(map[array.ChunkKey]int64),
 	}
 }
 
@@ -94,7 +105,9 @@ func (c *Catalog) meta(name string) (*ArrayMeta, error) {
 }
 
 // SetChunk records or updates the metadata of one chunk: home node, byte
-// size, and cell count. It resets the replica set to just the home node.
+// size, and cell count. It resets the replica set to just the home node and
+// drops the cached content hash — the chunk's content may have changed, and
+// an offer made with a stale hash would silently adopt old bytes.
 func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64, cells int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -106,7 +119,39 @@ func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64
 	m.Size[key] = size
 	m.Cells[key] = cells
 	m.Replicas[key] = map[int]bool{home: true}
+	delete(m.Hash, key)
+	delete(m.EncSize, key)
 	return nil
+}
+
+// SetChunkHash records the content hash (and encoded length) of a chunk's
+// current canonical encoding. Only a writer that holds the chunk it just
+// wrote may call this: the entry asserts "this is the content every replica
+// of the chunk has right now".
+func (c *Catalog) SetChunkHash(name string, key array.ChunkKey, hash uint64, encSize int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := c.meta(name)
+	if err != nil {
+		return err
+	}
+	m.Hash[key] = hash
+	m.EncSize[key] = encSize
+	return nil
+}
+
+// ChunkHash returns the cached content hash and encoded length of a chunk;
+// ok=false means the hash is unknown (or stale-dropped) and transfers must
+// full-ship.
+func (c *Catalog) ChunkHash(name string, key array.ChunkKey) (hash uint64, encSize int64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, okA := c.arrays[name]
+	if !okA {
+		return 0, 0, false
+	}
+	hash, ok = m.Hash[key]
+	return hash, m.EncSize[key], ok
 }
 
 // Home returns the home node of a chunk; ok=false when the chunk is not in
@@ -243,6 +288,8 @@ func (c *Catalog) DropChunk(name string, key array.ChunkKey) {
 	delete(m.Cells, key)
 	delete(m.Replicas, key)
 	delete(m.BBox, key)
+	delete(m.Hash, key)
+	delete(m.EncSize, key)
 }
 
 // Rehome changes the home node of a chunk. The new home must already hold a
@@ -328,6 +375,12 @@ func copyArrayMeta(m *ArrayMeta) *ArrayMeta {
 	}
 	for k, bb := range m.BBox {
 		out.BBox[k] = bb.Clone()
+	}
+	for k, h := range m.Hash {
+		out.Hash[k] = h
+	}
+	for k, n := range m.EncSize {
+		out.EncSize[k] = n
 	}
 	return out
 }

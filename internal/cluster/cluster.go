@@ -70,7 +70,7 @@ func New(numNodes int, opts ...Option) (*Cluster, error) {
 		coordinator: storage.NewStore(),
 		catalog:     NewCatalog(),
 		model:       DefaultCostModel(),
-		workers:     maxInt(1, runtime.NumCPU()/numNodes),
+		workers:     max(1, runtime.NumCPU()/numNodes),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -201,6 +201,11 @@ func (c *Cluster) LoadArray(a *array.Array, p Placement) error {
 		if err = c.catalog.SetChunk(name, ch.Key(), node, ch.SizeBytes(), ch.NumCells()); err != nil {
 			return false
 		}
+		// The loader holds the chunk it just wrote, so it may record the
+		// content hash that future transfers offer instead of the body.
+		if err = c.catalog.SetChunkHash(name, ch.Key(), ch.ContentHash(), ch.EncodedSize()); err != nil {
+			return false
+		}
 		if bb, ok := ch.BoundingBox(); ok {
 			if err = c.catalog.SetChunkBBox(name, ch.Key(), bb); err != nil {
 				return false
@@ -223,6 +228,9 @@ func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
 		if err := c.catalog.SetChunk(name, ch.Key(), Coordinator, ch.SizeBytes(), ch.NumCells()); err != nil {
 			return err
 		}
+		if err := c.catalog.SetChunkHash(name, ch.Key(), ch.ContentHash(), ch.EncodedSize()); err != nil {
+			return err
+		}
 		if bb, ok := ch.BoundingBox(); ok {
 			if err := c.catalog.SetChunkBBox(name, ch.Key(), bb); err != nil {
 				return err
@@ -233,12 +241,18 @@ func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
 }
 
 // Transfer copies a chunk from one node (or the coordinator) to another and
-// charges the sender on the ledger. The catalog gains a replica entry; the
-// home assignment is unchanged. Transfers to a node already holding a
-// replica are free no-ops — but only after the fabric confirms the copy is
-// actually resident: a catalog replica entry can outlive the data (a node
-// daemon restart empties its store), and skipping the ship then surfaces
-// later as a misleading read failure far from the cause.
+// charges the sender on the ledger with the bytes actually shipped. The
+// catalog gains a replica entry; the home assignment is unchanged.
+// Transfers to a node already holding a replica are free no-ops — but only
+// after the fabric confirms the copy is actually resident: a catalog
+// replica entry can outlive the data (a node daemon restart empties its
+// store), and skipping the ship then surfaces later as a misleading read
+// failure far from the cause.
+//
+// When the catalog knows the chunk's content hash and the fabric speaks the
+// wire protocol, the transfer first offers (key, hash) to the destination;
+// an accepted offer means the destination produced the content locally and
+// the body ship — and its ledger charge — is skipped entirely.
 func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from, to int) error {
 	if from == to {
 		return nil
@@ -248,6 +262,9 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 			return nil
 		}
 		// Stale replica entry: fall through and re-ship the chunk.
+	}
+	if accepted, err := c.offerOne(name, key, to); err == nil && accepted {
+		return c.catalog.AddReplica(name, key, to)
 	}
 	ch, src, err := c.readReplica(name, key, from)
 	if err != nil {
@@ -259,11 +276,158 @@ func (c *Cluster) Transfer(ledger *Ledger, name string, key array.ChunkKey, from
 	if err := c.catalog.AddReplica(name, key, to); err != nil {
 		return err
 	}
+	// The transfer just read the current content, so its hash may be
+	// recorded: replicas are always copies of the current version, making
+	// the next ship of this chunk a pure handshake.
+	if _, _, known := c.catalog.ChunkHash(name, key); !known {
+		_ = c.catalog.SetChunkHash(name, key, ch.ContentHash(), ch.EncodedSize())
+	}
 	if ledger != nil {
 		// Charge the node actually read: under failover the sender differs
 		// from the planned source, and the ledger should reflect the bytes
 		// that really moved.
 		ledger.ChargeTransferTo(src, to, c.catalog.ChunkSize(name, key))
+	}
+	return nil
+}
+
+// offerOne runs the dedup handshake for a single chunk against a worker
+// node. accepted=false (with a nil error) covers every "just full-ship"
+// case: unknown hash, a fabric without the wire protocol, or a declined
+// offer. Errors are reported so callers can distinguish a down node.
+func (c *Cluster) offerOne(name string, key array.ChunkKey, to int) (bool, error) {
+	if to == Coordinator {
+		return false, nil
+	}
+	wf, ok := c.fabric.(WireFabric)
+	if !ok {
+		return false, nil
+	}
+	h, sz, ok := c.catalog.ChunkHash(name, key)
+	if !ok {
+		return false, nil
+	}
+	acc, err := wf.OfferBatch(to, []WireItem{{Array: name, Key: key, Hash: h, Size: sz}})
+	if err != nil {
+		return false, err
+	}
+	return len(acc) == 1 && acc[0], nil
+}
+
+// TransferItem names one chunk of a batched transfer.
+type TransferItem struct {
+	Array string
+	Key   array.ChunkKey
+}
+
+// TransferBatch ships several chunks from one node (or the coordinator) to
+// another in a pipelined exchange: one dedup offer round for every chunk
+// with a known content hash, one batched encoded read from the source, and
+// one batched encoded write to the destination — three round trips for the
+// whole wave instead of two per chunk. Chunks the destination already holds
+// (or adopts from the offer) ship nothing and charge nothing; the rest
+// charge the ledger with their full encoded payload, per the actual-bytes
+// rule on Ledger.ChargeTransferTo. On fabrics without the wire protocol, or
+// when any batched call fails, it falls back to per-chunk Transfer, which
+// adds replica failover and node-down tolerance.
+func (c *Cluster) TransferBatch(ledger *Ledger, items []TransferItem, from, to int) error {
+	if from == to || len(items) == 0 {
+		return nil
+	}
+	wf, wok := c.fabric.(WireFabric)
+	if !wok || to == Coordinator {
+		return c.transferEach(ledger, items, from, to)
+	}
+
+	// Partition: verified-resident chunks are done; chunks with a known
+	// hash go into the offer; the rest ship in full. A catalog replica
+	// entry alone is not trusted — for hashless chunks it is re-verified
+	// with HasAt, for hashed chunks the offer itself confirms residency.
+	var offers []WireItem
+	var need []TransferItem
+	for _, it := range items {
+		h, sz, hok := c.catalog.ChunkHash(it.Array, it.Key)
+		if hok {
+			offers = append(offers, WireItem{Array: it.Array, Key: it.Key, Hash: h, Size: sz})
+			continue
+		}
+		if c.catalog.HasReplica(it.Array, it.Key, to) {
+			if resident, err := c.HasAt(to, it.Array, it.Key); err == nil && resident {
+				continue
+			}
+		}
+		need = append(need, it)
+	}
+	if len(offers) > 0 {
+		acc, err := wf.OfferBatch(to, offers)
+		if err != nil || len(acc) != len(offers) {
+			return c.transferEach(ledger, items, from, to)
+		}
+		for i, o := range offers {
+			if acc[i] {
+				if err := c.catalog.AddReplica(o.Array, o.Key, to); err != nil {
+					return err
+				}
+			} else {
+				need = append(need, TransferItem{Array: o.Array, Key: o.Key})
+			}
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+
+	// Batched body ship for the refused/hashless remainder.
+	ship := make([]WireItem, len(need))
+	for i, it := range need {
+		ship[i] = WireItem{Array: it.Array, Key: it.Key}
+	}
+	if from == Coordinator {
+		for i := range ship {
+			buf, ok := c.coordinator.GetEncoded(ship[i].Array, ship[i].Key)
+			if !ok {
+				return c.transferEach(ledger, need, from, to)
+			}
+			ship[i].Data = buf
+		}
+	} else {
+		bufs, err := wf.GetEncodedBatch(from, ship)
+		if err != nil || len(bufs) != len(ship) {
+			return c.transferEach(ledger, need, from, to)
+		}
+		for i := range ship {
+			ship[i].Data = bufs[i]
+		}
+	}
+	for i := range ship {
+		ship[i].Size = int64(len(ship[i].Data))
+		ship[i].Hash = array.HashChunkBytes(ship[i].Data)
+	}
+	if err := wf.PutEncodedBatch(to, ship); err != nil {
+		return c.transferEach(ledger, need, from, to)
+	}
+	for i, it := range need {
+		if err := c.catalog.AddReplica(it.Array, it.Key, to); err != nil {
+			return err
+		}
+		// Shipped bytes are the current content by the replica invariant,
+		// so the hash (computed above for the wire items) is recordable.
+		if _, _, known := c.catalog.ChunkHash(it.Array, it.Key); !known {
+			_ = c.catalog.SetChunkHash(it.Array, it.Key, ship[i].Hash, ship[i].Size)
+		}
+		if ledger != nil {
+			ledger.ChargeTransferTo(from, to, c.catalog.ChunkSize(it.Array, it.Key))
+		}
+	}
+	return nil
+}
+
+// transferEach is TransferBatch's per-chunk fallback path.
+func (c *Cluster) transferEach(ledger *Ledger, items []TransferItem, from, to int) error {
+	for _, it := range items {
+		if err := c.Transfer(ledger, it.Array, it.Key, from, to); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -434,11 +598,4 @@ func (c *Cluster) RunPerNodeCtx(ctx context.Context, tasks map[int][]Task) error
 		return ctx.Err()
 	}
 	return firstErr
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

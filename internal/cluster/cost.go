@@ -83,6 +83,16 @@ func (l *Ledger) ChargeTransfer(from int, size int64) {
 }
 
 // ChargeTransferTo charges both ends of a transfer of size bytes.
+//
+// Actual-bytes rule: executors charge the ledger with the payload a
+// transfer really moved, after wire-efficiency kicks in — a dedup-satisfied
+// ship charges nothing (only the handshake crossed the wire), a delta ship
+// charges the delta's byte length, and a full ship charges the chunk's
+// logical size B_q. Planners, by contrast, keep charging full logical sizes
+// (Plan.Charge): the MIP objective prices the worst case it can guarantee,
+// and the measured ledger then validates how much the wire layer saved.
+// Frame compression is not modeled here at all — it is a transport-level
+// concern below the cost model, measured by NetCounters.BytesSavedCompress.
 func (l *Ledger) ChargeTransferTo(from, to int, size int64) {
 	if from != Coordinator && from != to {
 		l.ntwk[from] += float64(size) * l.model.Tntwk

@@ -80,6 +80,28 @@ type NetCounters struct {
 	PoolMisses int64
 	// RemoteErrors counts application-level failures reported by the node.
 	RemoteErrors int64
+
+	// Wire-efficiency savings. Both fabrics report these with the same
+	// semantics so predicted-vs-measured validation can compare them.
+	//
+	// DedupHits counts transfer offers the node satisfied from content it
+	// already held (resident or sidelined), skipping the body entirely.
+	DedupHits int64
+	// BytesSavedDedup is the encoded payload bytes those accepted offers
+	// avoided shipping.
+	BytesSavedDedup int64
+	// DeltaShips counts chunk updates shipped as ACHΔ deltas instead of
+	// full encodings.
+	DeltaShips int64
+	// BytesSavedDelta is the full-encoding bytes minus the delta bytes for
+	// those ships.
+	BytesSavedDelta int64
+	// BytesSavedCompress is raw payload bytes minus wire bytes saved by
+	// per-frame compression (zero on the local fabric, which has no wire).
+	BytesSavedCompress int64
+	// RoundTripsSaved counts request round trips avoided: one per accepted
+	// dedup offer (the skipped body ship) and n−1 per n-item batched call.
+	RoundTripsSaved int64
 }
 
 // TotalRequests sums the per-type request counts.
@@ -118,6 +140,45 @@ type JoinFabric interface {
 	ExecuteJoin(node int, req JoinRequest) ([]*array.Chunk, error)
 }
 
+// WireItem identifies one chunk in a batched wire-efficiency exchange. In
+// offers and encoded reads only the identity fields are set; in encoded
+// writes Data carries the canonical ACH1 encoding (Hash and Size describe
+// it).
+type WireItem struct {
+	Array string
+	Key   array.ChunkKey
+	// Hash is the FNV-1a 64 content hash of the canonical encoding.
+	Hash uint64
+	// Size is the encoded length in bytes (the cheap collision guard).
+	Size int64
+	// Data is the encoding itself, present only in PutEncodedBatch items.
+	Data []byte
+}
+
+// WireFabric is implemented by fabrics that support the wire-efficiency
+// protocol: content-addressed dedup offers, ACHΔ delta patches, and batched
+// encoded chunk movement. Callers must tolerate a fabric without it (assert
+// and fall back to plain Put/Get shipping).
+type WireFabric interface {
+	Fabric
+	// OfferBatch asks the node whether it can produce each offered chunk
+	// (identified by content hash and encoded size) without receiving the
+	// body. Accepted offers leave the chunk resident under its key.
+	OfferBatch(node int, items []WireItem) ([]bool, error)
+	// Patch applies an ACHΔ delta to the node's resident chunk, but only
+	// when the resident content hash matches baseHash. applied=false means
+	// the caller must fall back to a full ship; the call is idempotent (a
+	// retried duplicate finds the new hash resident and reports false,
+	// after which the fallback ships identical content). fullSize is the
+	// encoded size of the post-patch chunk, used for savings accounting.
+	Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error)
+	// GetEncodedBatch fetches the canonical encodings of resident chunks
+	// in one exchange. The returned buffers must be treated as read-only.
+	GetEncodedBatch(node int, items []WireItem) ([][]byte, error)
+	// PutEncodedBatch lands encodings verbatim in one exchange.
+	PutEncodedBatch(node int, items []WireItem) error
+}
+
 // LocalFabric is the in-process fabric: each node is a storage.Store in
 // this process and chunk movement is a map operation. It preserves the
 // seed's simulator behavior exactly — the deterministic cost ledger remains
@@ -137,6 +198,12 @@ type localCounters struct {
 	requests map[string]int64
 	bytesIn  obs.Counter
 	bytesOut obs.Counter
+
+	dedupHits       obs.Counter
+	bytesSavedDedup obs.Counter
+	deltaShips      obs.Counter
+	bytesSavedDelta obs.Counter
+	roundTripsSaved obs.Counter
 }
 
 func (c *localCounters) record(op string, in, out int64) {
@@ -155,9 +222,14 @@ func (c *localCounters) snapshot() NetCounters {
 	}
 	c.mu.Unlock()
 	return NetCounters{
-		Requests: reqs,
-		BytesIn:  c.bytesIn.Load(),
-		BytesOut: c.bytesOut.Load(),
+		Requests:        reqs,
+		BytesIn:         c.bytesIn.Load(),
+		BytesOut:        c.bytesOut.Load(),
+		DedupHits:       c.dedupHits.Load(),
+		BytesSavedDedup: c.bytesSavedDedup.Load(),
+		DeltaShips:      c.deltaShips.Load(),
+		BytesSavedDelta: c.bytesSavedDelta.Load(),
+		RoundTripsSaved: c.roundTripsSaved.Load(),
 	}
 }
 
@@ -257,6 +329,91 @@ func (f *LocalFabric) DropArray(node int, arrayName string) (int, error) {
 	return s.DropArray(arrayName), nil
 }
 
+// OfferBatch implements WireFabric: each offer is answered by the node's
+// store, which adopts matching content (resident or sidelined) under the
+// offered key.
+func (f *LocalFabric) OfferBatch(node int, items []WireItem) ([]bool, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return nil, err
+	}
+	c := f.net[node]
+	c.record("Offer", 0, 0)
+	if n := int64(len(items)) - 1; n > 0 {
+		c.roundTripsSaved.Add(n)
+	}
+	out := make([]bool, len(items))
+	for i, it := range items {
+		if _, ok := s.TryAdopt(it.Array, it.Key, it.Hash, it.Size); ok {
+			out[i] = true
+			c.dedupHits.Add(1)
+			c.bytesSavedDedup.Add(it.Size)
+			c.roundTripsSaved.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// Patch implements WireFabric.
+func (f *LocalFabric) Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return false, err
+	}
+	c := f.net[node]
+	c.record("Patch", int64(len(delta)), 0)
+	applied, err := s.Patch(arrayName, key, baseHash, delta)
+	if err != nil || !applied {
+		return false, err
+	}
+	c.deltaShips.Add(1)
+	if saved := fullSize - int64(len(delta)); saved > 0 {
+		c.bytesSavedDelta.Add(saved)
+	}
+	return true, nil
+}
+
+// GetEncodedBatch implements WireFabric.
+func (f *LocalFabric) GetEncodedBatch(node int, items []WireItem) ([][]byte, error) {
+	s, err := f.store(node)
+	if err != nil {
+		return nil, err
+	}
+	c := f.net[node]
+	c.record("GetBatch", 0, 0)
+	if n := int64(len(items)) - 1; n > 0 {
+		c.roundTripsSaved.Add(n)
+	}
+	out := make([][]byte, len(items))
+	for i, it := range items {
+		buf, ok := s.GetEncoded(it.Array, it.Key)
+		if !ok {
+			return nil, fmt.Errorf("cluster: chunk %v of %q not resident on node %d", it.Key, it.Array, node)
+		}
+		c.bytesOut.Add(int64(len(buf)))
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// PutEncodedBatch implements WireFabric.
+func (f *LocalFabric) PutEncodedBatch(node int, items []WireItem) error {
+	s, err := f.store(node)
+	if err != nil {
+		return err
+	}
+	c := f.net[node]
+	c.record("PutBatch", 0, 0)
+	if n := int64(len(items)) - 1; n > 0 {
+		c.roundTripsSaved.Add(n)
+	}
+	for _, it := range items {
+		c.bytesIn.Add(int64(len(it.Data)))
+		s.PutEncoded(it.Array, it.Key, it.Data)
+	}
+	return nil
+}
+
 // Stats implements Fabric.
 func (f *LocalFabric) Stats(node int) (FabricStats, error) {
 	s, err := f.store(node)
@@ -275,3 +432,5 @@ func (f *LocalFabric) NumNodes() int { return len(f.stores) }
 
 // Close implements Fabric.
 func (f *LocalFabric) Close() error { return nil }
+
+var _ WireFabric = (*LocalFabric)(nil)

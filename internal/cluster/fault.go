@@ -82,7 +82,11 @@ type FaultRule struct {
 	// Node is the target worker, or AnyNode.
 	Node int
 	// Op is the fabric operation name ("Put", "Get", "Has", "Delete",
-	// "Merge", "Keys", "DropArray", "Stats", "ExecuteJoin"), or AnyOp.
+	// "Merge", "Keys", "DropArray", "Stats", "ExecuteJoin", "Offer",
+	// "Patch", "GetBatch", "PutBatch"), or AnyOp. The wire-efficiency
+	// operations also match their primitive aliases — "Put" gates Offer,
+	// Patch, and PutBatch, "Get" gates GetBatch — so a rule that forbids
+	// writes on a node cannot be bypassed by the wire path.
 	Op string
 	// Kind is what the fault does.
 	Kind FaultKind
@@ -130,6 +134,7 @@ func (c FaultCounts) Total() int64 {
 type FaultFabric struct {
 	inner Fabric
 	join  JoinFabric // inner's pushdown capability, when present
+	wire  WireFabric // inner's wire-efficiency capability, when present
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -151,18 +156,27 @@ func NewFaultFabric(inner Fabric, seed int64) *FaultFabric {
 		dark:  make(map[int]bool),
 	}
 	f.join, _ = inner.(JoinFabric)
+	f.wire, _ = inner.(WireFabric)
 	return f
 }
 
 // AsFabric returns the fabric a cluster should be built on: the FaultFabric
-// itself when the inner fabric has no join pushdown, or a join-capable
-// wrapper when it does. This keeps `fabric.(JoinFabric)` type assertions
-// truthful about the inner fabric's capabilities.
+// itself when the inner fabric has no optional capabilities, or a wrapper
+// advertising exactly the capabilities the inner fabric has. This keeps the
+// `fabric.(JoinFabric)` and `fabric.(WireFabric)` type assertions truthful:
+// a FaultFabric over a plain Fabric does not accidentally advertise
+// ExecuteJoin or the wire-efficiency protocol.
 func (f *FaultFabric) AsFabric() Fabric {
-	if f.join != nil {
+	switch {
+	case f.join != nil && f.wire != nil:
+		return &faultJoinWireFabric{faultJoinFabric{f}}
+	case f.join != nil:
 		return &faultJoinFabric{f}
+	case f.wire != nil:
+		return &faultWireFabric{f}
+	default:
+		return f
 	}
-	return f
 }
 
 // Inject registers a fault rule and returns it (for Fired inspection).
@@ -213,8 +227,14 @@ type verdict struct {
 	dropAck bool  // run the inner op, then report failure
 }
 
-// decide evaluates blackout state and rules for one operation.
-func (f *FaultFabric) decide(node int, op string) verdict {
+// decide evaluates blackout state and rules for one operation. aliases are
+// extra op names the operation answers to: the wire-efficiency writes
+// (offer adoption, patch, batched put) are puts of chunk content in
+// disguise, and the batched read is a get, so rules targeting the
+// primitive op gate them too — otherwise a chaos scenario that forbids
+// writes on a node would be bypassed by the wire path, silently voiding
+// the atomicity guarantees the chaos suite checks.
+func (f *FaultFabric) decide(node int, op string, aliases ...string) verdict {
 	f.mu.Lock()
 	if f.dark[node] {
 		f.mu.Unlock()
@@ -227,7 +247,7 @@ func (f *FaultFabric) decide(node int, op string) verdict {
 		if r.Node != AnyNode && r.Node != node {
 			continue
 		}
-		if r.Op != AnyOp && r.Op != op {
+		if r.Op != AnyOp && r.Op != op && !opMatches(r.Op, aliases) {
 			continue
 		}
 		if int(r.hits.Add(1)) <= r.After {
@@ -264,6 +284,16 @@ func (f *FaultFabric) decide(node int, op string) verdict {
 		f.errors.Add(1)
 	}
 	return out
+}
+
+// opMatches reports whether ruleOp names one of the operation's aliases.
+func opMatches(ruleOp string, aliases []string) bool {
+	for _, a := range aliases {
+		if ruleOp == a {
+			return true
+		}
+	}
+	return false
 }
 
 // ackLost builds the drop-after-write error for a mutating op that applied.
@@ -362,6 +392,55 @@ func (f *FaultFabric) NumNodes() int { return f.inner.NumNodes() }
 // Close implements Fabric.
 func (f *FaultFabric) Close() error { return f.inner.Close() }
 
+// offerBatch, patch, getEncodedBatch, and putEncodedBatch are the
+// fault-gated wire operations, promoted to WireFabric methods only by the
+// wire-capable wrapper faces below. An offer is a mutating operation (an
+// accepted offer adopts content), so a drop-after-write fault on it — like
+// on Patch and PutEncodedBatch — lets the inner op apply and then reports
+// failure.
+func (f *FaultFabric) offerBatch(node int, items []WireItem) ([]bool, error) {
+	v := f.decide(node, "Offer", "Put")
+	if v.err != nil {
+		return nil, v.err
+	}
+	acc, err := f.wire.OfferBatch(node, items)
+	if err == nil && v.dropAck {
+		return nil, f.ackLost(node, "Offer")
+	}
+	return acc, err
+}
+
+func (f *FaultFabric) patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	v := f.decide(node, "Patch", "Put")
+	if v.err != nil {
+		return false, v.err
+	}
+	applied, err := f.wire.Patch(node, arrayName, key, baseHash, delta, fullSize)
+	if err == nil && v.dropAck {
+		return false, f.ackLost(node, "Patch")
+	}
+	return applied, err
+}
+
+func (f *FaultFabric) getEncodedBatch(node int, items []WireItem) ([][]byte, error) {
+	if v := f.decide(node, "GetBatch", "Get"); v.err != nil {
+		return nil, v.err
+	}
+	return f.wire.GetEncodedBatch(node, items)
+}
+
+func (f *FaultFabric) putEncodedBatch(node int, items []WireItem) error {
+	v := f.decide(node, "PutBatch", "Put")
+	if v.err != nil {
+		return v.err
+	}
+	err := f.wire.PutEncodedBatch(node, items)
+	if err == nil && v.dropAck {
+		return f.ackLost(node, "PutBatch")
+	}
+	return err
+}
+
 // faultJoinFabric is the join-capable face of a FaultFabric over a
 // JoinFabric inner.
 type faultJoinFabric struct {
@@ -381,3 +460,53 @@ func (f *faultJoinFabric) ExecuteJoin(node int, req JoinRequest) ([]*array.Chunk
 	}
 	return parts, err
 }
+
+// faultWireFabric is the wire-capable face of a FaultFabric over a
+// WireFabric inner that lacks join pushdown.
+type faultWireFabric struct {
+	*FaultFabric
+}
+
+func (f *faultWireFabric) OfferBatch(node int, items []WireItem) ([]bool, error) {
+	return f.offerBatch(node, items)
+}
+
+func (f *faultWireFabric) Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	return f.patch(node, arrayName, key, baseHash, delta, fullSize)
+}
+
+func (f *faultWireFabric) GetEncodedBatch(node int, items []WireItem) ([][]byte, error) {
+	return f.getEncodedBatch(node, items)
+}
+
+func (f *faultWireFabric) PutEncodedBatch(node int, items []WireItem) error {
+	return f.putEncodedBatch(node, items)
+}
+
+// faultJoinWireFabric is the face over an inner fabric with both join
+// pushdown and the wire protocol.
+type faultJoinWireFabric struct {
+	faultJoinFabric
+}
+
+func (f *faultJoinWireFabric) OfferBatch(node int, items []WireItem) ([]bool, error) {
+	return f.offerBatch(node, items)
+}
+
+func (f *faultJoinWireFabric) Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	return f.patch(node, arrayName, key, baseHash, delta, fullSize)
+}
+
+func (f *faultJoinWireFabric) GetEncodedBatch(node int, items []WireItem) ([][]byte, error) {
+	return f.getEncodedBatch(node, items)
+}
+
+func (f *faultJoinWireFabric) PutEncodedBatch(node int, items []WireItem) error {
+	return f.putEncodedBatch(node, items)
+}
+
+var (
+	_ WireFabric = (*faultWireFabric)(nil)
+	_ WireFabric = (*faultJoinWireFabric)(nil)
+	_ JoinFabric = (*faultJoinWireFabric)(nil)
+)

@@ -39,6 +39,13 @@ func (es *execState) beginCommit(cl *cluster.Cluster) *committer {
 
 // write stores ch at node, recording the slot's prior content first.
 // Node-down errors are returned for the caller to redirect.
+//
+// The pre-image read for the undo log doubles as the delta base: when the
+// fabric speaks the wire protocol, only the cells that changed against the
+// resident content travel (an ACHΔ patch). A patch that errors or reports
+// applied=false — base drifted, delta not smaller, or a replayed patch
+// finding the new content already resident — falls back to the idempotent
+// full put, so retry semantics are unchanged.
 func (cm *committer) write(node int, name string, key array.ChunkKey, ch *array.Chunk) error {
 	resident, err := cm.cl.HasAt(node, name, key)
 	if err != nil {
@@ -52,6 +59,16 @@ func (cm *committer) write(node int, name string, key array.ChunkKey, ch *array.
 		}
 	}
 	cm.undo = append(cm.undo, commitRec{node, name, key, prev, resident})
+	if prev != nil && node != cluster.Coordinator {
+		if wf, ok := cm.cl.Fabric().(cluster.WireFabric); ok {
+			if delta, ok := array.ComputeDelta(prev, ch); ok {
+				applied, perr := wf.Patch(node, name, key, prev.ContentHash(), delta, ch.EncodedSize())
+				if perr == nil && applied {
+					return nil
+				}
+			}
+		}
+	}
 	return cm.cl.PutAtRetry(node, name, ch)
 }
 

@@ -226,11 +226,13 @@ func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
 
 // runTransfers executes the plan's Phase-1 replications (x variables)
 // concurrently: identical ships — the same chunk bound for the same
-// destination — are deduplicated, and the rest are grouped by destination
-// node and drained through the cluster's bounded per-node worker pools, so
-// a batch shipping to k destinations overlaps its network transfers
-// instead of serializing them. The first error aborts the remaining
-// queues.
+// destination — are deduplicated, the rest are grouped by (source,
+// destination) route and shipped through Cluster.TransferBatch, so one
+// route's whole wave moves in a single pipelined offer/read/write exchange
+// instead of two round trips per chunk. Routes are drained through the
+// cluster's bounded per-node worker pools, so a batch shipping to k
+// destinations overlaps its network transfers instead of serializing them.
+// The first error aborts the remaining queues.
 //
 // Plans may chain ships (the baseline stages a delta chunk at its placed
 // node and fans out from there), so transfers are scheduled in waves: a
@@ -251,8 +253,11 @@ func runTransfers(ctx *Context, p *Plan) error {
 		ref view.ChunkRef
 		to  int
 	}
+	type route struct {
+		from, to int
+	}
 	seen := make(map[ship]int, len(p.Transfers)) // destination replica → wave it lands in
-	var waves []map[int][]cluster.Task
+	var waves []map[route][]cluster.TransferItem
 	for _, t := range p.Transfers {
 		s := ship{t.Ref, t.To}
 		if _, dup := seen[s]; dup {
@@ -264,18 +269,34 @@ func runTransfers(ctx *Context, p *Plan) error {
 		}
 		seen[s] = w
 		for len(waves) <= w {
-			waves = append(waves, make(map[int][]cluster.Task))
+			waves = append(waves, make(map[route][]cluster.TransferItem))
 		}
-		waves[w][t.To] = append(waves[w][t.To], func() error {
-			err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To)
-			if err != nil && cluster.IsNodeDown(err) {
-				return nil
-			}
-			return err
-		})
+		r := route{t.From, t.To}
+		waves[w][r] = append(waves[w][r], cluster.TransferItem{Array: t.Ref.Array, Key: t.Ref.Key})
 	}
 	for _, wave := range waves {
-		if err := cl.RunPerNodeCtx(ctx.execContext(), wave); err != nil {
+		tasks := make(map[int][]cluster.Task, len(wave))
+		for r, items := range wave {
+			r, items := r, items
+			tasks[r.to] = append(tasks[r.to], func() error {
+				err := cl.TransferBatch(nil, items, r.from, r.to)
+				if err == nil || !cluster.IsNodeDown(err) {
+					return err
+				}
+				// A dead endpoint surfaced mid-batch: retry per chunk so
+				// live transfers in the group still land (Transfer is
+				// idempotent for chunks the batch already moved), skipping
+				// the dead ones for the join phase to re-plan around.
+				for _, it := range items {
+					err := cl.Transfer(nil, it.Array, it.Key, r.from, r.to)
+					if err != nil && !cluster.IsNodeDown(err) {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if err := cl.RunPerNodeCtx(ctx.execContext(), tasks); err != nil {
 			return err
 		}
 	}

@@ -28,9 +28,9 @@ type joinScratch struct {
 	// pair's probe count justifies it (denseOK), cb's occupancy is
 	// materialized once into dense — tuple index + 1 per local offset, 0
 	// for empty — so each probe is one slice load instead of a map lookup.
-	stride []int64
-	dense  []int32
-	tuples []array.Tuple
+	stride  []int64
+	dense   []int32
+	tuples  []array.Tuple
 	denseOK bool
 }
 

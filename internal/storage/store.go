@@ -6,6 +6,7 @@
 package storage
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,20 +14,105 @@ import (
 	"github.com/arrayview/arrayview/internal/array"
 )
 
+// DefaultCacheBytes caps the sideline content cache (see Store). Entries
+// are chunk encodings, so the default holds a few thousand chunks.
+const DefaultCacheBytes = 64 << 20
+
 // Store is one node's chunk storage. It is safe for concurrent use.
+//
+// Besides the resident chunks, the store keeps a bounded LRU "sideline"
+// cache of recently evicted chunk encodings keyed by content hash. The
+// cache backs the wire-level dedup handshake: when a transfer offers a
+// (key, hash) the node has seen before — a replica scrubbed by batch
+// cleanup, a chunk displaced by an overwrite — TryAdopt resurrects the
+// bytes locally instead of moving them over the network. The cache is
+// never readable by (array, key): only an explicit adoption, verified by
+// content hash and length, promotes an entry back to residency, so stale
+// reads are impossible by construction.
 type Store struct {
 	mu     sync.RWMutex
 	chunks map[string][]byte // key: arrayName + "\x00" + chunkKey
+	hashes map[string]uint64 // content hash of the resident encoding
 	bytes  int64
+
+	cache      map[uint64]*list.Element // content hash → cacheEntry
+	cacheLRU   *list.List               // front = most recently used
+	cacheBytes int64
+	cacheCap   int64
+}
+
+type cacheEntry struct {
+	hash uint64
+	buf  []byte
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{chunks: make(map[string][]byte)}
+	return &Store{
+		chunks:   make(map[string][]byte),
+		hashes:   make(map[string]uint64),
+		cache:    make(map[uint64]*list.Element),
+		cacheLRU: list.New(),
+		cacheCap: DefaultCacheBytes,
+	}
 }
 
 func storeKey(arrayName string, key array.ChunkKey) string {
 	return arrayName + "\x00" + string(key)
+}
+
+// sideline moves an evicted encoding into the content cache, evicting the
+// least recently used entries past the cap. Caller holds s.mu.
+func (s *Store) sideline(buf []byte) {
+	if s.cacheCap <= 0 || int64(len(buf)) > s.cacheCap {
+		return
+	}
+	h := array.HashChunkBytes(buf)
+	if el, ok := s.cache[h]; ok {
+		s.cacheLRU.MoveToFront(el)
+		return
+	}
+	el := s.cacheLRU.PushFront(&cacheEntry{hash: h, buf: buf})
+	s.cache[h] = el
+	s.cacheBytes += int64(len(buf))
+	for s.cacheBytes > s.cacheCap {
+		last := s.cacheLRU.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*cacheEntry)
+		s.cacheLRU.Remove(last)
+		delete(s.cache, e.hash)
+		s.cacheBytes -= int64(len(e.buf))
+	}
+}
+
+// cacheLookup returns the sidelined encoding for a content hash, verifying
+// the expected length (the cheap insurance against an FNV collision), and
+// refreshes its recency. Caller holds s.mu.
+func (s *Store) cacheLookup(hash uint64, size int64) ([]byte, bool) {
+	el, ok := s.cache[hash]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if size >= 0 && int64(len(e.buf)) != size {
+		return nil, false
+	}
+	s.cacheLRU.MoveToFront(el)
+	return e.buf, true
+}
+
+// putLocked installs an encoding under k, sidelining any replaced version.
+// Caller holds s.mu.
+func (s *Store) putLocked(k string, buf []byte, hash uint64) {
+	if old, ok := s.chunks[k]; ok {
+		s.bytes -= int64(len(old))
+		s.sideline(old)
+	}
+	s.chunks[k] = buf
+	s.hashes[k] = hash
+	s.bytes += int64(len(buf))
 }
 
 // Put serializes and stores the chunk under the array name, replacing any
@@ -36,11 +122,83 @@ func (s *Store) Put(arrayName string, c *array.Chunk) {
 	k := storeKey(arrayName, c.Key())
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.chunks[k]; ok {
-		s.bytes -= int64(len(old))
+	s.putLocked(k, buf, array.HashChunkBytes(buf))
+}
+
+// PutEncoded stores an already-serialized ACH1 encoding verbatim. The
+// transport server uses it to land wire payloads without a decode/encode
+// round trip when the bytes are already canonical.
+func (s *Store) PutEncoded(arrayName string, key array.ChunkKey, buf []byte) {
+	k := storeKey(arrayName, key)
+	h := array.HashChunkBytes(buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(k, buf, h)
+}
+
+// Hash returns the content hash of the resident encoding of a chunk.
+func (s *Store) Hash(arrayName string, key array.ChunkKey) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.hashes[storeKey(arrayName, key)]
+	return h, ok
+}
+
+// TryAdopt is the receiving half of the dedup handshake: it reports
+// whether the node can produce the offered content (identified by hash
+// and encoded size) without receiving the body. Residency under the same
+// key with the same hash satisfies the offer directly; otherwise a
+// matching sideline-cache entry is promoted to residency under the key.
+// On success the returned size is the encoded length now resident.
+func (s *Store) TryAdopt(arrayName string, key array.ChunkKey, hash uint64, size int64) (int64, bool) {
+	k := storeKey(arrayName, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hashes[k]; ok && h == hash {
+		buf := s.chunks[k]
+		if size < 0 || int64(len(buf)) == size {
+			return int64(len(buf)), true
+		}
 	}
-	s.chunks[k] = buf
-	s.bytes += int64(len(buf))
+	if buf, ok := s.cacheLookup(hash, size); ok {
+		s.putLocked(k, buf, hash)
+		return int64(len(buf)), true
+	}
+	return 0, false
+}
+
+// Patch applies an ACHΔ delta to the resident chunk, but only when the
+// resident content hash matches baseHash — the sender computed the delta
+// against exactly that version. A missing chunk or a hash mismatch is not
+// an error: applied=false tells the caller to fall back to a full ship.
+func (s *Store) Patch(arrayName string, key array.ChunkKey, baseHash uint64, delta []byte) (applied bool, err error) {
+	k := storeKey(arrayName, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.chunks[k]
+	if !ok || s.hashes[k] != baseHash {
+		return false, nil
+	}
+	c, err := array.DecodeChunk(buf)
+	if err != nil {
+		return false, err
+	}
+	if err := array.ApplyDelta(c, delta); err != nil {
+		return false, err
+	}
+	out := array.EncodeChunk(c)
+	s.putLocked(k, out, array.HashChunkBytes(out))
+	return true, nil
+}
+
+// GetEncoded returns the resident canonical encoding of a chunk without
+// decoding it. The returned slice is the store's own buffer and must be
+// treated as read-only (the store never mutates stored buffers in place).
+func (s *Store) GetEncoded(arrayName string, key array.ChunkKey) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, ok := s.chunks[storeKey(arrayName, key)]
+	return buf, ok
 }
 
 // Get fetches and deserializes a chunk. It returns an error if the chunk is
@@ -74,6 +232,8 @@ func (s *Store) Delete(arrayName string, key array.ChunkKey) bool {
 	}
 	s.bytes -= int64(len(buf))
 	delete(s.chunks, k)
+	delete(s.hashes, k)
+	s.sideline(buf)
 	return true
 }
 
@@ -87,8 +247,7 @@ func (s *Store) Merge(arrayName string, src *array.Chunk, merge func(dst, src *a
 	buf, ok := s.chunks[k]
 	if !ok {
 		out := array.EncodeChunk(src)
-		s.chunks[k] = out
-		s.bytes += int64(len(out))
+		s.putLocked(k, out, array.HashChunkBytes(out))
 		return nil
 	}
 	dst, err := array.DecodeChunk(buf)
@@ -99,8 +258,7 @@ func (s *Store) Merge(arrayName string, src *array.Chunk, merge func(dst, src *a
 		return err
 	}
 	out := array.EncodeChunk(dst)
-	s.bytes += int64(len(out)) - int64(len(buf))
-	s.chunks[k] = out
+	s.putLocked(k, out, array.HashChunkBytes(out))
 	return nil
 }
 
@@ -144,8 +302,35 @@ func (s *Store) DropArray(arrayName string) int {
 		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
 			s.bytes -= int64(len(buf))
 			delete(s.chunks, k)
+			delete(s.hashes, k)
+			s.sideline(buf)
 			n++
 		}
 	}
 	return n
+}
+
+// CacheBytes returns the sideline content cache's current footprint.
+func (s *Store) CacheBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cacheBytes
+}
+
+// SetCacheCap rebounds the sideline content cache; 0 disables it (and
+// drops its contents).
+func (s *Store) SetCacheCap(capBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheCap = capBytes
+	for s.cacheBytes > s.cacheCap {
+		last := s.cacheLRU.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*cacheEntry)
+		s.cacheLRU.Remove(last)
+		delete(s.cache, e.hash)
+		s.cacheBytes -= int64(len(e.buf))
+	}
 }

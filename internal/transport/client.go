@@ -35,6 +35,15 @@ type ClientConfig struct {
 	// with uniform jitter in [base/2, base] to avoid retry synchronization
 	// (default 20 milliseconds).
 	RetryBackoff time.Duration
+	// Compress enables per-frame deflate on request payloads of at least
+	// CompressMin bytes when it shrinks the frame. Servers mirror the
+	// request's compression on their response, so one knob covers both
+	// directions. Old peers are unaffected: uncompressed frames are the
+	// unchanged v1 format.
+	Compress bool
+	// CompressMin is the smallest payload worth deflating (default 512;
+	// small frames are all header and sub-millisecond latency).
+	CompressMin int
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -52,6 +61,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 20 * time.Millisecond
+	}
+	if c.CompressMin <= 0 {
+		c.CompressMin = 512
 	}
 	return c
 }
@@ -79,6 +91,9 @@ type ClientStats struct {
 	PoolHits, PoolMisses int64
 	// RemoteErrors counts application failures reported by the node.
 	RemoteErrors int64
+	// BytesSavedCompress is raw frame bytes minus wire frame bytes across
+	// both directions — what per-frame compression kept off the wire.
+	BytesSavedCompress int64
 }
 
 // clientCounters is the live atomic form of ClientStats.
@@ -92,6 +107,7 @@ type clientCounters struct {
 	dials               obs.Counter
 	poolHits, poolMiss  obs.Counter
 	remoteErrs          obs.Counter
+	savedCompress       obs.Counter
 }
 
 func (c *clientCounters) countRequest(t MsgType) {
@@ -111,16 +127,17 @@ func (c *clientCounters) snapshot() ClientStats {
 	}
 	c.mu.Unlock()
 	return ClientStats{
-		Requests:     reqs,
-		BytesOut:     c.bytesOut.Load(),
-		BytesIn:      c.bytesIn.Load(),
-		FramesOut:    c.framesOut.Load(),
-		FramesIn:     c.framesIn.Load(),
-		Retries:      c.retries.Load(),
-		Dials:        c.dials.Load(),
-		PoolHits:     c.poolHits.Load(),
-		PoolMisses:   c.poolMiss.Load(),
-		RemoteErrors: c.remoteErrs.Load(),
+		Requests:           reqs,
+		BytesOut:           c.bytesOut.Load(),
+		BytesIn:            c.bytesIn.Load(),
+		FramesOut:          c.framesOut.Load(),
+		FramesIn:           c.framesIn.Load(),
+		Retries:            c.retries.Load(),
+		Dials:              c.dials.Load(),
+		PoolHits:           c.poolHits.Load(),
+		PoolMisses:         c.poolMiss.Load(),
+		RemoteErrors:       c.remoteErrs.Load(),
+		BytesSavedCompress: c.savedCompress.Load(),
 	}
 }
 
@@ -229,11 +246,16 @@ func (c *Client) putConn(conn net.Conn) {
 // idempotent reports whether re-executing the request on the server is
 // harmless. MergeDelta folds state additively, so applying it twice
 // corrupts the view — it must never be retried once the request may have
-// been processed.
+// been processed. The wire-efficiency requests are all idempotent:
+// offers and encoded puts are content-addressed overwrites, and a
+// replayed PatchChunk finds the post-patch hash resident, reports
+// applied=false, and the caller's full-ship fallback lands identical
+// content.
 func idempotent(t MsgType) bool {
 	switch t {
 	case MsgPing, MsgPutChunk, MsgGetChunk, MsgHasChunk, MsgDeleteChunk,
-		MsgKeys, MsgDropArray, MsgStats, MsgRegisterView, MsgExecuteJoin:
+		MsgKeys, MsgDropArray, MsgStats, MsgRegisterView, MsgExecuteJoin,
+		MsgOfferBatch, MsgPatchChunk, MsgGetBatch, MsgPutBatch:
 		return true
 	default:
 		return false
@@ -335,18 +357,29 @@ func (c *Client) try(ctx context.Context, req *Message) (resp *Message, retryabl
 	// in Read or Write fails promptly instead of waiting out the timeout.
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stop()
-	if err := WriteMessage(conn, req); err != nil {
+	compressMin := 0
+	if c.cfg.Compress {
+		compressMin = c.cfg.CompressMin
+	}
+	raw, wire, err := WriteMessageOpt(conn, req, compressMin)
+	if err != nil {
 		conn.Close()
 		// The server may have consumed part of the frame (even a stale
 		// pooled connection can have accepted bytes into its receive
 		// buffer), so only requests that are safe to re-execute retry.
 		return nil, idempotent(req.Type), err
 	}
+	if raw > wire {
+		c.stats.savedCompress.Add(int64(raw - wire))
+	}
 	c.stats.framesOut.Add(1)
-	m, err := ReadMessage(conn)
+	m, rraw, rwire, err := ReadMessageOpt(conn)
 	if err != nil {
 		conn.Close()
 		return nil, idempotent(req.Type), err
+	}
+	if rraw > rwire {
+		c.stats.savedCompress.Add(int64(rraw - rwire))
 	}
 	c.stats.framesIn.Add(1)
 	if !stop() {

@@ -13,9 +13,21 @@
 // Chunks travel in their storage serialization (array.EncodeChunk), so a
 // frame's dominant cost is exactly the bytes the paper's cost model
 // charges for a chunk transfer.
+//
+// The top bit of the type byte versions the frame: when flagCompressed is
+// set the payload is per-frame deflate,
+//
+//	u32 length | u8 type|0x80 | u32 rawLen | deflate(payload)
+//
+// and rawLen is the inflated payload size. Peers that never set the flag
+// produce exactly the v1 format, and every decoder accepts both, so
+// compression needs no handshake: a sender turns it on per frame when it
+// shrinks the payload, and a server mirrors whatever the request used.
 package transport
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -23,6 +35,7 @@ import (
 	"sync"
 
 	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
 )
 
 // MsgType identifies a frame's message.
@@ -41,6 +54,10 @@ const (
 	MsgStats
 	MsgRegisterView
 	MsgExecuteJoin
+	MsgOfferBatch
+	MsgPatchChunk
+	MsgGetBatch
+	MsgPutBatch
 )
 
 // Response messages.
@@ -53,7 +70,12 @@ const (
 	MsgKeyList
 	MsgStatsReply
 	MsgChunkList
+	MsgBoolList
 )
+
+// flagCompressed marks a frame whose payload is deflate-compressed. It
+// occupies the top bit of the type byte, which no message type uses.
+const flagCompressed = 0x80
 
 // String names the message type.
 func (t MsgType) String() string {
@@ -80,6 +102,14 @@ func (t MsgType) String() string {
 		return "RegisterView"
 	case MsgExecuteJoin:
 		return "ExecuteJoin"
+	case MsgOfferBatch:
+		return "OfferBatch"
+	case MsgPatchChunk:
+		return "PatchChunk"
+	case MsgGetBatch:
+		return "GetBatch"
+	case MsgPutBatch:
+		return "PutBatch"
 	case MsgOK:
 		return "OK"
 	case MsgErr:
@@ -96,6 +126,8 @@ func (t MsgType) String() string {
 		return "StatsReply"
 	case MsgChunkList:
 		return "ChunkList"
+	case MsgBoolList:
+		return "BoolList"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -137,6 +169,14 @@ type Message struct {
 
 	// Spec is a gob-encoded view definition (RegisterView).
 	Spec []byte
+
+	// Wire-efficiency fields. Items carries batched chunk identities —
+	// plus bodies for PutBatch (OfferBatch, GetBatch, PutBatch). Hash is
+	// the base content hash a PatchChunk delta applies against (the delta
+	// itself travels in Chunk). Flags is the BoolList response.
+	Items []cluster.WireItem
+	Hash  uint64
+	Flags []bool
 
 	// Response payloads.
 	Flag      bool             // Bool
@@ -186,6 +226,20 @@ func appendPayload(buf []byte, m *Message) []byte {
 		buf = appendStr(buf, m.Array)
 	case MsgRegisterView:
 		buf = appendBytes(buf, m.Spec)
+	case MsgOfferBatch, MsgGetBatch, MsgPutBatch:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Items)))
+		for _, it := range m.Items {
+			buf = appendStr(buf, it.Array)
+			buf = appendStr(buf, string(it.Key))
+			buf = binary.BigEndian.AppendUint64(buf, it.Hash)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(it.Size))
+			buf = appendBytes(buf, it.Data)
+		}
+	case MsgPatchChunk:
+		buf = appendStr(buf, m.Array)
+		buf = appendStr(buf, string(m.Key))
+		buf = binary.BigEndian.AppendUint64(buf, m.Hash)
+		buf = appendBytes(buf, m.Chunk)
 	case MsgExecuteJoin:
 		buf = appendStr(buf, m.View)
 		buf = appendStr(buf, m.Array)
@@ -222,6 +276,15 @@ func appendPayload(buf []byte, m *Message) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Chunks)))
 		for _, c := range m.Chunks {
 			buf = appendBytes(buf, c)
+		}
+	case MsgBoolList:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Flags)))
+		for _, f := range m.Flags {
+			if f {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
 		}
 	}
 	return buf
@@ -320,6 +383,26 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 		m.Array = r.str()
 	case MsgRegisterView:
 		m.Spec = cloneBytes(r.bytes())
+	case MsgOfferBatch, MsgGetBatch, MsgPutBatch:
+		n := int(r.u32())
+		if r.err == nil && n > len(payload) {
+			return nil, fmt.Errorf("transport: item count %d exceeds payload size", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			it := cluster.WireItem{
+				Array: r.str(),
+				Key:   array.ChunkKey(r.str()),
+				Hash:  r.u64(),
+				Size:  int64(r.u64()),
+			}
+			it.Data = cloneBytes(r.bytes())
+			m.Items = append(m.Items, it)
+		}
+	case MsgPatchChunk:
+		m.Array = r.str()
+		m.Key = array.ChunkKey(r.str())
+		m.Hash = r.u64()
+		m.Chunk = cloneBytes(r.bytes())
 	case MsgExecuteJoin:
 		m.View = r.str()
 		m.Array = r.str()
@@ -354,6 +437,14 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 		}
 		for i := 0; i < n && r.err == nil; i++ {
 			m.Chunks = append(m.Chunks, cloneBytes(r.bytes()))
+		}
+	case MsgBoolList:
+		n := int(r.u32())
+		if r.err == nil && n > len(payload) {
+			return nil, fmt.Errorf("transport: flag count %d exceeds payload size", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Flags = append(m.Flags, r.bool())
 		}
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", uint8(t))
@@ -406,46 +497,141 @@ func grownBuf(bp *[]byte, n int) []byte {
 	return *bp
 }
 
-// WriteMessage frames and writes one message. The frame is assembled in a
-// pooled buffer and written with a single Write call.
+// flatePool recycles deflate compressors (their window state is the
+// expensive allocation).
+var flatePool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+// appendWriter adapts append-to-slice to io.Writer for the pooled deflater.
+type appendWriter struct{ buf []byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	a.buf = append(a.buf, p...)
+	return len(p), nil
+}
+
+// appendDeflate appends deflate(src) to dst.
+func appendDeflate(dst, src []byte) ([]byte, error) {
+	aw := &appendWriter{buf: dst}
+	fw := flatePool.Get().(*flate.Writer)
+	defer flatePool.Put(fw)
+	fw.Reset(aw)
+	if _, err := fw.Write(src); err != nil {
+		return dst, err
+	}
+	if err := fw.Close(); err != nil {
+		return dst, err
+	}
+	return aw.buf, nil
+}
+
+// WriteMessage frames and writes one message in the v1 (uncompressed)
+// format. The frame is assembled in a pooled buffer and written with a
+// single Write call.
 func WriteMessage(w io.Writer, m *Message) error {
+	_, _, err := WriteMessageOpt(w, m, 0)
+	return err
+}
+
+// WriteMessageOpt frames and writes one message, compressing the payload
+// when compressMin > 0, the payload is at least compressMin bytes, and
+// deflate actually shrinks the frame (incompressible payloads go out
+// unflagged, so the choice costs nothing on the wire). It returns the
+// frame's raw (uncompressed) and wire sizes, both excluding the 4-byte
+// length prefix, so callers can account compression savings as raw−wire.
+func WriteMessageOpt(w io.Writer, m *Message, compressMin int) (raw, wire int, err error) {
 	bp := getFrameBuf()
 	defer putFrameBuf(bp)
 	frame := append((*bp)[:0], 0, 0, 0, 0, uint8(m.Type))
 	frame = appendPayload(frame, m)
 	*bp = frame
 	if len(frame)-4 > maxFrame {
-		return fmt.Errorf("transport: %s frame of %d bytes exceeds limit", m.Type, len(frame)-4)
+		return 0, 0, fmt.Errorf("transport: %s frame of %d bytes exceeds limit", m.Type, len(frame)-4)
+	}
+	raw = len(frame) - 4
+	payload := frame[5:]
+	if compressMin > 0 && len(payload) >= compressMin {
+		cp := getFrameBuf()
+		defer putFrameBuf(cp)
+		cf := append((*cp)[:0], 0, 0, 0, 0, uint8(m.Type)|flagCompressed)
+		cf = binary.BigEndian.AppendUint32(cf, uint32(len(payload)))
+		cf, cerr := appendDeflate(cf, payload)
+		*cp = cf
+		if cerr == nil && len(cf) < len(frame) {
+			binary.BigEndian.PutUint32(cf, uint32(len(cf)-4))
+			_, err = w.Write(cf)
+			return raw, len(cf) - 4, err
+		}
 	}
 	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
-	_, err := w.Write(frame)
-	return err
+	_, err = w.Write(frame)
+	return raw, raw, err
 }
 
-// ReadMessage reads and decodes one frame. io.EOF is returned unchanged on
-// a clean close before the first header byte. The frame body lands in a
-// pooled buffer that is reused across calls; the decoded message owns
-// copies of everything it needs.
+// ReadMessage reads and decodes one frame, accepting both the v1 and the
+// compressed format. io.EOF is returned unchanged on a clean close before
+// the first header byte.
 func ReadMessage(r io.Reader) (*Message, error) {
+	m, _, _, err := ReadMessageOpt(r)
+	return m, err
+}
+
+// ReadMessageOpt reads and decodes one frame, reporting its raw
+// (decompressed) and wire sizes excluding the 4-byte length prefix —
+// raw > wire exactly when the sender compressed the frame. The frame body
+// lands in pooled buffers reused across calls; the decoded message owns
+// copies of everything it needs.
+func ReadMessageOpt(r io.Reader) (m *Message, raw, wire int, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	length := binary.BigEndian.Uint32(hdr[:4])
 	if length == 0 {
-		return nil, fmt.Errorf("transport: zero-length frame")
+		return nil, 0, 0, fmt.Errorf("transport: zero-length frame")
 	}
 	if length > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
+		return nil, 0, 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
 	}
 	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
-		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
+		return nil, 0, 0, fmt.Errorf("transport: truncated frame header: %w", err)
 	}
 	bp := getFrameBuf()
 	defer putFrameBuf(bp)
-	payload := grownBuf(bp, int(length-1))
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("transport: truncated frame body: %w", err)
+	body := grownBuf(bp, int(length-1))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, 0, fmt.Errorf("transport: truncated frame body: %w", err)
 	}
-	return DecodePayload(MsgType(hdr[4]), payload)
+	t := hdr[4]
+	wire = int(length)
+	raw = wire
+	payload := body
+	if t&flagCompressed != 0 {
+		if len(body) < 4 {
+			return nil, 0, 0, fmt.Errorf("transport: compressed frame of %d bytes lacks raw length", len(body))
+		}
+		rawLen := binary.BigEndian.Uint32(body)
+		if int(rawLen) > maxFrame {
+			return nil, 0, 0, fmt.Errorf("transport: compressed frame declares %d raw bytes, exceeds limit", rawLen)
+		}
+		rp := getFrameBuf()
+		defer putFrameBuf(rp)
+		out := grownBuf(rp, int(rawLen))
+		fr := flate.NewReader(bytes.NewReader(body[4:]))
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, 0, 0, fmt.Errorf("transport: inflating frame: %w", err)
+		}
+		var probe [1]byte
+		if n, _ := fr.Read(probe[:]); n != 0 {
+			return nil, 0, 0, fmt.Errorf("transport: inflated frame exceeds declared %d bytes", rawLen)
+		}
+		_ = fr.Close()
+		t &^= flagCompressed
+		payload = out
+		raw = 1 + int(rawLen)
+	}
+	m, err = DecodePayload(MsgType(t), payload)
+	return m, raw, wire, err
 }

@@ -9,15 +9,16 @@ import (
 	"testing/quick"
 
 	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
 )
 
 // allTypes lists every message type of the protocol.
 var allTypes = []MsgType{
 	MsgPing, MsgPutChunk, MsgGetChunk, MsgHasChunk, MsgDeleteChunk,
 	MsgMergeDelta, MsgKeys, MsgDropArray, MsgStats, MsgRegisterView,
-	MsgExecuteJoin,
+	MsgExecuteJoin, MsgOfferBatch, MsgPatchChunk, MsgGetBatch, MsgPutBatch,
 	MsgOK, MsgErr, MsgChunk, MsgBool, MsgCount, MsgKeyList,
-	MsgStatsReply, MsgChunkList,
+	MsgStatsReply, MsgChunkList, MsgBoolList,
 }
 
 func quickString(r *rand.Rand) string {
@@ -57,6 +58,21 @@ func genMessage(t MsgType, r *rand.Rand) *Message {
 		m.Array = quickString(r)
 	case MsgRegisterView:
 		m.Spec = quickBytes(r)
+	case MsgOfferBatch, MsgGetBatch, MsgPutBatch:
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			m.Items = append(m.Items, cluster.WireItem{
+				Array: quickString(r),
+				Key:   array.ChunkKey(quickString(r)),
+				Hash:  r.Uint64(),
+				Size:  int64(r.Uint64()),
+				Data:  quickBytes(r),
+			})
+		}
+	case MsgPatchChunk:
+		m.Array = quickString(r)
+		m.Key = array.ChunkKey(quickString(r))
+		m.Hash = r.Uint64()
+		m.Chunk = quickBytes(r)
 	case MsgExecuteJoin:
 		m.View = quickString(r)
 		m.Array = quickString(r)
@@ -76,6 +92,10 @@ func genMessage(t MsgType, r *rand.Rand) *Message {
 	case MsgKeyList:
 		for i, n := 0, r.Intn(5); i < n; i++ {
 			m.KeyList = append(m.KeyList, array.ChunkKey(quickString(r)))
+		}
+	case MsgBoolList:
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			m.Flags = append(m.Flags, r.Intn(2) == 1)
 		}
 	case MsgStatsReply:
 		m.NumChunks = int64(r.Uint64())
@@ -98,8 +118,27 @@ func equalMessages(a, b *Message) bool {
 		a.Array2 != b.Array2 || a.Key2 != b.Key2 || a.View != b.View ||
 		a.Both != b.Both || a.MergeKind != b.MergeKind ||
 		a.Flag != b.Flag || a.Count != b.Count || a.Err != b.Err ||
-		a.NumChunks != b.NumChunks || a.Bytes != b.Bytes {
+		a.NumChunks != b.NumChunks || a.Bytes != b.Bytes ||
+		a.Hash != b.Hash {
 		return false
+	}
+	if len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		x, y := a.Items[i], b.Items[i]
+		if x.Array != y.Array || x.Key != y.Key || x.Hash != y.Hash ||
+			x.Size != y.Size || !bytes.Equal(x.Data, y.Data) {
+			return false
+		}
+	}
+	if len(a.Flags) != len(b.Flags) {
+		return false
+	}
+	for i := range a.Flags {
+		if a.Flags[i] != b.Flags[i] {
+			return false
+		}
 	}
 	// NaN-safe float comparison on the bit pattern.
 	if math.Float64bits(a.Sign) != math.Float64bits(b.Sign) {

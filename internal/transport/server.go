@@ -60,6 +60,13 @@ type ServerStats struct {
 	Requests map[string]int64
 	// Errors counts requests answered with an error response.
 	Errors int64
+	// DedupHits counts transfer offers satisfied without the body, and
+	// DeltaApplied counts ACHΔ patches applied to resident chunks.
+	DedupHits    int64
+	DeltaApplied int64
+	// BytesSavedCompress is raw frame bytes minus wire frame bytes across
+	// both directions of every connection.
+	BytesSavedCompress int64
 	// StoreChunks and StoreBytes are the store's resident footprint.
 	StoreChunks int64
 	StoreBytes  int64
@@ -75,6 +82,9 @@ type serverCounters struct {
 	bytesIn, bytesOut   obs.Counter
 	framesIn, framesOut obs.Counter
 	errors              obs.Counter
+	dedupHits           obs.Counter
+	deltaApplied        obs.Counter
+	savedCompress       obs.Counter
 }
 
 func (c *serverCounters) countRequest(t MsgType) {
@@ -94,14 +104,17 @@ func (c *serverCounters) snapshot() ServerStats {
 	}
 	c.mu.Unlock()
 	return ServerStats{
-		Accepted:  c.accepted.Load(),
-		Active:    c.active.Load(),
-		BytesIn:   c.bytesIn.Load(),
-		BytesOut:  c.bytesOut.Load(),
-		FramesIn:  c.framesIn.Load(),
-		FramesOut: c.framesOut.Load(),
-		Requests:  reqs,
-		Errors:    c.errors.Load(),
+		Accepted:           c.accepted.Load(),
+		Active:             c.active.Load(),
+		BytesIn:            c.bytesIn.Load(),
+		BytesOut:           c.bytesOut.Load(),
+		FramesIn:           c.framesIn.Load(),
+		FramesOut:          c.framesOut.Load(),
+		Requests:           reqs,
+		Errors:             c.errors.Load(),
+		DedupHits:          c.dedupHits.Load(),
+		DeltaApplied:       c.deltaApplied.Load(),
+		BytesSavedCompress: c.savedCompress.Load(),
 	}
 }
 
@@ -248,9 +261,12 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		req, err := ReadMessage(counted)
+		req, rraw, rwire, err := ReadMessageOpt(counted)
 		if err != nil {
 			return // EOF, deadline, or protocol error: drop the connection
+		}
+		if rraw > rwire {
+			s.stats.savedCompress.Add(int64(rraw - rwire))
 		}
 		s.stats.framesIn.Add(1)
 		s.stats.countRequest(req.Type)
@@ -263,8 +279,19 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		if err := WriteMessage(counted, resp); err != nil {
+		// Mirror the request's framing: a client that compressed its
+		// request gets a compressed response when that shrinks it, one
+		// that spoke v1 gets pure v1 back.
+		compressMin := 0
+		if rraw > rwire {
+			compressMin = 512
+		}
+		wraw, wwire, err := WriteMessageOpt(counted, resp, compressMin)
+		if err != nil {
 			return
+		}
+		if wraw > wwire {
+			s.stats.savedCompress.Add(int64(wraw - wwire))
 		}
 		s.stats.framesOut.Add(1)
 	}
@@ -338,6 +365,47 @@ func (s *NodeServer) handle(req *Message) *Message {
 
 	case MsgExecuteJoin:
 		return s.executeJoin(req)
+
+	case MsgOfferBatch:
+		// The dedup handshake: adopt whatever the store can produce from
+		// resident or sidelined content, body-free.
+		resp := &Message{Type: MsgBoolList, Flags: make([]bool, len(req.Items))}
+		for i, it := range req.Items {
+			if _, ok := s.store.TryAdopt(it.Array, it.Key, it.Hash, it.Size); ok {
+				resp.Flags[i] = true
+				s.stats.dedupHits.Add(1)
+			}
+		}
+		return resp
+
+	case MsgPatchChunk:
+		applied, err := s.store.Patch(req.Array, req.Key, req.Hash, req.Chunk)
+		if err != nil {
+			return errMsg("patch %s: %v", req.Array, err)
+		}
+		if applied {
+			s.stats.deltaApplied.Add(1)
+		}
+		return &Message{Type: MsgBool, Flag: applied}
+
+	case MsgGetBatch:
+		resp := &Message{Type: MsgChunkList}
+		for _, it := range req.Items {
+			buf, ok := s.store.GetEncoded(it.Array, it.Key)
+			if !ok {
+				return errMsg("storage: chunk %v of %q not resident", it.Key, it.Array)
+			}
+			resp.Chunks = append(resp.Chunks, buf)
+		}
+		return resp
+
+	case MsgPutBatch:
+		// DecodePayload cloned every item's Data, so the store may retain
+		// the buffers after the pooled frame is reused.
+		for _, it := range req.Items {
+			s.store.PutEncoded(it.Array, it.Key, it.Data)
+		}
+		return &Message{Type: MsgOK}
 
 	default:
 		return errMsg("transport: unexpected request %s", req.Type)

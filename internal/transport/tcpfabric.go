@@ -5,21 +5,36 @@ import (
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/view"
 )
 
 // TCPFabric is a cluster data plane backed by real sockets: node i's chunk
 // operations become framed requests to the i-th node daemon. It implements
-// cluster.Fabric and cluster.JoinFabric, so maintenance plans push chunk
-// joins down to the node holding the chunks and only differential partials
-// travel back to the coordinator.
+// cluster.Fabric, cluster.JoinFabric (chunk joins push down to the node
+// holding the chunks, only differential partials travel back), and
+// cluster.WireFabric (dedup offers, delta patches, and batched encoded
+// chunk movement).
 type TCPFabric struct {
 	clients []*Client
+	wire    []wireSavings
+}
+
+// wireSavings is one node's wire-efficiency accounting, with the same
+// semantics as the LocalFabric's counters so FabricValidation can compare
+// the two fabrics field by field.
+type wireSavings struct {
+	dedupHits  obs.Counter
+	savedDedup obs.Counter
+	deltaShips obs.Counter
+	savedDelta obs.Counter
+	rtSaved    obs.Counter
 }
 
 var (
 	_ cluster.Fabric     = (*TCPFabric)(nil)
 	_ cluster.JoinFabric = (*TCPFabric)(nil)
+	_ cluster.WireFabric = (*TCPFabric)(nil)
 )
 
 // NewTCPFabric connects to one node daemon per address and verifies each
@@ -28,7 +43,7 @@ func NewTCPFabric(addrs []string, cfg ClientConfig) (*TCPFabric, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("transport: fabric needs at least one node address")
 	}
-	f := &TCPFabric{clients: make([]*Client, len(addrs))}
+	f := &TCPFabric{clients: make([]*Client, len(addrs)), wire: make([]wireSavings, len(addrs))}
 	for i, addr := range addrs {
 		f.clients[i] = NewClient(addr, cfg)
 	}
@@ -168,22 +183,116 @@ func (f *TCPFabric) Stats(node int) (cluster.FabricStats, error) {
 		return cluster.FabricStats{}, err
 	}
 	cs := c.Stats()
+	w := &f.wire[node]
 	return cluster.FabricStats{
 		NumChunks: int(resp.NumChunks),
 		Bytes:     resp.Bytes,
 		Net: cluster.NetCounters{
-			Requests:     cs.Requests,
-			BytesOut:     cs.BytesOut,
-			BytesIn:      cs.BytesIn,
-			FramesOut:    cs.FramesOut,
-			FramesIn:     cs.FramesIn,
-			Retries:      cs.Retries,
-			Reconnects:   cs.Dials,
-			PoolHits:     cs.PoolHits,
-			PoolMisses:   cs.PoolMisses,
-			RemoteErrors: cs.RemoteErrors,
+			Requests:           cs.Requests,
+			BytesOut:           cs.BytesOut,
+			BytesIn:            cs.BytesIn,
+			FramesOut:          cs.FramesOut,
+			FramesIn:           cs.FramesIn,
+			Retries:            cs.Retries,
+			Reconnects:         cs.Dials,
+			PoolHits:           cs.PoolHits,
+			PoolMisses:         cs.PoolMisses,
+			RemoteErrors:       cs.RemoteErrors,
+			DedupHits:          w.dedupHits.Load(),
+			BytesSavedDedup:    w.savedDedup.Load(),
+			DeltaShips:         w.deltaShips.Load(),
+			BytesSavedDelta:    w.savedDelta.Load(),
+			BytesSavedCompress: cs.BytesSavedCompress,
+			RoundTripsSaved:    w.rtSaved.Load(),
 		},
 	}, nil
+}
+
+// OfferBatch implements cluster.WireFabric: one round trip offers every
+// (key, hash) and the node answers which bodies it does not need.
+func (f *TCPFabric) OfferBatch(node int, items []cluster.WireItem) ([]bool, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(&Message{Type: MsgOfferBatch, Items: items})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Flags) != len(items) {
+		return nil, fmt.Errorf("transport: offer of %d items answered with %d flags", len(items), len(resp.Flags))
+	}
+	w := &f.wire[node]
+	if n := int64(len(items)) - 1; n > 0 {
+		w.rtSaved.Add(n)
+	}
+	for i, acc := range resp.Flags {
+		if acc {
+			w.dedupHits.Add(1)
+			w.savedDedup.Add(items[i].Size)
+			w.rtSaved.Add(1)
+		}
+	}
+	return resp.Flags, nil
+}
+
+// Patch implements cluster.WireFabric.
+func (f *TCPFabric) Patch(node int, arrayName string, key array.ChunkKey, baseHash uint64, delta []byte, fullSize int64) (bool, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.Do(&Message{Type: MsgPatchChunk, Array: arrayName, Key: key, Hash: baseHash, Chunk: delta})
+	if err != nil {
+		return false, err
+	}
+	if resp.Flag {
+		w := &f.wire[node]
+		w.deltaShips.Add(1)
+		if saved := fullSize - int64(len(delta)); saved > 0 {
+			w.savedDelta.Add(saved)
+		}
+	}
+	return resp.Flag, nil
+}
+
+// GetEncodedBatch implements cluster.WireFabric.
+func (f *TCPFabric) GetEncodedBatch(node int, items []cluster.WireItem) ([][]byte, error) {
+	c, err := f.client(node)
+	if err != nil {
+		return nil, err
+	}
+	req := &Message{Type: MsgGetBatch, Items: make([]cluster.WireItem, len(items))}
+	for i, it := range items {
+		// Identity only: bodies never travel in a read request.
+		req.Items[i] = cluster.WireItem{Array: it.Array, Key: it.Key}
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Chunks) != len(items) {
+		return nil, fmt.Errorf("transport: batch read of %d chunks answered with %d", len(items), len(resp.Chunks))
+	}
+	if n := int64(len(items)) - 1; n > 0 {
+		f.wire[node].rtSaved.Add(n)
+	}
+	return resp.Chunks, nil
+}
+
+// PutEncodedBatch implements cluster.WireFabric.
+func (f *TCPFabric) PutEncodedBatch(node int, items []cluster.WireItem) error {
+	c, err := f.client(node)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Do(&Message{Type: MsgPutBatch, Items: items}); err != nil {
+		return err
+	}
+	if n := int64(len(items)) - 1; n > 0 {
+		f.wire[node].rtSaved.Add(n)
+	}
+	return nil
 }
 
 // RegisterView ships the view definition to every node so ExecuteJoin can
