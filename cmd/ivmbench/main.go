@@ -8,7 +8,8 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, chaos, wire, all. Datasets: PTF-5, PTF-25, GEO.
+// ablations, fabric, kernel, chaos, wire, serve, all. Datasets: PTF-5,
+// PTF-25, GEO.
 // Modes: real, random, correlated, periodic ("real" maps to "random" for
 // GEO, as in the paper).
 package main
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -183,6 +184,24 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 			return nil
 		case "chaos":
 			r, err := bench.Chaos(out, mkSpec(bench.GEO, workload.Correlated))
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "serve":
+			// Query serving under live maintenance, both fabrics. One
+			// dataset/mode panel: the default, or whatever -dataset/-mode
+			// narrowed to.
+			ds := bench.PTF5
+			if dataset != "" {
+				ds = datasets[0]
+			}
+			ms := modesFor(ds)
+			if ms == nil {
+				return fmt.Errorf("bad mode %q", mode)
+			}
+			r, err := bench.Serve(out, mkSpec(ds, ms[0]), 4)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,192 @@
+// Command ivmserve is the query-serving daemon: it builds (or connects to)
+// a cluster, loads a dataset, materializes the view, and then answers
+// shape-based similarity-join queries over the transport frame protocol at
+// snapshot isolation — while applying maintenance batches in the
+// background. Point viewctl -serve at it to query.
+//
+// Usage:
+//
+//	ivmserve -dataset PTF-5 -listen :7420 -interval 500ms
+//	ivmserve -dataset GEO -distributed -listen 127.0.0.1:7420
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/bench"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/serve"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "PTF-5", "PTF-5|PTF-25|GEO")
+		modeName = flag.String("mode", "", "real|random|correlated|periodic")
+		strategy = flag.String("strategy", "reassign", "baseline|differential|reassign")
+		small    = flag.Bool("small", true, "use the test-scale dataset")
+		distrib  = flag.Bool("distributed", false, "run the data plane over TCP node daemons instead of in-process stores")
+		connect  = flag.String("connect", "", "comma-separated ivmnode addresses (with -distributed; default: spawn loopback daemons)")
+		listen   = flag.String("listen", "127.0.0.1:7420", "query-serving listen address")
+		interval = flag.Duration("interval", 500*time.Millisecond, "delay between background maintenance batches (0 disables maintenance)")
+		batches  = flag.Int("batches", 0, "limit background batches (default: all, then idle)")
+		conc     = flag.Int("concurrency", 0, "max concurrent queries (default 8)")
+		queue    = flag.Int("queue", 0, "admission queue depth (default 2x concurrency)")
+		qtimeout = flag.Duration("qtimeout", 0, "per-query deadline (default 30s)")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *modeName, *strategy, *small, *distrib, *connect,
+		*listen, *interval, *batches, *conc, *queue, *qtimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ivmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, modeName, strategy string, small, distrib bool, connect,
+	listen string, interval time.Duration, batches, conc, queue int, qtimeout time.Duration) error {
+	ds, err := bench.ParseDataset(dataset)
+	if err != nil {
+		return err
+	}
+	mode := workload.Real
+	if ds == bench.GEO {
+		mode = workload.Random
+	}
+	if modeName != "" {
+		if mode, err = workload.ParseMode(modeName); err != nil {
+			return err
+		}
+	}
+	planner, ok := maintain.Strategies()[strategy]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	var spec bench.Spec
+	if small {
+		spec = bench.SmallSpec(ds, mode)
+	} else {
+		spec = bench.DefaultSpec(ds, mode)
+	}
+
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	var cl *cluster.Cluster
+	if distrib {
+		cl, err = distributedCluster(spec, connect)
+	} else {
+		cl, err = spec.Cluster()
+	}
+	if err != nil {
+		return err
+	}
+	if err := cl.LoadArray(data.Base, &cluster.RoundRobin{}); err != nil {
+		return err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return err
+	}
+	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		return err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return err
+	}
+	eng, err := query.NewEngine(cl, def, spec.Params)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(eng, &serve.Config{
+		MaxConcurrent: conc,
+		QueueDepth:    queue,
+		QueryTimeout:  qtimeout,
+	})
+	if err := srv.Listen(listen); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("view: %s\n", def)
+	fmt.Printf("cluster: %d nodes; base: %d cells in %d chunks\n",
+		cl.NumNodes(), data.Base.NumCells(), data.Base.NumChunks())
+	fmt.Printf("serving queries on %s at epoch %d\n", srv.Addr(), cl.Epochs().Current())
+
+	// Background maintenance: each batch commits and publishes a new epoch
+	// while queries keep answering against their pinned snapshots.
+	stop := make(chan struct{})
+	maintDone := make(chan struct{})
+	go func() {
+		defer close(maintDone)
+		if interval <= 0 {
+			return
+		}
+		toRun := data.Batches
+		if batches > 0 && batches < len(toRun) {
+			toRun = toRun[:batches]
+		}
+		for i, b := range toRun {
+			select {
+			case <-stop:
+				return
+			case <-time.After(interval):
+			}
+			if _, err := m.ApplyBatch(b); err != nil {
+				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, err)
+				continue
+			}
+			fmt.Printf("batch %d/%d committed; epoch %d\n", i+1, len(toRun), cl.Epochs().Current())
+		}
+		fmt.Printf("maintenance drained: %d batches applied\n", len(toRun))
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	<-maintDone
+	st := srv.Stats()
+	fmt.Printf("final: epoch=%d queries=%d rejected=%d cache-hit-rate=%.2f retained=%dB\n",
+		st.Epoch, st.Queries, st.Rejected, st.HitRate(), st.RetainedBytes)
+	return nil
+}
+
+// distributedCluster builds a cluster whose data plane is a TCPFabric:
+// either connected to externally-run ivmnode daemons or to loopback daemons
+// spawned in-process.
+func distributedCluster(spec bench.Spec, connect string) (*cluster.Cluster, error) {
+	var addrs []string
+	if connect != "" {
+		for _, a := range strings.Split(connect, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		fmt.Printf("connecting to %d node daemons\n", len(addrs))
+	} else {
+		lc, err := transport.StartLoopback(spec.Nodes, nil)
+		if err != nil {
+			return nil, err
+		}
+		addrs = lc.Addrs
+		fmt.Printf("spawned %d loopback node daemons\n", len(addrs))
+	}
+	fab, err := transport.NewTCPFabric(addrs, transport.DefaultClientConfig())
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(len(addrs),
+		cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
+}

@@ -6,19 +6,30 @@
 //
 //	viewctl -dataset PTF-5 -mode correlated -strategy reassign -batches 5
 //	viewctl -dataset GEO -strategy baseline -verify
+//
+// With -serve it is instead a client for an ivmserve daemon started with
+// the same dataset flags: -query issues one snapshot-isolated query and
+// -stats prints the daemon's health counters.
+//
+//	viewctl -dataset PTF-5 -serve 127.0.0.1:7420 -query view
+//	viewctl -dataset PTF-5 -serve 127.0.0.1:7420 -query linf:2 -qmode complete
+//	viewctl -dataset PTF-5 -serve 127.0.0.1:7420 -stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-
+	"strconv"
 	"strings"
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/bench"
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/serve"
+	"github.com/arrayview/arrayview/internal/shape"
 	"github.com/arrayview/arrayview/internal/transport"
 	"github.com/arrayview/arrayview/internal/view"
 	"github.com/arrayview/arrayview/internal/workload"
@@ -35,12 +46,133 @@ func main() {
 		expire   = flag.Bool("expire", false, "after the batches, delete the oldest slab and maintain the retraction")
 		distrib  = flag.Bool("distributed", false, "run the data plane over TCP node daemons instead of in-process stores")
 		connect  = flag.String("connect", "", "comma-separated ivmnode addresses (with -distributed; default: spawn loopback daemons)")
+		serveAt  = flag.String("serve", "", "ivmserve daemon address; switches viewctl into query-client mode")
+		querySp  = flag.String("query", "", "query shape: \"view\", or kind:radius with kind l1|l2|linf (with -serve)")
+		qmode    = flag.String("qmode", "auto", "auto|view|complete (with -serve -query)")
+		stats    = flag.Bool("stats", false, "print the serving daemon's health counters (with -serve)")
 	)
 	flag.Parse()
 
-	if err := run(*dataset, *modeName, *strategy, *batches, *small, *verify, *expire, *distrib, *connect); err != nil {
+	var err error
+	if *serveAt != "" {
+		err = runClient(*dataset, *modeName, *small, *serveAt, *querySp, *qmode, *stats)
+	} else {
+		err = run(*dataset, *modeName, *strategy, *batches, *small, *verify, *expire, *distrib, *connect)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "viewctl:", err)
 		os.Exit(1)
+	}
+}
+
+// runClient speaks to an ivmserve daemon. The daemon and client must be
+// started with the same dataset flags: the view definition (and so the
+// result schema) is derived from the deterministic dataset generator rather
+// than shipped over the wire.
+func runClient(dataset, modeName string, small bool, addr, querySpec, qmode string, stats bool) error {
+	ds, err := bench.ParseDataset(dataset)
+	if err != nil {
+		return err
+	}
+	mode := workload.Real
+	if ds == bench.GEO {
+		mode = workload.Random
+	}
+	if modeName != "" {
+		if mode, err = workload.ParseMode(modeName); err != nil {
+			return err
+		}
+	}
+	var spec bench.Spec
+	if small {
+		spec = bench.SmallSpec(ds, mode)
+	} else {
+		spec = bench.DefaultSpec(ds, mode)
+	}
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return err
+	}
+	c, err := serve.NewClient(addr, def.Schema(), nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if stats {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch=%d pins=%d retained=%d (%d bytes)\n", st.Epoch, st.Pins, st.Retained, st.RetainedBytes)
+		fmt.Printf("cache: hits=%d misses=%d rate=%.2f resident=%d bytes\n",
+			st.CacheHits, st.CacheMisses, st.HitRate(), st.CacheBytes)
+		fmt.Printf("admission: queries=%d rejected=%d\n", st.Queries, st.Rejected)
+	}
+	if querySpec == "" {
+		if !stats {
+			return fmt.Errorf("nothing to do: pass -query or -stats with -serve")
+		}
+		return nil
+	}
+
+	sh, err := parseQueryShape(def, querySpec)
+	if err != nil {
+		return err
+	}
+	var m query.Mode
+	switch qmode {
+	case "auto":
+		m = query.Auto
+	case "view":
+		m = query.ForceView
+	case "complete":
+		m = query.ForceComplete
+	default:
+		return fmt.Errorf("unknown query mode %q", qmode)
+	}
+	res, err := c.Query(sh, m)
+	if err != nil {
+		return err
+	}
+	path := "complete join"
+	if res.UseView {
+		path = "differential (via view)"
+	}
+	fmt.Printf("query %s: %d groups at epoch %d, answered by %s\n",
+		sh, res.Array.NumCells(), res.Epoch, path)
+	return nil
+}
+
+// parseQueryShape resolves the -query flag: "view" (or empty) reuses the
+// view's own shape; "l1:R", "l2:R", "linf:R" build an Lp ball of radius R
+// over the base array's dimensionality.
+func parseQueryShape(def *view.Definition, s string) (*shape.Shape, error) {
+	if s == "" || s == "view" {
+		return def.Pred.Shape, nil
+	}
+	kind, radiusStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -query %q: want \"view\" or kind:radius", s)
+	}
+	r, err := strconv.ParseInt(radiusStr, 10, 64)
+	if err != nil || r < 0 {
+		return nil, fmt.Errorf("bad -query radius %q", radiusStr)
+	}
+	dims := len(def.Alpha.Dims)
+	switch strings.ToLower(kind) {
+	case "l1":
+		return shape.L1(dims, r), nil
+	case "l2":
+		return shape.L2(dims, r), nil
+	case "linf":
+		return shape.Linf(dims, r), nil
+	default:
+		return nil, fmt.Errorf("unknown query shape kind %q", kind)
 	}
 }
 

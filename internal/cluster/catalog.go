@@ -385,6 +385,18 @@ func copyArrayMeta(m *ArrayMeta) *ArrayMeta {
 	return out
 }
 
+// Names returns the sorted names of every registered array.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.arrays))
+	for n := range c.arrays {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Keys returns the sorted chunk keys of the named array.
 func (c *Catalog) Keys(name string) []array.ChunkKey {
 	c.mu.RLock()

@@ -33,6 +33,7 @@ type Cluster struct {
 	model       CostModel
 	workers     int
 	fabric      Fabric
+	epochs      *Epochs
 }
 
 // Option configures a Cluster.
@@ -72,6 +73,7 @@ func New(numNodes int, opts ...Option) (*Cluster, error) {
 		model:       DefaultCostModel(),
 		workers:     max(1, runtime.NumCPU()/numNodes),
 	}
+	c.epochs = newEpochs(c)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -107,6 +109,10 @@ func (c *Cluster) NewLedger() *Ledger { return NewLedger(len(c.nodes), c.model) 
 
 // Fabric returns the data plane the cluster was built with.
 func (c *Cluster) Fabric() Fabric { return c.fabric }
+
+// Epochs returns the cluster's snapshot-isolation manager (disabled until
+// Epochs().Enable is called).
+func (c *Cluster) Epochs() *Epochs { return c.epochs }
 
 // Node returns the node with the given ID.
 func (c *Cluster) Node(id int) *Node {
@@ -457,18 +463,47 @@ func (c *Cluster) ReadReplica(name string, key array.ChunkKey, prefer int) (*arr
 	return c.readReplica(name, key, prefer)
 }
 
+// ReadError is the typed failure of a replicated chunk read: every candidate
+// copy (preferred node, catalog replicas, home) was tried and none produced
+// the chunk. Callers distinguishing "data truly unavailable" from transient
+// single-node errors — Gather during failover, snapshot reads — match on it
+// with errors.As; the partial result preceding it must be discarded, never
+// returned as if complete.
+type ReadError struct {
+	Array string
+	Key   array.ChunkKey
+	// Tried lists the node IDs attempted, in order.
+	Tried []int
+	// Err is the error from the last attempt (nil when there was no
+	// candidate at all, i.e. the chunk is unknown to the catalog).
+	Err error
+}
+
+// Error implements error.
+func (e *ReadError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("cluster: chunk %v of %q unknown", e.Key, e.Array)
+	}
+	return fmt.Sprintf("cluster: chunk %v of %q unreadable on all %d replicas %v: %v",
+		e.Key, e.Array, len(e.Tried), e.Tried, e.Err)
+}
+
+// Unwrap exposes the last per-node error for errors.Is/As chains (e.g.
+// IsNodeDown).
+func (e *ReadError) Unwrap() error { return e.Err }
+
 // readReplica fetches a chunk from the preferred node, failing over to every
 // other catalog replica (and the home node) when the preferred copy is
 // unreachable or missing. It returns the chunk and the node actually read so
 // callers can charge the true sender. With no usable copy anywhere it
-// returns the last read error.
+// returns a *ReadError naming every node tried.
 func (c *Cluster) readReplica(name string, key array.ChunkKey, prefer int) (*array.Chunk, int, error) {
 	cands := append([]int{prefer}, c.catalog.Replicas(name, key)...)
 	if home, ok := c.catalog.Home(name, key); ok {
 		cands = append(cands, home)
 	}
 	seen := make(map[int]bool, len(cands))
-	var lastErr error
+	rerr := &ReadError{Array: name, Key: key}
 	for _, n := range cands {
 		if seen[n] {
 			continue
@@ -478,12 +513,10 @@ func (c *Cluster) readReplica(name string, key array.ChunkKey, prefer int) (*arr
 		if err == nil {
 			return ch, n, nil
 		}
-		lastErr = err
+		rerr.Tried = append(rerr.Tried, n)
+		rerr.Err = err
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("cluster: chunk %v of %q unknown", key, name)
-	}
-	return nil, 0, lastErr
+	return nil, 0, rerr
 }
 
 // FetchChunk reads a chunk from whichever node it is resident on (preferring
@@ -507,7 +540,10 @@ func (c *Cluster) FetchChunk(name string, key array.ChunkKey, at int) (*array.Ch
 
 // Gather reconstructs the full logical array from the distributed chunks,
 // reading each chunk from its home node. Used by tests and by clients that
-// want a local copy.
+// want a local copy. When any chunk is unreadable on every replica the whole
+// gather fails with a *ReadError — a partial array is never returned, so a
+// replica vanishing mid-read during failover surfaces as a typed error
+// instead of silently missing data.
 func (c *Cluster) Gather(name string) (*array.Array, error) {
 	s := c.catalog.Schema(name)
 	if s == nil {

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// DefaultReadCacheBytes caps the serving layer's hot-chunk cache.
+const DefaultReadCacheBytes = 128 << 20
+
+// ReadCache is the serving layer's hot-chunk cache: a content-addressed LRU
+// of encoded chunks plus epoch-keyed hash hints that route snapshot reads
+// to it.
+//
+// The body store is keyed purely by content hash, so it needs no
+// invalidation — an entry is immutable bytes, and a reader that presents
+// the hash of the version its snapshot pins gets exactly that version or a
+// miss. What must be invalidated on commit is the *mapping* from (array,
+// chunk) to hash. Two sources provide it, both epoch-scoped: the published
+// catalog copy carries hashes for every chunk the committing batch did not
+// touch (SetChunk drops the rest), and the hint table remembers hashes this
+// cache learned by reading at a given epoch. Hints are kept for the two
+// most recent epochs seen and dropped wholesale as epochs advance — that is
+// the epoch-based invalidation: a new commit silently retires every hint
+// that could name superseded content.
+type ReadCache struct {
+	body *storage.ContentCache
+
+	mu   sync.Mutex
+	gens [2]hintGen // [0] = newest epoch seen
+}
+
+type hintGen struct {
+	epoch uint64
+	m     map[string]map[array.ChunkKey]uint64
+}
+
+// NewReadCache returns a cache bounded to capBytes (<=0 selects the
+// default).
+func NewReadCache(capBytes int64) *ReadCache {
+	if capBytes <= 0 {
+		capBytes = DefaultReadCacheBytes
+	}
+	return &ReadCache{body: storage.NewContentCache(capBytes)}
+}
+
+// Counters exposes hit/miss/bytes accounting of the body store.
+func (rc *ReadCache) Counters() *obs.CacheCounters { return rc.body.Counters() }
+
+// Bytes returns the body store's current footprint.
+func (rc *ReadCache) Bytes() int64 { return rc.body.Bytes() }
+
+// Lookup returns the cached encoding of the exact content named by hash.
+func (rc *ReadCache) Lookup(hash uint64) ([]byte, bool) {
+	return rc.body.Lookup(hash, -1)
+}
+
+// Insert admits an encoding under its (caller-computed) content hash.
+func (rc *ReadCache) Insert(hash uint64, enc []byte) {
+	rc.body.InsertHashed(hash, enc)
+}
+
+// Hint returns the content hash this cache learned for (name, key) at
+// exactly the given epoch, if that epoch's hint generation is still live.
+func (rc *ReadCache) Hint(epoch uint64, name string, key array.ChunkKey) (uint64, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i := range rc.gens {
+		if rc.gens[i].epoch == epoch && rc.gens[i].m != nil {
+			h, ok := rc.gens[i].m[name][key]
+			return h, ok
+		}
+	}
+	return 0, false
+}
+
+// SetHint records that (name, key) had the given content hash at the given
+// epoch. Seeing a newer epoch rotates the generations, retiring hints two
+// epochs old; hints for epochs older than both live generations are
+// dropped (the reader holding such a pin still works, it just re-reads).
+func (rc *ReadCache) SetHint(epoch uint64, name string, key array.ChunkKey, hash uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	g := rc.genFor(epoch)
+	if g == nil {
+		return
+	}
+	byKey, ok := g.m[name]
+	if !ok {
+		byKey = make(map[array.ChunkKey]uint64)
+		g.m[name] = byKey
+	}
+	byKey[key] = hash
+}
+
+// genFor returns the hint generation for an epoch, rotating the table when
+// the epoch is newer than any seen. Caller holds rc.mu.
+func (rc *ReadCache) genFor(epoch uint64) *hintGen {
+	if epoch > rc.gens[0].epoch {
+		rc.gens[1] = rc.gens[0]
+		rc.gens[0] = hintGen{epoch: epoch, m: make(map[string]map[array.ChunkKey]uint64)}
+		return &rc.gens[0]
+	}
+	for i := range rc.gens {
+		if rc.gens[i].epoch == epoch {
+			if rc.gens[i].m == nil {
+				rc.gens[i].m = make(map[string]map[array.ChunkKey]uint64)
+			}
+			return &rc.gens[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+func TestReadCacheBodyRoundTrip(t *testing.T) {
+	rc := NewReadCache(1 << 20)
+	enc := []byte("chunk-encoding")
+	h := array.HashChunkBytes(enc)
+
+	if _, ok := rc.Lookup(h); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	rc.Insert(h, enc)
+	got, ok := rc.Lookup(h)
+	if !ok || string(got) != string(enc) {
+		t.Fatalf("Lookup = %q, %v; want the inserted encoding", got, ok)
+	}
+	c := rc.Counters()
+	if c.Hits.Load() != 1 || c.Misses.Load() != 1 {
+		t.Errorf("counters hits=%d misses=%d, want 1/1", c.Hits.Load(), c.Misses.Load())
+	}
+	if rc.Bytes() != int64(len(enc)) {
+		t.Errorf("Bytes = %d, want %d", rc.Bytes(), len(enc))
+	}
+}
+
+func TestReadCacheHintGenerations(t *testing.T) {
+	rc := NewReadCache(1 << 20)
+	key := array.ChunkKey("0,0")
+
+	rc.SetHint(1, "V", key, 111)
+	if h, ok := rc.Hint(1, "V", key); !ok || h != 111 {
+		t.Fatalf("Hint(1) = %d, %v; want 111", h, ok)
+	}
+
+	// The previous generation stays queryable: readers still pinned to the
+	// prior epoch keep their cache routing across one commit.
+	rc.SetHint(2, "V", key, 222)
+	if h, ok := rc.Hint(1, "V", key); !ok || h != 111 {
+		t.Fatalf("after epoch 2: Hint(1) = %d, %v; want 111 still live", h, ok)
+	}
+	if h, ok := rc.Hint(2, "V", key); !ok || h != 222 {
+		t.Fatalf("Hint(2) = %d, %v; want 222", h, ok)
+	}
+
+	// A second advance retires epoch 1 wholesale — that is the epoch-based
+	// invalidation — and hints for retired epochs are refused, not misfiled.
+	rc.SetHint(3, "V", key, 333)
+	if _, ok := rc.Hint(1, "V", key); ok {
+		t.Error("epoch 1 hints must be dropped after two advances")
+	}
+	rc.SetHint(1, "V", key, 999)
+	if _, ok := rc.Hint(1, "V", key); ok {
+		t.Error("SetHint for a retired epoch must be a no-op")
+	}
+	if h, ok := rc.Hint(3, "V", key); !ok || h != 333 {
+		t.Fatalf("Hint(3) = %d, %v; want 333", h, ok)
+	}
+}
+
+func TestReadCacheServesSnapshotReads(t *testing.T) {
+	cl, a := epochCluster(t)
+	rc := NewReadCache(1 << 20)
+	snap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	// First gather misses and fills; the repeat must be all hits.
+	g1, err := snap.GatherCached("A", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(a) {
+		t.Fatal("cached gather must reconstruct the array")
+	}
+	misses := rc.Counters().Misses.Load()
+	if misses == 0 {
+		t.Fatal("first gather should miss")
+	}
+	g2, err := snap.GatherCached("A", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(a) {
+		t.Fatal("cached re-gather must reconstruct the array")
+	}
+	if rc.Counters().Misses.Load() != misses {
+		t.Errorf("re-gather missed (%d -> %d); hints should have routed every read",
+			misses, rc.Counters().Misses.Load())
+	}
+	if rc.Counters().Hits.Load() == 0 {
+		t.Error("re-gather produced no cache hits")
+	}
+}

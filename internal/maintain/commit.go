@@ -59,6 +59,11 @@ func (cm *committer) write(node int, name string, key array.ChunkKey, ch *array.
 		}
 	}
 	cm.undo = append(cm.undo, commitRec{node, name, key, prev, resident})
+	// The same pre-image read that feeds the undo log retains the chunk's
+	// published version for pinned snapshot readers — retention must precede
+	// the overwrite so a racing reader either misses it (and then provably
+	// read pre-overwrite content) or finds it.
+	cm.cl.Epochs().Retain(name, key, prev)
 	if prev != nil && node != cluster.Coordinator {
 		if wf, ok := cm.cl.Fabric().(cluster.WireFabric); ok {
 			if delta, ok := array.ComputeDelta(prev, ch); ok {
@@ -118,6 +123,7 @@ func (cm *committer) delete(node int, name string, key array.ChunkKey) error {
 		return err
 	}
 	cm.undo = append(cm.undo, commitRec{node, name, key, prev, true})
+	cm.cl.Epochs().Retain(name, key, prev)
 	if _, err := cm.cl.DeleteAt(node, name, key); err != nil {
 		if cluster.IsNodeDown(err) {
 			cm.es.markDead(node)

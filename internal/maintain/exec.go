@@ -87,6 +87,11 @@ func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
 	stop = tr.Start(obs.PhaseCleanup)
 	cleanupBatch(ctx, p, es)
 	stop()
+
+	// The batch is now fully committed and scrubbed; publish the new epoch
+	// so snapshot readers pinning from here see post-batch state. (No-op
+	// unless serving has enabled the epoch manager.)
+	ctx.Cluster.Epochs().Publish()
 	return ledger, nil
 }
 
@@ -221,6 +226,12 @@ func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
 		cat.RestoreMeta(name, m)
 	}
 	cleanupBatch(ctx, p, es)
+	// Publish after the rollback completes: live state equals the pre-batch
+	// state again, so the new epoch is consistent. Versions retained during
+	// the partial commit stay until every reader pinned at or before the
+	// aborted epoch releases — a reader racing the rollback itself still
+	// resolves them through the retained-live-retained protocol.
+	ctx.Cluster.Epochs().Publish()
 	return cause
 }
 

@@ -42,6 +42,46 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// CacheCounters is the hit/miss/bytes accounting of one read cache. All
+// fields are atomic, so a cache may update them from any number of
+// concurrent readers without coordination.
+type CacheCounters struct {
+	Hits          Counter
+	Misses        Counter
+	BytesServed   Counter // payload bytes answered from cache
+	BytesInserted Counter // payload bytes admitted into cache
+	Evictions     Counter
+}
+
+// CacheSnapshot is a point-in-time copy of a cache's counters.
+type CacheSnapshot struct {
+	Hits          int64
+	Misses        int64
+	BytesServed   int64
+	BytesInserted int64
+	Evictions     int64
+}
+
+// Snapshot copies the counters.
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:          c.Hits.Load(),
+		Misses:        c.Misses.Load(),
+		BytesServed:   c.BytesServed.Load(),
+		BytesInserted: c.BytesInserted.Load(),
+		Evictions:     c.Evictions.Load(),
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // PhaseTiming is the snapshot of one phase of a trace.
 type PhaseTiming struct {
 	Name    string

@@ -14,6 +14,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -82,6 +83,12 @@ func NewEngine(cl *cluster.Cluster, def *view.Definition, params maintain.Params
 // Decide prices both evaluation paths for the query shape without
 // executing either.
 func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
+	return e.DecideCtx(context.Background(), queryShape)
+}
+
+// DecideCtx is Decide with cancellation: a server deadline expiring between
+// planning steps aborts the decision.
+func (e *Engine) DecideCtx(ctx context.Context, queryShape *shape.Shape) (Choice, error) {
 	// The query shape is caller-supplied: an arity mismatch is a bad query,
 	// not a broken invariant, so it surfaces as an error.
 	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
@@ -96,8 +103,14 @@ func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
 	}
 	ch.DeltaCard = delta.Card()
 
+	if err := ctx.Err(); err != nil {
+		return Choice{}, err
+	}
 	viewCost, _, err := e.planViewPath(delta)
 	if err != nil {
+		return Choice{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Choice{}, err
 	}
 	completeCost, _, err := e.planPath(queryShape, pathComplete)
@@ -112,30 +125,51 @@ func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
 
 // Answer evaluates the query, deciding the path per mode.
 func (e *Engine) Answer(queryShape *shape.Shape, mode Mode) (*Result, error) {
-	ch, err := e.Decide(queryShape)
+	return e.AnswerCtx(context.Background(), queryShape, mode)
+}
+
+// AnswerCtx is Answer with cancellation: the context threads through plan
+// selection and the per-node join fan-out, so an expired server deadline
+// stops scheduling further chunk-pair tasks instead of running the query to
+// completion for nobody.
+func (e *Engine) AnswerCtx(ctx context.Context, queryShape *shape.Shape, mode Mode) (*Result, error) {
+	ch, err := e.decideForMode(ctx, queryShape, mode)
 	if err != nil {
 		return nil, err
 	}
-	switch mode {
-	case ForceComplete:
-		ch.UseView = false
-	case ForceView:
-		ch.UseView = true
-	}
 	if ch.UseView {
-		return e.answerWithView(queryShape, ch)
+		return e.answerWithView(ctx, queryShape, ch)
 	}
-	return e.answerComplete(queryShape, ch)
+	return e.answerComplete(ctx, queryShape, ch)
+}
+
+// decideForMode prices the paths only when the mode actually needs the cost
+// model; a forced mode skips planning entirely.
+func (e *Engine) decideForMode(ctx context.Context, queryShape *shape.Shape, mode Mode) (Choice, error) {
+	if mode == Auto {
+		return e.DecideCtx(ctx, queryShape)
+	}
+	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	if err != nil {
+		return Choice{}, err
+	}
+	ch := Choice{QueryCard: queryShape.Card(), UseView: mode == ForceView}
+	if delta == nil {
+		ch.UseView = true
+	} else {
+		ch.DeltaCard = delta.Card()
+	}
+	return ch, nil
 }
 
 // answerComplete runs the full similarity join over the base array.
-func (e *Engine) answerComplete(queryShape *shape.Shape, ch Choice) (*Result, error) {
+func (e *Engine) answerComplete(ctx context.Context, queryShape *shape.Shape, ch Choice) (*Result, error) {
 	_, plan, err := e.planPath(queryShape, pathComplete)
 	if err != nil {
 		return nil, err
 	}
 	pred := simjoin.NewPred(queryShape, e.Def.Pred.Mapping)
-	out, ledger, err := e.execute(plan, pred, nil)
+	out, ledger, err := e.execute(ctx, plan, pred, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +178,7 @@ func (e *Engine) answerComplete(queryShape *shape.Shape, ch Choice) (*Result, er
 
 // answerWithView evaluates the Δ-shape join and merges it, signed, with the
 // view content.
-func (e *Engine) answerWithView(queryShape *shape.Shape, ch Choice) (*Result, error) {
+func (e *Engine) answerWithView(ctx context.Context, queryShape *shape.Shape, ch Choice) (*Result, error) {
 	vw, err := e.Cluster.Gather(e.Def.Name)
 	if err != nil {
 		return nil, err
@@ -178,7 +212,7 @@ func (e *Engine) answerWithView(queryShape *shape.Shape, ch Choice) (*Result, er
 		}
 		return 0
 	}
-	diff, ledger, err := e.execute(plan, pred, signOf)
+	diff, ledger, err := e.execute(ctx, plan, pred, signOf)
 	if err != nil {
 		return nil, err
 	}
@@ -356,14 +390,18 @@ func (e *Engine) fullJoinUnits(pred simjoin.Pred) []view.Unit {
 // execute runs the planned joins on the cluster and returns the gathered
 // aggregate result. signOf scales each match's contribution by the sign of
 // its offset (nil means always +1). Transfers are applied physically and
-// reverted afterwards (queries must not disturb the layout).
-func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int64) float64) (*array.Array, *cluster.Ledger, error) {
+// reverted afterwards (queries must not disturb the layout). Cancelling the
+// context stops the transfer loop and the per-node join fan-out.
+func (e *Engine) execute(ctx context.Context, qp *queryPlan, pred simjoin.Pred, signOf func(off []int64) float64) (*array.Array, *cluster.Ledger, error) {
 	cl := e.Cluster
 	def := e.Def
 	vs := def.Schema()
 	ledger := qp.ledger
 
 	for _, t := range qp.plan.Transfers {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if err := cl.Transfer(nil, t.Ref.Array, t.Ref.Key, t.From, t.To); err != nil {
 			return nil, nil, err
 		}
@@ -431,7 +469,7 @@ func (e *Engine) execute(qp *queryPlan, pred simjoin.Pred, signOf func(off []int
 			return nil
 		})
 	}
-	if err := cl.RunPerNode(tasks); err != nil {
+	if err := cl.RunPerNodeCtx(ctx, tasks); err != nil {
 		return nil, nil, err
 	}
 

@@ -1,0 +1,163 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// AnswerSnapshot evaluates the query against a pinned snapshot instead of
+// the live cluster. This is the serving path: it is strictly read-only — no
+// transfers, no scratch arrays, no catalog writes — so any number of these
+// can run concurrently with each other and with maintenance commits. The
+// view is gathered at the snapshot's epoch and the Δ-shape (or complete)
+// similarity join is evaluated locally at the caller over snapshot base
+// chunk reads, every one of which resolves through the epoch's retained
+// versions. The optional read cache absorbs repeated chunk fetches across
+// queries by content hash.
+//
+// The cost-model decision under Auto still prices plans against the live
+// catalog — pricing tracks the current layout, while correctness is pinned
+// to the snapshot.
+func (e *Engine) AnswerSnapshot(ctx context.Context, snap *cluster.Snapshot, rc *cluster.ReadCache, queryShape *shape.Shape, mode Mode) (*Result, error) {
+	ch, err := e.decideForMode(ctx, queryShape, mode)
+	if err != nil {
+		return nil, err
+	}
+	if !ch.UseView {
+		pred := simjoin.NewPred(queryShape, e.Def.Pred.Mapping)
+		out, err := e.snapshotJoin(ctx, snap, rc, pred, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
+	}
+
+	out, err := snap.GatherCached(e.Def.Name, rc)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	if err != nil {
+		return nil, err
+	}
+	if delta == nil {
+		// The query IS the view: the snapshot gather is the whole answer.
+		return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
+	}
+	plus, minus := splitDelta(queryShape, delta)
+	pred := simjoin.NewPred(delta, e.Def.Pred.Mapping)
+	signOf := func(off []int64) float64 {
+		if plus != nil && plus.Contains(off) {
+			return 1
+		}
+		if minus != nil && minus.Contains(off) {
+			return -1
+		}
+		return 0
+	}
+	diff, err := e.snapshotJoin(ctx, snap, rc, pred, signOf)
+	if err != nil {
+		return nil, err
+	}
+	if err := view.MergeDelta(e.Def, out, diff); err != nil {
+		return nil, err
+	}
+	return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
+}
+
+// snapshotJoin runs the similarity join over the snapshot's base chunks,
+// accumulating aggregate state into a local result array. The chunk-pair
+// enumeration mirrors fullJoinUnits, but against the snapshot's chunk map
+// and without any placement concern: every pair evaluates here, at the
+// caller. Chunks are fetched once and memoized for the query's duration.
+func (e *Engine) snapshotJoin(ctx context.Context, snap *cluster.Snapshot, rc *cluster.ReadCache, pred simjoin.Pred, signOf func(off []int64) float64) (*array.Array, error) {
+	def := e.Def
+	baseName := def.Alpha.Name
+	schema := snap.Schema(baseName)
+	if schema == nil {
+		return nil, fmt.Errorf("query: base array %q not in snapshot %d", baseName, snap.Epoch())
+	}
+	vs := def.Schema()
+	out := array.New(vs)
+
+	chunks := make(map[array.ChunkKey]*array.Chunk)
+	fetch := func(key array.ChunkKey) (*array.Chunk, error) {
+		if ch, ok := chunks[key]; ok {
+			return ch, nil
+		}
+		ch, err := snap.CachedChunk(baseName, key, rc)
+		if err != nil {
+			return nil, err
+		}
+		chunks[key] = ch
+		return ch, nil
+	}
+
+	var joinErr error
+	for _, pk := range snap.Keys(baseName) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pr := schema.ChunkRegion(pk.Coord())
+		reach := pred.ReachRegion(pr)
+		for _, cc := range schema.ChunksOverlapping(reach) {
+			qk := cc.Key()
+			if _, _, _, ok := snap.ChunkMeta(baseName, qk); !ok {
+				continue
+			}
+			qr := schema.ChunkRegion(qk.Coord())
+			if !pred.PairChunks(pr, qr) {
+				continue
+			}
+			cp, err := fetch(pk)
+			if err != nil {
+				return nil, err
+			}
+			cq, err := fetch(qk)
+			if err != nil {
+				return nil, err
+			}
+			pred.JoinChunkPair(cp, cq, func(a, b array.Point, ta, tb array.Tuple) bool {
+				if !def.AlphaMatch(ta) || !def.BetaMatch(tb) {
+					return true
+				}
+				sign := 1.0
+				if signOf != nil {
+					ma := pred.Mapping.Map(a)
+					o := make([]int64, len(b))
+					for d := range b {
+						o[d] = b[d] - ma[d]
+					}
+					sign = signOf(o)
+					if sign == 0 {
+						return true
+					}
+				}
+				g := def.GroupPoint(a)
+				contrib := def.Contribution(tb)
+				if sign != 1 {
+					for ci := range contrib {
+						contrib[ci] *= sign
+					}
+				}
+				if cur, found := out.Get(g); found {
+					def.AddState(cur, contrib)
+					joinErr = out.Set(g, cur)
+				} else {
+					joinErr = out.Set(g, contrib)
+				}
+				return joinErr == nil
+			})
+			if joinErr != nil {
+				return nil, joinErr
+			}
+		}
+	}
+	return out, nil
+}

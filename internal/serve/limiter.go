@@ -1,0 +1,115 @@
+// Package serve is the query-serving subsystem: a daemon that answers
+// shape-based similarity-join queries over a maintained view at a pinned
+// snapshot epoch, with content-addressed read caching and bounded admission,
+// while maintenance batches commit underneath it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/transport"
+)
+
+// overloadMsg prefixes every overload rejection so the condition survives a
+// trip through the wire protocol's string-typed error frames.
+const overloadMsg = "serve: overloaded"
+
+// OverloadError is the typed rejection returned when admission control has
+// no execution slot free and the wait queue is full. Clients should treat it
+// as retryable after backoff; it never indicates a broken query.
+type OverloadError struct {
+	// InFlight is the number of queries executing when the rejection
+	// happened; Queued is the number already waiting for a slot.
+	InFlight, Queued int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%s: %d queries in flight, %d queued", overloadMsg, e.InFlight, e.Queued)
+}
+
+// IsOverload reports whether err is an admission-control rejection, either
+// the local typed form or the remote form reconstructed from an error frame.
+func IsOverload(err error) bool {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, overloadMsg)
+}
+
+// Limiter is the server's admission controller: at most maxConcurrent
+// queries execute at once, at most queueDepth more wait for a slot, and
+// anything beyond that is rejected immediately with an OverloadError rather
+// than queued without bound. A waiting query abandons the queue when its
+// context expires, so a slow backlog cannot hold dead work.
+type Limiter struct {
+	slots chan struct{} // execution slots; len == queries in flight
+	queue chan struct{} // wait-queue tokens; len == queries waiting
+
+	inflight obs.Counter // current executing (for rejection diagnostics)
+	queries  obs.Counter // cumulative admissions
+	rejected obs.Counter // cumulative overload rejections
+}
+
+// NewLimiter builds a limiter admitting maxConcurrent concurrent queries
+// with a wait queue of queueDepth. Non-positive values fall back to 1 slot
+// and an empty queue.
+func NewLimiter(maxConcurrent, queueDepth int) *Limiter {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Limiter{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// Acquire admits one query, blocking in the wait queue if every slot is
+// busy. It returns a release function that must be called exactly once when
+// the query finishes. A full queue returns *OverloadError without blocking;
+// a context expiry while queued returns ctx.Err().
+func (l *Limiter) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case l.slots <- struct{}{}:
+		return l.admitted(), nil
+	default:
+	}
+	// Every slot is busy: take a queue token or reject. The token channel
+	// makes the queue bound exact under arbitrary contention.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		l.rejected.Add(1)
+		return nil, &OverloadError{InFlight: int(l.inflight.Load()), Queued: len(l.queue)}
+	}
+	defer func() { <-l.queue }()
+	select {
+	case l.slots <- struct{}{}:
+		return l.admitted(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) admitted() func() {
+	l.queries.Add(1)
+	l.inflight.Add(1)
+	return func() {
+		l.inflight.Add(-1)
+		<-l.slots
+	}
+}
+
+// Counters returns the cumulative admission and rejection counts.
+func (l *Limiter) Counters() (queries, rejected int64) {
+	return l.queries.Load(), l.rejected.Load()
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// observation is one reader's record: which epoch it pinned and what it saw
+// there. Verification is post-hoc against the writer's per-epoch expected
+// states, so readers never block on the writer.
+type observation struct {
+	epoch uint64
+	fp    string
+	what  string
+}
+
+// freshBatch builds a maintenance batch of cells not yet present in base,
+// then folds them into base (the expected post-commit state).
+func freshBatch(rng *rand.Rand, base *array.Array, n int) *array.Array {
+	delta := array.New(base.Schema())
+	for delta.NumCells() < n {
+		p := array.Point{rng.Int63n(40), rng.Int63n(40)}
+		if _, found := base.Get(p); found {
+			continue
+		}
+		tup := array.Tuple{float64(rng.Intn(5) + 1)}
+		_ = delta.Set(p, tup)
+		_ = base.Set(p, tup)
+	}
+	return delta
+}
+
+// recordEpoch gathers the view at the just-published epoch and stores its
+// fingerprint as that epoch's expected state.
+func recordEpoch(t *testing.T, cl *cluster.Cluster, expected map[uint64]string, mu *sync.Mutex) {
+	t.Helper()
+	snap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer snap.Release()
+	v, err := snap.Gather("V")
+	if err != nil {
+		t.Errorf("recording epoch %d: %v", snap.Epoch(), err)
+		return
+	}
+	mu.Lock()
+	expected[snap.Epoch()] = fingerprint(v)
+	mu.Unlock()
+}
+
+// runReaders starts nr goroutines that hammer the serving path until done
+// is closed: snapshot gathers of the view, differential answers, and
+// complete-join answers, each recorded as (epoch, fingerprint). The
+// complete join recomputes the aggregate from the snapshot's base chunks,
+// so its fingerprint matching the view gather's is the strongest
+// base/view-consistency check available.
+func runReaders(t *testing.T, srv *Server, nr int, done <-chan struct{}) (*sync.WaitGroup, func() []observation) {
+	t.Helper()
+	cl := srv.Engine().Cluster
+	viewShape := srv.Engine().Def.Pred.Shape
+	var mu sync.Mutex
+	var obs []observation
+	record := func(o observation) {
+		mu.Lock()
+		obs = append(obs, o)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < nr; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch {
+				case r == 0: // raw snapshot gather, no engine
+					snap, err := cl.Epochs().Acquire()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, name := range snap.Names() {
+						if strings.Contains(name, "#") {
+							t.Errorf("snapshot %d exposes scratch array %q", snap.Epoch(), name)
+						}
+					}
+					v, err := snap.Gather("V")
+					if err == nil {
+						record(observation{snap.Epoch(), fingerprint(v), "gather"})
+					} else {
+						t.Errorf("snapshot gather: %v", err)
+					}
+					snap.Release()
+				case r%2 == 1: // differential serving path
+					res, epoch, err := srv.Answer(context.Background(), viewShape, query.ForceView)
+					if err == nil {
+						record(observation{epoch, fingerprint(res.Array), "view"})
+					} else if !IsOverload(err) {
+						t.Errorf("view answer: %v", err)
+					}
+				default: // complete join over snapshot base chunks
+					res, epoch, err := srv.Answer(context.Background(), viewShape, query.ForceComplete)
+					if err == nil {
+						record(observation{epoch, fingerprint(res.Array), "complete"})
+					} else if !IsOverload(err) {
+						t.Errorf("complete answer: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	return &wg, func() []observation {
+		mu.Lock()
+		defer mu.Unlock()
+		return obs
+	}
+}
+
+// verifyObservations checks every reader observation against the writer's
+// expected state for the epoch the reader pinned.
+func verifyObservations(t *testing.T, obs []observation, expected map[uint64]string) {
+	t.Helper()
+	if len(obs) == 0 {
+		t.Fatal("readers recorded nothing — the race test is vacuous")
+	}
+	bad := 0
+	for _, o := range obs {
+		want, ok := expected[o.epoch]
+		if !ok {
+			t.Errorf("reader pinned epoch %d which the writer never published", o.epoch)
+			bad++
+			continue
+		}
+		if o.fp != want {
+			t.Errorf("stale/hybrid read: %s answer at epoch %d diverges from the epoch's committed state", o.what, o.epoch)
+			bad++
+		}
+		if bad > 5 {
+			t.Fatalf("too many violations (%d observations total)", len(obs))
+		}
+	}
+}
+
+// TestSnapshotIsolationUnderCommits races serving reads against live
+// maintenance commits: every answer must equal the committed state of the
+// epoch it pinned — never staging arrays, never a half-applied batch.
+func TestSnapshotIsolationUnderCommits(t *testing.T) {
+	viewShape := shape.Linf(2, 1)
+	eng, base, m := testEngine(t, 21, viewShape)
+	srv := NewServer(eng, &Config{MaxConcurrent: 8, QueueDepth: 32})
+	cl := eng.Cluster
+
+	expected := make(map[uint64]string)
+	var emu sync.Mutex
+	recordEpoch(t, cl, expected, &emu) // the initial epoch from Enable
+
+	done := make(chan struct{})
+	wg, collect := runReaders(t, srv, 4, done)
+
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 6; i++ {
+		if _, err := m.ApplyBatch(freshBatch(rng, base, 12)); err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+		recordEpoch(t, cl, expected, &emu)
+	}
+	close(done)
+	wg.Wait()
+
+	verifyObservations(t, collect(), expected)
+	if st := srv.Stats(); st.Epoch != 7 {
+		t.Fatalf("expected 7 published epochs (1 enable + 6 batches), got %d", st.Epoch)
+	}
+	// With every pin released, retention must drain back to nothing.
+	if st := cl.Epochs().Stats(); st.Pins != 0 || st.RetainedVers != 0 {
+		t.Fatalf("retention did not drain after pins released: %+v", st)
+	}
+}
+
+// TestSnapshotIsolationAcrossRollback races serving reads against a batch
+// that fails mid-commit and rolls back. Readers must only ever see the
+// pre-batch state (the rollback republishes it) — no hybrid state, no
+// scratch arrays — and a subsequent successful batch must serve normally.
+func TestSnapshotIsolationAcrossRollback(t *testing.T) {
+	viewShape := shape.Linf(2, 1)
+	stores := make([]*storage.Store, 3)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	ff := cluster.NewFaultFabric(cluster.NewLocalFabric(stores), 13)
+	eng, base, m := testEngine(t, 23, viewShape, cluster.WithFabric(ff.AsFabric()))
+	srv := NewServer(eng, &Config{MaxConcurrent: 8, QueueDepth: 32})
+	cl := eng.Cluster
+
+	expected := make(map[uint64]string)
+	var emu sync.Mutex
+	recordEpoch(t, cl, expected, &emu)
+
+	done := make(chan struct{})
+	wg, collect := runReaders(t, srv, 4, done)
+
+	// A persistent write error on one node is not recoverable by retry or
+	// failover: the batch must fail and roll back atomically while the
+	// readers race it.
+	rng := rand.New(rand.NewSource(99))
+	ff.Inject(&cluster.FaultRule{Node: 1, Op: "Put",
+		Kind: cluster.FaultError, Err: errors.New("store: disk full")})
+	preFP := func() string {
+		snap, err := cl.Epochs().Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snap.Release()
+		v, err := snap.Gather("V")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(v)
+	}()
+	failing := freshBatch(rng, base, 12)
+	if _, err := m.ApplyBatch(failing); err == nil {
+		t.Fatal("expected the injected write error to fail the batch")
+	}
+	ff.ClearRules()
+	recordEpoch(t, cl, expected, &emu)
+	emu.Lock()
+	postRollback := expected[cl.Epochs().Current()]
+	emu.Unlock()
+	if postRollback != preFP {
+		t.Fatal("rollback epoch does not equal the pre-batch state")
+	}
+
+	// The failed batch's cells never landed; put them back on the side of
+	// "absent" so the next fresh batch can't collide with ghosts.
+	failing.EachCell(func(p array.Point, tup array.Tuple) bool {
+		_ = base.Delete(p)
+		return true
+	})
+
+	if _, err := m.ApplyBatch(freshBatch(rng, base, 12)); err != nil {
+		t.Fatalf("post-rollback batch: %v", err)
+	}
+	recordEpoch(t, cl, expected, &emu)
+
+	close(done)
+	wg.Wait()
+	verifyObservations(t, collect(), expected)
+}

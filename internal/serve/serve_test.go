@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/shape"
+	"github.com/arrayview/arrayview/internal/simjoin"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// testEngine builds a 3-node cluster with a random sparse 2-D base array
+// and a Linf-shaped count+sum view over it, returning a query engine, the
+// base, and a maintainer for applying batches.
+func testEngine(t *testing.T, seed int64, viewShape *shape.Shape, opts ...cluster.Option) (*query.Engine, *array.Array, *maintain.Maintainer) {
+	t.Helper()
+	schema := array.MustSchema("A",
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 39, ChunkSize: 5},
+			{Name: "y", Start: 0, End: 39, ChunkSize: 5},
+		},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	rng := rand.New(rand.NewSource(seed))
+	base := array.New(schema)
+	for i := 0; i < 150; i++ {
+		_ = base.Set(array.Point{rng.Int63n(40), rng.Int63n(40)}, array.Tuple{float64(rng.Intn(5) + 1)})
+	}
+	opts = append([]cluster.Option{cluster.WithWorkersPerNode(2)}, opts...)
+	cl, err := cluster.New(3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadArray(base, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := view.NewDefinition("V", schema, schema,
+		simjoin.NewPred(viewShape, nil),
+		[]string{"x", "y"},
+		[]view.Aggregate{{Kind: view.Count, As: "cnt"}, {Kind: view.Sum, Attr: "v", As: "vs"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.NewEngine(cl, def, maintain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := maintain.NewMaintainer(cl, def, nil, maintain.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, base, m
+}
+
+// reference computes the query aggregate from scratch, locally.
+func reference(t *testing.T, eng *query.Engine, base *array.Array, queryShape *shape.Shape) *array.Array {
+	t.Helper()
+	def, err := view.NewDefinition("ref", eng.Def.Alpha, eng.Def.Beta,
+		simjoin.NewPred(queryShape, eng.Def.Pred.Mapping),
+		eng.Def.GroupBy, eng.Def.Aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := view.Materialize(def, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// statesEqual compares aggregate state arrays, treating absent cells as
+// all-zero state.
+func statesEqual(a, b *array.Array) bool {
+	ok := true
+	check := func(x, y *array.Array) {
+		x.EachCell(func(p array.Point, tup array.Tuple) bool {
+			got, found := y.Get(p)
+			if !found {
+				for _, v := range tup {
+					if v != 0 {
+						ok = false
+						return false
+					}
+				}
+				return true
+			}
+			for i := range tup {
+				if got[i] != tup[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(a, b)
+	check(b, a)
+	return ok
+}
+
+// fingerprint renders an array's cells canonically for equality checks
+// across goroutines.
+func fingerprint(a *array.Array) string {
+	var cells []string
+	a.EachCell(func(p array.Point, tup array.Tuple) bool {
+		cells = append(cells, fmt.Sprintf("%v=%v", p, tup))
+		return true
+	})
+	sort.Strings(cells)
+	return fmt.Sprint(cells)
+}
+
+// TestServeEndToEnd drives the full wire path: daemon up, client queries
+// over TCP at a pinned epoch, stats endpoint, cache warming.
+func TestServeEndToEnd(t *testing.T) {
+	eng, base, _ := testEngine(t, 11, shape.Linf(2, 2))
+	srv := NewServer(eng, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := NewClient(srv.Addr(), eng.Def.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		sh   *shape.Shape
+		mode query.Mode
+	}{
+		{"view-shape-auto", shape.Linf(2, 2), query.Auto},
+		{"delta-forced-view", shape.Linf(2, 1), query.ForceView},
+		{"forced-complete", shape.L1(2, 3), query.ForceComplete},
+	}
+	for _, tc := range cases {
+		res, err := c.Query(tc.sh, tc.mode)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Epoch == 0 {
+			t.Fatalf("%s: answer not pinned to an epoch", tc.name)
+		}
+		if want := reference(t, eng, base, tc.sh); !statesEqual(res.Array, want) {
+			t.Fatalf("%s: remote answer diverges from reference", tc.name)
+		}
+	}
+
+	// A repeated query must be served out of the hot-chunk cache.
+	before, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(shape.Linf(2, 2), query.Auto); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Fatalf("repeated query warmed no cache: hits %d -> %d", before.CacheHits, after.CacheHits)
+	}
+	if after.Queries < 4 {
+		t.Fatalf("stats report %d admitted queries, want >= 4", after.Queries)
+	}
+	if after.Epoch == 0 || after.Rejected != 0 {
+		t.Fatalf("unexpected stats: %+v", after)
+	}
+}
+
+// TestServeRejectsGarbage checks the daemon answers protocol misuse with
+// error frames instead of dropping state.
+func TestServeRejectsGarbage(t *testing.T) {
+	eng, _, _ := testEngine(t, 3, shape.Linf(2, 1))
+	srv := NewServer(eng, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := transport.NewClient(srv.Addr(), transport.DefaultClientConfig())
+	defer tc.Close()
+
+	if _, err := tc.Do(&transport.Message{Type: transport.MsgKeys, Array: "A"}); err == nil {
+		t.Fatal("non-serve request type answered without error")
+	}
+	if _, err := tc.Do(&transport.Message{Type: transport.MsgQuery, Spec: []byte("junk")}); err == nil {
+		t.Fatal("garbage query spec answered without error")
+	}
+	if _, err := tc.Do(&transport.Message{Type: transport.MsgQuery, Mode: 99}); err == nil {
+		t.Fatal("unknown query mode answered without error")
+	}
+	// The daemon must still be healthy afterwards.
+	if _, err := tc.Do(&transport.Message{Type: transport.MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimiterOverload exercises admission control: slots, the bounded
+// queue, typed rejection, and queue abandonment on context expiry.
+func TestLimiterOverload(t *testing.T) {
+	l := NewLimiter(1, 1)
+	rel1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second query fits in the queue; give it a context we control.
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	queuedErr := make(chan error, 1)
+	go func() {
+		rel, err := l.Acquire(qctx)
+		if err == nil {
+			rel()
+		}
+		queuedErr <- err
+	}()
+
+	// Wait until the waiter holds the queue token, then overflow it.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(l.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = l.Acquire(context.Background())
+	if err == nil {
+		t.Fatal("third concurrent query admitted past the queue bound")
+	}
+	if !IsOverload(err) {
+		t.Fatalf("rejection is not typed as overload: %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("rejection is %T, want *OverloadError", err)
+	}
+	if oe.InFlight != 1 || oe.Queued != 1 {
+		t.Fatalf("overload diagnostics = %+v, want 1 in flight, 1 queued", oe)
+	}
+
+	// Release the slot: the queued waiter gets in.
+	rel1()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued query failed after slot freed: %v", err)
+	}
+
+	// A waiter whose deadline expires abandons the queue cleanly.
+	rel2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("expired waiter returned %v, want DeadlineExceeded", err)
+	}
+	rel2()
+	if len(l.queue) != 0 {
+		t.Fatal("expired waiter leaked a queue token")
+	}
+
+	queries, rejected := l.Counters()
+	if queries != 3 || rejected != 1 {
+		t.Fatalf("counters = (%d queries, %d rejected), want (3, 1)", queries, rejected)
+	}
+
+	// The remote form of the rejection is still recognizably an overload.
+	if !IsOverload(&transport.RemoteError{Msg: (&OverloadError{}).Error()}) {
+		t.Fatal("remote overload error not recognized")
+	}
+}
+
+// TestReadErrorTyped checks that exhausted replica failover surfaces the
+// typed ReadError — never partial data — through Gather.
+func TestReadErrorTyped(t *testing.T) {
+	eng, _, _ := testEngine(t, 5, shape.Linf(2, 1))
+	cl := eng.Cluster
+	// Drop one base chunk from its home behind the catalog's back.
+	keys := cl.Catalog().Keys("A")
+	if len(keys) == 0 {
+		t.Fatal("no base chunks")
+	}
+	home, _ := cl.Catalog().Home("A", keys[0])
+	if _, err := cl.DeleteAt(home, "A", keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Gather("A")
+	if err == nil {
+		t.Fatal("gather of a partially unreadable array succeeded")
+	}
+	var re *cluster.ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("gather error is %T (%v), want *cluster.ReadError", err, err)
+	}
+	if re.Array != "A" || re.Key != keys[0] || len(re.Tried) == 0 {
+		t.Fatalf("read error lacks failure detail: %+v", re)
+	}
+}

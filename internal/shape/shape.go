@@ -10,18 +10,22 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Shape is a finite set of d-dimensional integer offsets. The zero offset
 // may or may not be a member; the paper's L1(1) "5-cell cross" includes it.
-// Shapes are immutable after construction.
+// Shapes are immutable after construction, except for the cardinality cache,
+// which is atomic so one shape can serve concurrent readers (the serving
+// path prices queries against the same shape the maintenance loop plans
+// with).
 type Shape struct {
 	name string
 	lo   []int64
 	hi   []int64
 	pred func(off []int64) bool
-	card int64 // lazily computed cardinality; -1 until known
-	spec *Spec // structural provenance when built by a named constructor
+	card atomic.Int64 // lazily computed cardinality; -1 until known
+	spec *Spec        // structural provenance when built by a named constructor
 }
 
 // New builds a shape from an offset bounding box [lo, hi] (inclusive,
@@ -35,7 +39,8 @@ func New(name string, lo, hi []int64, pred func(off []int64) bool) (*Shape, erro
 			return nil, fmt.Errorf("shape: empty box on dim %d: [%d, %d]", i, lo[i], hi[i])
 		}
 	}
-	s := &Shape{name: name, lo: cloneI64(lo), hi: cloneI64(hi), pred: pred, card: -1}
+	s := &Shape{name: name, lo: cloneI64(lo), hi: cloneI64(hi), pred: pred}
+	s.card.Store(-1)
 	return s, nil
 }
 
@@ -116,7 +121,7 @@ func FromOffsets(name string, offs [][]int64) (*Shape, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.card = int64(len(set))
+	s.card.Store(int64(len(set)))
 	s.spec = &Spec{Kind: SpecOffsets, Name: name, Offsets: cloneOffsets(offs)}
 	return s, nil
 }
@@ -228,8 +233,8 @@ func (s *Shape) Contains(off []int64) bool {
 // box on first call and caching the result. Beware of shapes with enormous
 // boxes; Card is O(box volume).
 func (s *Shape) Card() int64 {
-	if s.card >= 0 {
-		return s.card
+	if c := s.card.Load(); c >= 0 {
+		return c
 	}
 	n := int64(0)
 	s.eachBox(func(off []int64) {
@@ -237,7 +242,8 @@ func (s *Shape) Card() int64 {
 			n++
 		}
 	})
-	s.card = n
+	// Concurrent first calls compute the same value; the store is idempotent.
+	s.card.Store(n)
 	return n
 }
 
@@ -252,7 +258,7 @@ func (s *Shape) BoxVolume() int64 {
 
 // Offsets enumerates the member offsets in row-major order.
 func (s *Shape) Offsets() [][]int64 {
-	out := make([][]int64, 0, maxI64(s.card, 0))
+	out := make([][]int64, 0, maxI64(s.card.Load(), 0))
 	s.eachBox(func(off []int64) {
 		if s.pred(off) {
 			out = append(out, cloneI64(off))
@@ -280,7 +286,7 @@ func (s *Shape) Reflect() *Shape {
 		}
 		return orig.pred(neg)
 	})
-	out.card = s.card
+	out.card.Store(s.card.Load())
 	return out
 }
 
@@ -352,8 +358,8 @@ func (s *Shape) Equal(t *Shape) bool {
 
 // String renders the shape name and cardinality when cheaply available.
 func (s *Shape) String() string {
-	if s.card >= 0 {
-		return fmt.Sprintf("%s[%d offsets]", s.name, s.card)
+	if c := s.card.Load(); c >= 0 {
+		return fmt.Sprintf("%s[%d offsets]", s.name, c)
 	}
 	return s.name
 }

@@ -6,7 +6,6 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,25 +34,15 @@ type Store struct {
 	hashes map[string]uint64 // content hash of the resident encoding
 	bytes  int64
 
-	cache      map[uint64]*list.Element // content hash → cacheEntry
-	cacheLRU   *list.List               // front = most recently used
-	cacheBytes int64
-	cacheCap   int64
-}
-
-type cacheEntry struct {
-	hash uint64
-	buf  []byte
+	cache *ContentCache // sideline cache of displaced encodings
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		chunks:   make(map[string][]byte),
-		hashes:   make(map[string]uint64),
-		cache:    make(map[uint64]*list.Element),
-		cacheLRU: list.New(),
-		cacheCap: DefaultCacheBytes,
+		chunks: make(map[string][]byte),
+		hashes: make(map[string]uint64),
+		cache:  NewContentCache(DefaultCacheBytes),
 	}
 }
 
@@ -61,46 +50,16 @@ func storeKey(arrayName string, key array.ChunkKey) string {
 	return arrayName + "\x00" + string(key)
 }
 
-// sideline moves an evicted encoding into the content cache, evicting the
-// least recently used entries past the cap. Caller holds s.mu.
+// sideline moves a displaced encoding into the content cache. The cache has
+// its own lock, so this is safe whether or not the caller holds s.mu.
 func (s *Store) sideline(buf []byte) {
-	if s.cacheCap <= 0 || int64(len(buf)) > s.cacheCap {
-		return
-	}
-	h := array.HashChunkBytes(buf)
-	if el, ok := s.cache[h]; ok {
-		s.cacheLRU.MoveToFront(el)
-		return
-	}
-	el := s.cacheLRU.PushFront(&cacheEntry{hash: h, buf: buf})
-	s.cache[h] = el
-	s.cacheBytes += int64(len(buf))
-	for s.cacheBytes > s.cacheCap {
-		last := s.cacheLRU.Back()
-		if last == nil {
-			break
-		}
-		e := last.Value.(*cacheEntry)
-		s.cacheLRU.Remove(last)
-		delete(s.cache, e.hash)
-		s.cacheBytes -= int64(len(e.buf))
-	}
+	s.cache.Insert(buf)
 }
 
 // cacheLookup returns the sidelined encoding for a content hash, verifying
-// the expected length (the cheap insurance against an FNV collision), and
-// refreshes its recency. Caller holds s.mu.
+// the expected length, and refreshes its recency.
 func (s *Store) cacheLookup(hash uint64, size int64) ([]byte, bool) {
-	el, ok := s.cache[hash]
-	if !ok {
-		return nil, false
-	}
-	e := el.Value.(*cacheEntry)
-	if size >= 0 && int64(len(e.buf)) != size {
-		return nil, false
-	}
-	s.cacheLRU.MoveToFront(el)
-	return e.buf, true
+	return s.cache.Lookup(hash, size)
 }
 
 // putLocked installs an encoding under k, sidelining any replaced version.
@@ -311,26 +270,8 @@ func (s *Store) DropArray(arrayName string) int {
 }
 
 // CacheBytes returns the sideline content cache's current footprint.
-func (s *Store) CacheBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cacheBytes
-}
+func (s *Store) CacheBytes() int64 { return s.cache.Bytes() }
 
 // SetCacheCap rebounds the sideline content cache; 0 disables it (and
 // drops its contents).
-func (s *Store) SetCacheCap(capBytes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cacheCap = capBytes
-	for s.cacheBytes > s.cacheCap {
-		last := s.cacheLRU.Back()
-		if last == nil {
-			break
-		}
-		e := last.Value.(*cacheEntry)
-		s.cacheLRU.Remove(last)
-		delete(s.cache, e.hash)
-		s.cacheBytes -= int64(len(e.buf))
-	}
-}
+func (s *Store) SetCacheCap(capBytes int64) { s.cache.SetCap(capBytes) }

@@ -255,7 +255,8 @@ func idempotent(t MsgType) bool {
 	switch t {
 	case MsgPing, MsgPutChunk, MsgGetChunk, MsgHasChunk, MsgDeleteChunk,
 		MsgKeys, MsgDropArray, MsgStats, MsgRegisterView, MsgExecuteJoin,
-		MsgOfferBatch, MsgPatchChunk, MsgGetBatch, MsgPutBatch:
+		MsgOfferBatch, MsgPatchChunk, MsgGetBatch, MsgPutBatch,
+		MsgQuery, MsgSnapshot:
 		return true
 	default:
 		return false

@@ -58,6 +58,11 @@ const (
 	MsgPatchChunk
 	MsgGetBatch
 	MsgPutBatch
+	// MsgQuery asks a serve daemon to answer a shape query against the
+	// current snapshot epoch; MsgSnapshot asks for its epoch/cache/admission
+	// statistics. Both are read-only and therefore idempotent.
+	MsgQuery
+	MsgSnapshot
 )
 
 // Response messages.
@@ -71,6 +76,8 @@ const (
 	MsgStatsReply
 	MsgChunkList
 	MsgBoolList
+	MsgQueryResult
+	MsgSnapshotReply
 )
 
 // flagCompressed marks a frame whose payload is deflate-compressed. It
@@ -110,6 +117,10 @@ func (t MsgType) String() string {
 		return "GetBatch"
 	case MsgPutBatch:
 		return "PutBatch"
+	case MsgQuery:
+		return "Query"
+	case MsgSnapshot:
+		return "Snapshot"
 	case MsgOK:
 		return "OK"
 	case MsgErr:
@@ -128,6 +139,10 @@ func (t MsgType) String() string {
 		return "ChunkList"
 	case MsgBoolList:
 		return "BoolList"
+	case MsgQueryResult:
+		return "QueryResult"
+	case MsgSnapshotReply:
+		return "SnapshotReply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -185,6 +200,23 @@ type Message struct {
 	NumChunks int64            // StatsReply
 	Bytes     int64            // StatsReply
 	Err       string           // Err
+
+	// Serving fields. Mode is the query.Mode of a Query request (its shape
+	// travels gob-encoded in Spec). Epoch tags a QueryResult with the
+	// snapshot epoch it was answered at (its result chunks travel in Chunks
+	// and Flag reports whether the view path was used) and a SnapshotReply
+	// with the daemon's current epoch; the remaining counters are the
+	// SnapshotReply statistics.
+	Mode          uint8
+	Epoch         uint64
+	Pins          int64 // SnapshotReply: live snapshot pins
+	Retained      int64 // SnapshotReply: retained chunk versions
+	RetainedBytes int64 // SnapshotReply: bytes held by retained versions
+	CacheHits     int64 // SnapshotReply: read-cache hits
+	CacheMisses   int64 // SnapshotReply: read-cache misses
+	CacheBytes    int64 // SnapshotReply: read-cache footprint
+	Queries       int64 // SnapshotReply: queries admitted
+	Rejected      int64 // SnapshotReply: queries rejected by admission
 }
 
 // appendStr appends a u32-length-prefixed string.
@@ -209,7 +241,7 @@ func EncodePayload(m *Message) []byte {
 // pooled buffer being reused across frames.
 func appendPayload(buf []byte, m *Message) []byte {
 	switch m.Type {
-	case MsgPing, MsgStats, MsgOK:
+	case MsgPing, MsgStats, MsgOK, MsgSnapshot:
 		// empty payload
 	case MsgPutChunk:
 		buf = appendStr(buf, m.Array)
@@ -285,6 +317,26 @@ func appendPayload(buf []byte, m *Message) []byte {
 			} else {
 				buf = append(buf, 0)
 			}
+		}
+	case MsgQuery:
+		buf = append(buf, m.Mode)
+		buf = appendBytes(buf, m.Spec)
+	case MsgQueryResult:
+		buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+		if m.Flag {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Chunks)))
+		for _, c := range m.Chunks {
+			buf = appendBytes(buf, c)
+		}
+	case MsgSnapshotReply:
+		buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+		for _, v := range []int64{m.Pins, m.Retained, m.RetainedBytes,
+			m.CacheHits, m.CacheMisses, m.CacheBytes, m.Queries, m.Rejected} {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
 	}
 	return buf
@@ -366,7 +418,7 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 	m := &Message{Type: t}
 	r := &payloadReader{buf: payload}
 	switch t {
-	case MsgPing, MsgStats, MsgOK:
+	case MsgPing, MsgStats, MsgOK, MsgSnapshot:
 		// empty payload
 	case MsgPutChunk:
 		m.Array = r.str()
@@ -445,6 +497,25 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 		}
 		for i := 0; i < n && r.err == nil; i++ {
 			m.Flags = append(m.Flags, r.bool())
+		}
+	case MsgQuery:
+		m.Mode = r.u8()
+		m.Spec = cloneBytes(r.bytes())
+	case MsgQueryResult:
+		m.Epoch = r.u64()
+		m.Flag = r.bool()
+		n := int(r.u32())
+		if r.err == nil && n > len(payload) {
+			return nil, fmt.Errorf("transport: chunk count %d exceeds payload size", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Chunks = append(m.Chunks, cloneBytes(r.bytes()))
+		}
+	case MsgSnapshotReply:
+		m.Epoch = r.u64()
+		for _, p := range []*int64{&m.Pins, &m.Retained, &m.RetainedBytes,
+			&m.CacheHits, &m.CacheMisses, &m.CacheBytes, &m.Queries, &m.Rejected} {
+			*p = int64(r.u64())
 		}
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %d", uint8(t))

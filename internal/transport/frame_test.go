@@ -17,8 +17,9 @@ var allTypes = []MsgType{
 	MsgPing, MsgPutChunk, MsgGetChunk, MsgHasChunk, MsgDeleteChunk,
 	MsgMergeDelta, MsgKeys, MsgDropArray, MsgStats, MsgRegisterView,
 	MsgExecuteJoin, MsgOfferBatch, MsgPatchChunk, MsgGetBatch, MsgPutBatch,
+	MsgQuery, MsgSnapshot,
 	MsgOK, MsgErr, MsgChunk, MsgBool, MsgCount, MsgKeyList,
-	MsgStatsReply, MsgChunkList, MsgBoolList,
+	MsgStatsReply, MsgChunkList, MsgBoolList, MsgQueryResult, MsgSnapshotReply,
 }
 
 func quickString(r *rand.Rand) string {
@@ -42,7 +43,7 @@ func quickBytes(r *rand.Rand) []byte {
 func genMessage(t MsgType, r *rand.Rand) *Message {
 	m := &Message{Type: t}
 	switch t {
-	case MsgPing, MsgStats, MsgOK:
+	case MsgPing, MsgStats, MsgOK, MsgSnapshot:
 	case MsgPutChunk:
 		m.Array = quickString(r)
 		m.Chunk = quickBytes(r)
@@ -104,6 +105,25 @@ func genMessage(t MsgType, r *rand.Rand) *Message {
 		for i, n := 0, r.Intn(5); i < n; i++ {
 			m.Chunks = append(m.Chunks, quickBytes(r))
 		}
+	case MsgQuery:
+		m.Mode = uint8(r.Intn(256))
+		m.Spec = quickBytes(r)
+	case MsgQueryResult:
+		m.Epoch = r.Uint64()
+		m.Flag = r.Intn(2) == 1
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			m.Chunks = append(m.Chunks, quickBytes(r))
+		}
+	case MsgSnapshotReply:
+		m.Epoch = r.Uint64()
+		m.Pins = int64(r.Uint64())
+		m.Retained = int64(r.Uint64())
+		m.RetainedBytes = int64(r.Uint64())
+		m.CacheHits = int64(r.Uint64())
+		m.CacheMisses = int64(r.Uint64())
+		m.CacheBytes = int64(r.Uint64())
+		m.Queries = int64(r.Uint64())
+		m.Rejected = int64(r.Uint64())
 	default:
 		panic("unhandled type in generator: " + t.String())
 	}
@@ -119,7 +139,12 @@ func equalMessages(a, b *Message) bool {
 		a.Both != b.Both || a.MergeKind != b.MergeKind ||
 		a.Flag != b.Flag || a.Count != b.Count || a.Err != b.Err ||
 		a.NumChunks != b.NumChunks || a.Bytes != b.Bytes ||
-		a.Hash != b.Hash {
+		a.Hash != b.Hash || a.Mode != b.Mode || a.Epoch != b.Epoch ||
+		a.Pins != b.Pins || a.Retained != b.Retained ||
+		a.RetainedBytes != b.RetainedBytes ||
+		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses ||
+		a.CacheBytes != b.CacheBytes ||
+		a.Queries != b.Queries || a.Rejected != b.Rejected {
 		return false
 	}
 	if len(a.Items) != len(b.Items) {
