@@ -8,8 +8,8 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, chaos, wire, serve, all. Datasets: PTF-5,
-// PTF-25, GEO.
+// ablations, fabric, kernel, chaos, wire, serve, stream, all. Datasets:
+// PTF-5, PTF-25, GEO.
 // Modes: real, random, correlated, periodic ("real" maps to "random" for
 // GEO, as in the paper).
 package main
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|stream|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -202,6 +202,27 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 				return fmt.Errorf("bad mode %q", mode)
 			}
 			r, err := bench.Serve(out, mkSpec(ds, ms[0]), 4)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "stream":
+			// Batch-vs-streamed trickle ladder on the PTF self-join shape:
+			// micro-batch maintenance through the pipelined operator graph,
+			// with the snapshot audit live. -dataset may narrow to PTF-25;
+			// GEO (two-array) is rejected by the experiment.
+			ds := bench.PTF5
+			if dataset != "" {
+				ds = datasets[0]
+			}
+			multipliers, trickle, perBatch := []int{1, 2, 4}, 12, 150
+			ladder := []int{100, 200, 400, 800}
+			if scale == "small" {
+				multipliers, trickle, perBatch = []int{1, 2}, 8, 150
+				ladder = []int{50, 100, 200}
+			}
+			r, err := bench.Stream(out, mkSpec(ds, workload.Real), multipliers, trickle, perBatch, ladder)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ivmserve -dataset PTF-5 -listen :7420 -interval 500ms
+//	ivmserve -dataset PTF-5 -stream -interval 100ms
 //	ivmserve -dataset GEO -distributed -listen 127.0.0.1:7420
 package main
 
@@ -16,15 +17,19 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/bench"
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
 	"github.com/arrayview/arrayview/internal/query"
 	"github.com/arrayview/arrayview/internal/serve"
+	"github.com/arrayview/arrayview/internal/stream"
 	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/view"
 	"github.com/arrayview/arrayview/internal/workload"
 )
 
@@ -38,6 +43,7 @@ func main() {
 		connect  = flag.String("connect", "", "comma-separated ivmnode addresses (with -distributed; default: spawn loopback daemons)")
 		listen   = flag.String("listen", "127.0.0.1:7420", "query-serving listen address")
 		interval = flag.Duration("interval", 500*time.Millisecond, "delay between background maintenance batches (0 disables maintenance)")
+		streamed = flag.Bool("stream", false, "maintain through the pipelined streaming graph instead of batch-at-a-time (self-join views only)")
 		batches  = flag.Int("batches", 0, "limit background batches (default: all, then idle)")
 		conc     = flag.Int("concurrency", 0, "max concurrent queries (default 8)")
 		queue    = flag.Int("queue", 0, "admission queue depth (default 2x concurrency)")
@@ -46,14 +52,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*dataset, *modeName, *strategy, *small, *distrib, *connect,
-		*listen, *interval, *batches, *conc, *queue, *qtimeout); err != nil {
+		*listen, *interval, *streamed, *batches, *conc, *queue, *qtimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset, modeName, strategy string, small, distrib bool, connect,
-	listen string, interval time.Duration, batches, conc, queue int, qtimeout time.Duration) error {
+	listen string, interval time.Duration, streamed bool, batches, conc, queue int, qtimeout time.Duration) error {
 	ds, err := bench.ParseDataset(dataset)
 	if err != nil {
 		return err
@@ -101,6 +107,9 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
 		return err
 	}
+	if streamed && !def.SelfJoin() {
+		return fmt.Errorf("-stream supports self-join views only (use a PTF dataset)")
+	}
 	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
 	if err != nil {
 		return err
@@ -137,6 +146,10 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 		if batches > 0 && batches < len(toRun) {
 			toRun = toRun[:batches]
 		}
+		if streamed {
+			runStreamed(cl, def, planner, spec, toRun, interval, stop)
+			return
+		}
 		for i, b := range toRun {
 			select {
 			case <-stop:
@@ -161,6 +174,62 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	fmt.Printf("final: epoch=%d queries=%d rejected=%d cache-hit-rate=%.2f retained=%dB\n",
 		st.Epoch, st.Queries, st.Rejected, st.HitRate(), st.RetainedBytes)
 	return nil
+}
+
+// runStreamed feeds the background batches through the pipelined operator
+// graph instead of batch-at-a-time maintenance: later batches enter the
+// transfer stage while earlier ones are still joining, commits stay in
+// admission order, and queries keep serving from pinned snapshots
+// throughout. On shutdown the pipeline drains in-flight batches and prints
+// its per-stage counters.
+func runStreamed(cl *cluster.Cluster, def *view.Definition, planner maintain.Planner,
+	spec bench.Spec, toRun []*array.Array, interval time.Duration, stop <-chan struct{}) {
+	g, err := stream.NewGraph(stream.Config{
+		Cluster:        cl,
+		Def:            def,
+		Planner:        planner,
+		Params:         spec.Params,
+		ArrayPlacement: &cluster.RoundRobin{},
+		ViewPlacement:  &cluster.RoundRobin{},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivmserve: streaming graph: %v\n", err)
+		return
+	}
+	var wg sync.WaitGroup
+feed:
+	for i, b := range toRun {
+		select {
+		case <-stop:
+			break feed
+		case <-time.After(interval):
+		}
+		tk, err := g.Submit(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivmserve: submit %d: %v\n", i+1, err)
+			break
+		}
+		wg.Add(1)
+		go func(i int, tk *stream.Ticket) {
+			defer wg.Done()
+			res := tk.Wait()
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, res.Err)
+				return
+			}
+			fmt.Printf("batch %d/%d committed; epoch %d (plan %s, %d retries)\n",
+				i+1, len(toRun), res.Epoch, map[bool]string{true: "reused", false: "solved"}[res.Reused], res.Retries)
+		}(i, tk)
+	}
+	g.Drain()
+	wg.Wait()
+	st := g.Stats()
+	fmt.Printf("pipeline drained: solves=%d reuses=%d retries=%d aborts=%d\n",
+		st.Router.Solves, st.Router.Reuses, st.Retries, st.Aborts)
+	for _, sg := range st.Stages {
+		fmt.Printf("  stage %-9s entered=%d done=%d stalls=%d stall=%.3fs busy=%.3fs\n",
+			sg.Name, sg.Entered, sg.Done, sg.Stalls, sg.StallSeconds, sg.BusySeconds)
+	}
 }
 
 // distributedCluster builds a cluster whose data plane is a TCPFabric:

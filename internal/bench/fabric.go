@@ -105,16 +105,30 @@ func (r *FabricValidationResult) WriteTable(w io.Writer) {
 }
 
 // phaseSummary sums each phase over a sequence's batches and renders the
-// totals in pipeline order.
+// totals in pipeline order. Busy seconds are summed (they measure work);
+// for phases that ran concurrent spans inside a batch the union wall-clock
+// is summed alongside and rendered separately, since adding busy time
+// across overlapped spans double-books elapsed time.
 func phaseSummary(res *SeqResult) string {
-	totals := make(map[string]float64)
+	type agg struct {
+		busy, wall float64
+		concurrent bool
+	}
+	totals := make(map[string]*agg)
 	var order []string
 	for _, b := range res.Batches {
 		for _, p := range b.Phases {
-			if _, ok := totals[p.Name]; !ok {
+			a, ok := totals[p.Name]
+			if !ok {
+				a = &agg{}
+				totals[p.Name] = a
 				order = append(order, p.Name)
 			}
-			totals[p.Name] += p.Seconds
+			a.busy += p.Seconds
+			a.wall += p.WallSeconds
+			if p.MaxConcurrent > 1 {
+				a.concurrent = true
+			}
 		}
 	}
 	s := ""
@@ -122,7 +136,12 @@ func phaseSummary(res *SeqResult) string {
 		if i > 0 {
 			s += " · "
 		}
-		s += fmt.Sprintf("%s %.4fs", name, totals[name])
+		a := totals[name]
+		if a.concurrent {
+			s += fmt.Sprintf("%s busy %.4fs wall %.4fs", name, a.busy, a.wall)
+		} else {
+			s += fmt.Sprintf("%s %.4fs", name, a.busy)
+		}
 	}
 	return s
 }

@@ -326,7 +326,10 @@ func (c *Catalog) ClearReplicas(name string) {
 	if !ok {
 		return
 	}
-	for key := range m.Replicas {
+	for key, reps := range m.Replicas {
+		if len(reps) == 1 && reps[m.Home[key]] {
+			continue // already just the home copy; skip the realloc
+		}
 		m.Replicas[key] = map[int]bool{m.Home[key]: true}
 	}
 }
@@ -353,6 +356,124 @@ func (c *Catalog) RestoreMeta(name string, m *ArrayMeta) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.arrays[name] = copyArrayMeta(m)
+}
+
+// chunkMetaSnap is the pre-batch catalog entry of one chunk, or its
+// recorded absence (exists=false: restoring deletes whatever records the
+// batch created for the chunk).
+type chunkMetaSnap struct {
+	exists   bool
+	home     int
+	size     int64
+	cells    int
+	replicas map[int]bool
+	bbox     array.Region
+	hasBBox  bool
+	hash     uint64
+	encSize  int64
+	hasHash  bool
+}
+
+// MetaPatch is a scoped catalog snapshot of one array: the pre-batch
+// entries (or recorded absence) of an enumerated chunk set. Capturing and
+// restoring one touches only those chunks, so rollback baselines cost
+// O(batch footprint) instead of O(array size) — full-array SnapshotMeta
+// deep-copies every chunk's maps and dominates per-batch overhead once the
+// base grows past a few thousand chunks.
+type MetaPatch struct {
+	name    string
+	entries map[array.ChunkKey]chunkMetaSnap
+}
+
+// SnapshotMetaScoped captures the catalog entries of the listed chunks of
+// one array, recording absent chunks as such. ok=false when the array is
+// not registered.
+func (c *Catalog) SnapshotMetaScoped(name string, keys []array.ChunkKey) (*MetaPatch, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.arrays[name]
+	if !ok {
+		return nil, false
+	}
+	p := &MetaPatch{name: name, entries: make(map[array.ChunkKey]chunkMetaSnap, len(keys))}
+	for _, k := range keys {
+		if _, dup := p.entries[k]; dup {
+			continue
+		}
+		home, exists := m.Home[k]
+		s := chunkMetaSnap{exists: exists, home: home}
+		if exists {
+			s.size = m.Size[k]
+			s.cells = m.Cells[k]
+			if reps, ok := m.Replicas[k]; ok {
+				s.replicas = make(map[int]bool, len(reps))
+				for n, b := range reps {
+					s.replicas[n] = b
+				}
+			}
+			if bb, ok := m.BBox[k]; ok {
+				s.bbox, s.hasBBox = bb.Clone(), true
+			}
+			if h, ok := m.Hash[k]; ok {
+				s.hash, s.encSize, s.hasHash = h, m.EncSize[k], true
+			}
+		}
+		p.entries[k] = s
+	}
+	return p, true
+}
+
+// RestoreMetaScoped puts the captured chunks back exactly as recorded —
+// present entries field-for-field, absent ones deleted — and leaves every
+// other chunk of the array untouched. A nil patch or a dropped array is a
+// no-op; restoring the same patch more than once is safe (entries are
+// copied on the way back in).
+func (c *Catalog) RestoreMetaScoped(p *MetaPatch) {
+	if p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.arrays[p.name]
+	if !ok {
+		return
+	}
+	for k, s := range p.entries {
+		if !s.exists {
+			delete(m.Home, k)
+			delete(m.Size, k)
+			delete(m.Cells, k)
+			delete(m.Replicas, k)
+			delete(m.BBox, k)
+			delete(m.Hash, k)
+			delete(m.EncSize, k)
+			continue
+		}
+		m.Home[k] = s.home
+		m.Size[k] = s.size
+		m.Cells[k] = s.cells
+		if s.replicas != nil {
+			cp := make(map[int]bool, len(s.replicas))
+			for n, b := range s.replicas {
+				cp[n] = b
+			}
+			m.Replicas[k] = cp
+		} else {
+			delete(m.Replicas, k)
+		}
+		if s.hasBBox {
+			m.BBox[k] = s.bbox.Clone()
+		} else {
+			delete(m.BBox, k)
+		}
+		if s.hasHash {
+			m.Hash[k] = s.hash
+			m.EncSize[k] = s.encSize
+		} else {
+			delete(m.Hash, k)
+			delete(m.EncSize, k)
+		}
+	}
 }
 
 func copyArrayMeta(m *ArrayMeta) *ArrayMeta {

@@ -50,6 +50,8 @@ type Epochs struct {
 	pins    map[uint64]int
 	// retained maps array → chunk key → versions ordered by ascending until.
 	retained map[string]map[array.ChunkKey][]retainedVer
+	// hooks run synchronously after each publication (see OnPublish).
+	hooks []func(epoch uint64)
 }
 
 func newEpochs(cl *Cluster) *Epochs {
@@ -97,11 +99,33 @@ func (e *Epochs) Publish() uint64 {
 		}
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.current++
+	epoch := e.current
 	e.metas = metas
 	e.reclaimLocked()
-	return e.current
+	hooks := e.hooks
+	e.mu.Unlock()
+	// Hooks run outside the lock (they may Acquire snapshots) but still on
+	// the publisher's goroutine: with the single-writer discipline every
+	// hook observes exactly the epoch it was handed, before the next one
+	// can be published.
+	for _, h := range hooks {
+		h(epoch)
+	}
+	return epoch
+}
+
+// OnPublish registers a hook invoked synchronously after every epoch
+// publication with the new epoch number, on the publisher's goroutine —
+// commits are the only publishers, so a hook sees each committed (or
+// rolled-back) state exactly once, in order. The streaming commit sink's
+// consistency audit and the serve daemon's stats loop hang off this.
+// Register hooks before maintenance starts; registration is not
+// synchronized against in-flight publications.
+func (e *Epochs) OnPublish(h func(epoch uint64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hooks = append(append([]func(epoch uint64){}, e.hooks...), h)
 }
 
 // Current returns the most recently published epoch (0 before the first

@@ -65,7 +65,11 @@ func (rc *ReadCache) Insert(hash uint64, enc []byte) {
 
 // Hint returns the content hash this cache learned for (name, key) at
 // exactly the given epoch, if that epoch's hint generation is still live.
+// Epoch 0 is reserved (see genFor) and never answers.
 func (rc *ReadCache) Hint(epoch uint64, name string, key array.ChunkKey) (uint64, bool) {
+	if epoch == 0 {
+		return 0, false
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	for i := range rc.gens {
@@ -98,7 +102,16 @@ func (rc *ReadCache) SetHint(epoch uint64, name string, key array.ChunkKey, hash
 
 // genFor returns the hint generation for an epoch, rotating the table when
 // the epoch is newer than any seen. Caller holds rc.mu.
+//
+// Epoch 0 is reserved: it is the zero value of both generation slots, so
+// treating it as live would let hints recorded before the first commit land
+// in — and be served from — a phantom generation that rotation can never
+// retire cleanly. The epoch manager publishes 1 as its first real epoch;
+// anything tagged 0 is dropped here.
 func (rc *ReadCache) genFor(epoch uint64) *hintGen {
+	if epoch == 0 {
+		return nil
+	}
 	if epoch > rc.gens[0].epoch {
 		rc.gens[1] = rc.gens[0]
 		rc.gens[0] = hintGen{epoch: epoch, m: make(map[string]map[array.ChunkKey]uint64)}

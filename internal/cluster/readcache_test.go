@@ -28,6 +28,49 @@ func TestReadCacheBodyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadCacheEpochZeroReserved is the regression test for the phantom
+// epoch-0 generation: the zero value of both generation slots carries
+// epoch == 0, so a hint recorded before the first commit used to land in a
+// "live" generation that rotation could never retire, and pre-first-commit
+// reads could be served from it. Epoch 0 must be inert on both paths, and
+// the first real commit must rotate cleanly.
+func TestReadCacheEpochZeroReserved(t *testing.T) {
+	key := array.ChunkKey("0,0")
+	steps := []struct {
+		name      string
+		set       uint64 // SetHint at this epoch (0 entries still exercise the write path)
+		query     uint64
+		wantHash  uint64
+		wantFound bool
+	}{
+		{"hint at reserved epoch 0 is dropped", 0, 0, 0, false},
+		{"epoch 0 never answers even after a write to it", 0, 0, 0, false},
+		{"first commit opens epoch 1", 1, 1, 101, true},
+		{"epoch 0 still silent after first commit", 0, 0, 0, false},
+		{"second commit keeps epoch 1 live", 2, 1, 101, true},
+		{"second commit answers at epoch 2", 0, 2, 102, true},
+		{"third commit retires epoch 1", 3, 1, 0, false},
+		{"third commit keeps epoch 2", 0, 2, 102, true},
+		{"third commit answers at epoch 3", 0, 3, 103, true},
+	}
+	rc := NewReadCache(1 << 20)
+	for _, s := range steps {
+		// Record a hash derived from the epoch so each generation is
+		// distinguishable; epoch-0 writes must vanish.
+		rc.SetHint(s.set, "V", key, 100+s.set)
+		h, ok := rc.Hint(s.query, "V", key)
+		if ok != s.wantFound || h != s.wantHash {
+			t.Fatalf("%s: Hint(%d) = %d, %v; want %d, %v",
+				s.name, s.query, h, ok, s.wantHash, s.wantFound)
+		}
+	}
+	// The reserved epoch never occupies a generation slot: after the
+	// rotations above the live generations are 3 and 2.
+	if _, ok := rc.Hint(0, "V", key); ok {
+		t.Fatal("epoch 0 became servable")
+	}
+}
+
 func TestReadCacheHintGenerations(t *testing.T) {
 	rc := NewReadCache(1 << 20)
 	key := array.ChunkKey("0,0")

@@ -425,6 +425,13 @@ func commitErase(ctx *Context, es *execState, cm *committer) error {
 // landed away from a chunk's final home, and scratch replica entries.
 // Cleanup runs after the commit point (or after a rollback), so failures
 // here must never change the batch's outcome; errors are swallowed.
+//
+// With es.keep installed (pipelined execution), replicas the predicate
+// claims survive the scrub, and the base arrays' replica records are left
+// intact instead of being cleared wholesale: in-flight successor batches
+// resolve transfer sources and failover reads from those records, and every
+// surviving record still names a physically present copy (only the scrubbed
+// ones are deleted, record and chunk together).
 func cleanupBatch(ctx *Context, p *Plan, es *execState) {
 	cl := ctx.Cluster
 	cat := cl.Catalog()
@@ -462,6 +469,9 @@ func cleanupBatch(ctx *Context, p *Plan, es *execState) {
 		if exists && to == home {
 			return // the scratch replica became the chunk's home; keep it
 		}
+		if es.keep != nil && es.keep(ref, to) {
+			return // an in-flight successor batch claimed this replica
+		}
 		tasks[to] = append(tasks[to], func() error {
 			_, _ = cl.DeleteAt(to, ref.Array, ref.Key)
 			cat.RemoveReplica(ref.Array, ref.Key, to)
@@ -479,8 +489,10 @@ func cleanupBatch(ctx *Context, p *Plan, es *execState) {
 		_, _ = cl.DropArrayAt(cluster.Coordinator, dn)
 		cat.Drop(dn)
 	}
-	for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
-		cat.ClearReplicas(name)
+	if es.keep == nil {
+		for _, name := range []string{ctx.BaseAlpha, ctx.BaseBeta} {
+			cat.ClearReplicas(name)
+		}
 	}
 }
 

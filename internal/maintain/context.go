@@ -59,7 +59,19 @@ type Context struct {
 	// fails the batch (atomically) instead of wedging it.
 	Ctx context.Context
 
+	// ScratchSuffix disambiguates the batch's shadow staging namespace
+	// ("<view>#stage<suffix>"). The batch-at-a-time path leaves it empty;
+	// the streaming pipeline gives every in-flight micro-batch its own
+	// suffix so concurrently staged partials never collide.
+	ScratchSuffix string
+
 	viewHints map[array.ChunkKey]int
+}
+
+// StagingName returns the batch's shadow staging namespace. The "#" infix
+// keeps it out of durable epoch snapshots (see cluster.durableName).
+func (c *Context) StagingName() string {
+	return c.ViewName + "#stage" + c.ScratchSuffix
 }
 
 // execContext returns the batch's context, defaulting to Background.

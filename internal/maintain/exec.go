@@ -41,58 +41,131 @@ type Planner interface {
 // It returns the plan's deterministic cost ledger (the modeled maintenance
 // time of the batch, plus any failover re-charges).
 func Execute(ctx *Context, p *Plan) (*cluster.Ledger, error) {
-	tr := ctx.Trace
-
-	stop := tr.Start(obs.PhaseValidate)
-	err := p.Validate(ctx)
+	s, err := BeginStaged(ctx, p)
 	if err != nil {
-		stop()
 		return nil, err
 	}
-	ledger := p.Charge(ctx)
-	stop()
-
-	es := newExecState(ctx, ledger)
-
-	// Phase 1: replicate chunks per the plan (x variables), concurrently
-	// grouped by destination node.
-	stop = tr.Start(obs.PhaseTransfer)
-	err = runTransfers(ctx, p)
-	stop()
-	if err != nil {
-		return nil, es.abort(ctx, p, err)
+	s.CaptureSnapshots()
+	if err := s.RunTransfers(nil); err != nil {
+		return nil, s.Abort(err)
 	}
-
-	// Phase 2: evaluate joins per node, staging partial differentials under
-	// the shadow namespace. The join span is the wall-clock of the whole
-	// per-node run; merge busy time and per-node task time accumulate inside
-	// it.
-	stop = tr.Start(obs.PhaseJoin)
-	err = runJoins(ctx, p, es)
-	stop()
-	if err != nil {
-		return nil, es.abort(ctx, p, err)
+	if err := s.RunJoins(); err != nil {
+		return nil, s.Abort(err)
 	}
-
-	// Phase 3: commit — fold staged state into the view, ingest deltas into
-	// the base array, apply rehomes; every write is undo-logged.
-	stop = tr.Start(obs.PhaseCommit)
-	err = commitBatch(ctx, p, es)
-	stop()
-	if err != nil {
-		return nil, es.abort(ctx, p, err)
+	if err := s.Commit(); err != nil {
+		return nil, s.Abort(err)
 	}
-
-	// Phase 4: best-effort teardown of staging and scratch state.
-	stop = tr.Start(obs.PhaseCleanup)
-	cleanupBatch(ctx, p, es)
-	stop()
-
+	s.Cleanup()
 	// The batch is now fully committed and scrubbed; publish the new epoch
 	// so snapshot readers pinning from here see post-batch state. (No-op
 	// unless serving has enabled the epoch manager.)
 	ctx.Cluster.Epochs().Publish()
-	return ledger, nil
+	return s.Ledger(), nil
+}
+
+// Staged drives one batch through the executor's stages individually, so a
+// pipelined caller (internal/stream) can interleave the stages of several
+// batches: batch N+1's transfers may run while batch N is joining, as long
+// as the batches stage under disjoint scratch namespaces (Context.
+// ScratchSuffix) and commits stay serialized in admission order.
+//
+// The stage protocol is: BeginStaged → RunTransfers → RunJoins →
+// CaptureSnapshots → Commit → Cleanup, with Abort replacing the remainder
+// after any failed stage. Execute is exactly that sequence for one batch
+// (with snapshots captured up front, since nothing commits concurrently).
+// Unlike Execute, the staged path leaves epoch publication to the caller —
+// the commit sink owns ordering.
+type Staged struct {
+	ctx    *Context
+	plan   *Plan
+	es     *execState
+	ledger *cluster.Ledger
+}
+
+// BeginStaged validates and prices the plan and initializes the batch's
+// execution state. No cluster state is touched yet.
+func BeginStaged(ctx *Context, p *Plan) (*Staged, error) {
+	tr := ctx.Trace
+	stop := tr.Start(obs.PhaseValidate)
+	defer stop()
+	if err := p.Validate(ctx); err != nil {
+		return nil, err
+	}
+	ledger := p.Charge(ctx)
+	return &Staged{ctx: ctx, plan: p, es: newExecState(ctx, ledger), ledger: ledger}, nil
+}
+
+// Ledger exposes the batch's cost ledger (mutated by failover re-charges
+// as stages run).
+func (s *Staged) Ledger() *cluster.Ledger { return s.ledger }
+
+// CaptureSnapshots records the catalog metadata of every array the batch
+// mutates, as the rollback baseline. The batch-at-a-time path captures
+// before its transfers; a pipelined caller must defer the capture until all
+// predecessor batches have committed or aborted, so an abort of this batch
+// never rolls the catalog back over a predecessor's committed state.
+// Calling it more than once keeps the first capture.
+func (s *Staged) CaptureSnapshots() {
+	stop := s.ctx.Trace.Start(obs.PhaseSnapshot)
+	defer stop()
+	s.es.captureSnaps(s.ctx, s.plan)
+}
+
+// RunTransfers executes the plan's Phase-1 replications. A non-nil skip
+// predicate exempts individual ships — the streaming pipeline defers
+// transfers whose source chunk an in-flight predecessor batch is about to
+// rewrite, re-issuing them (against the then-live catalog) after the
+// predecessor commits.
+func (s *Staged) RunTransfers(skip func(ref view.ChunkRef, to int) bool) error {
+	stop := s.ctx.Trace.Start(obs.PhaseTransfer)
+	defer stop()
+	return runTransfers(s.ctx, s.plan, skip)
+}
+
+// RunJoins evaluates every unit at its planned node, staging partial
+// differentials under the batch's scratch namespace.
+func (s *Staged) RunJoins() error {
+	stop := s.ctx.Trace.Start(obs.PhaseJoin)
+	defer stop()
+	return runJoins(s.ctx, s.plan, s.es)
+}
+
+// Commit folds the staged state into the view and base arrays with
+// undo-logged idempotent writes. CaptureSnapshots must have been called.
+func (s *Staged) Commit() error {
+	stop := s.ctx.Trace.Start(obs.PhaseCommit)
+	defer stop()
+	if !s.es.snapped {
+		return fmt.Errorf("maintain: Commit before CaptureSnapshots")
+	}
+	return commitBatch(s.ctx, s.plan, s.es)
+}
+
+// Cleanup tears down the batch's scratch state best-effort.
+func (s *Staged) Cleanup() {
+	stop := s.ctx.Trace.Start(obs.PhaseCleanup)
+	defer stop()
+	cleanupBatch(s.ctx, s.plan, s.es)
+}
+
+// KeepScratch installs a predicate consulted during Cleanup: a scratch
+// replica (array chunk at a node) for which keep returns true survives the
+// scrub, both physically and in the catalog. The streaming pipeline uses it
+// to protect replicas that in-flight successor batches claimed for their
+// own joins. Installing any predicate also preserves the base arrays'
+// replica records wholesale (successors resolve sources from them).
+func (s *Staged) KeepScratch(keep func(ref view.ChunkRef, node int) bool) {
+	s.es.keep = keep
+}
+
+// Abort undoes the batch — rolls back committed writes, restores catalog
+// snapshots, tears down scratch state — and returns the original cause.
+// Safe to call after a failure in any stage. Unlike Commit, Abort publishes
+// the rollback epoch itself (the live state equals a consistent pre-batch
+// state again the moment it returns); a pipelined caller must therefore
+// invoke it serialized with commits, from the sink.
+func (s *Staged) Abort(cause error) error {
+	return s.es.abort(s.ctx, s.plan, cause)
 }
 
 // extraShip records a failover-driven chunk copy not present in the plan's
@@ -113,10 +186,14 @@ type execState struct {
 	stageCount map[array.ChunkKey]int
 	keyLocks   map[array.ChunkKey]*sync.Mutex
 	extra      []extraShip
-	snaps      map[string]*cluster.ArrayMeta
+	snaps      map[string]*cluster.MetaPatch
+	snapped    bool
 	staging    string
 	deltaNames []string
 	cm         *committer
+	// keep, when non-nil, protects scratch replicas from Cleanup's scrub
+	// (see Staged.KeepScratch) and preserves base replica records.
+	keep func(ref view.ChunkRef, node int) bool
 }
 
 func newExecState(ctx *Context, ledger *cluster.Ledger) *execState {
@@ -126,25 +203,79 @@ func newExecState(ctx *Context, ledger *cluster.Ledger) *execState {
 		stageHome:  make(map[array.ChunkKey]int),
 		stageCount: make(map[array.ChunkKey]int),
 		keyLocks:   make(map[array.ChunkKey]*sync.Mutex),
-		snaps:      make(map[string]*cluster.ArrayMeta),
-		staging:    ctx.ViewName + "#stage",
+		snaps:      make(map[string]*cluster.MetaPatch),
+		staging:    ctx.StagingName(),
 		deltaNames: []string{ctx.DeltaAlpha},
 	}
 	if ctx.DeltaBeta != ctx.DeltaAlpha {
 		es.deltaNames = append(es.deltaNames, ctx.DeltaBeta)
 	}
-	// Snapshot the catalog metadata of every array the batch mutates, so a
-	// failed batch restores the catalog to its exact pre-batch state.
+	return es
+}
+
+// captureSnaps records the rollback baseline of every chunk the batch can
+// mutate, so a failed batch restores the catalog to its exact pre-commit
+// state. The capture is scoped: join inputs, ingest targets (delta keys
+// land in the base namespace), transfer and rehome refs, and the affected
+// view chunks. Nothing else changes its catalog entry during the batch, so
+// the baseline costs O(batch footprint) instead of O(base size) — with a
+// full-array snapshot the capture dominated per-batch overhead and grew
+// linearly with the base, breaking the cost-∝-|Δ| contract. First capture
+// wins.
+func (es *execState) captureSnaps(ctx *Context, p *Plan) {
+	if es.snapped {
+		return
+	}
+	es.snapped = true
 	cat := ctx.Cluster.Catalog()
-	for _, name := range []string{ctx.ViewName, ctx.BaseAlpha, ctx.BaseBeta} {
+	keys := map[string]map[array.ChunkKey]bool{
+		ctx.ViewName:  {},
+		ctx.BaseAlpha: {},
+		ctx.BaseBeta:  {},
+	}
+	addRef := func(r view.ChunkRef) {
+		name := r.Array
+		switch name {
+		case ctx.DeltaAlpha:
+			name = ctx.BaseAlpha
+		case ctx.DeltaBeta:
+			name = ctx.BaseBeta
+		}
+		if set, ok := keys[name]; ok {
+			set[r.Key] = true
+		}
+	}
+	for i := range ctx.Units {
+		u := &ctx.Units[i]
+		addRef(u.P)
+		addRef(u.Q)
+		for _, vk := range u.Views {
+			keys[ctx.ViewName][vk] = true
+		}
+	}
+	if p != nil {
+		for _, t := range p.Transfers {
+			addRef(t.Ref)
+		}
+		for vk := range p.ViewHome {
+			keys[ctx.ViewName][vk] = true
+		}
+		for r := range p.ArrayRehome {
+			addRef(r)
+		}
+	}
+	for name, set := range keys {
 		if _, dup := es.snaps[name]; dup {
 			continue
 		}
-		if m, ok := cat.SnapshotMeta(name); ok {
-			es.snaps[name] = m
+		ks := make([]array.ChunkKey, 0, len(set))
+		for k := range set {
+			ks = append(ks, k)
+		}
+		if mp, ok := cat.SnapshotMetaScoped(name, ks); ok {
+			es.snaps[name] = mp
 		}
 	}
-	return es
 }
 
 func (es *execState) isDead(node int) bool {
@@ -222,8 +353,8 @@ func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
 		es.cm.rollback()
 	}
 	cat := ctx.Cluster.Catalog()
-	for name, m := range es.snaps {
-		cat.RestoreMeta(name, m)
+	for _, m := range es.snaps {
+		cat.RestoreMetaScoped(m)
 	}
 	cleanupBatch(ctx, p, es)
 	// Publish after the rollback completes: live state equals the pre-batch
@@ -258,7 +389,12 @@ func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
 // chunk that is truly unreachable everywhere fails the batch there,
 // atomically. Application failures (chunk not resident on a live node)
 // still abort immediately.
-func runTransfers(ctx *Context, p *Plan) error {
+// A non-nil skip predicate exempts ships (see Staged.RunTransfers); a
+// skipped ship never enters a wave. Callers passing skip must use plans
+// without chained ships (a ship sourced from a replica another ship
+// creates): the streaming router's plans ship every chunk directly from its
+// home, so deferring any subset stays safe.
+func runTransfers(ctx *Context, p *Plan, skip func(ref view.ChunkRef, to int) bool) error {
 	cl := ctx.Cluster
 	type ship struct {
 		ref view.ChunkRef
@@ -272,6 +408,9 @@ func runTransfers(ctx *Context, p *Plan) error {
 	for _, t := range p.Transfers {
 		s := ship{t.Ref, t.To}
 		if _, dup := seen[s]; dup {
+			continue
+		}
+		if skip != nil && skip(t.Ref, t.To) {
 			continue
 		}
 		w := 0

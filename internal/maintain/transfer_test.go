@@ -57,7 +57,7 @@ func TestRunTransfersChainedWaves(t *testing.T) {
 		{Ref: ref, From: a, To: b},    // chained: source created above
 	}
 	df.puts.Store(0)
-	if err := runTransfers(ctx, p); err != nil {
+	if err := runTransfers(ctx, p, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, node := range []int{a, b} {
@@ -94,7 +94,7 @@ func TestRunTransfersOverlap(t *testing.T) {
 	}
 
 	stop := ctx.Trace.Start(obs.PhaseTransfer)
-	err := runTransfers(ctx, p)
+	err := runTransfers(ctx, p, nil)
 	stop()
 	if err != nil {
 		t.Fatal(err)

@@ -3,12 +3,20 @@
 // and allocation-light — recording a span is two time.Now calls and an
 // atomic add, so instrumentation never perturbs the numbers it reports.
 //
-// A Trace accumulates wall-clock per named phase plus per-node busy time.
-// Sequential phases (validate, transfer, view-move, catalog-refresh,
-// ingest, cleanup) are recorded as wall-clock spans; the join phase is the
-// wall-clock of the whole per-node task run, while merge and per-node
-// timings accumulate busy seconds across concurrent tasks and may exceed
-// the join wall-clock on a multi-worker cluster.
+// A Trace accumulates time per named phase plus per-node busy time. Every
+// phase records two quantities with distinct semantics:
+//
+//   - busy seconds (PhaseTiming.Seconds): the sum of all span durations.
+//     With concurrent spans of the same phase — pipelined batches running
+//     their transfer stages at once, or per-node join tasks — busy time
+//     exceeds wall-clock; it measures work, not elapsed time.
+//   - wall seconds (PhaseTiming.WallSeconds): the union wall-clock, i.e.
+//     elapsed time during which at least one span of the phase was open.
+//     Overlapping spans never double-book it.
+//
+// For strictly sequential phases the two coincide. MaxConcurrent reports
+// the peak number of simultaneously open spans, so renderers can tell which
+// reading to present.
 package obs
 
 import (
@@ -23,6 +31,7 @@ import (
 // Canonical phase names of one maintained batch, in pipeline order.
 const (
 	PhaseValidate = "validate"        // plan validation + ledger charge
+	PhaseSnapshot = "snapshot"        // catalog rollback-baseline capture
 	PhaseTransfer = "transfer"        // chunk replication per the plan
 	PhaseViewMove = "view-move"       // legacy: pre-commit view relocation
 	PhaseJoin     = "join"            // per-node chunk-pair joins (wall-clock)
@@ -84,8 +93,17 @@ func (s CacheSnapshot) HitRate() float64 {
 
 // PhaseTiming is the snapshot of one phase of a trace.
 type PhaseTiming struct {
-	Name    string
+	Name string
+	// Seconds is busy time: the sum of span durations. Concurrent spans of
+	// the same phase each contribute fully, so this can exceed WallSeconds.
 	Seconds float64
+	// WallSeconds is the union wall-clock: elapsed time with at least one
+	// span of the phase open. Zero for durations folded in via Add (no span
+	// boundaries to union).
+	WallSeconds float64
+	// MaxConcurrent is the peak number of simultaneously open spans (0 when
+	// the phase only ever received Add'ed durations).
+	MaxConcurrent int64
 	// Count is how many spans contributed to the phase.
 	Count int64
 }
@@ -98,11 +116,21 @@ type NodeTiming struct {
 }
 
 // phase accumulates one named phase; nanos and count are written by
-// concurrent tasks, so they are atomic.
+// concurrent tasks, so they are atomic. The wall-clock union is maintained
+// under mu: a span opening while none are active notes the start instant,
+// and the last span to close adds the elapsed stretch to wallNanos. Spans
+// are per-stage events (a handful per batch), so the mutex is not a hot
+// path.
 type phase struct {
 	name  string
 	nanos atomic.Int64
 	count atomic.Int64
+
+	mu           sync.Mutex
+	active       int64     // currently open spans
+	maxActive    int64     // peak of active
+	stretchStart time.Time // when active went 0 → 1
+	wallNanos    int64     // closed stretches of ≥1-active time
 }
 
 // Trace collects the phase breakdown of one maintained batch. Methods are
@@ -134,16 +162,60 @@ func (t *Trace) lookup(name string) *phase {
 }
 
 // Start opens a span of the named phase and returns its stop function.
+// Concurrent spans of the same phase are safe: busy time accumulates per
+// span while the wall-clock union advances only while the phase goes from
+// idle to active and back.
 func (t *Trace) Start(name string) func() {
 	if t == nil {
 		return func() {}
 	}
 	p := t.lookup(name)
 	begin := time.Now()
+	p.open(begin)
+	var once sync.Once
 	return func() {
-		p.nanos.Add(int64(time.Since(begin)))
-		p.count.Add(1)
+		once.Do(func() {
+			end := time.Now()
+			p.nanos.Add(int64(end.Sub(begin)))
+			p.count.Add(1)
+			p.close(end)
+		})
 	}
+}
+
+// open records a span opening at the given instant.
+func (p *phase) open(now time.Time) {
+	p.mu.Lock()
+	p.active++
+	if p.active > p.maxActive {
+		p.maxActive = p.active
+	}
+	if p.active == 1 {
+		p.stretchStart = now
+	}
+	p.mu.Unlock()
+}
+
+// close records a span closing at the given instant.
+func (p *phase) close(now time.Time) {
+	p.mu.Lock()
+	p.active--
+	if p.active == 0 {
+		p.wallNanos += int64(now.Sub(p.stretchStart))
+	}
+	p.mu.Unlock()
+}
+
+// wallSnapshot returns the union wall-clock including any still-open
+// stretch, plus the peak concurrency.
+func (p *phase) wallSnapshot() (wallNanos, maxActive int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := p.wallNanos
+	if p.active > 0 {
+		w += int64(time.Since(p.stretchStart))
+	}
+	return w, p.maxActive
 }
 
 // Add folds an already-measured duration into the named phase.
@@ -182,10 +254,13 @@ func (t *Trace) Phases() []PhaseTiming {
 	t.mu.Unlock()
 	out := make([]PhaseTiming, 0, len(order))
 	for _, p := range order {
+		wall, maxAct := p.wallSnapshot()
 		out = append(out, PhaseTiming{
-			Name:    p.name,
-			Seconds: time.Duration(p.nanos.Load()).Seconds(),
-			Count:   p.count.Load(),
+			Name:          p.name,
+			Seconds:       time.Duration(p.nanos.Load()).Seconds(),
+			WallSeconds:   time.Duration(wall).Seconds(),
+			MaxConcurrent: maxAct,
+			Count:         p.count.Load(),
 		})
 	}
 	return out
@@ -231,16 +306,69 @@ func (t *Trace) Nodes() []NodeTiming {
 }
 
 // String renders a one-line span summary ("validate 12µs · join 3.1ms …").
+// Phases that ran concurrent spans show busy and wall time separately, e.g.
+// "transfer 8ms (wall 3ms ×4)".
 func (t *Trace) String() string {
 	if t == nil {
 		return ""
+	}
+	round := func(s float64) time.Duration {
+		return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 	}
 	var b strings.Builder
 	for i, p := range t.Phases() {
 		if i > 0 {
 			b.WriteString(" · ")
 		}
-		fmt.Fprintf(&b, "%s %s", p.Name, time.Duration(p.Seconds*float64(time.Second)).Round(time.Microsecond))
+		fmt.Fprintf(&b, "%s %s", p.Name, round(p.Seconds))
+		if p.MaxConcurrent > 1 {
+			fmt.Fprintf(&b, " (wall %s ×%d)", round(p.WallSeconds), p.MaxConcurrent)
+		}
 	}
 	return b.String()
+}
+
+// StageCounters is the live instrumentation of one pipeline stage of a
+// streaming operator graph: queue depth, throughput, and back-pressure
+// stalls. All fields are atomic; a stage updates them from its own
+// goroutine while observers snapshot concurrently.
+type StageCounters struct {
+	// Entered / Done count batches that arrived at / left the stage.
+	Entered Counter
+	Done    Counter
+	// Depth is the number of batches currently queued at or inside the
+	// stage (Entered − Done of the downstream edge, maintained explicitly
+	// so it reads as a gauge).
+	Depth Counter
+	// Stalls counts back-pressure events: submissions or hand-offs that had
+	// to wait because the downstream bounded channel was full. StallNanos
+	// accumulates the time spent waiting.
+	Stalls     Counter
+	StallNanos Counter
+	// BusyNanos accumulates time the stage spent processing batches.
+	BusyNanos Counter
+}
+
+// StageSnapshot is a point-in-time copy of one stage's counters.
+type StageSnapshot struct {
+	Name         string
+	Entered      int64
+	Done         int64
+	Depth        int64
+	Stalls       int64
+	StallSeconds float64
+	BusySeconds  float64
+}
+
+// Snapshot copies the counters under the given stage name.
+func (s *StageCounters) Snapshot(name string) StageSnapshot {
+	return StageSnapshot{
+		Name:         name,
+		Entered:      s.Entered.Load(),
+		Done:         s.Done.Load(),
+		Depth:        s.Depth.Load(),
+		Stalls:       s.Stalls.Load(),
+		StallSeconds: time.Duration(s.StallNanos.Load()).Seconds(),
+		BusySeconds:  time.Duration(s.BusyNanos.Load()).Seconds(),
+	}
 }

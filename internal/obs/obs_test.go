@@ -70,6 +70,83 @@ func TestTraceConcurrentNodeTimings(t *testing.T) {
 	}
 }
 
+// TestTraceOverlappedSpans pins the concurrent-stage semantics: overlapped
+// spans of one phase sum their busy time but union their wall-clock, so a
+// pipelined run never double-books elapsed time.
+func TestTraceOverlappedSpans(t *testing.T) {
+	tr := NewTrace()
+	// Two fully overlapping spans plus a third, disjoint, later one.
+	stopA := tr.Start(PhaseTransfer)
+	stopB := tr.Start(PhaseTransfer)
+	time.Sleep(4 * time.Millisecond)
+	stopB()
+	stopA()
+	stopC := tr.Start(PhaseTransfer)
+	time.Sleep(2 * time.Millisecond)
+	stopC()
+
+	ph := tr.Phases()[0]
+	if ph.Count != 3 {
+		t.Fatalf("count = %d, want 3", ph.Count)
+	}
+	if ph.MaxConcurrent != 2 {
+		t.Errorf("max concurrent = %d, want 2", ph.MaxConcurrent)
+	}
+	// Busy ≈ 4+4+2 = 10ms; wall ≈ 4+2 = 6ms. Bound loosely against timer
+	// jitter, but the ordering busy > wall must hold and wall must not
+	// include both overlapped spans.
+	if ph.Seconds < 0.010 {
+		t.Errorf("busy = %v, want >= 10ms", ph.Seconds)
+	}
+	if ph.WallSeconds < 0.006 {
+		t.Errorf("wall = %v, want >= 6ms", ph.WallSeconds)
+	}
+	if ph.WallSeconds >= ph.Seconds {
+		t.Errorf("wall %v not below busy %v under 2× overlap", ph.WallSeconds, ph.Seconds)
+	}
+	if s := tr.String(); !strings.Contains(s, "wall") || !strings.Contains(s, "×2") {
+		t.Errorf("summary %q does not flag the concurrent phase", s)
+	}
+
+	// A sequential phase renders without the wall annotation.
+	stop := tr.Start(PhaseCommit)
+	stop()
+	if s := tr.String(); strings.Contains(s, PhaseCommit+" wall") {
+		t.Errorf("sequential phase rendered as concurrent: %q", s)
+	}
+}
+
+// TestTraceSpanStressRace hammers one phase from many goroutines so -race
+// can see the span bookkeeping.
+func TestTraceSpanStressRace(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				stop := tr.Start(PhaseJoin)
+				stop()
+				stop() // double-stop must be idempotent
+			}
+		}()
+	}
+	// Concurrent snapshots while spans churn.
+	for i := 0; i < 100; i++ {
+		_ = tr.Phases()
+		_ = tr.String()
+	}
+	wg.Wait()
+	ph := tr.Phases()[0]
+	if ph.Count != 16*50 {
+		t.Fatalf("count = %d, want %d (double-stop must not double-count)", ph.Count, 16*50)
+	}
+	if ph.WallSeconds > ph.Seconds+0.001 {
+		t.Errorf("wall %v exceeds busy %v", ph.WallSeconds, ph.Seconds)
+	}
+}
+
 func TestNilTraceIsNoop(t *testing.T) {
 	var tr *Trace
 	tr.Start(PhaseJoin)()

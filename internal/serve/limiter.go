@@ -78,6 +78,13 @@ func NewLimiter(maxConcurrent, queueDepth int) *Limiter {
 // the query finishes. A full queue returns *OverloadError without blocking;
 // a context expiry while queued returns ctx.Err().
 func (l *Limiter) Acquire(ctx context.Context) (func(), error) {
+	// A query whose context is already cancelled or expired must not be
+	// admitted: the fast-path select below never consults ctx, so without
+	// this check a dead query could grab the last free slot ahead of live
+	// ones.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case l.slots <- struct{}{}:
 		return l.admitted(), nil
@@ -88,8 +95,11 @@ func (l *Limiter) Acquire(ctx context.Context) (func(), error) {
 	select {
 	case l.queue <- struct{}{}:
 	default:
+		// Capture the queue depth at the moment of rejection: by the time
+		// the error is rendered other waiters may have come or gone.
+		queued := len(l.queue)
 		l.rejected.Add(1)
-		return nil, &OverloadError{InFlight: int(l.inflight.Load()), Queued: len(l.queue)}
+		return nil, &OverloadError{InFlight: int(l.inflight.Load()), Queued: queued}
 	}
 	defer func() { <-l.queue }()
 	select {

@@ -290,6 +290,39 @@ func TestLimiterOverload(t *testing.T) {
 	}
 }
 
+// TestLimiterCancelledContext is the regression test for the admission
+// fast path: a query whose context is already cancelled (or past its
+// deadline) must be turned away before it can claim a slot, even when one
+// is free.
+func TestLimiterCancelledContext(t *testing.T) {
+	l := NewLimiter(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("cancelled query admitted with a free slot: err=%v, want context.Canceled", err)
+	}
+	if len(l.slots) != 0 {
+		t.Fatal("cancelled query consumed an execution slot")
+	}
+
+	expired, ecancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer ecancel()
+	if _, err := l.Acquire(expired); err != context.DeadlineExceeded {
+		t.Fatalf("expired query admitted: err=%v, want DeadlineExceeded", err)
+	}
+
+	// A live query is unaffected, and the dead ones left no tokens behind.
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("live query rejected after cancelled ones: %v", err)
+	}
+	rel()
+	queries, rejected := l.Counters()
+	if queries != 1 || rejected != 0 {
+		t.Fatalf("counters = (%d queries, %d rejected), want (1, 0)", queries, rejected)
+	}
+}
+
 // TestReadErrorTyped checks that exhausted replica failover surfaces the
 // typed ReadError — never partial data — through Gather.
 func TestReadErrorTyped(t *testing.T) {

@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/arrayview/arrayview/internal/array"
@@ -32,7 +33,13 @@ type Store struct {
 	mu     sync.RWMutex
 	chunks map[string][]byte // key: arrayName + "\x00" + chunkKey
 	hashes map[string]uint64 // content hash of the resident encoding
-	bytes  int64
+	// byArray indexes resident store keys per array name, so per-array
+	// operations (Keys, DropArray) touch only that array's chunks instead
+	// of scanning the whole store. Batch cleanup drops several scratch
+	// namespaces per node per batch; without the index each drop scanned
+	// every resident chunk and cleanup grew with the base size.
+	byArray map[string]map[string]bool
+	bytes   int64
 
 	cache *ContentCache // sideline cache of displaced encodings
 }
@@ -40,14 +47,43 @@ type Store struct {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		chunks: make(map[string][]byte),
-		hashes: make(map[string]uint64),
-		cache:  NewContentCache(DefaultCacheBytes),
+		chunks:  make(map[string][]byte),
+		hashes:  make(map[string]uint64),
+		byArray: make(map[string]map[string]bool),
+		cache:   NewContentCache(DefaultCacheBytes),
 	}
 }
 
 func storeKey(arrayName string, key array.ChunkKey) string {
 	return arrayName + "\x00" + string(key)
+}
+
+// arrayOf recovers the array name from a store key (names cannot contain
+// the NUL separator; chunk key bytes after the first NUL are irrelevant).
+func arrayOf(k string) string {
+	return k[:strings.IndexByte(k, 0)]
+}
+
+// indexAddLocked records k under its array. Caller holds s.mu.
+func (s *Store) indexAddLocked(k string) {
+	name := arrayOf(k)
+	set, ok := s.byArray[name]
+	if !ok {
+		set = make(map[string]bool)
+		s.byArray[name] = set
+	}
+	set[k] = true
+}
+
+// indexRemoveLocked forgets k. Caller holds s.mu.
+func (s *Store) indexRemoveLocked(k string) {
+	name := arrayOf(k)
+	if set, ok := s.byArray[name]; ok {
+		delete(set, k)
+		if len(set) == 0 {
+			delete(s.byArray, name)
+		}
+	}
 }
 
 // sideline moves a displaced encoding into the content cache. The cache has
@@ -71,6 +107,7 @@ func (s *Store) putLocked(k string, buf []byte, hash uint64) {
 	}
 	s.chunks[k] = buf
 	s.hashes[k] = hash
+	s.indexAddLocked(k)
 	s.bytes += int64(len(buf))
 }
 
@@ -192,6 +229,7 @@ func (s *Store) Delete(arrayName string, key array.ChunkKey) bool {
 	s.bytes -= int64(len(buf))
 	delete(s.chunks, k)
 	delete(s.hashes, k)
+	s.indexRemoveLocked(k)
 	s.sideline(buf)
 	return true
 }
@@ -237,13 +275,11 @@ func (s *Store) Bytes() int64 {
 
 // Keys returns the resident chunk keys for one array, sorted.
 func (s *Store) Keys(arrayName string) []array.ChunkKey {
-	prefix := arrayName + "\x00"
+	prefix := len(arrayName) + 1
 	s.mu.RLock()
 	var out []array.ChunkKey
-	for k := range s.chunks {
-		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
-			out = append(out, array.ChunkKey(k[len(prefix):]))
-		}
+	for k := range s.byArray[arrayName] {
+		out = append(out, array.ChunkKey(k[prefix:]))
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -253,19 +289,18 @@ func (s *Store) Keys(arrayName string) []array.ChunkKey {
 // DropArray evicts every chunk of the named array and returns how many were
 // dropped.
 func (s *Store) DropArray(arrayName string) int {
-	prefix := arrayName + "\x00"
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for k, buf := range s.chunks {
-		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
-			s.bytes -= int64(len(buf))
-			delete(s.chunks, k)
-			delete(s.hashes, k)
-			s.sideline(buf)
-			n++
-		}
+	for k := range s.byArray[arrayName] {
+		buf := s.chunks[k]
+		s.bytes -= int64(len(buf))
+		delete(s.chunks, k)
+		delete(s.hashes, k)
+		s.sideline(buf)
+		n++
 	}
+	delete(s.byArray, arrayName)
 	return n
 }
 

@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// faultFixture is streamFixture over a FaultFabric-wrapped local fabric.
+func faultFixture(t *testing.T, nodes int, seed int64, used map[string]bool) (*cluster.Cluster, *Graph, *array.Array, *cluster.FaultFabric) {
+	t.Helper()
+	stores := make([]*storage.Store, nodes)
+	for i := range stores {
+		stores[i] = storage.NewStore()
+	}
+	ff := cluster.NewFaultFabric(cluster.NewLocalFabric(stores), seed)
+	cl, def, base := streamFixture(t, nodes, used, cluster.WithFabric(ff.AsFabric()))
+	g, err := NewGraph(Config{Cluster: cl, Def: def, Params: maintain.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, g, base, ff
+}
+
+// shipReplicas gives every chunk of the named arrays a second copy one node
+// over, so failover has somewhere to go.
+func shipReplicas(t *testing.T, cl *cluster.Cluster, names ...string) {
+	t.Helper()
+	cat := cl.Catalog()
+	for _, name := range names {
+		for _, key := range cat.Keys(name) {
+			home, ok := cat.Home(name, key)
+			if !ok {
+				t.Fatalf("no home for %v of %s", key, name)
+			}
+			if err := cl.Transfer(nil, name, key, home, (home+1)%cl.NumNodes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// checkAgainstReplay replays exactly the committed deltas fault-free on a
+// fresh cluster and requires the streamed cluster to match cell-for-cell —
+// the streaming chaos contract: every ticket either committed (and its
+// effects are fully present) or failed (and left no trace).
+func checkAgainstReplay(t *testing.T, cl *cluster.Cluster, g *Graph, base *array.Array, deltas []*array.Array, results []Result) {
+	t.Helper()
+	var committed []*array.Array
+	for i, r := range results {
+		if r.Err == nil {
+			if r.Epoch == 0 && cl.Epochs().Enabled() {
+				t.Fatalf("batch %d committed without an epoch", i)
+			}
+			committed = append(committed, deltas[i])
+		} else {
+			t.Logf("batch %d failed (tolerated under faults): %v", i, r.Err)
+		}
+	}
+	def := testDef(t)
+	wantBase, wantView := replayBatches(t, def, base, committed)
+	gotBase, err := cl.Gather("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotView, err := cl.Gather("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(gotBase, wantBase) {
+		t.Fatalf("streamed base diverges from fault-free replay of the %d committed batches", len(committed))
+	}
+	if !statesEqual(gotView, wantView) {
+		t.Fatalf("streamed view diverges from fault-free replay of the %d committed batches", len(committed))
+	}
+}
+
+// TestStreamFaultBlackoutMidPipeline blacks out a node while batches occupy
+// every pipeline stage, restores it, and checks the streaming chaos
+// contract against a fault-free replay of whatever committed.
+func TestStreamFaultBlackoutMidPipeline(t *testing.T) {
+	used := make(map[string]bool)
+	cl, g, base, ff := faultFixture(t, 4, 42, used)
+	shipReplicas(t, cl, "A", "V")
+	deltas := makeDeltas(t, rand.New(rand.NewSource(5)), used, 8, 8, 1, 20, 1, 20)
+
+	tickets := make([]*Ticket, 0, len(deltas))
+	for i, d := range deltas {
+		if i == 3 {
+			ff.Blackout(2)
+		}
+		if i == 6 {
+			ff.Restore(2)
+		}
+		tk, err := g.Submit(d)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	g.Drain()
+	// Lift every fault before inspecting state: verification reads must see
+	// the cluster, not the chaos.
+	ff.Restore(2)
+	ff.ClearRules()
+
+	results := make([]Result, 0, len(tickets))
+	for _, tk := range tickets {
+		results = append(results, tk.Wait())
+	}
+	checkAgainstReplay(t, cl, g, base, deltas, results)
+}
+
+// TestStreamFaultDropAfterWriteInSink loses one put ack during the commit
+// path; the put retry loop must absorb it and every batch must commit.
+func TestStreamFaultDropAfterWriteInSink(t *testing.T) {
+	used := make(map[string]bool)
+	cl, g, base, ff := faultFixture(t, 3, 42, used)
+	ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Put",
+		Kind: cluster.FaultDropAfterWrite, Count: 1})
+	deltas := makeDeltas(t, rand.New(rand.NewSource(6)), used, 6, 8, 1, 20, 1, 20)
+
+	results := drainAll(t, g, deltas)
+	ff.ClearRules()
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch %d should have absorbed the lost put ack, failed: %v", i, r.Err)
+		}
+	}
+	if ff.FaultCounts().Total() == 0 {
+		t.Fatal("fault rule never fired; the test exercised nothing")
+	}
+	checkAgainstReplay(t, cl, g, base, deltas, results)
+}
+
+// TestStreamFaultMergeAckLostRetries loses one merge ack — unretryable
+// in-place, so the hit batch's first attempt aborts — and checks the sink's
+// isolated re-execution commits it anyway.
+func TestStreamFaultMergeAckLostRetries(t *testing.T) {
+	used := make(map[string]bool)
+	cl, g, base, ff := faultFixture(t, 3, 42, used)
+	ff.Inject(&cluster.FaultRule{Node: cluster.AnyNode, Op: "Merge",
+		Kind: cluster.FaultDropAfterWrite, Count: 1})
+	deltas := makeDeltas(t, rand.New(rand.NewSource(9)), used, 6, 8, 1, 20, 1, 20)
+
+	results := drainAll(t, g, deltas)
+	ff.ClearRules()
+	if ff.FaultCounts().Total() == 0 {
+		t.Fatal("fault rule never fired; the test exercised nothing")
+	}
+	retried := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch %d should have committed via isolated retry, failed: %v", i, r.Err)
+		}
+		retried += r.Retries
+	}
+	if retried == 0 {
+		t.Fatal("merge ack was lost but no batch reports a retry")
+	}
+	if g.Stats().Retries == 0 {
+		t.Fatal("graph retry counter did not record the isolated re-execution")
+	}
+	checkAgainstReplay(t, cl, g, base, deltas, results)
+}

@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// pairKey is the batch-independent identity of a chunk-pair join: the two
+// chunk keys plus which sides are delta chunks. Delta namespaces are
+// per-batch ("…#sdeltaN"), so the raw array names cannot key the cache.
+type pairKey struct {
+	p, q   array.ChunkKey
+	pd, qd bool
+}
+
+func pairKeyOf(ctx *maintain.Context, u view.Unit) pairKey {
+	return pairKey{p: u.P.Key, q: u.Q.Key, pd: ctx.IsDelta(u.P), qd: ctx.IsDelta(u.Q)}
+}
+
+// router is the chunk-router stage's placement policy: it amortizes the
+// optimizer across micro-batches by caching the last full solve's join-site
+// and view-home assignments and reusing them until the batch's chunk-touch
+// distribution drifts away from the one the solve saw. Trickle workloads
+// revisit the same sky region for many batches, so the solve cost — the
+// dominant fixed per-batch overhead of the batch-at-a-time path — is paid
+// once per drift episode instead of once per batch.
+//
+// The router is used from the single plan-stage goroutine; it needs no
+// locking except for the stats snapshot.
+type router struct {
+	planner   maintain.Planner
+	threshold float64
+
+	haveSolve bool
+	joinSite  map[pairKey]int
+	viewHome  map[array.ChunkKey]int
+	// touch is the base-chunk-touch distribution (key → unit count) the
+	// cached solution was solved for.
+	touch map[array.ChunkKey]int
+
+	solves, reuses int64
+}
+
+// RouterStats reports how often the router solved versus reused.
+type RouterStats struct {
+	Solves int64 `json:"solves"`
+	Reuses int64 `json:"reuses"`
+}
+
+func newRouter(planner maintain.Planner, threshold float64) *router {
+	return &router{planner: planner, threshold: threshold}
+}
+
+// touchesOf counts how many units read each base chunk key — the drift
+// signal. Delta keys are included too (the batch's own footprint matters as
+// much as the base's).
+func touchesOf(units []view.Unit) map[array.ChunkKey]int {
+	m := make(map[array.ChunkKey]int)
+	for _, u := range units {
+		m[u.P.Key]++
+		m[u.Q.Key]++
+	}
+	return m
+}
+
+// coverage returns the fraction of the current batch's chunk touches that
+// the reference distribution also touches, weighted by touch count:
+// Σ_k min(cur_k, ref_k) / Σ_k cur_k. 1.0 means the batch lands entirely
+// inside the solved footprint; 0.0 means a disjoint region.
+func coverage(cur, ref map[array.ChunkKey]int) float64 {
+	total, common := 0, 0
+	for k, c := range cur {
+		total += c
+		r := ref[k]
+		if r < c {
+			common += r
+		} else {
+			common += c
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	return float64(common) / float64(total)
+}
+
+// plan produces the batch's maintenance plan. When the chunk-touch coverage
+// against the cached solve is at or above the drift threshold — or when the
+// batch carries conflicts with in-flight predecessors — the cached placement
+// is reused and only the transfer list is rebuilt against the live catalog.
+// Otherwise the configured planner runs a full solve and the cache is
+// rebuilt from its solution.
+//
+// Conflicted batches never full-solve: optimizer plans may chain ships
+// (a transfer sourced from a replica another transfer creates), which is
+// incompatible with the deferred-transfer skip set (see
+// maintain.Staged.RunTransfers). Reused plans ship every chunk directly from
+// its home, so any subset may be deferred safely.
+func (r *router) plan(ctx *maintain.Context, conflicted bool) (*maintain.Plan, bool, error) {
+	cur := touchesOf(ctx.Units)
+	if r.haveSolve && (conflicted || coverage(cur, r.touch) >= r.threshold) {
+		r.reuses++
+		return r.reusePlan(ctx), true, nil
+	}
+	if !conflicted {
+		p, err := r.planner.Plan(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		r.adopt(ctx, p, cur)
+		r.solves++
+		return p, false, nil
+	}
+	// Conflicted with no cached solve yet: route greedily this batch; the
+	// next unconflicted batch seeds the cache.
+	r.reuses++
+	return r.reusePlan(ctx), true, nil
+}
+
+// adopt rebuilds the reuse cache from a full solve's assignments.
+func (r *router) adopt(ctx *maintain.Context, p *maintain.Plan, touch map[array.ChunkKey]int) {
+	r.haveSolve = true
+	r.touch = touch
+	r.joinSite = make(map[pairKey]int, len(ctx.Units))
+	for i, u := range ctx.Units {
+		r.joinSite[pairKeyOf(ctx, u)] = p.JoinSite[i]
+	}
+	r.viewHome = make(map[array.ChunkKey]int, len(p.ViewHome))
+	for v, j := range p.ViewHome {
+		r.viewHome[v] = j
+	}
+}
+
+// reusePlan assembles an executable plan from the cached placement: cached
+// join sites for known pairs, a cheap greedy site for new ones, cached (or
+// hinted) view homes, and a flat direct-from-home transfer list. Pending
+// chunks (absent from the catalog until a predecessor commits) get a
+// placeholder transfer from the coordinator, which validates — HomeOf
+// reports Coordinator for absent chunks — and is always deferred by the
+// caller, then re-resolved against the live catalog after the commit fence.
+func (r *router) reusePlan(ctx *maintain.Context) *maintain.Plan {
+	n := ctx.Cluster.NumNodes()
+	p := maintain.NewPlan("stream-reuse", len(ctx.Units))
+	type ship struct {
+		ref view.ChunkRef
+		to  int
+	}
+	shipped := make(map[ship]bool)
+	addShip := func(ref view.ChunkRef, to int) {
+		from := ctx.HomeOf(ref)
+		if from == to || shipped[ship{ref, to}] {
+			return
+		}
+		shipped[ship{ref, to}] = true
+		p.Transfers = append(p.Transfers, maintain.Transfer{Ref: ref, From: from, To: to})
+	}
+	for i, u := range ctx.Units {
+		site, ok := r.joinSite[pairKeyOf(ctx, u)]
+		if !ok {
+			site = r.greedySite(ctx, u, n)
+			if r.joinSite == nil {
+				r.joinSite = make(map[pairKey]int)
+			}
+			r.joinSite[pairKeyOf(ctx, u)] = site
+		}
+		p.JoinSite[i] = site
+		addShip(u.P, site)
+		addShip(u.Q, site)
+		for _, v := range u.Views {
+			if _, ok := p.ViewHome[v]; ok {
+				continue
+			}
+			home, ok := r.viewHome[v]
+			if !ok {
+				home = ctx.ViewHomeHint(v)
+				if r.viewHome == nil {
+					r.viewHome = make(map[array.ChunkKey]int)
+				}
+				r.viewHome[v] = home
+			}
+			p.ViewHome[v] = home
+		}
+	}
+	// Brand-new delta chunks get their post-batch home from the static
+	// placement, recorded in the plan so the commit uses it — and so a
+	// successor's pending-key guess (the same placement) agrees with it.
+	for _, ref := range ctx.DeltaRefs() {
+		if !ctx.IsDelta(ref) {
+			continue
+		}
+		base := ctx.BaseNameFor(ref.Array)
+		if _, exists := ctx.Cluster.Catalog().Home(base, ref.Key); !exists {
+			p.ArrayRehome[ref] = ctx.ArrayPlacement.Place(ref.Key, n)
+		}
+	}
+	return p
+}
+
+// greedySite picks a join site for a pair outside the cached solution:
+// prefer a base-side chunk's live home (joining where the data already sits
+// ships only the delta chunk), else the first view chunk's home hint (the
+// merge destination).
+func (r *router) greedySite(ctx *maintain.Context, u view.Unit, n int) int {
+	for _, ref := range []view.ChunkRef{u.Q, u.P} {
+		if ctx.IsDelta(ref) {
+			continue
+		}
+		if home, ok := ctx.Cluster.Catalog().Home(ref.Array, ref.Key); ok {
+			return home
+		}
+	}
+	if len(u.Views) > 0 {
+		return ctx.ViewHomeHint(u.Views[0])
+	}
+	return 0
+}
+
+// stats snapshots the solve/reuse counters. Called from observer goroutines;
+// the counters are only written by the plan stage, so a torn read costs at
+// most an off-by-one in a monitoring number.
+func (r *router) stats() RouterStats {
+	return RouterStats{Solves: r.solves, Reuses: r.reuses}
+}

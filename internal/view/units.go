@@ -77,12 +77,44 @@ type UnitGen struct {
 	// the paper's cell-granularity alternative, which prunes unnecessary
 	// pairs at the price of richer metadata.
 	CellPruning bool
+
+	// PendingAlpha and PendingBeta list base-side chunk keys that do not
+	// exist in the catalog yet but will before this batch's joins run: a
+	// pipelined caller generates units while predecessor micro-batches are
+	// still in flight, and those predecessors' commits create the chunks.
+	// Pending chunks participate as candidates with their full chunk region
+	// (no bbox exists yet — conservative, never misses a pair).
+	PendingAlpha, PendingBeta []array.ChunkKey
+
+	// DirtyBase, when non-nil, reports base chunks whose content an
+	// in-flight predecessor batch will change before this batch joins. Under
+	// CellPruning their cached bounding box is stale, so pruning falls back
+	// to the full chunk region for them — again conservative: extra units
+	// join harmlessly empty regions, missing units would corrupt the view.
+	DirtyBase func(arrayName string, key array.ChunkKey) bool
+}
+
+// pendingFor returns the pending key set registered for arrayName.
+func (g *UnitGen) pendingFor(arrayName string) map[array.ChunkKey]bool {
+	set := make(map[array.ChunkKey]bool)
+	if arrayName == g.BaseAlpha {
+		for _, k := range g.PendingAlpha {
+			set[k] = true
+		}
+	}
+	if arrayName == g.BaseBeta {
+		for _, k := range g.PendingBeta {
+			set[k] = true
+		}
+	}
+	return set
 }
 
 // regionFor returns the chunk's effective region: the tight cell bounding
-// box under cell pruning (when recorded), the full chunk region otherwise.
+// box under cell pruning (when recorded and not dirty), the full chunk
+// region otherwise.
 func (g *UnitGen) regionFor(schema *array.Schema, arrayName string, key array.ChunkKey) array.Region {
-	if g.CellPruning {
+	if g.CellPruning && !(g.DirtyBase != nil && g.DirtyBase(arrayName, key)) {
 		if bb, ok := g.Catalog.ChunkBBox(arrayName, key); ok {
 			return bb
 		}
@@ -184,6 +216,7 @@ func (g *UnitGen) generateTwoArray() ([]Unit, error) {
 // the chunk pk (of the same schema) in either orientation.
 func (g *UnitGen) candidates(schema *array.Schema, arrayName string, pk array.ChunkKey) []array.ChunkKey {
 	pr := g.regionFor(schema, g.DeltaAlpha, pk)
+	pending := g.pendingFor(arrayName)
 	seen := make(map[array.ChunkKey]bool)
 	var out []array.ChunkKey
 	consider := func(region array.Region) {
@@ -193,7 +226,7 @@ func (g *UnitGen) candidates(schema *array.Schema, arrayName string, pk array.Ch
 				continue
 			}
 			seen[k] = true
-			if _, ok := g.Catalog.Home(arrayName, k); ok {
+			if _, ok := g.Catalog.Home(arrayName, k); ok || pending[k] {
 				out = append(out, k)
 			}
 		}
@@ -207,10 +240,11 @@ func (g *UnitGen) candidates(schema *array.Schema, arrayName string, pk array.Ch
 // reachCandidates returns β-side chunks of arrayName reachable from α chunk pk.
 func (g *UnitGen) reachCandidates(sa, sb *array.Schema, arrayName string, pk array.ChunkKey) []array.ChunkKey {
 	pr := g.regionFor(sa, g.DeltaAlpha, pk)
+	pending := g.pendingFor(arrayName)
 	var out []array.ChunkKey
 	for _, cc := range sb.ChunksOverlapping(g.Def.Pred.ReachRegion(pr)) {
 		k := cc.Key()
-		if _, ok := g.Catalog.Home(arrayName, k); ok {
+		if _, ok := g.Catalog.Home(arrayName, k); ok || pending[k] {
 			out = append(out, k)
 		}
 	}
@@ -221,10 +255,11 @@ func (g *UnitGen) reachCandidates(sa, sb *array.Schema, arrayName string, pk arr
 // sourceCandidates returns α-side chunks of arrayName that can reach β chunk qk.
 func (g *UnitGen) sourceCandidates(sa, sb *array.Schema, arrayName string, qk array.ChunkKey) []array.ChunkKey {
 	qr := g.regionFor(sb, g.DeltaBeta, qk)
+	pending := g.pendingFor(arrayName)
 	var out []array.ChunkKey
 	for _, cc := range sa.ChunksOverlapping(g.Def.Pred.SourceRegion(qr)) {
 		k := cc.Key()
-		if _, ok := g.Catalog.Home(arrayName, k); ok {
+		if _, ok := g.Catalog.Home(arrayName, k); ok || pending[k] {
 			out = append(out, k)
 		}
 	}

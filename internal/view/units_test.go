@@ -293,6 +293,100 @@ func TestUnitsIrrelevantUpdate(t *testing.T) {
 	}
 }
 
+// TestUnitsPendingBaseKeys: chunk keys listed as pending participate as
+// base-side candidates even though the catalog has no entry for them yet —
+// the streaming pipeline's units must cover base chunks a predecessor
+// micro-batch is about to create.
+func TestUnitsPendingBaseKeys(t *testing.T) {
+	def := fig1View(t)
+	base := array.New(fig1Schema())
+	_ = base.Set(array.Point{1, 1}, array.Tuple{1, 1})
+	delta := array.New(fig1Schema())
+	_ = delta.Set(array.Point{3, 3}, array.Tuple{1, 1}) // chunk (1,1)
+	cat := registerForUnits(t, map[string]*array.Array{"A": base, "AΔ": delta})
+
+	// The neighbouring chunk (1,2) holds no catalog entry. Without pending
+	// registration it must not appear; with it, it must.
+	pendingKey := (array.ChunkCoord{1, 2}).Key()
+	gen := &UnitGen{Catalog: cat, Def: def,
+		BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: "AΔ", DeltaBeta: "AΔ"}
+	units, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		if u.Q.Array == "A" && u.Q.Key == pendingKey {
+			t.Fatalf("absent chunk generated unit %v⋈%v without pending registration", u.P, u.Q)
+		}
+	}
+
+	gen.PendingAlpha = []array.ChunkKey{pendingKey}
+	units, err = gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range units {
+		if u.Q.Array == "A" && u.Q.Key == pendingKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pending base chunk generated no unit")
+	}
+}
+
+// TestUnitsDirtyBaseFullRegion: marking a base chunk dirty disables its
+// (stale) bounding box under cell pruning, restoring the conservative
+// full-region pairing.
+func TestUnitsDirtyBaseFullRegion(t *testing.T) {
+	def := fig1View(t)
+	base := array.New(fig1Schema())
+	// Base chunk (0,0) with a single cell at (1,1): its tight bbox is far
+	// (L1 > 1) from the delta cell at (2,4) in chunk (0,1), but the full
+	// chunk regions [1..2]x[1..2] and [1..2]x[3..4] are L1-adjacent.
+	_ = base.Set(array.Point{1, 1}, array.Tuple{1, 1})
+	delta := array.New(fig1Schema())
+	_ = delta.Set(array.Point{2, 4}, array.Tuple{1, 1})
+	cat := registerForUnits(t, map[string]*array.Array{"A": base, "AΔ": delta})
+	baseKey := (array.ChunkCoord{0, 0}).Key()
+	if bb, ok := base.ChunkByKey(baseKey).BoundingBox(); ok {
+		if err := cat.SetChunkBBox("A", baseKey, bb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gen := &UnitGen{Catalog: cat, Def: def,
+		BaseAlpha: "A", BaseBeta: "A", DeltaAlpha: "AΔ", DeltaBeta: "AΔ",
+		CellPruning: true}
+	units, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		if u.Q.Array == "A" && u.Q.Key == baseKey {
+			t.Fatalf("bbox-pruned pair %v⋈%v generated; pruning not effective, test premise broken", u.P, u.Q)
+		}
+	}
+
+	gen.DirtyBase = func(name string, key array.ChunkKey) bool {
+		return name == "A" && key == baseKey
+	}
+	units, err = gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range units {
+		if u.Q.Array == "A" && u.Q.Key == baseKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dirty base chunk still pruned by its stale bbox")
+	}
+}
+
 func TestUnitGenMissingBase(t *testing.T) {
 	def := fig1View(t)
 	cat := cluster.NewCatalog()
