@@ -8,8 +8,8 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, chaos, wire, serve, stream, all. Datasets:
-// PTF-5, PTF-25, GEO.
+// ablations, fabric, kernel, chaos, wire, serve, stream, skew, all.
+// Datasets: PTF-5, PTF-25, GEO.
 // Modes: real, random, correlated, periodic ("real" maps to "random" for
 // GEO, as in the paper).
 package main
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|stream|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|stream|skew|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -202,6 +202,28 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 				return fmt.Errorf("bad mode %q", mode)
 			}
 			r, err := bench.Serve(out, mkSpec(ds, ms[0]), 4)
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "skew":
+			// Heavy-light adaptive maintenance on the pointing-skew ladder:
+			// all-eager vs adaptive per rung, with the lazy query path, the
+			// snapshot audit, a TCP rung, and a streamed rung.
+			ds := bench.PTF5
+			if dataset != "" {
+				ds = datasets[0]
+			}
+			spec := mkSpec(ds, workload.Real)
+			if scale != "small" {
+				// Long enough for the periodic pointing cycle (10 batches
+				// over 3 nights) to leave its warmup: the adaptive layer's
+				// plan scratch and join memo only pay off once footprints
+				// and content start repeating.
+				spec.PTF.NumBatches = 20
+			}
+			r, err := bench.Skew(out, spec, 0.8)
 			if err != nil {
 				return err
 			}

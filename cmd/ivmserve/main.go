@@ -25,6 +25,7 @@ import (
 	"github.com/arrayview/arrayview/internal/bench"
 	"github.com/arrayview/arrayview/internal/cluster"
 	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/query"
 	"github.com/arrayview/arrayview/internal/serve"
 	"github.com/arrayview/arrayview/internal/stream"
@@ -44,6 +45,8 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7420", "query-serving listen address")
 		interval = flag.Duration("interval", 500*time.Millisecond, "delay between background maintenance batches (0 disables maintenance)")
 		streamed = flag.Bool("stream", false, "maintain through the pipelined streaming graph instead of batch-at-a-time (self-join views only)")
+		adaptive = flag.Bool("adaptive", false, "heavy-light adaptive maintenance: eager hot chunks, lazy cold chunks materialized on query touch (self-join views only)")
+		metrics  = flag.String("metrics", "", "serve JSON health metrics over HTTP on this address (host:port; empty disables)")
 		batches  = flag.Int("batches", 0, "limit background batches (default: all, then idle)")
 		conc     = flag.Int("concurrency", 0, "max concurrent queries (default 8)")
 		queue    = flag.Int("queue", 0, "admission queue depth (default 2x concurrency)")
@@ -52,14 +55,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*dataset, *modeName, *strategy, *small, *distrib, *connect,
-		*listen, *interval, *streamed, *batches, *conc, *queue, *qtimeout); err != nil {
+		*listen, *metrics, *interval, *streamed, *adaptive, *batches, *conc, *queue, *qtimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset, modeName, strategy string, small, distrib bool, connect,
-	listen string, interval time.Duration, streamed bool, batches, conc, queue int, qtimeout time.Duration) error {
+	listen, metrics string, interval time.Duration, streamed, adaptive bool, batches, conc, queue int, qtimeout time.Duration) error {
 	ds, err := bench.ParseDataset(dataset)
 	if err != nil {
 		return err
@@ -110,6 +113,9 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if streamed && !def.SelfJoin() {
 		return fmt.Errorf("-stream supports self-join views only (use a PTF dataset)")
 	}
+	if adaptive && !def.SelfJoin() {
+		return fmt.Errorf("-adaptive supports self-join views only (use a PTF dataset)")
+	}
 	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
 	if err != nil {
 		return err
@@ -118,16 +124,43 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if err != nil {
 		return err
 	}
+	// With -adaptive, hot chunks maintain eagerly, cold-chunk deltas defer
+	// to the pending log, and the serving path materializes them before
+	// pinning a snapshot — queries stay exact, cold maintenance becomes
+	// pay-on-read.
+	var am *maintain.AdaptiveMaintainer
+	counters := &obs.AdaptiveCounters{}
+	if adaptive {
+		cfg := maintain.DefaultAdaptiveConfig()
+		cfg.Project = maintain.DropDims(0)
+		cfg.Counters = counters
+		am, err = maintain.NewAdaptiveMaintainer(cl, def, planner, spec.Params, cfg)
+		if err != nil {
+			return err
+		}
+		eng.Fresh = am.EnsureFresh
+	}
 
 	srv := serve.NewServer(eng, &serve.Config{
 		MaxConcurrent: conc,
 		QueueDepth:    queue,
 		QueryTimeout:  qtimeout,
 	})
+	if am != nil {
+		srv.SetFresh(am.EnsureFresh, counters)
+	}
 	if err := srv.Listen(listen); err != nil {
 		return err
 	}
 	defer srv.Close()
+	if metrics != "" {
+		ms, err := serve.StartMetrics(metrics, srv)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s\n", ms.Addr())
+	}
 	fmt.Printf("view: %s\n", def)
 	fmt.Printf("cluster: %d nodes; base: %d cells in %d chunks\n",
 		cl.NumNodes(), data.Base.NumCells(), data.Base.NumChunks())
@@ -147,7 +180,7 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 			toRun = toRun[:batches]
 		}
 		if streamed {
-			runStreamed(cl, def, planner, spec, toRun, interval, stop)
+			runStreamed(cl, def, planner, am, spec, toRun, interval, stop)
 			return
 		}
 		for i, b := range toRun {
@@ -156,6 +189,16 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 				return
 			case <-time.After(interval):
 			}
+			if am != nil {
+				rep, err := am.ApplyBatch(b)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, err)
+					continue
+				}
+				fmt.Printf("batch %d/%d committed; epoch %d (%d eager, %d deferred)\n",
+					i+1, len(toRun), cl.Epochs().Current(), rep.HeavyChunks, rep.LightChunks)
+				continue
+			}
 			if _, err := m.ApplyBatch(b); err != nil {
 				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, err)
 				continue
@@ -163,6 +206,12 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 			fmt.Printf("batch %d/%d committed; epoch %d\n", i+1, len(toRun), cl.Epochs().Current())
 		}
 		fmt.Printf("maintenance drained: %d batches applied\n", len(toRun))
+		if am != nil {
+			st := am.Stats()
+			fmt.Printf("adaptive: heavy=%d/%d pending=%d entries (%d cells) memo=%d/%d hits/misses\n",
+				st.HeavyClasses, st.SeenClasses, st.Pending.Entries, st.Pending.Cells,
+				st.Memo.Hits, st.Memo.Misses)
+		}
 	}()
 
 	sig := make(chan os.Signal, 1)
@@ -183,7 +232,7 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 // throughout. On shutdown the pipeline drains in-flight batches and prints
 // its per-stage counters.
 func runStreamed(cl *cluster.Cluster, def *view.Definition, planner maintain.Planner,
-	spec bench.Spec, toRun []*array.Array, interval time.Duration, stop <-chan struct{}) {
+	am *maintain.AdaptiveMaintainer, spec bench.Spec, toRun []*array.Array, interval time.Duration, stop <-chan struct{}) {
 	g, err := stream.NewGraph(stream.Config{
 		Cluster:        cl,
 		Def:            def,
@@ -191,6 +240,7 @@ func runStreamed(cl *cluster.Cluster, def *view.Definition, planner maintain.Pla
 		Params:         spec.Params,
 		ArrayPlacement: &cluster.RoundRobin{},
 		ViewPlacement:  &cluster.RoundRobin{},
+		Adaptive:       am,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivmserve: streaming graph: %v\n", err)

@@ -112,6 +112,11 @@ func runClient(dataset, modeName string, small bool, addr, querySpec, qmode stri
 		fmt.Printf("cache: hits=%d misses=%d rate=%.2f resident=%d bytes\n",
 			st.CacheHits, st.CacheMisses, st.HitRate(), st.CacheBytes)
 		fmt.Printf("admission: queries=%d rejected=%d\n", st.Queries, st.Rejected)
+		a := st.Adaptive
+		fmt.Printf("adaptive: heavy=%d light=%d pending=%d chunks (%d cells) deferred=%d lazy-mats=%d drained=%d flips=%d/%d memo=%d/%d hits/misses\n",
+			a.HeavyChunks, a.LightChunks, a.PendingChunks, a.PendingCells,
+			a.Deferred, a.LazyMats, a.Drained, a.Promotions, a.Demotions,
+			a.MemoHits, a.MemoMisses)
 	}
 	if querySpec == "" {
 		if !stats {

@@ -1,0 +1,535 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/obs"
+	"github.com/arrayview/arrayview/internal/query"
+	"github.com/arrayview/arrayview/internal/stream"
+	"github.com/arrayview/arrayview/internal/transport"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// SkewRung compares all-eager maintenance against the heavy-light adaptive
+// maintainer on one pointing distribution of the skew ladder: same data,
+// same planner and placements — the only variable is the maintenance
+// policy. Correlated and periodic pointings reward the eager path's
+// content-addressed join memo (replayed batches re-derive identical join
+// state); the skewed pointing rewards deferral of the cold scatter tail;
+// the uniform pointing is the no-free-lunch control where the adaptive
+// layer must not lose.
+type SkewRung struct {
+	Mode       string `json:"mode"`
+	Fabric     string `json:"fabric"`
+	Batches    int    `json:"batches"`
+	DeltaCells int    `json:"delta_cells"`
+
+	// Maintenance wall-clock (min over repetitions). The adaptive number
+	// includes the final drain of the pending log, so deferred work is
+	// charged to the policy that deferred it.
+	EagerSeconds    float64 `json:"eager_seconds"`
+	AdaptiveSeconds float64 `json:"adaptive_seconds"`
+	DrainSeconds    float64 `json:"drain_seconds"`
+
+	EagerPerBatchMillis    float64 `json:"eager_per_batch_millis"`
+	AdaptivePerBatchMillis float64 `json:"adaptive_per_batch_millis"`
+	// Reduction is 1 - adaptive/eager on the per-batch cost (negative when
+	// the adaptive layer loses).
+	Reduction float64 `json:"reduction"`
+
+	// Query latency percentiles over bursts issued between batches. The
+	// adaptive leg's queries run with the materialize-on-read hook, so its
+	// percentiles carry the lazy path's freshness overhead.
+	EagerQueryP50Millis float64 `json:"eager_query_p50_millis"`
+	EagerQueryP99Millis float64 `json:"eager_query_p99_millis"`
+	LazyQueryP50Millis  float64 `json:"lazy_query_p50_millis"`
+	LazyQueryP99Millis  float64 `json:"lazy_query_p99_millis"`
+
+	// Adaptive-layer behaviour (from the audited repetition).
+	HeavyClasses int                  `json:"heavy_classes"`
+	SeenClasses  int                  `json:"seen_classes"`
+	Promotions   int64                `json:"promotions"`
+	Demotions    int64                `json:"demotions"`
+	Pending      cluster.PendingStats `json:"pending"`
+	MemoHits     int64                `json:"memo_hits"`
+	MemoMisses   int64                `json:"memo_misses"`
+	PlanReuses   int64                `json:"plan_reuses"`
+	PlanSolves   int64                `json:"plan_solves"`
+
+	// Snapshot-isolation audit (both legs, identical harness) and the
+	// cross-policy equivalence check: after the adaptive leg drains, base
+	// and view must be cell-for-cell identical to the all-eager leg.
+	EagerObservations int  `json:"eager_observations"`
+	EagerViolations   int  `json:"eager_violations"`
+	Observations      int  `json:"observations"`
+	Violations        int  `json:"violations"`
+	StatesMatch       bool `json:"states_match"`
+}
+
+// SkewStreamRung runs the skewed trickle through the pipelined streaming
+// graph with the adaptive classifier attached: the graph maintains every
+// chunk eagerly but feeds the classifier, shares the join memo, and weights
+// hot-footprint touches in the router's drift signal.
+type SkewStreamRung struct {
+	Batches        int     `json:"batches"`
+	StreamSeconds  float64 `json:"stream_seconds"`
+	PerBatchMillis float64 `json:"per_batch_millis"`
+	Solves         int64   `json:"solves"`
+	Reuses         int64   `json:"reuses"`
+	HeavyClasses   int     `json:"heavy_classes"`
+	MemoHits       int64   `json:"memo_hits"`
+	MemoMisses     int64   `json:"memo_misses"`
+	StatesMatch    bool    `json:"states_match"`
+}
+
+// SkewResult is the full skew-ladder experiment.
+type SkewResult struct {
+	Spec    Spec    `json:"spec"`
+	HotFrac float64 `json:"hot_frac"`
+
+	Rungs  []*SkewRung     `json:"rungs"`
+	TCP    *SkewRung       `json:"tcp"`
+	Stream *SkewStreamRung `json:"stream"`
+}
+
+// skewLadderModes is the pointing-distribution ladder, least to most
+// skewed: uniform scatter, correlated replay, periodic revisits, and the
+// hot-footprint-plus-cold-tail workload.
+var skewLadderModes = []string{"uniform", "correlated", "periodic", "skewed"}
+
+// Skew runs the heavy-light adaptive maintenance experiment: the pointing
+// ladder on the in-process fabric, one TCP-loopback rung, and one streamed
+// rung. Needs a PTF (self-join) dataset.
+func Skew(w io.Writer, spec Spec, hotFrac float64) (*SkewResult, error) {
+	if spec.Dataset == GEO {
+		return nil, fmt.Errorf("bench: skew experiment needs a PTF (self-join) dataset")
+	}
+	if hotFrac <= 0 || hotFrac >= 1 {
+		hotFrac = 0.8
+	}
+	out := &SkewResult{Spec: spec, HotFrac: hotFrac}
+	for _, mode := range skewLadderModes {
+		r, err := skewRung(spec, mode, hotFrac, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: skew rung %s: %w", mode, err)
+		}
+		out.Rungs = append(out.Rungs, r)
+	}
+	tcp, err := skewRung(spec, "skewed", hotFrac, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: skew tcp rung: %w", err)
+	}
+	out.TCP = tcp
+	sr, err := skewStreamRung(spec, hotFrac)
+	if err != nil {
+		return nil, fmt.Errorf("bench: skew stream rung: %w", err)
+	}
+	out.Stream = sr
+	out.WriteTable(w)
+	return out, nil
+}
+
+// WriteTable renders the human-readable skew report.
+func (r *SkewResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Heavy-light adaptive maintenance — %s, hot fraction %.2f\n", r.Spec.Dataset, r.HotFrac)
+	rows := append(append([]*SkewRung{}, r.Rungs...), r.TCP)
+	for _, g := range rows {
+		if g == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %-5s eager %6.1fms/b  adaptive %6.1fms/b (drain %5.2fs)  reduction %5.1f%%  q p50/p99 %5.2f/%5.2fms lazy %5.2f/%5.2fms  heavy %d/%d  memo %d/%d  plans %d/%d  defer %d  audit %d/%d+%d/%d viol  match %v\n",
+			g.Mode, g.Fabric, g.EagerPerBatchMillis, g.AdaptivePerBatchMillis, g.DrainSeconds,
+			100*g.Reduction,
+			g.EagerQueryP50Millis, g.EagerQueryP99Millis, g.LazyQueryP50Millis, g.LazyQueryP99Millis,
+			g.HeavyClasses, g.SeenClasses, g.MemoHits, g.MemoMisses, g.PlanReuses, g.PlanSolves, g.Pending.Appended,
+			g.EagerObservations, g.EagerViolations, g.Observations, g.Violations, g.StatesMatch)
+	}
+	if s := r.Stream; s != nil {
+		fmt.Fprintf(w, "  streamed   %6.1fms/b  solves %d reuses %d  heavy %d  memo %d/%d  match %v\n",
+			s.PerBatchMillis, s.Solves, s.Reuses, s.HeavyClasses, s.MemoHits, s.MemoMisses, s.StatesMatch)
+	}
+}
+
+// skewData generates one rung's dataset: the existing PTF batch modes for
+// uniform/correlated/periodic pointings, the hot-footprint generator for
+// the skewed rung.
+func skewData(spec Spec, mode string, hotFrac float64) (*workload.Dataset, error) {
+	switch mode {
+	case "uniform":
+		return workload.GeneratePTF(spec.PTF, workload.Random)
+	case "correlated":
+		return workload.GeneratePTF(spec.PTF, workload.Correlated)
+	case "periodic":
+		return workload.GeneratePTF(spec.PTF, workload.Periodic)
+	case "skewed":
+		return workload.GeneratePTFSkewed(spec.PTF, hotFrac)
+	}
+	return nil, fmt.Errorf("bench: unknown skew mode %q", mode)
+}
+
+// skewAdaptiveConfig is the ladder's adaptive tuning. The classifier
+// projects out the time dimension: PTF batches land in fresh (or replayed)
+// time slabs, so the persistent identity of a chunk is its sky pointing.
+func skewAdaptiveConfig(counters *obs.AdaptiveCounters) maintain.AdaptiveConfig {
+	cfg := maintain.DefaultAdaptiveConfig()
+	cfg.Project = maintain.DropDims(0)
+	// Promote any class touched in the current batch and at least once more
+	// anywhere in the window (minimum revisit score 1 + decay^4 ≈ 1.06):
+	// periodic pointings revisit a slab every few batches, and a threshold
+	// that demands consecutive touches would misread them as cold.
+	cfg.HeavyThreshold = 1.05
+	cfg.MaxPendingBatches = 6
+	// At default scale a batch carries several thousand memoable units; the
+	// default memo cap would thrash (every entry evicted before its replay
+	// arrives).
+	cfg.MemoCap = 32768
+	cfg.Counters = counters
+	return cfg
+}
+
+// newSkewCluster builds the rung's cluster over the chosen fabric.
+func newSkewCluster(spec Spec, tcp bool) (*cluster.Cluster, func(), error) {
+	if !tcp {
+		cl, err := spec.Cluster()
+		return cl, func() {}, err
+	}
+	lc, err := transport.StartLoopback(spec.Nodes, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	fab, err := lc.Fabric(transport.DefaultClientConfig())
+	if err != nil {
+		lc.Close()
+		return nil, nil, err
+	}
+	cl, err := cluster.New(spec.Nodes,
+		cluster.WithWorkersPerNode(spec.Workers), cluster.WithFabric(fab))
+	if err != nil {
+		fab.Close()
+		lc.Close()
+		return nil, nil, err
+	}
+	return cl, func() { fab.Close(); lc.Close() }, nil
+}
+
+// loadSkewRung stands the rung's base and view up on a fresh cluster.
+func loadSkewRung(spec Spec, data *workload.Dataset, tcp bool) (*cluster.Cluster, func(), error) {
+	cl, closeFn, err := newSkewCluster(spec, tcp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		closeFn()
+		return nil, nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		closeFn()
+		return nil, nil, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		closeFn()
+		return nil, nil, err
+	}
+	return cl, closeFn, nil
+}
+
+// pctMillis returns the p-th percentile of the sorted latency slice in
+// milliseconds.
+func pctMillis(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(lats)-1))
+	return float64(lats[i]) / float64(time.Millisecond)
+}
+
+// skewQuerySchedule issues a burst of queries every few batches — often
+// enough to sample the lazy path's materialize-on-read spike, rarely
+// enough to leave the deferral benefit intact between touches.
+const (
+	skewQueryEvery = 4
+	skewQueryBurst = 6
+)
+
+func skewRung(spec Spec, mode string, hotFrac float64, tcp bool) (*SkewRung, error) {
+	data, err := skewData(spec, mode, hotFrac)
+	if err != nil {
+		return nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, err
+	}
+	deltaCells := 0
+	for _, b := range data.Batches {
+		deltaCells += b.NumCells()
+	}
+	rung := &SkewRung{
+		Mode:       mode,
+		Fabric:     fabricLabel(tcp),
+		Batches:    len(data.Batches),
+		DeltaCells: deltaCells,
+	}
+	// Timing repetitions run unaudited and unqueried (pure maintenance
+	// cost, min over reps); one audited repetition per leg carries the
+	// snapshot auditors and the query bursts and supplies the end states
+	// for the equivalence check. TCP rungs skip the audit reps to keep the
+	// daemon churn bounded.
+	reps := 2
+	auditors := 2
+	if tcp {
+		reps, auditors = 1, 0
+	}
+
+	// All-eager timing leg.
+	for rep := 0; rep < reps; rep++ {
+		cl, closeFn, err := loadSkewRung(spec, data, tcp)
+		if err != nil {
+			return nil, err
+		}
+		m, err := maintain.NewMaintainer(cl, def, nil, spec.Params)
+		if err != nil {
+			closeFn()
+			return nil, err
+		}
+		m.SetPlacements(spec.Placement(), spec.Placement())
+		t0 := time.Now()
+		for i, b := range data.Batches {
+			if _, err := m.ApplyBatch(b); err != nil {
+				closeFn()
+				return nil, fmt.Errorf("eager leg batch %d: %w", i, err)
+			}
+		}
+		sec := time.Since(t0).Seconds()
+		if rep == 0 || sec < rung.EagerSeconds {
+			rung.EagerSeconds = sec
+		}
+		closeFn()
+	}
+
+	// Adaptive timing leg. The final drain is timed separately and charged
+	// to the adaptive total.
+	for rep := 0; rep < reps; rep++ {
+		cl, closeFn, err := loadSkewRung(spec, data, tcp)
+		if err != nil {
+			return nil, err
+		}
+		am, err := maintain.NewAdaptiveMaintainer(cl, def, nil, spec.Params, skewAdaptiveConfig(nil))
+		if err != nil {
+			closeFn()
+			return nil, err
+		}
+		am.Inner().SetPlacements(spec.Placement(), spec.Placement())
+		t0 := time.Now()
+		for i, b := range data.Batches {
+			if _, err := am.ApplyBatch(b); err != nil {
+				closeFn()
+				return nil, fmt.Errorf("adaptive leg batch %d: %w", i, err)
+			}
+		}
+		batchSec := time.Since(t0).Seconds()
+		t1 := time.Now()
+		if _, err := am.Drain(); err != nil {
+			closeFn()
+			return nil, fmt.Errorf("adaptive leg drain: %w", err)
+		}
+		drainSec := time.Since(t1).Seconds()
+		if rep == 0 || batchSec+drainSec < rung.AdaptiveSeconds+rung.DrainSeconds {
+			rung.AdaptiveSeconds, rung.DrainSeconds = batchSec, drainSec
+		}
+		closeFn()
+	}
+
+	// Audited + queried repetitions: one per leg, not timed, supplying the
+	// equivalence fingerprints, the isolation audit, the query percentiles,
+	// and the adaptive-layer counters.
+	eagerCl, closeEager, err := loadSkewRung(spec, data, tcp)
+	if err != nil {
+		return nil, err
+	}
+	defer closeEager()
+	{
+		m, err := maintain.NewMaintainer(eagerCl, def, nil, spec.Params)
+		if err != nil {
+			return nil, err
+		}
+		m.SetPlacements(spec.Placement(), spec.Placement())
+		eng, err := query.NewEngine(eagerCl, def, spec.Params)
+		if err != nil {
+			return nil, err
+		}
+		var audit *snapshotAudit
+		if auditors > 0 {
+			audit = attachAudit(eagerCl, def.Name, auditors)
+		}
+		var lats []time.Duration
+		for i, b := range data.Batches {
+			if _, err := m.ApplyBatch(b); err != nil {
+				return nil, fmt.Errorf("eager audit leg batch %d: %w", i, err)
+			}
+			if (i+1)%skewQueryEvery == 0 {
+				for q := 0; q < skewQueryBurst; q++ {
+					t0 := time.Now()
+					if _, err := eng.Answer(def.Pred.Shape, query.ForceView); err != nil {
+						return nil, fmt.Errorf("eager query at batch %d: %w", i, err)
+					}
+					lats = append(lats, time.Since(t0))
+				}
+			}
+		}
+		if audit != nil {
+			rung.EagerObservations, rung.EagerViolations = audit.finish()
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rung.EagerQueryP50Millis = pctMillis(lats, 0.50)
+		rung.EagerQueryP99Millis = pctMillis(lats, 0.99)
+	}
+
+	adCl, closeAd, err := loadSkewRung(spec, data, tcp)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAd()
+	{
+		counters := &obs.AdaptiveCounters{}
+		am, err := maintain.NewAdaptiveMaintainer(adCl, def, nil, spec.Params, skewAdaptiveConfig(counters))
+		if err != nil {
+			return nil, err
+		}
+		am.Inner().SetPlacements(spec.Placement(), spec.Placement())
+		eng, err := query.NewEngine(adCl, def, spec.Params)
+		if err != nil {
+			return nil, err
+		}
+		eng.Fresh = am.EnsureFresh
+		var audit *snapshotAudit
+		if auditors > 0 {
+			audit = attachAudit(adCl, def.Name, auditors)
+		}
+		var lats []time.Duration
+		for i, b := range data.Batches {
+			if _, err := am.ApplyBatch(b); err != nil {
+				return nil, fmt.Errorf("adaptive audit leg batch %d: %w", i, err)
+			}
+			if (i+1)%skewQueryEvery == 0 {
+				for q := 0; q < skewQueryBurst; q++ {
+					t0 := time.Now()
+					if _, err := eng.AnswerCtx(context.Background(), def.Pred.Shape, query.ForceView); err != nil {
+						return nil, fmt.Errorf("lazy query at batch %d: %w", i, err)
+					}
+					lats = append(lats, time.Since(t0))
+				}
+			}
+		}
+		if _, err := am.Drain(); err != nil {
+			return nil, fmt.Errorf("adaptive audit leg drain: %w", err)
+		}
+		if audit != nil {
+			rung.Observations, rung.Violations = audit.finish()
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rung.LazyQueryP50Millis = pctMillis(lats, 0.50)
+		rung.LazyQueryP99Millis = pctMillis(lats, 0.99)
+		st := am.Stats()
+		rung.HeavyClasses, rung.SeenClasses = st.HeavyClasses, st.SeenClasses
+		rung.Promotions, rung.Demotions = st.Promotions, st.Demotions
+		rung.Pending = st.Pending
+		rung.MemoHits, rung.MemoMisses = st.Memo.Hits, st.Memo.Misses
+		rung.PlanReuses, rung.PlanSolves = st.Plans.Hits, st.Plans.Misses
+	}
+
+	rung.StatesMatch, err = sameState(eagerCl, adCl, data.Schema.Name, def.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	n := float64(len(data.Batches))
+	rung.EagerPerBatchMillis = rung.EagerSeconds * 1000 / n
+	rung.AdaptivePerBatchMillis = (rung.AdaptiveSeconds + rung.DrainSeconds) * 1000 / n
+	if rung.EagerSeconds > 0 {
+		rung.Reduction = 1 - rung.AdaptivePerBatchMillis/rung.EagerPerBatchMillis
+	}
+	return rung, nil
+}
+
+// skewStreamRung pushes the skewed trickle through the pipelined graph with
+// the classifier attached, and checks the end state against a plain eager
+// pass over the same data.
+func skewStreamRung(spec Spec, hotFrac float64) (*SkewStreamRung, error) {
+	data, err := workload.GeneratePTFSkewed(spec.PTF, hotFrac)
+	if err != nil {
+		return nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, err
+	}
+	out := &SkewStreamRung{Batches: len(data.Batches)}
+
+	// Reference: plain eager batch-at-a-time.
+	refCl, refParams, err := loadRung(spec, data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := maintain.NewMaintainer(refCl, def, nil, *refParams)
+	if err != nil {
+		return nil, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			return nil, fmt.Errorf("stream reference batch %d: %w", i, err)
+		}
+	}
+
+	// Streamed leg with the adaptive classifier attached.
+	cl, params, err := loadRung(spec, data)
+	if err != nil {
+		return nil, err
+	}
+	am, err := maintain.NewAdaptiveMaintainer(cl, def, nil, *params, skewAdaptiveConfig(nil))
+	if err != nil {
+		return nil, err
+	}
+	g, err := stream.NewGraph(stream.Config{
+		Cluster:        cl,
+		Def:            def,
+		Params:         *params,
+		ArrayPlacement: spec.Placement(),
+		ViewPlacement:  spec.Placement(),
+		Adaptive:       am,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i, b := range data.Batches {
+		tk, err := g.Submit(b)
+		if err != nil {
+			return nil, fmt.Errorf("stream submit %d: %w", i, err)
+		}
+		if res := tk.Wait(); res.Err != nil {
+			return nil, fmt.Errorf("stream batch %d: %w", i, res.Err)
+		}
+	}
+	g.Drain()
+	out.StreamSeconds = time.Since(t0).Seconds()
+	out.PerBatchMillis = out.StreamSeconds * 1000 / float64(len(data.Batches))
+	st := g.Stats()
+	out.Solves, out.Reuses = st.Router.Solves, st.Router.Reuses
+	ast := am.Stats()
+	out.HeavyClasses = ast.HeavyClasses
+	out.MemoHits, out.MemoMisses = ast.Memo.Hits, ast.Memo.Misses
+	out.StatesMatch, err = sameState(refCl, cl, data.Schema.Name, def.Name)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -56,6 +56,10 @@ func newArrayMeta(s *array.Schema) *ArrayMeta {
 type Catalog struct {
 	mu     sync.RWMutex
 	arrays map[string]*ArrayMeta
+	// pending is the adaptive path's pending-delta log (see pending.go),
+	// created lazily by Pending(). It has its own lock; the catalog only
+	// guards the pointer.
+	pending *PendingLog
 }
 
 // NewCatalog returns an empty catalog.

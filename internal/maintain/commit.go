@@ -240,6 +240,19 @@ func commitView(ctx *Context, p *Plan, es *execState, cm *committer) error {
 	return nil
 }
 
+// rehash re-records a base chunk's content hash after the commit rewrote
+// it: SetChunk drops the recorded hash because the content changed, which
+// is fine for wire dedup (senders re-hash lazily) but starves the adaptive
+// path's content-addressed join memo — a base chunk without a catalog hash
+// can never hit. Only runs when a memo is active, so the all-eager path
+// keeps its exact cost profile.
+func rehash(ctx *Context, name string, key array.ChunkKey, ch *array.Chunk) {
+	if ctx.JoinMemo == nil {
+		return
+	}
+	_ = ctx.Cluster.Catalog().SetChunkHash(name, key, ch.ContentHash(), ch.EncodedSize())
+}
+
 // commitIngest folds the staged insert chunks into the base array and
 // applies the plan's array chunk reassignments.
 func commitIngest(ctx *Context, p *Plan, es *execState, cm *committer) error {
@@ -301,6 +314,7 @@ func commitIngest(ctx *Context, p *Plan, es *execState, cm *committer) error {
 						return err
 					}
 				}
+				rehash(ctx, baseName, key, old)
 				handled[baseRef] = true
 				continue
 			}
@@ -327,6 +341,7 @@ func commitIngest(ctx *Context, p *Plan, es *execState, cm *committer) error {
 					return err
 				}
 			}
+			rehash(ctx, baseName, key, dch)
 		}
 	}
 
@@ -414,6 +429,7 @@ func commitErase(ctx *Context, es *execState, cm *committer) error {
 					return err
 				}
 			}
+			rehash(ctx, baseName, key, old)
 		}
 	}
 	return nil

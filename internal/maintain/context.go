@@ -50,6 +50,14 @@ type Context struct {
 	Params  Params
 	Rng     *rand.Rand
 
+	// JoinMemo, when non-nil, lets Execute reuse cached join partials for
+	// chunk pairs whose input content hashes match a previously executed
+	// pair (the adaptive path's precomputed join state for heavy chunks).
+	// It also makes the commit path re-record base-chunk content hashes
+	// after folding deltas in, so subsequent batches can address those
+	// chunks by content.
+	JoinMemo *JoinMemo
+
 	// Trace, when non-nil, receives the per-phase spans and per-node task
 	// timings of Execute. A nil trace costs nothing.
 	Trace *obs.Trace

@@ -489,6 +489,27 @@ func runJoins(ctx *Context, p *Plan, es *execState) error {
 			taskStart := time.Now()
 			defer func() { tr.AddNode(site, time.Since(taskStart)) }()
 			at := site
+			// Content-addressed join reuse: when both input hashes are
+			// known and a prior batch already joined identical content,
+			// stage clones of the cached partials instead of re-running
+			// the kernel (or the pushdown round-trip).
+			var mk memoKey
+			memoable := false
+			if ctx.JoinMemo != nil {
+				mk, memoable = memoKeyFor(ctx, u, sign)
+				if memoable {
+					if parts, ok := ctx.JoinMemo.get(mk); ok {
+						mergeStart := time.Now()
+						defer func() { tr.Add(obs.PhaseMerge, time.Since(mergeStart)) }()
+						for _, part := range parts {
+							if err := es.stagePartial(ctx, p, part, at, stateSpec); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+				}
+			}
 			partials, err := joinUnitAt(ctx, es, u, at, sign, joinFabric)
 			if err != nil && cluster.IsNodeDown(err) {
 				es.markDead(at)
@@ -496,6 +517,9 @@ func runJoins(ctx *Context, p *Plan, es *execState) error {
 			}
 			if err != nil {
 				return fmt.Errorf("maintain: unit %d at node %d: %w", i, site, err)
+			}
+			if memoable {
+				ctx.JoinMemo.put(mk, partials)
 			}
 			mergeStart := time.Now()
 			defer func() { tr.Add(obs.PhaseMerge, time.Since(mergeStart)) }()

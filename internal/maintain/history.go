@@ -21,9 +21,17 @@ type batchRec struct {
 
 // History is the sliding window of past batch updates U_1..U_L that array
 // chunk reassignment scores against (Section 4.5). Most recent first.
+//
+// Alongside the pair window it keeps a second ring, same length, of the
+// chunk keys each batch updated. The pair window only sees units the
+// executor actually ran, so under adaptive maintenance (where light-chunk
+// deltas are deferred) it would never learn about light chunks; the touch
+// ring records every delta chunk of every batch regardless of which path
+// handled it, and is what the heavy/light classifier scores against.
 type History struct {
 	window  int
 	batches []batchRec
+	touched []map[array.ChunkKey]bool // most recent first, same window
 }
 
 // NewHistory returns a history keeping at most window batches.
@@ -55,4 +63,50 @@ func (h *History) Record(ctx *Context) {
 	if len(h.batches) > h.window {
 		h.batches = h.batches[:h.window]
 	}
+}
+
+// RecordUpdates captures the full set of chunk keys a batch updated into
+// the touch ring, independent of which units (if any) were executed for
+// it. Keys are recorded as given — callers that want spatial rather than
+// per-slab identity project them first (see Classifier.Project).
+func (h *History) RecordUpdates(keys []array.ChunkKey) {
+	if h == nil || h.window == 0 {
+		return
+	}
+	set := make(map[array.ChunkKey]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	h.touched = append([]map[array.ChunkKey]bool{set}, h.touched...)
+	if len(h.touched) > h.window {
+		h.touched = h.touched[:h.window]
+	}
+}
+
+// TouchLen returns how many batches the touch ring currently holds.
+func (h *History) TouchLen() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.touched)
+}
+
+// UpdateScores returns each chunk key's update-frequency score over the
+// touch ring: Σ Decay^l over the batches l (0 = most recent) that updated
+// the key — the same W_l = Decay^l batch weights Eq. 1 uses for the pair
+// window. A chunk touched every batch scores Σ_{l<window} Decay^l; one
+// touched once, long ago, decays toward zero.
+func (h *History) UpdateScores(decay float64) map[array.ChunkKey]float64 {
+	scores := make(map[array.ChunkKey]float64)
+	if h == nil {
+		return scores
+	}
+	w := 1.0
+	for _, set := range h.touched {
+		for k := range set {
+			scores[k] += w
+		}
+		w *= decay
+	}
+	return scores
 }

@@ -1,0 +1,179 @@
+package maintain
+
+import (
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/view"
+)
+
+// memoKey identifies one chunk-pair join by the *content* of its inputs:
+// the canonical content hashes of both chunks, the contribution sign, and
+// whether both orientations were evaluated. Content addressing (rather
+// than chunk keys) is what makes the cache survive across batches and
+// across the per-batch "#sdeltaN" delta namespaces: a heavy chunk that a
+// later batch overwrites with identical content — the PTF replay pattern —
+// hits regardless of which slab or staging name it travels under, and any
+// real mutation changes the hash, so invalidation is structural rather
+// than tracked.
+type memoKey struct {
+	hp, hq uint64
+	sign   float64
+	both   bool
+}
+
+type memoEntry struct {
+	key   memoKey
+	parts []*array.Chunk // deep clones; never handed out directly
+	bytes int64
+}
+
+// JoinMemo caches the differential partials of heavy chunk-pair joins
+// across batches. Execute consults it per unit: a hit skips the join
+// kernel (and, on pushdown fabrics, the remote execution round-trip)
+// entirely and stages clones of the cached partials. Entries are cloned on
+// store and on hit because the staging path's MergeAt consumes its source
+// chunk; a clone of a small differential partial is far cheaper than the
+// pair join it replaces.
+//
+// Admission is two-touch: a pair result is only cached once its key has
+// missed before. Workloads whose content never repeats (fresh time slabs,
+// uniform scatter) therefore never pay the store-clone cost — the dominant
+// memo overhead — while replay workloads give up just one extra miss per
+// pair before hitting.
+//
+// The memo is safe for concurrent use by the join-stage worker pools.
+type JoinMemo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+	order   []memoKey // FIFO eviction order
+	cap     int
+
+	missed map[memoKey]struct{} // two-touch admission set
+
+	hits, misses, evictions int64
+	bytes                   int64
+}
+
+// DefaultJoinMemoCap bounds the number of cached pair results; FIFO
+// eviction keeps the footprint proportional to the recent heavy set.
+const DefaultJoinMemoCap = 4096
+
+// NewJoinMemo returns a memo holding at most cap pair results
+// (DefaultJoinMemoCap if cap <= 0).
+func NewJoinMemo(cap int) *JoinMemo {
+	if cap <= 0 {
+		cap = DefaultJoinMemoCap
+	}
+	return &JoinMemo{
+		entries: make(map[memoKey]*memoEntry),
+		missed:  make(map[memoKey]struct{}),
+		cap:     cap,
+	}
+}
+
+func clonePartials(parts []*array.Chunk) []*array.Chunk {
+	out := make([]*array.Chunk, len(parts))
+	for i, p := range parts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// get returns clones of the cached partials for the key, if present.
+func (m *JoinMemo) get(k memoKey) ([]*array.Chunk, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[k]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	return clonePartials(e.parts), true
+}
+
+// put stores clones of the partials under the key, evicting the oldest
+// entry when at capacity. A key's first put only records it in the
+// admission set; the clone-and-store happens on the second.
+func (m *JoinMemo) put(k memoKey, parts []*array.Chunk) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[k]; ok {
+		return
+	}
+	if _, ok := m.missed[k]; !ok {
+		// Bound the admission set; resetting it merely delays admission of
+		// live keys by one more miss.
+		if len(m.missed) >= 4*m.cap {
+			m.missed = make(map[memoKey]struct{})
+		}
+		m.missed[k] = struct{}{}
+		return
+	}
+	delete(m.missed, k)
+	for len(m.entries) >= m.cap && len(m.order) > 0 {
+		old := m.order[0]
+		m.order = m.order[1:]
+		if e, ok := m.entries[old]; ok {
+			m.bytes -= e.bytes
+			delete(m.entries, old)
+			m.evictions++
+		}
+	}
+	e := &memoEntry{key: k, parts: clonePartials(parts)}
+	for _, p := range e.parts {
+		e.bytes += p.SizeBytes()
+	}
+	m.entries[k] = e
+	m.order = append(m.order, k)
+	m.bytes += e.bytes
+}
+
+// JoinMemoStats is a point-in-time snapshot of the memo counters.
+type JoinMemoStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats snapshots the memo's counters.
+func (m *JoinMemo) Stats() JoinMemoStats {
+	if m == nil {
+		return JoinMemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return JoinMemoStats{
+		Entries:   len(m.entries),
+		Bytes:     m.bytes,
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+	}
+}
+
+// memoKeyFor builds the content-addressed key for a unit, or reports false
+// when either input's content hash is not recorded in the catalog (e.g. a
+// base chunk rewritten by a commit path that doesn't re-hash) — the join
+// then simply runs uncached.
+func memoKeyFor(ctx *Context, u view.Unit, sign float64) (memoKey, bool) {
+	cat := ctx.Cluster.Catalog()
+	hp, _, ok := cat.ChunkHash(u.P.Array, u.P.Key)
+	if !ok {
+		return memoKey{}, false
+	}
+	hq, _, ok := cat.ChunkHash(u.Q.Array, u.Q.Key)
+	if !ok {
+		return memoKey{}, false
+	}
+	return memoKey{hp: hp, hq: hq, sign: sign, both: u.BothDirections}, true
+}

@@ -23,6 +23,13 @@ type Maintainer struct {
 	history  *History
 	rng      *rand.Rand
 	batchSeq int
+	// memo, when non-nil, is the content-addressed join-state cache shared
+	// across this maintainer's batches (set by the adaptive layer or
+	// SetJoinMemo); Execute consults it per unit.
+	memo *JoinMemo
+	// scratch, when non-nil, caches unit lists and optimizer solutions per
+	// delta footprint (set by the adaptive layer or SetPlanScratch).
+	scratch *PlanScratch
 
 	arrayPlacement cluster.Placement
 	viewPlacement  cluster.Placement
@@ -101,7 +108,19 @@ func (m *Maintainer) SetPlacements(arrayP, viewP cluster.Placement) {
 	if viewP != nil {
 		m.viewPlacement = viewP
 	}
+	if m.scratch != nil {
+		m.scratch.InvalidatePlacement()
+	}
 }
+
+// SetPlanScratch attaches (or detaches, with nil) a per-footprint cache of
+// generated units and solved placements (see PlanScratch).
+func (m *Maintainer) SetPlanScratch(s *PlanScratch) { m.scratch = s }
+
+// SetJoinMemo attaches (or detaches, with nil) a cross-batch join-state
+// cache. Pass a shared memo to let several maintainers — e.g. the batch
+// path and the streaming graph — reuse each other's join results.
+func (m *Maintainer) SetJoinMemo(memo *JoinMemo) { m.memo = memo }
 
 // Planner returns the active planning strategy.
 func (m *Maintainer) Planner() Planner { return m.planner }
@@ -138,7 +157,7 @@ func (m *Maintainer) ApplyBatch(delta *array.Array) (*Report, error) {
 	if !m.def.SelfJoin() {
 		return nil, fmt.Errorf("maintain: view %s joins two arrays; use ApplyBatch2", m.def.Name)
 	}
-	return m.apply(delta, nil, false)
+	return m.apply(delta, nil, false, false)
 }
 
 // ApplyDelete incrementally maintains the view under a batch of deletions
@@ -152,7 +171,7 @@ func (m *Maintainer) ApplyDelete(del *array.Array) (*Report, error) {
 	if !m.def.Retractable() {
 		return nil, fmt.Errorf("maintain: view %s has non-retractable aggregates (MIN/MAX)", m.def.Name)
 	}
-	return m.apply(del, nil, true)
+	return m.apply(del, nil, true, false)
 }
 
 // ApplyBatch2 maintains a two-array view under simultaneous insertions to
@@ -161,10 +180,15 @@ func (m *Maintainer) ApplyBatch2(dAlpha, dBeta *array.Array) (*Report, error) {
 	if m.def.SelfJoin() {
 		return nil, fmt.Errorf("maintain: view %s is a self join; use ApplyBatch", m.def.Name)
 	}
-	return m.apply(dAlpha, dBeta, false)
+	return m.apply(dAlpha, dBeta, false, false)
 }
 
-func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, error) {
+// apply runs one staged maintenance batch. ephemeral batches — the
+// adaptive layer's pending-log materializations — skip the planner's
+// history window: their pairs replay activity from original batches in
+// bulk, and letting a large coalesced drain haunt the window would inflate
+// every subsequent solve's scoring pass.
+func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting, ephemeral bool) (*Report, error) {
 	m.batchSeq++
 	deltaAlphaName := fmt.Sprintf("%s#delta%d", m.def.Alpha.Name, m.batchSeq)
 	deltaBetaName := deltaAlphaName
@@ -182,17 +206,43 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 		}
 	}
 
+	// Footprint cache: with cell pruning off, the unit set and the solved
+	// placement are pure functions of the delta chunk-key footprint and the
+	// base chunk-key generation, so replayed footprints skip triple
+	// generation and the optimizer solve entirely. Deletions shrink the
+	// base key set, so they bypass and invalidate the scratch.
+	useScratch := m.scratch != nil && m.def.SelfJoin() && !deleting && !m.params.CellPruning
+	var footprint string
+	var cached *scratchEntry
+	var newBaseKeys bool
+	if useScratch {
+		footprint = scratchFootprint(dAlpha.ChunkKeys())
+		cached = m.scratch.lookup(footprint)
+		for _, k := range dAlpha.ChunkKeys() {
+			if _, ok := m.cl.Catalog().Home(m.def.Alpha.Name, k); !ok {
+				newBaseKeys = true
+				break
+			}
+		}
+	}
+
 	// Preprocessing: generate the update triples from catalog metadata.
 	tripleStart := time.Now()
-	gen := &view.UnitGen{
-		Catalog: m.cl.Catalog(), Def: m.def,
-		BaseAlpha: m.def.Alpha.Name, BaseBeta: m.def.Beta.Name,
-		DeltaAlpha: deltaAlphaName, DeltaBeta: deltaBetaName,
-		CellPruning: m.params.CellPruning,
-	}
-	units, err := gen.Generate()
-	if err != nil {
-		return nil, err
+	var units []view.Unit
+	var err error
+	if cached != nil {
+		units = cached.rebuildUnits(m.def.Alpha.Name, deltaAlphaName)
+	} else {
+		gen := &view.UnitGen{
+			Catalog: m.cl.Catalog(), Def: m.def,
+			BaseAlpha: m.def.Alpha.Name, BaseBeta: m.def.Beta.Name,
+			DeltaAlpha: deltaAlphaName, DeltaBeta: deltaBetaName,
+			CellPruning: m.params.CellPruning,
+		}
+		units, err = gen.Generate()
+		if err != nil {
+			return nil, err
+		}
 	}
 	tripleGen := time.Since(tripleStart)
 
@@ -207,11 +257,17 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 	ctx.ArrayPlacement = m.arrayPlacement
 	ctx.ViewPlacement = m.viewPlacement
 	ctx.Deleting = deleting
+	ctx.JoinMemo = m.memo
 
 	planStart := time.Now()
-	plan, err := m.planner.Plan(ctx)
-	if err != nil {
-		return nil, err
+	var plan *Plan
+	if cached != nil {
+		plan = cached.rebuildPlan(ctx)
+	} else {
+		plan, err = m.planner.Plan(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	planning := time.Since(planStart)
 
@@ -222,7 +278,24 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting bool) (*Report, 
 		return nil, err
 	}
 	execWall := time.Since(execStart)
-	m.history.Record(ctx)
+	if !ephemeral {
+		m.history.Record(ctx)
+	}
+	if useScratch {
+		// A batch that added chunk keys to the base invalidates every
+		// cached footprint: they solved against a base that no longer
+		// exists (and its own solution is equally stale, so it is not
+		// stored). Pure-overwrite batches — the replay pattern — leave the
+		// key set intact and their solutions reusable.
+		if newBaseKeys {
+			m.scratch.Invalidate()
+		} else if cached == nil {
+			m.scratch.store(footprint, ctx, plan)
+		}
+	}
+	if m.scratch != nil && deleting {
+		m.scratch.Invalidate()
+	}
 
 	nTriples := 0
 	for _, u := range units {

@@ -7,7 +7,10 @@
 // plan to the cluster.
 package maintain
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Params are the tunable constants of the optimization (Table 1 and
 // Section 6.2).
@@ -55,8 +58,23 @@ func DefaultParams() Params {
 	}
 }
 
-// Validate reports whether the parameters are usable.
+// Validate reports whether the parameters are usable. NaN is rejected
+// explicitly: every range comparison below is false for NaN, so without
+// these checks a NaN Lambda/Decay/CPUThresholdFactor would validate and
+// silently poison the Eq. 1 objective (and now the classifier scores too).
 func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"lambda", p.Lambda},
+		{"decay", p.Decay},
+		{"cpu threshold factor", p.CPUThresholdFactor},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("maintain: %s %v is not finite", f.name, f.v)
+		}
+	}
 	if p.Lambda < 0 || p.Lambda > 1 {
 		return fmt.Errorf("maintain: lambda %v outside [0, 1]", p.Lambda)
 	}

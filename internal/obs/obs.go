@@ -48,6 +48,11 @@ type Counter struct{ v atomic.Int64 }
 // Add increments the counter by n.
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
+// Store overwrites the counter — for gauge-style values (current heavy
+// chunk count, pending log depth) that are re-published rather than
+// accumulated.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
@@ -79,6 +84,58 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 		BytesServed:   c.BytesServed.Load(),
 		BytesInserted: c.BytesInserted.Load(),
 		Evictions:     c.Evictions.Load(),
+	}
+}
+
+// AdaptiveCounters is the observability surface of the heavy-light
+// adaptive maintenance layer. Heavy/Light/PendingChunks/PendingCells are
+// gauges (Store); the rest accumulate (Add).
+type AdaptiveCounters struct {
+	HeavyChunks  Counter // gauge: classes currently classified heavy
+	LightChunks  Counter // gauge: classes seen but currently light
+	PendingChunks Counter // gauge: chunks with deferred deltas outstanding
+	PendingCells Counter // gauge: cells deferred and not yet materialized
+	Deferred     Counter // delta chunks routed to the pending log
+	LazyMats     Counter // pending entries materialized on query touch
+	Drained      Counter // pending entries materialized by drainer/conflict
+	Promotions   Counter // light→heavy transitions (scores + pressure)
+	Demotions    Counter // heavy→light transitions
+	MemoHits     Counter // cached-join-state hits
+	MemoMisses   Counter // cached-join-state misses
+}
+
+// AdaptiveSnapshot is a point-in-time copy of AdaptiveCounters.
+type AdaptiveSnapshot struct {
+	HeavyChunks   int64
+	LightChunks   int64
+	PendingChunks int64
+	PendingCells  int64
+	Deferred      int64
+	LazyMats      int64
+	Drained       int64
+	Promotions    int64
+	Demotions     int64
+	MemoHits      int64
+	MemoMisses    int64
+}
+
+// Snapshot copies the current values.
+func (a *AdaptiveCounters) Snapshot() AdaptiveSnapshot {
+	if a == nil {
+		return AdaptiveSnapshot{}
+	}
+	return AdaptiveSnapshot{
+		HeavyChunks:   a.HeavyChunks.Load(),
+		LightChunks:   a.LightChunks.Load(),
+		PendingChunks: a.PendingChunks.Load(),
+		PendingCells:  a.PendingCells.Load(),
+		Deferred:      a.Deferred.Load(),
+		LazyMats:      a.LazyMats.Load(),
+		Drained:       a.Drained.Load(),
+		Promotions:    a.Promotions.Load(),
+		Demotions:     a.Demotions.Load(),
+		MemoHits:      a.MemoHits.Load(),
+		MemoMisses:    a.MemoMisses.Load(),
 	}
 }
 

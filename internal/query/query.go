@@ -67,6 +67,12 @@ type Engine struct {
 	// mapping, group-by, and aggregates but substitute their own shape.
 	Def    *view.Definition
 	Params maintain.Params
+	// Fresh, when non-nil, runs before each answer so lazily-maintained
+	// state can be materialized first (the adaptive path's pending-delta
+	// log). The hook commits through the normal maintenance path, so
+	// snapshot readers are unaffected; an error fails the query rather
+	// than silently answering stale.
+	Fresh func(context.Context) error
 }
 
 // NewEngine validates and returns an engine.
@@ -133,6 +139,11 @@ func (e *Engine) Answer(queryShape *shape.Shape, mode Mode) (*Result, error) {
 // stops scheduling further chunk-pair tasks instead of running the query to
 // completion for nobody.
 func (e *Engine) AnswerCtx(ctx context.Context, queryShape *shape.Shape, mode Mode) (*Result, error) {
+	if e.Fresh != nil {
+		if err := e.Fresh(ctx); err != nil {
+			return nil, fmt.Errorf("query: materializing pending deltas: %w", err)
+		}
+	}
 	ch, err := e.decideForMode(ctx, queryShape, mode)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/query"
 	"github.com/arrayview/arrayview/internal/shape"
 	"github.com/arrayview/arrayview/internal/transport"
@@ -96,6 +97,19 @@ func (c *Client) Stats() (Stats, error) {
 		CacheBytes:    resp.CacheBytes,
 		Queries:       resp.Queries,
 		Rejected:      resp.Rejected,
+		Adaptive: obs.AdaptiveSnapshot{
+			HeavyChunks:   resp.HeavyChunks,
+			LightChunks:   resp.LightChunks,
+			PendingChunks: resp.PendingChunks,
+			PendingCells:  resp.PendingCells,
+			Deferred:      resp.Deferred,
+			LazyMats:      resp.LazyMats,
+			Drained:       resp.Drained,
+			Promotions:    resp.Promotions,
+			Demotions:     resp.Demotions,
+			MemoHits:      resp.MemoHits,
+			MemoMisses:    resp.MemoMisses,
+		},
 	}, nil
 }
 

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// MetricsHandler returns an expvar-style HTTP handler exposing the serving
+// daemon's health counters — epochs, snapshot retention, read cache,
+// admission, and the adaptive-maintenance gauges — as one JSON document.
+// Every path answers the same snapshot so curl needs no exact route.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding a freshly built snapshot can only fail on a broken
+		// connection; nothing to do about that here.
+		_ = enc.Encode(s.Stats())
+	})
+}
+
+// MetricsServer is a running metrics listener; Close stops it.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address.
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the listener.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// StartMetrics serves the daemon's metrics handler on addr (":0" picks a
+// free port) in the background. This is the /debug/vars-like endpoint the
+// ivmserve daemon exposes with -metrics, mirroring ivmnode's.
+func StartMetrics(addr string, s *Server) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.MetricsHandler()}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; other errors mean the
+		// listener died, which the owner notices through failed scrapes.
+		_ = srv.Serve(ln)
+	}()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

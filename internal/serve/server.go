@@ -11,6 +11,7 @@ import (
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/obs"
 	"github.com/arrayview/arrayview/internal/query"
 	"github.com/arrayview/arrayview/internal/shape"
 	"github.com/arrayview/arrayview/internal/transport"
@@ -95,6 +96,9 @@ type Stats struct {
 	// rejections.
 	Queries  int64
 	Rejected int64
+	// Adaptive carries the heavy-light maintenance layer's counters when
+	// the daemon maintains adaptively (all zero otherwise).
+	Adaptive obs.AdaptiveSnapshot
 }
 
 // HitRate returns the cache hit fraction, 0 before any lookup.
@@ -118,6 +122,16 @@ type Server struct {
 	rc  *cluster.ReadCache
 	lim *Limiter
 	cfg Config
+
+	// fresh, when set, runs after admission and before the snapshot pin:
+	// the adaptive maintenance layer materializes pending light-chunk
+	// deltas there through the normal commit path, so the epoch this query
+	// then pins already includes them. Running before Acquire is what
+	// keeps snapshot isolation exact — a materialization is just another
+	// commit publishing its own epoch.
+	fresh func(context.Context) error
+	// adaptive, when set, feeds Stats().Adaptive.
+	adaptive *obs.AdaptiveCounters
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -149,6 +163,13 @@ func NewServer(eng *query.Engine, cfg *Config) *Server {
 // Engine returns the wrapped query engine.
 func (s *Server) Engine() *query.Engine { return s.eng }
 
+// SetFresh installs the pre-pin freshness hook (see the field docs) and
+// the adaptive counters surfaced through Stats. Call before Listen.
+func (s *Server) SetFresh(fresh func(context.Context) error, counters *obs.AdaptiveCounters) {
+	s.fresh = fresh
+	s.adaptive = counters
+}
+
 // ReadCache returns the server's hot-chunk cache (nil when disabled).
 func (s *Server) ReadCache() *cluster.ReadCache { return s.rc }
 
@@ -168,6 +189,7 @@ func (s *Server) Stats() Stats {
 		st.CacheBytes = s.rc.Bytes()
 	}
 	st.Queries, st.Rejected = s.lim.Counters()
+	st.Adaptive = s.adaptive.Snapshot()
 	return st
 }
 
@@ -185,6 +207,11 @@ func (s *Server) Answer(ctx context.Context, queryShape *shape.Shape, mode query
 		return nil, 0, err
 	}
 	defer release()
+	if s.fresh != nil {
+		if err := s.fresh(ctx); err != nil {
+			return nil, 0, err
+		}
+	}
 	snap, err := s.eng.Cluster.Epochs().Acquire()
 	if err != nil {
 		return nil, 0, err
@@ -348,6 +375,17 @@ func (s *Server) handle(req *transport.Message) *transport.Message {
 			CacheBytes:    st.CacheBytes,
 			Queries:       st.Queries,
 			Rejected:      st.Rejected,
+			HeavyChunks:   st.Adaptive.HeavyChunks,
+			LightChunks:   st.Adaptive.LightChunks,
+			PendingChunks: st.Adaptive.PendingChunks,
+			PendingCells:  st.Adaptive.PendingCells,
+			Deferred:      st.Adaptive.Deferred,
+			LazyMats:      st.Adaptive.LazyMats,
+			Drained:       st.Adaptive.Drained,
+			Promotions:    st.Adaptive.Promotions,
+			Demotions:     st.Adaptive.Demotions,
+			MemoHits:      st.Adaptive.MemoHits,
+			MemoMisses:    st.Adaptive.MemoMisses,
 		}
 
 	default:

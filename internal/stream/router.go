@@ -31,16 +31,25 @@ func pairKeyOf(ctx *maintain.Context, u view.Unit) pairKey {
 type router struct {
 	planner   maintain.Planner
 	threshold float64
+	// heavy, when non-nil, reports the adaptive classifier's verdict for a
+	// chunk key; heavy-chunk touches count heavyTouchWeight× in the drift
+	// coverage, so the router re-solves promptly when the hot footprint
+	// moves but tolerates churn in the cold scatter tail.
+	heavy func(array.ChunkKey) bool
 
 	haveSolve bool
 	joinSite  map[pairKey]int
 	viewHome  map[array.ChunkKey]int
-	// touch is the base-chunk-touch distribution (key → unit count) the
-	// cached solution was solved for.
+	// touch is the base-chunk-touch distribution (key → weighted unit
+	// count) the cached solution was solved for.
 	touch map[array.ChunkKey]int
 
 	solves, reuses int64
 }
+
+// heavyTouchWeight is how many cold-chunk touches one hot-chunk touch is
+// worth in the drift signal.
+const heavyTouchWeight = 4
 
 // RouterStats reports how often the router solved versus reused.
 type RouterStats struct {
@@ -48,8 +57,17 @@ type RouterStats struct {
 	Reuses int64 `json:"reuses"`
 }
 
-func newRouter(planner maintain.Planner, threshold float64) *router {
-	return &router{planner: planner, threshold: threshold}
+func newRouter(planner maintain.Planner, threshold float64, heavy func(array.ChunkKey) bool) *router {
+	return &router{planner: planner, threshold: threshold, heavy: heavy}
+}
+
+// heavyFnOf adapts an optional adaptive maintainer into the router's
+// classifier lookup.
+func heavyFnOf(a *maintain.AdaptiveMaintainer) func(array.ChunkKey) bool {
+	if a == nil {
+		return nil
+	}
+	return a.IsHeavy
 }
 
 // touchesOf counts how many units read each base chunk key — the drift
@@ -99,6 +117,13 @@ func coverage(cur, ref map[array.ChunkKey]int) float64 {
 // its home, so any subset may be deferred safely.
 func (r *router) plan(ctx *maintain.Context, conflicted bool) (*maintain.Plan, bool, error) {
 	cur := touchesOf(ctx.Units)
+	if r.heavy != nil {
+		for k, c := range cur {
+			if r.heavy(k) {
+				cur[k] = c * heavyTouchWeight
+			}
+		}
+	}
 	if r.haveSolve && (conflicted || coverage(cur, r.touch) >= r.threshold) {
 		r.reuses++
 		return r.reusePlan(ctx), true, nil

@@ -95,6 +95,17 @@ type Config struct {
 	ArrayPlacement cluster.Placement
 	ViewPlacement  cluster.Placement
 
+	// Adaptive, when non-nil, connects the pipeline to the heavy-light
+	// adaptive layer: the source stage feeds every batch's chunk keys into
+	// its classification window, batch contexts share its join-state memo
+	// (content-identical pairs skip the join kernel), and the router
+	// weights heavy-chunk touches when judging placement drift — drift in
+	// the hot footprint re-solves promptly while churn in the cold scatter
+	// tail keeps reusing the cached solve. The streaming path itself still
+	// maintains every chunk eagerly (deferral is the batch path's job);
+	// this keeps the classifier warm across both paths.
+	Adaptive *maintain.AdaptiveMaintainer
+
 	// Ctx, when non-nil, bounds every batch's execution (see
 	// maintain.Context.Ctx).
 	Ctx context.Context
@@ -254,7 +265,7 @@ func NewGraph(cfg Config) (*Graph, error) {
 		cfg:     cfg,
 		cl:      cfg.Cluster,
 		def:     cfg.Def,
-		router:  newRouter(cfg.Planner, cfg.DriftThreshold),
+		router:  newRouter(cfg.Planner, cfg.DriftThreshold, heavyFnOf(cfg.Adaptive)),
 		claims:  newClaimTable(cfg.Cluster),
 		history: maintain.NewHistory(cfg.Params.Window),
 		rng:     rand.New(rand.NewSource(cfg.Params.Seed)),
@@ -479,6 +490,10 @@ func (g *Graph) sourceWork(b *batch) {
 	ctx.ScratchSuffix = fmt.Sprintf("-s%d", b.seq)
 	ctx.Trace = obs.NewTrace()
 	ctx.Ctx = g.runCtx
+	if g.cfg.Adaptive != nil {
+		g.cfg.Adaptive.Observe(b.delta.ChunkKeys())
+		ctx.JoinMemo = g.cfg.Adaptive.Memo()
+	}
 	b.ctx = ctx
 
 	// Fence on every predecessor whose write set intersects our base reads.
@@ -660,6 +675,9 @@ func (g *Graph) runIsolated(b *batch) error {
 		ctx.Trace = b.ctx.Trace
 	}
 	ctx.Ctx = g.runCtx
+	if g.cfg.Adaptive != nil {
+		ctx.JoinMemo = g.cfg.Adaptive.Memo()
+	}
 	g.histMu.Lock()
 	plan, err := g.cfg.Planner.Plan(ctx)
 	g.histMu.Unlock()

@@ -217,6 +217,19 @@ type Message struct {
 	CacheBytes    int64 // SnapshotReply: read-cache footprint
 	Queries       int64 // SnapshotReply: queries admitted
 	Rejected      int64 // SnapshotReply: queries rejected by admission
+	// Adaptive-maintenance counters (SnapshotReply; zero when the daemon
+	// maintains all-eagerly).
+	HeavyChunks   int64 // classes currently heavy
+	LightChunks   int64 // classes seen but light
+	PendingChunks int64 // chunks with deferred deltas
+	PendingCells  int64 // deferred cells outstanding
+	Deferred      int64 // delta chunks routed to the pending log
+	LazyMats      int64 // entries materialized on query touch
+	Drained       int64 // entries materialized by drainer/conflict
+	Promotions    int64 // light→heavy transitions
+	Demotions     int64 // heavy→light transitions
+	MemoHits      int64 // cached-join-state hits
+	MemoMisses    int64 // cached-join-state misses
 }
 
 // appendStr appends a u32-length-prefixed string.
@@ -335,7 +348,10 @@ func appendPayload(buf []byte, m *Message) []byte {
 	case MsgSnapshotReply:
 		buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
 		for _, v := range []int64{m.Pins, m.Retained, m.RetainedBytes,
-			m.CacheHits, m.CacheMisses, m.CacheBytes, m.Queries, m.Rejected} {
+			m.CacheHits, m.CacheMisses, m.CacheBytes, m.Queries, m.Rejected,
+			m.HeavyChunks, m.LightChunks, m.PendingChunks, m.PendingCells,
+			m.Deferred, m.LazyMats, m.Drained, m.Promotions, m.Demotions,
+			m.MemoHits, m.MemoMisses} {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
 	}
@@ -514,7 +530,10 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 	case MsgSnapshotReply:
 		m.Epoch = r.u64()
 		for _, p := range []*int64{&m.Pins, &m.Retained, &m.RetainedBytes,
-			&m.CacheHits, &m.CacheMisses, &m.CacheBytes, &m.Queries, &m.Rejected} {
+			&m.CacheHits, &m.CacheMisses, &m.CacheBytes, &m.Queries, &m.Rejected,
+			&m.HeavyChunks, &m.LightChunks, &m.PendingChunks, &m.PendingCells,
+			&m.Deferred, &m.LazyMats, &m.Drained, &m.Promotions, &m.Demotions,
+			&m.MemoHits, &m.MemoMisses} {
 			*p = int64(r.u64())
 		}
 	default:

@@ -124,6 +124,17 @@ func genMessage(t MsgType, r *rand.Rand) *Message {
 		m.CacheBytes = int64(r.Uint64())
 		m.Queries = int64(r.Uint64())
 		m.Rejected = int64(r.Uint64())
+		m.HeavyChunks = int64(r.Uint64())
+		m.LightChunks = int64(r.Uint64())
+		m.PendingChunks = int64(r.Uint64())
+		m.PendingCells = int64(r.Uint64())
+		m.Deferred = int64(r.Uint64())
+		m.LazyMats = int64(r.Uint64())
+		m.Drained = int64(r.Uint64())
+		m.Promotions = int64(r.Uint64())
+		m.Demotions = int64(r.Uint64())
+		m.MemoHits = int64(r.Uint64())
+		m.MemoMisses = int64(r.Uint64())
 	default:
 		panic("unhandled type in generator: " + t.String())
 	}
@@ -145,6 +156,14 @@ func equalMessages(a, b *Message) bool {
 		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses ||
 		a.CacheBytes != b.CacheBytes ||
 		a.Queries != b.Queries || a.Rejected != b.Rejected {
+		return false
+	}
+	if a.HeavyChunks != b.HeavyChunks || a.LightChunks != b.LightChunks ||
+		a.PendingChunks != b.PendingChunks || a.PendingCells != b.PendingCells ||
+		a.Deferred != b.Deferred || a.LazyMats != b.LazyMats ||
+		a.Drained != b.Drained || a.Promotions != b.Promotions ||
+		a.Demotions != b.Demotions ||
+		a.MemoHits != b.MemoHits || a.MemoMisses != b.MemoMisses {
 		return false
 	}
 	if len(a.Items) != len(b.Items) {

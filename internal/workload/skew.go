@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/arrayview/arrayview/internal/array"
+)
+
+// GeneratePTFSkewed builds the skew-ladder's "skewed" workload: every
+// nightly batch advances time (fresh slabs, Real semantics — no cell ever
+// overwrites another), but spatially the batch is heavy-tailed. A hotFrac
+// share of each night's detections lands on one fixed telescope pointing
+// (the same few spatial chunk columns night after night — the heavy
+// footprint a classifier should learn), and the remainder scatters
+// uniformly over the whole (ra, dec) domain, one detection per draw, so
+// the cold tail touches many chunks that each see an update only rarely.
+//
+// Because every batch owns its own time slab, raw chunk keys never repeat;
+// the skew is only visible to a classifier that projects out the time
+// dimension. And because all inserts are disjoint, any eager/lazy split
+// applies them exactly (disjoint inserts commute), which makes this the
+// workload where deferral is both safe and profitable.
+func GeneratePTFSkewed(c PTFConfig, hotFrac float64) (*Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("workload: hot fraction %v outside [0, 1]", hotFrac)
+	}
+	schema := c.Schema()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// The hot pointing: a tight group of field centers fixed for the whole
+	// run, in the middle of the domain.
+	hot := make([]fieldCenter, c.FieldsPerNight)
+	span := 4 * c.Sigma
+	midRA, midDec := float64(c.RaRange)/2, float64(c.DecRange)/2
+	for i := range hot {
+		hot[i] = fieldCenter{
+			ra:  clampF(midRA+(rng.Float64()-0.5)*2*span, 1, float64(c.RaRange)),
+			dec: clampF(midDec+(rng.Float64()-0.5)*2*span, 1, float64(c.DecRange)),
+		}
+	}
+
+	seen := make(map[string]bool)
+	place := func(a *array.Array, night int64, mk func() array.Point) {
+		t0 := night * c.NightLen
+		for attempt := 0; attempt < 4; attempt++ {
+			p := mk()
+			p[0] = t0 + rng.Int63n(c.NightLen)
+			k := p.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			_ = a.Set(p, array.Tuple{10 + rng.Float64()*10, 14 + rng.Float64()*8})
+			return
+		}
+	}
+	hotPoint := func() array.Point {
+		f := hot[rng.Intn(len(hot))]
+		return array.Point{0,
+			gaussInt(rng, f.ra, c.Sigma, 1, c.RaRange),
+			gaussInt(rng, f.dec, c.Sigma, 1, c.DecRange)}
+	}
+	coldPoint := func() array.Point {
+		return array.Point{0,
+			1 + rng.Int63n(c.RaRange),
+			1 + rng.Int63n(c.DecRange)}
+	}
+
+	// History: the hot pointing is already warm before the first batch, so
+	// the classifier's window has something to learn from.
+	base := array.New(schema)
+	for n := 0; n < c.BaseNights; n++ {
+		for i := 0; i < c.DetectionsPerNight; i++ {
+			if rng.Float64() < hotFrac {
+				place(base, int64(n), hotPoint)
+			} else {
+				place(base, int64(n), coldPoint)
+			}
+		}
+	}
+	var batches []*array.Array
+	for b := 0; b < c.NumBatches; b++ {
+		batch := array.New(schema)
+		night := int64(c.BaseNights + b)
+		for i := 0; i < c.DetectionsPerNight; i++ {
+			if rng.Float64() < hotFrac {
+				place(batch, night, hotPoint)
+			} else {
+				place(batch, night, coldPoint)
+			}
+		}
+		batches = append(batches, batch)
+	}
+	return &Dataset{Schema: schema, Base: base, Batches: batches}, nil
+}
