@@ -8,7 +8,8 @@
 //	ivmbench -experiment fig6
 //
 // Experiments: fig3, fig5, fig6, fig9, fig10a, fig10b, fig10c, scaling,
-// ablations, fabric, kernel, chaos, wire, serve, stream, skew, all.
+// ablations, fabric, kernel, chaos, wire, serve, stream, skew, durable,
+// all.
 // Datasets: PTF-5, PTF-25, GEO.
 // Modes: real, random, correlated, periodic ("real" maps to "random" for
 // GEO, as in the paper).
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|stream|skew|all")
+		experiment = flag.String("experiment", "all", "fig3|fig5|fig6|fig9|fig10a|fig10b|fig10c|scaling|ablations|fabric|kernel|chaos|wire|serve|stream|skew|durable|all")
 		dataset    = flag.String("dataset", "", "PTF-5|PTF-25|GEO (default: every dataset)")
 		mode       = flag.String("mode", "", "real|random|correlated|periodic (default: every mode)")
 		scale      = flag.String("scale", "default", "default|small")
@@ -184,6 +185,25 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 			return nil
 		case "chaos":
 			r, err := bench.Chaos(out, mkSpec(bench.GEO, workload.Correlated))
+			if err != nil {
+				return err
+			}
+			record(name, r)
+			return nil
+		case "durable":
+			// WAL-backed durable store: ingest overhead vs in-memory, the
+			// recovery ladder, checkpoint compaction, and the seeded
+			// crash/fsync/torn-write fault matrix. -dataset may narrow the
+			// panel; defaults to PTF-5 real.
+			ds := bench.PTF5
+			if dataset != "" {
+				ds = datasets[0]
+			}
+			ms := modesFor(ds)
+			if ms == nil {
+				return fmt.Errorf("bad mode %q", mode)
+			}
+			r, err := bench.Durable(out, mkSpec(ds, ms[0]))
 			if err != nil {
 				return err
 			}

@@ -76,7 +76,10 @@ func run(listen, metrics string, idleTimeout, writeTimeout, statsEvery time.Dura
 		case <-tick:
 			fmt.Printf("ivmnode: %d chunks, %d bytes\n", store.NumChunks(), store.Bytes())
 		case sig := <-stop:
-			fmt.Printf("ivmnode: %v, shutting down\n", sig)
+			// Graceful: stop accepting, give in-flight requests a grace
+			// window to finish and their responses to flush, then close.
+			fmt.Printf("ivmnode: %v, draining\n", sig)
+			srv.Drain(2 * time.Second)
 			return srv.Close()
 		}
 	}

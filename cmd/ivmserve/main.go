@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"github.com/arrayview/arrayview/internal/stream"
 	"github.com/arrayview/arrayview/internal/transport"
 	"github.com/arrayview/arrayview/internal/view"
+	"github.com/arrayview/arrayview/internal/wal"
 	"github.com/arrayview/arrayview/internal/workload"
 )
 
@@ -51,18 +53,22 @@ func main() {
 		conc     = flag.Int("concurrency", 0, "max concurrent queries (default 8)")
 		queue    = flag.Int("queue", 0, "admission queue depth (default 2x concurrency)")
 		qtimeout = flag.Duration("qtimeout", 0, "per-query deadline (default 30s)")
+		dataDir  = flag.String("data-dir", "", "WAL-backed durable chunk store directory; recovers committed state on startup (in-process stores only)")
 	)
 	flag.Parse()
 
 	if err := run(*dataset, *modeName, *strategy, *small, *distrib, *connect,
-		*listen, *metrics, *interval, *streamed, *adaptive, *batches, *conc, *queue, *qtimeout); err != nil {
+		*listen, *metrics, *dataDir, *interval, *streamed, *adaptive, *batches, *conc, *queue, *qtimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset, modeName, strategy string, small, distrib bool, connect,
-	listen, metrics string, interval time.Duration, streamed, adaptive bool, batches, conc, queue int, qtimeout time.Duration) error {
+	listen, metrics, dataDir string, interval time.Duration, streamed, adaptive bool, batches, conc, queue int, qtimeout time.Duration) error {
+	if dataDir != "" && distrib {
+		return fmt.Errorf("-data-dir journals in-process stores; it cannot be combined with -distributed")
+	}
 	ds, err := bench.ParseDataset(dataset)
 	if err != nil {
 		return err
@@ -91,6 +97,16 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if err != nil {
 		return err
 	}
+	// With -data-dir the chunk stores are WAL-backed: an earlier run's
+	// committed state is recovered before serving, and every commit from
+	// here on is durable against kill -9.
+	var dur *wal.Durable
+	var rec *wal.Recovered
+	if dataDir != "" {
+		if dur, rec, err = wal.Open(wal.NewOSFS(dataDir), spec.Nodes, wal.Options{}); err != nil {
+			return fmt.Errorf("durable store: %w", err)
+		}
+	}
 	var cl *cluster.Cluster
 	if distrib {
 		cl, err = distributedCluster(spec, connect)
@@ -100,15 +116,35 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if err != nil {
 		return err
 	}
-	if err := cl.LoadArray(data.Base, &cluster.RoundRobin{}); err != nil {
-		return err
-	}
 	def, err := spec.ViewFor(data)
 	if err != nil {
 		return err
 	}
-	if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
-		return err
+	applied := 0
+	if rec != nil {
+		if err := rec.Install(cl); err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+		// The recovered catalog already holds the base, the view, and the
+		// pending log; resume maintenance after the batches whose commit
+		// barriers survived.
+		applied = int(rec.Seq)
+		if applied > len(data.Batches) {
+			applied = len(data.Batches)
+		}
+		fmt.Printf("recovered %s at barrier %d (%s), epoch %d\n", dataDir, rec.Seq, rec.Kind, rec.Epoch)
+	} else {
+		if err := cl.LoadArray(data.Base, &cluster.RoundRobin{}); err != nil {
+			return err
+		}
+		if err := maintain.BuildView(cl, def, &cluster.RoundRobin{}); err != nil {
+			return err
+		}
+	}
+	if dur != nil {
+		if err := dur.Attach(cl); err != nil {
+			return fmt.Errorf("durable store: %w", err)
+		}
 	}
 	if streamed && !def.SelfJoin() {
 		return fmt.Errorf("-stream supports self-join views only (use a PTF dataset)")
@@ -149,6 +185,9 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	if am != nil {
 		srv.SetFresh(am.EnsureFresh, counters)
 	}
+	if dur != nil {
+		srv.SetDurable(dur.Counters())
+	}
 	if err := srv.Listen(listen); err != nil {
 		return err
 	}
@@ -179,11 +218,18 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 		if batches > 0 && batches < len(toRun) {
 			toRun = toRun[:batches]
 		}
+		total := len(toRun)
+		if applied >= total {
+			toRun = nil
+		} else {
+			toRun = toRun[applied:]
+		}
 		if streamed {
-			runStreamed(cl, def, planner, am, spec, toRun, interval, stop)
+			runStreamed(cl, def, planner, am, spec, toRun, applied, total, interval, stop)
 			return
 		}
 		for i, b := range toRun {
+			n := applied + i + 1
 			select {
 			case <-stop:
 				return
@@ -192,18 +238,18 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 			if am != nil {
 				rep, err := am.ApplyBatch(b)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, err)
+					fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", n, err)
 					continue
 				}
 				fmt.Printf("batch %d/%d committed; epoch %d (%d eager, %d deferred)\n",
-					i+1, len(toRun), cl.Epochs().Current(), rep.HeavyChunks, rep.LightChunks)
+					n, total, cl.Epochs().Current(), rep.HeavyChunks, rep.LightChunks)
 				continue
 			}
 			if _, err := m.ApplyBatch(b); err != nil {
-				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, err)
+				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", n, err)
 				continue
 			}
-			fmt.Printf("batch %d/%d committed; epoch %d\n", i+1, len(toRun), cl.Epochs().Current())
+			fmt.Printf("batch %d/%d committed; epoch %d\n", n, total, cl.Epochs().Current())
 		}
 		fmt.Printf("maintenance drained: %d batches applied\n", len(toRun))
 		if am != nil {
@@ -217,11 +263,30 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	signal.Stop(sig)
+	// Graceful shutdown: stop admitting queries, drain the maintenance
+	// loop (the streaming sink included), materialize any deferred
+	// light-chunk deltas through the normal commit path, and only then
+	// fsync and close the WAL — an acknowledged batch is never lost.
 	close(stop)
+	srv.Close()
 	<-maintDone
+	if am != nil {
+		if err := am.EnsureFresh(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmserve: draining pending deltas: %v\n", err)
+		}
+	}
 	st := srv.Stats()
 	fmt.Printf("final: epoch=%d queries=%d rejected=%d cache-hit-rate=%.2f retained=%dB\n",
 		st.Epoch, st.Queries, st.Rejected, st.HitRate(), st.RetainedBytes)
+	if dur != nil {
+		d := st.Durable
+		fmt.Printf("durable: commits=%d rollbacks=%d checkpoints=%d wal=%dB seg=%dB fsyncs=%d\n",
+			d.Commits, d.Rollbacks, d.Checkpoints, d.WALBytes, d.SegBytes, d.Syncs)
+		if err := dur.Close(); err != nil {
+			return fmt.Errorf("durable store close: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -232,7 +297,7 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 // throughout. On shutdown the pipeline drains in-flight batches and prints
 // its per-stage counters.
 func runStreamed(cl *cluster.Cluster, def *view.Definition, planner maintain.Planner,
-	am *maintain.AdaptiveMaintainer, spec bench.Spec, toRun []*array.Array, interval time.Duration, stop <-chan struct{}) {
+	am *maintain.AdaptiveMaintainer, spec bench.Spec, toRun []*array.Array, applied, total int, interval time.Duration, stop <-chan struct{}) {
 	g, err := stream.NewGraph(stream.Config{
 		Cluster:        cl,
 		Def:            def,
@@ -256,20 +321,20 @@ feed:
 		}
 		tk, err := g.Submit(b)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ivmserve: submit %d: %v\n", i+1, err)
+			fmt.Fprintf(os.Stderr, "ivmserve: submit %d: %v\n", applied+i+1, err)
 			break
 		}
 		wg.Add(1)
-		go func(i int, tk *stream.Ticket) {
+		go func(n int, tk *stream.Ticket) {
 			defer wg.Done()
 			res := tk.Wait()
 			if res.Err != nil {
-				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", i+1, res.Err)
+				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", n, res.Err)
 				return
 			}
 			fmt.Printf("batch %d/%d committed; epoch %d (plan %s, %d retries)\n",
-				i+1, len(toRun), res.Epoch, map[bool]string{true: "reused", false: "solved"}[res.Reused], res.Retries)
-		}(i, tk)
+				n, total, res.Epoch, map[bool]string{true: "reused", false: "solved"}[res.Reused], res.Retries)
+		}(applied+i+1, tk)
 	}
 	g.Drain()
 	wg.Wait()

@@ -117,6 +117,9 @@ func runClient(dataset, modeName string, small bool, addr, querySpec, qmode stri
 			a.HeavyChunks, a.LightChunks, a.PendingChunks, a.PendingCells,
 			a.Deferred, a.LazyMats, a.Drained, a.Promotions, a.Demotions,
 			a.MemoHits, a.MemoMisses)
+		d := st.Durable
+		fmt.Printf("durable: commits=%d rollbacks=%d checkpoints=%d wal=%d bytes seg=%d bytes fsyncs=%d\n",
+			d.Commits, d.Rollbacks, d.Checkpoints, d.WALBytes, d.SegBytes, d.Syncs)
 	}
 	if querySpec == "" {
 		if !stats {

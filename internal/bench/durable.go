@@ -1,0 +1,477 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/wal"
+	"github.com/arrayview/arrayview/internal/workload"
+)
+
+// DurableOverhead compares the wall-clock of the full batch sequence with
+// and without the WAL-backed store attached: the price of journaling,
+// fsync barriers, and checkpoint compaction on the maintenance path.
+type DurableOverhead struct {
+	Batches   int
+	MemMillis float64
+	DurMillis float64
+	Ratio     float64
+}
+
+// DurableRung is one rung of the recovery ladder: commit k batches, crash,
+// and measure how long Open + Install takes and whether the recovered
+// state equals a clean replay of exactly those k batches.
+type DurableRung struct {
+	Batches       int
+	WALBytes      int64
+	SegBytes      int64
+	ResidentBytes int64
+	RecoverMillis float64
+	StatesMatch   bool
+}
+
+// DurableCompaction is one row of the checkpoint-compaction comparison:
+// the same batch sequence under a different CompactBytes threshold.
+type DurableCompaction struct {
+	CompactBytes  int64
+	Checkpoints   int64
+	ResidentBytes int64
+	RecoverMillis float64
+	StatesMatch   bool
+}
+
+// DurableFaultCase is one injected-fault run of the recovery matrix.
+type DurableFaultCase struct {
+	Class string
+	Op    int64
+	// Acked is the consecutive prefix of batches whose commits were
+	// acknowledged before the first error.
+	Acked     int
+	Recovered bool
+	// MatchedAt is the clean-replay prefix length the recovered state
+	// equalled, or -1 if it matched none — a hybrid.
+	MatchedAt int
+	Violation bool
+}
+
+// DurableFaults aggregates the fault matrix.
+type DurableFaults struct {
+	Cases      int
+	Recovered  int
+	Violations int
+	Detail     []DurableFaultCase
+}
+
+// DurableResult is the durable-store experiment: ingest overhead, the
+// recovery ladder, checkpoint compaction, and the crash/fault matrix.
+type DurableResult struct {
+	Dataset  Dataset
+	Mode     workload.BatchMode
+	Nodes    int
+	Batches  int
+	Overhead DurableOverhead
+	Ladder   []DurableRung
+	Compact  []DurableCompaction
+	Fault    DurableFaults
+}
+
+// Durable measures the WAL-backed chunk store: journaling overhead against
+// the in-memory baseline, recovery time as a function of committed WAL
+// length, the effect of checkpoint compaction, and a seeded fault matrix
+// (kill -9, failed fsync, torn write) whose every recovery must land on a
+// clean replay of some acknowledged-or-later batch prefix — never a
+// hybrid. Everything runs on the in-memory FaultFS, so the experiment is
+// deterministic and filesystem-speed rather than disk-speed.
+func Durable(w io.Writer, spec Spec) (*DurableResult, error) {
+	const strategy = "reassign"
+	planner, ok := maintain.Strategies()[strategy]
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	data, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	n := len(data.Batches)
+	res := &DurableResult{Dataset: spec.Dataset, Mode: spec.Mode, Nodes: spec.Nodes, Batches: n}
+	fmt.Fprintf(w, "Durable: %s/%s, %d nodes, %d batches, strategy %s\n",
+		spec.Dataset, spec.Mode, spec.Nodes, n, strategy)
+
+	// Clean-replay oracles for every batch prefix, shared by the ladder and
+	// the fault matrix.
+	oracles := make([]durableOracle, n+1)
+	for k := 0; k <= n; k++ {
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = i
+		}
+		base, vw, err := replayClean(spec, planner, idx)
+		if err != nil {
+			return nil, fmt.Errorf("bench: durable oracle prefix %d: %w", k, err)
+		}
+		oracles[k] = durableOracle{base: base, view: vw}
+	}
+
+	if err := durableOverhead(w, spec, planner, res); err != nil {
+		return nil, err
+	}
+	if err := durableLadder(w, spec, planner, oracles, res); err != nil {
+		return nil, err
+	}
+	if err := durableCompaction(w, spec, planner, oracles, res); err != nil {
+		return nil, err
+	}
+	if err := durableFaults(w, spec, planner, oracles, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+type durableOracle struct{ base, view *array.Array }
+
+// durableSetup builds a fresh loaded cluster and maintainer — the same
+// prelude as replayClean, so durable runs and oracles are comparable.
+func durableSetup(spec Spec, planner maintain.Planner, data *workload.Dataset) (*cluster.Cluster, *maintain.Maintainer, error) {
+	cl, err := spec.Cluster()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cl.LoadArray(data.Base, spec.Placement()); err != nil {
+		return nil, nil, err
+	}
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := maintain.BuildView(cl, def, spec.Placement()); err != nil {
+		return nil, nil, err
+	}
+	m, err := maintain.NewMaintainer(cl, def, planner, spec.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.SetPlacements(spec.Placement(), spec.Placement())
+	return cl, m, nil
+}
+
+// durableGather reads the final base and view of a cluster.
+func durableGather(cl *cluster.Cluster, spec Spec, data *workload.Dataset) (*array.Array, *array.Array, error) {
+	def, err := spec.ViewFor(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := cl.Gather(def.Alpha.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	vw, err := cl.Gather(def.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, vw, nil
+}
+
+func durableOverhead(w io.Writer, spec Spec, planner maintain.Planner, res *DurableResult) error {
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	// In-memory baseline.
+	_, m, err := durableSetup(spec, planner, data)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			return fmt.Errorf("bench: durable baseline batch %d: %w", i, err)
+		}
+	}
+	memMs := time.Since(start).Seconds() * 1000
+
+	// Same sequence with the durable store attached.
+	cl, m, err := durableSetup(spec, planner, data)
+	if err != nil {
+		return err
+	}
+	d, _, err := wal.Open(wal.NewMemFS(), spec.Nodes, wal.Options{})
+	if err != nil {
+		return err
+	}
+	if err := d.Attach(cl); err != nil {
+		return err
+	}
+	start = time.Now()
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			return fmt.Errorf("bench: durable journaled batch %d: %w", i, err)
+		}
+	}
+	durMs := time.Since(start).Seconds() * 1000
+	if err := d.Close(); err != nil {
+		return err
+	}
+	res.Overhead = DurableOverhead{Batches: len(data.Batches), MemMillis: memMs, DurMillis: durMs}
+	if memMs > 0 {
+		res.Overhead.Ratio = durMs / memMs
+	}
+	fmt.Fprintf(w, "overhead: in-memory %.1f ms, durable %.1f ms, ratio %.2fx\n",
+		memMs, durMs, res.Overhead.Ratio)
+	return nil
+}
+
+// durableCommit runs k batches on a fresh cluster with a durable store on
+// the given FS and returns the store for counter inspection (left open —
+// a crash is the point).
+func durableCommit(spec Spec, planner maintain.Planner, fs wal.FS, opts wal.Options, k int) (*wal.Durable, error) {
+	data, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	cl, m, err := durableSetup(spec, planner, data)
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := wal.Open(fs, spec.Nodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Attach(cl); err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if _, err := m.ApplyBatch(data.Batches[i]); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+// durableRecover crashes the FS, reopens it, installs the recovered state
+// into a fresh cluster, and returns that cluster with the elapsed
+// recovery time. A nil cluster with nil error means nothing was durable.
+func durableRecover(spec Spec, fs *wal.FaultFS) (*cluster.Cluster, *wal.Recovered, float64, error) {
+	if fs.Crashed() {
+		fs.Restart()
+	} else {
+		fs.Crash()
+	}
+	start := time.Now()
+	d, rec, err := wal.Open(fs, spec.Nodes, wal.Options{})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer d.Close()
+	if rec == nil {
+		return nil, nil, time.Since(start).Seconds() * 1000, nil
+	}
+	cl, err := spec.Cluster()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := rec.Install(cl); err != nil {
+		return nil, nil, 0, err
+	}
+	return cl, rec, time.Since(start).Seconds() * 1000, nil
+}
+
+func durableLadder(w io.Writer, spec Spec, planner maintain.Planner, oracles []durableOracle, res *DurableResult) error {
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(data.Batches)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %6s\n",
+		"batches", "wal(B)", "seg(B)", "resident(B)", "recover(ms)", "state")
+	for k := 1; k <= n; k++ {
+		fs := wal.NewMemFS()
+		d, err := durableCommit(spec, planner, fs, wal.Options{}, k)
+		if err != nil {
+			return fmt.Errorf("bench: durable ladder rung %d: %w", k, err)
+		}
+		snap := d.Counters().Snapshot()
+		rung := DurableRung{
+			Batches:       k,
+			WALBytes:      snap.WALBytes,
+			SegBytes:      snap.SegBytes,
+			ResidentBytes: fs.TotalBytes(),
+		}
+		cl, rec, ms, err := durableRecover(spec, fs)
+		if err != nil {
+			return fmt.Errorf("bench: durable ladder recover %d: %w", k, err)
+		}
+		rung.RecoverMillis = ms
+		if cl != nil && rec != nil && int(rec.Seq) == k {
+			base, vw, err := durableGather(cl, spec, data)
+			if err != nil {
+				return err
+			}
+			rung.StatesMatch = arraysEqual(base, oracles[k].base) && arraysEqual(vw, oracles[k].view)
+		}
+		res.Ladder = append(res.Ladder, rung)
+		okStr := "ok"
+		if !rung.StatesMatch {
+			okStr = "FAIL"
+		}
+		fmt.Fprintf(w, "%-8d %12d %12d %12d %12.2f %6s\n",
+			rung.Batches, rung.WALBytes, rung.SegBytes, rung.ResidentBytes, rung.RecoverMillis, okStr)
+	}
+	return nil
+}
+
+func durableCompaction(w io.Writer, spec Spec, planner maintain.Planner, oracles []durableOracle, res *DurableResult) error {
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(data.Batches)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %6s\n",
+		"compact(B)", "checkpoints", "resident(B)", "recover(ms)", "state")
+	for _, threshold := range []int64{1, 1 << 40} {
+		fs := wal.NewMemFS()
+		d, err := durableCommit(spec, planner, fs, wal.Options{CompactBytes: threshold}, n)
+		if err != nil {
+			return fmt.Errorf("bench: durable compaction threshold %d: %w", threshold, err)
+		}
+		snap := d.Counters().Snapshot()
+		row := DurableCompaction{
+			CompactBytes:  threshold,
+			Checkpoints:   snap.Checkpoints,
+			ResidentBytes: fs.TotalBytes(),
+		}
+		cl, rec, ms, err := durableRecover(spec, fs)
+		if err != nil {
+			return fmt.Errorf("bench: durable compaction recover: %w", err)
+		}
+		row.RecoverMillis = ms
+		if cl != nil && rec != nil && int(rec.Seq) == n {
+			base, vw, err := durableGather(cl, spec, data)
+			if err != nil {
+				return err
+			}
+			row.StatesMatch = arraysEqual(base, oracles[n].base) && arraysEqual(vw, oracles[n].view)
+		}
+		res.Compact = append(res.Compact, row)
+		okStr := "ok"
+		if !row.StatesMatch {
+			okStr = "FAIL"
+		}
+		fmt.Fprintf(w, "%-14d %12d %12d %12.2f %6s\n",
+			row.CompactBytes, row.Checkpoints, row.ResidentBytes, row.RecoverMillis, okStr)
+	}
+	return nil
+}
+
+func durableFaults(w io.Writer, spec Spec, planner maintain.Planner, oracles []durableOracle, res *DurableResult) error {
+	data, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(data.Batches)
+
+	// Fault-free probe: measure the total write/sync op count so fault ops
+	// can be sampled across the whole run, recovery checkpoint included.
+	probe := wal.NewMemFS()
+	if _, err := durableCommit(spec, planner, probe, wal.Options{}, n); err != nil {
+		return fmt.Errorf("bench: durable fault probe: %w", err)
+	}
+	opsTotal := probe.Ops()
+
+	type faultCase struct {
+		class string
+		plan  wal.FaultPlan
+	}
+	var cases []faultCase
+	const crashSamples = 6
+	for i := 0; i < crashSamples; i++ {
+		op := 1 + opsTotal*int64(i)/crashSamples
+		cases = append(cases, faultCase{"crash", wal.FaultPlan{Seed: 9000 + int64(i), CrashAtOp: op}})
+	}
+	for i := 0; i < 3; i++ {
+		op := 1 + opsTotal*int64(2*i+1)/6
+		cases = append(cases, faultCase{"failsync", wal.FaultPlan{Seed: 9100 + int64(i), FailSyncAtOp: op}})
+		cases = append(cases, faultCase{"shortwrite", wal.FaultPlan{Seed: 9200 + int64(i), ShortWriteAtOp: op}})
+	}
+
+	fmt.Fprintf(w, "%-12s %8s %6s %10s %10s\n", "fault", "op", "acked", "recovered", "matched@")
+	for _, fc := range cases {
+		op := fc.plan.CrashAtOp + fc.plan.FailSyncAtOp + fc.plan.ShortWriteAtOp
+		detail := DurableFaultCase{Class: fc.class, Op: op, MatchedAt: -1}
+		fs := wal.NewFaultFS(fc.plan)
+
+		// The faulty run: count the consecutive prefix of acknowledged
+		// batches; errors past the fault are expected, not fatal.
+		acked := func() int {
+			cl, m, err := durableSetup(spec, planner, data)
+			if err != nil {
+				return 0
+			}
+			d, _, err := wal.Open(fs, spec.Nodes, wal.Options{})
+			if err != nil {
+				return 0
+			}
+			if err := d.Attach(cl); err != nil {
+				return 0
+			}
+			for i, b := range data.Batches {
+				if _, err := m.ApplyBatch(b); err != nil {
+					return i
+				}
+			}
+			return n
+		}()
+		detail.Acked = acked
+
+		cl, _, _, err := durableRecover(spec, fs)
+		switch {
+		case err != nil:
+			// Recovery itself failed: counted as unrecovered, gate trips.
+		case cl == nil:
+			// Nothing durable: legal only if nothing was acknowledged —
+			// a restart would rebuild from the source, i.e. prefix 0.
+			detail.Recovered = true
+			if acked == 0 {
+				detail.MatchedAt = 0
+			} else {
+				detail.Violation = true
+			}
+		default:
+			detail.Recovered = true
+			base, vw, err := durableGather(cl, spec, data)
+			if err != nil {
+				return err
+			}
+			// The recovery contract: the surviving state equals a clean
+			// replay of the first k batches for some k >= every
+			// acknowledged batch (unacknowledged-but-durable is legal;
+			// a hybrid matches no prefix).
+			for k := acked; k <= n; k++ {
+				if arraysEqual(base, oracles[k].base) && arraysEqual(vw, oracles[k].view) {
+					detail.MatchedAt = k
+					break
+				}
+			}
+			if detail.MatchedAt < 0 {
+				detail.Violation = true
+			}
+		}
+
+		res.Fault.Cases++
+		if detail.Recovered {
+			res.Fault.Recovered++
+		}
+		if detail.Violation {
+			res.Fault.Violations++
+		}
+		res.Fault.Detail = append(res.Fault.Detail, detail)
+		fmt.Fprintf(w, "%-12s %8d %6d %10t %10d\n",
+			detail.Class, detail.Op, detail.Acked, detail.Recovered, detail.MatchedAt)
+	}
+	fmt.Fprintf(w, "fault matrix: %d cases, %d recovered, %d violations\n",
+		res.Fault.Cases, res.Fault.Recovered, res.Fault.Violations)
+	return nil
+}

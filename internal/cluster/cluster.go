@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/arrayview/arrayview/internal/array"
 	"github.com/arrayview/arrayview/internal/storage"
@@ -34,6 +35,7 @@ type Cluster struct {
 	workers     int
 	fabric      Fabric
 	epochs      *Epochs
+	durable     atomic.Pointer[DurableSink]
 }
 
 // Option configures a Cluster.
@@ -114,6 +116,30 @@ func (c *Cluster) Fabric() Fabric { return c.fabric }
 // Epochs().Enable is called).
 func (c *Cluster) Epochs() *Epochs { return c.epochs }
 
+// DurableSink receives durability barriers from the maintenance layer.
+// internal/wal implements it; the interface lives here so cluster stays
+// free of a wal dependency. CommitBarrier makes the current cluster state
+// (store mutations, catalog, pending log) the crash-recovery point;
+// RollbackBarrier does the same for the restored pre-batch state after an
+// abort. A barrier may only be issued when no batch is mid-commit.
+type DurableSink interface {
+	CommitBarrier() error
+	RollbackBarrier() error
+}
+
+// SetDurable installs (or clears, with nil) the cluster's durable sink.
+// Install before maintenance traffic starts; the maintenance layer reads
+// it at every commit/rollback boundary.
+func (c *Cluster) SetDurable(d DurableSink) { c.durable.Store(&d) }
+
+// Durable returns the installed durable sink, or nil.
+func (c *Cluster) Durable() DurableSink {
+	if p := c.durable.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Node returns the node with the given ID.
 func (c *Cluster) Node(id int) *Node {
 	if id < 0 || id >= len(c.nodes) {
@@ -125,8 +151,7 @@ func (c *Cluster) Node(id int) *Node {
 // PutAt stores a chunk at a node (or the coordinator) via the fabric.
 func (c *Cluster) PutAt(node int, arrayName string, ch *array.Chunk) error {
 	if node == Coordinator {
-		c.coordinator.Put(arrayName, ch)
-		return nil
+		return c.coordinator.Put(arrayName, ch)
 	}
 	return c.fabric.Put(node, arrayName, ch)
 }
@@ -150,7 +175,7 @@ func (c *Cluster) HasAt(node int, arrayName string, key array.ChunkKey) (bool, e
 // DeleteAt evicts a chunk from a node (or the coordinator).
 func (c *Cluster) DeleteAt(node int, arrayName string, key array.ChunkKey) (bool, error) {
 	if node == Coordinator {
-		return c.coordinator.Delete(arrayName, key), nil
+		return c.coordinator.Delete(arrayName, key)
 	}
 	return c.fabric.Delete(node, arrayName, key)
 }
@@ -181,7 +206,7 @@ func (c *Cluster) KeysAt(node int, arrayName string) ([]array.ChunkKey, error) {
 // DropArrayAt evicts every chunk of the named array from a node.
 func (c *Cluster) DropArrayAt(node int, arrayName string) (int, error) {
 	if node == Coordinator {
-		return c.coordinator.DropArray(arrayName), nil
+		return c.coordinator.DropArray(arrayName)
 	}
 	return c.fabric.DropArray(node, arrayName)
 }
@@ -230,7 +255,9 @@ func (c *Cluster) StageDelta(name string, chunks []*array.Chunk) error {
 		return fmt.Errorf("cluster: array %q not registered", name)
 	}
 	for _, ch := range chunks {
-		c.coordinator.Put(name, ch)
+		if err := c.coordinator.Put(name, ch); err != nil {
+			return err
+		}
 		if err := c.catalog.SetChunk(name, ch.Key(), Coordinator, ch.SizeBytes(), ch.NumCells()); err != nil {
 			return err
 		}

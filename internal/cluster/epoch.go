@@ -136,6 +136,18 @@ func (e *Epochs) Current() uint64 {
 	return e.current
 }
 
+// FastForward raises the epoch counter to at least epoch without
+// publishing. Crash recovery calls it so the first post-restart publish
+// lands above every epoch a pre-crash reader could have pinned; it never
+// lowers the counter.
+func (e *Epochs) FastForward(epoch uint64) {
+	e.mu.Lock()
+	if epoch > e.current {
+		e.current = epoch
+	}
+	e.mu.Unlock()
+}
+
 // Retain preserves a chunk's pre-image before the committer overwrites or
 // deletes it. The encoding is captured immediately (the committer mutates
 // nothing until after this returns, but the chunk object may be reused).

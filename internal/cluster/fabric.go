@@ -256,8 +256,7 @@ func (f *LocalFabric) Put(node int, arrayName string, ch *array.Chunk) error {
 		return err
 	}
 	f.net[node].record("Put", ch.SizeBytes(), 0)
-	s.Put(arrayName, ch)
-	return nil
+	return s.Put(arrayName, ch)
 }
 
 // Get implements Fabric.
@@ -292,7 +291,7 @@ func (f *LocalFabric) Delete(node int, arrayName string, key array.ChunkKey) (bo
 		return false, err
 	}
 	f.net[node].record("Delete", 0, 0)
-	return s.Delete(arrayName, key), nil
+	return s.Delete(arrayName, key)
 }
 
 // Merge implements Fabric.
@@ -326,7 +325,7 @@ func (f *LocalFabric) DropArray(node int, arrayName string) (int, error) {
 		return 0, err
 	}
 	f.net[node].record("DropArray", 0, 0)
-	return s.DropArray(arrayName), nil
+	return s.DropArray(arrayName)
 }
 
 // OfferBatch implements WireFabric: each offer is answered by the node's
@@ -409,7 +408,9 @@ func (f *LocalFabric) PutEncodedBatch(node int, items []WireItem) error {
 	}
 	for _, it := range items {
 		c.bytesIn.Add(int64(len(it.Data)))
-		s.PutEncoded(it.Array, it.Key, it.Data)
+		if err := s.PutEncoded(it.Array, it.Key, it.Data); err != nil {
+			return err
+		}
 	}
 	return nil
 }

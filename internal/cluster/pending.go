@@ -159,6 +159,51 @@ func (l *PendingLog) Restore(entries []PendingEntry) {
 	}
 }
 
+// Entries snapshots every outstanding entry in deterministic order (batch
+// seq ascending, then key), with the chunks cloned so the caller may hold
+// them across later log mutations. Used by the durability layer to persist
+// the log across restarts.
+func (l *PendingLog) Entries() []PendingEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []PendingEntry
+	for _, es := range l.byKey {
+		for _, e := range es {
+			e.Chunk = e.Chunk.Clone()
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Reset replaces the log's contents with the given snapshot (recovery
+// path). Counters restart from the snapshot: appended equals the entry
+// count, materialized and drained are zeroed.
+func (l *PendingLog) Reset(entries []PendingEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byKey = make(map[array.ChunkKey][]PendingEntry)
+	l.seqs = make(map[int]int)
+	l.cells = 0
+	l.appended, l.materialized, l.drained = int64(len(entries)), 0, 0
+	for _, e := range entries {
+		e.Cells = e.Chunk.NumCells()
+		l.byKey[e.Key] = append(l.byKey[e.Key], e)
+		l.seqs[e.Seq]++
+		l.cells += e.Cells
+	}
+	for k := range l.byKey {
+		es := l.byKey[k]
+		sort.SliceStable(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
+	}
+}
+
 // MarkDrained counts entries materialized by the background drainer rather
 // than a query or conflict (observability only).
 func (l *PendingLog) MarkDrained(n int) {

@@ -288,6 +288,24 @@ func (a *AdaptiveMaintainer) ApplyBatch(delta *array.Array) (*AdaptiveReport, er
 	if a.cfg.Counters != nil {
 		a.cfg.Counters.Deferred.Add(int64(len(light)))
 	}
+	// The appends land after the eager part's commit barrier (an all-light
+	// batch commits nothing eagerly at all), so they need their own durable
+	// barrier before the batch is acked. On failure the appends are taken
+	// back out — the keys were fresh, never pending before, so Take removes
+	// exactly them — keeping memory level with the recovery point.
+	if len(light) > 0 && a.m.cl.Durable() != nil {
+		if err := durableCommit(a.m.cl); err != nil {
+			lightKeys := make([]array.ChunkKey, len(light))
+			for i, c := range light {
+				lightKeys[i] = c.Key()
+			}
+			a.pending().Take(lightKeys)
+			if a.cfg.Counters != nil {
+				a.cfg.Counters.Deferred.Add(-int64(len(light)))
+			}
+			return nil, err
+		}
+	}
 
 	// Pressure promotion: a light class whose chunks pile up pending
 	// entries is evidently not cold — promote it and clear its backlog.
@@ -606,15 +624,12 @@ func (a *AdaptiveMaintainer) materializeKeys(rep *AdaptiveReport, keys []array.C
 		return nil
 	}
 	entries := a.pending().Take(keys)
-	if len(entries) == 0 {
-		return nil
-	}
-	for i := 0; i < len(entries); {
-		j := i
+	for len(entries) > 0 {
+		j := 0
 		batch := array.New(a.m.cl.Catalog().Schema(a.m.def.Alpha.Name))
 		inBatch := make(map[array.ChunkKey]bool)
 		for ; j < len(entries); j++ {
-			if entries[j].Seq != entries[i].Seq {
+			if entries[j].Seq != entries[0].Seq {
 				// Next seq group: include it only if it is chunk-disjoint
 				// from everything already coalesced.
 				end, ok := j, true
@@ -630,18 +645,37 @@ func (a *AdaptiveMaintainer) materializeKeys(rep *AdaptiveReport, keys []array.C
 			inBatch[entries[j].Key] = true
 			batch.PutChunk(entries[j].Chunk.Clone())
 		}
+		group, rest := entries[:j], entries[j:]
+		// The not-yet-applied remainder goes back into the log across the
+		// apply, so the apply's durable commit barrier snapshots it: a crash
+		// between coalesced applies then recovers to applied-prefix +
+		// still-pending remainder instead of losing the remainder.
+		if len(rest) > 0 {
+			a.pending().Restore(rest)
+		}
 		dr, err := a.m.apply(batch, nil, false, true)
 		if err != nil {
-			// This seq rolled back; put it and everything after back.
-			a.pending().Restore(entries[i:])
+			// This seq rolled back; put it back too (the rest already is).
+			a.pending().Restore(group)
 			return err
 		}
 		rep.Drains = append(rep.Drains, dr)
-		rep.MaterializedEntries += j - i
+		rep.MaterializedEntries += len(group)
 		if a.cfg.Counters != nil {
-			a.cfg.Counters.Drained.Add(int64(j - i))
+			a.cfg.Counters.Drained.Add(int64(len(group)))
 		}
-		i = j
+		if len(rest) == 0 {
+			break
+		}
+		restKeys := make([]array.ChunkKey, 0, len(rest))
+		seen := make(map[array.ChunkKey]bool)
+		for _, e := range rest {
+			if !seen[e.Key] {
+				seen[e.Key] = true
+				restKeys = append(restKeys, e.Key)
+			}
+		}
+		entries = a.pending().Take(restKeys)
 	}
 	return nil
 }

@@ -1,0 +1,33 @@
+package maintain
+
+import (
+	"fmt"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+)
+
+// durableCommit drives the cluster's durable sink (if one is installed)
+// through a commit barrier: every store mutation and catalog/pending change
+// of the batch becomes the crash-recovery point. A barrier failure fails
+// the batch — the caller aborts, restoring in-memory state, so memory never
+// runs ahead of what a restart would recover.
+func durableCommit(cl *cluster.Cluster) error {
+	d := cl.Durable()
+	if d == nil {
+		return nil
+	}
+	if err := d.CommitBarrier(); err != nil {
+		return fmt.Errorf("maintain: durable commit barrier: %w", err)
+	}
+	return nil
+}
+
+// durableRollback marks the restored pre-batch state as the recovery point
+// after an abort. Best-effort like the rest of rollback: if the disk is
+// failing too, recovery replays from the previous barrier, which is also
+// pre-batch state.
+func durableRollback(cl *cluster.Cluster) {
+	if d := cl.Durable(); d != nil {
+		_ = d.RollbackBarrier()
+	}
+}

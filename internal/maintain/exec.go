@@ -138,7 +138,14 @@ func (s *Staged) Commit() error {
 	if !s.es.snapped {
 		return fmt.Errorf("maintain: Commit before CaptureSnapshots")
 	}
-	return commitBatch(s.ctx, s.plan, s.es)
+	if err := commitBatch(s.ctx, s.plan, s.es); err != nil {
+		return err
+	}
+	// Harden the committed batch before acknowledging it: the durable
+	// barrier (when a sink is installed) fsyncs the batch's journaled writes
+	// and appends the commit cut. On failure the caller aborts, rolling the
+	// in-memory commit back, so acked state never outruns recoverable state.
+	return durableCommit(s.ctx.Cluster)
 }
 
 // Cleanup tears down the batch's scratch state best-effort.
@@ -357,6 +364,7 @@ func (es *execState) abort(ctx *Context, p *Plan, cause error) error {
 		cat.RestoreMetaScoped(m)
 	}
 	cleanupBatch(ctx, p, es)
+	durableRollback(ctx.Cluster)
 	// Publish after the rollback completes: live state equals the pre-batch
 	// state again, so the new epoch is consistent. Versions retained during
 	// the partial commit stay until every reader pinned at or before the

@@ -91,17 +91,17 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 // adaptive maintenance layer. Heavy/Light/PendingChunks/PendingCells are
 // gauges (Store); the rest accumulate (Add).
 type AdaptiveCounters struct {
-	HeavyChunks  Counter // gauge: classes currently classified heavy
-	LightChunks  Counter // gauge: classes seen but currently light
+	HeavyChunks   Counter // gauge: classes currently classified heavy
+	LightChunks   Counter // gauge: classes seen but currently light
 	PendingChunks Counter // gauge: chunks with deferred deltas outstanding
-	PendingCells Counter // gauge: cells deferred and not yet materialized
-	Deferred     Counter // delta chunks routed to the pending log
-	LazyMats     Counter // pending entries materialized on query touch
-	Drained      Counter // pending entries materialized by drainer/conflict
-	Promotions   Counter // light→heavy transitions (scores + pressure)
-	Demotions    Counter // heavy→light transitions
-	MemoHits     Counter // cached-join-state hits
-	MemoMisses   Counter // cached-join-state misses
+	PendingCells  Counter // gauge: cells deferred and not yet materialized
+	Deferred      Counter // delta chunks routed to the pending log
+	LazyMats      Counter // pending entries materialized on query touch
+	Drained       Counter // pending entries materialized by drainer/conflict
+	Promotions    Counter // light→heavy transitions (scores + pressure)
+	Demotions     Counter // heavy→light transitions
+	MemoHits      Counter // cached-join-state hits
+	MemoMisses    Counter // cached-join-state misses
 }
 
 // AdaptiveSnapshot is a point-in-time copy of AdaptiveCounters.
@@ -136,6 +136,44 @@ func (a *AdaptiveCounters) Snapshot() AdaptiveSnapshot {
 		Demotions:     a.Demotions.Load(),
 		MemoHits:      a.MemoHits.Load(),
 		MemoMisses:    a.MemoMisses.Load(),
+	}
+}
+
+// DurableCounters is the observability surface of the WAL-backed durable
+// chunk store: barrier, checkpoint, and byte accounting. All fields
+// accumulate (Add).
+type DurableCounters struct {
+	Commits     Counter // commit barriers written (one per committed batch)
+	Rollbacks   Counter // rollback barriers written (one per aborted batch)
+	Checkpoints Counter // checkpoint compactions into a fresh generation
+	WALBytes    Counter // bytes appended to journal + meta WALs
+	SegBytes    Counter // chunk-body bytes appended to segment files
+	Syncs       Counter // fsync calls issued (segments, WALs, directories)
+}
+
+// DurableSnapshot is a point-in-time copy of DurableCounters.
+type DurableSnapshot struct {
+	Commits     int64
+	Rollbacks   int64
+	Checkpoints int64
+	WALBytes    int64
+	SegBytes    int64
+	Syncs       int64
+}
+
+// Snapshot copies the current values. Nil-safe: a nil receiver (durability
+// disabled) snapshots to zeros.
+func (d *DurableCounters) Snapshot() DurableSnapshot {
+	if d == nil {
+		return DurableSnapshot{}
+	}
+	return DurableSnapshot{
+		Commits:     d.Commits.Load(),
+		Rollbacks:   d.Rollbacks.Load(),
+		Checkpoints: d.Checkpoints.Load(),
+		WALBytes:    d.WALBytes.Load(),
+		SegBytes:    d.SegBytes.Load(),
+		Syncs:       d.Syncs.Load(),
 	}
 }
 

@@ -110,6 +110,14 @@ func (c *Client) Stats() (Stats, error) {
 			MemoHits:      resp.MemoHits,
 			MemoMisses:    resp.MemoMisses,
 		},
+		Durable: obs.DurableSnapshot{
+			Commits:     resp.DurCommits,
+			Rollbacks:   resp.DurRollbacks,
+			Checkpoints: resp.DurCheckpoints,
+			WALBytes:    resp.DurWALBytes,
+			SegBytes:    resp.DurSegBytes,
+			Syncs:       resp.DurSyncs,
+		},
 	}, nil
 }
 

@@ -99,6 +99,9 @@ type Stats struct {
 	// Adaptive carries the heavy-light maintenance layer's counters when
 	// the daemon maintains adaptively (all zero otherwise).
 	Adaptive obs.AdaptiveSnapshot
+	// Durable carries the WAL-backed chunk store's counters when the
+	// daemon persists its state (all zero for an in-memory daemon).
+	Durable obs.DurableSnapshot
 }
 
 // HitRate returns the cache hit fraction, 0 before any lookup.
@@ -132,6 +135,8 @@ type Server struct {
 	fresh func(context.Context) error
 	// adaptive, when set, feeds Stats().Adaptive.
 	adaptive *obs.AdaptiveCounters
+	// durable, when set, feeds Stats().Durable.
+	durable *obs.DurableCounters
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -170,6 +175,10 @@ func (s *Server) SetFresh(fresh func(context.Context) error, counters *obs.Adapt
 	s.adaptive = counters
 }
 
+// SetDurable installs the durable store's counters surfaced through Stats.
+// Call before Listen.
+func (s *Server) SetDurable(counters *obs.DurableCounters) { s.durable = counters }
+
 // ReadCache returns the server's hot-chunk cache (nil when disabled).
 func (s *Server) ReadCache() *cluster.ReadCache { return s.rc }
 
@@ -190,6 +199,7 @@ func (s *Server) Stats() Stats {
 	}
 	st.Queries, st.Rejected = s.lim.Counters()
 	st.Adaptive = s.adaptive.Snapshot()
+	st.Durable = s.durable.Snapshot()
 	return st
 }
 
@@ -386,6 +396,13 @@ func (s *Server) handle(req *transport.Message) *transport.Message {
 			Demotions:     st.Adaptive.Demotions,
 			MemoHits:      st.Adaptive.MemoHits,
 			MemoMisses:    st.Adaptive.MemoMisses,
+
+			DurCommits:     st.Durable.Commits,
+			DurRollbacks:   st.Durable.Rollbacks,
+			DurCheckpoints: st.Durable.Checkpoints,
+			DurWALBytes:    st.Durable.WALBytes,
+			DurSegBytes:    st.Durable.SegBytes,
+			DurSyncs:       st.Durable.Syncs,
 		}
 
 	default:

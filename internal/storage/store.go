@@ -18,6 +18,32 @@ import (
 // are chunk encodings, so the default holds a few thousand chunks.
 const DefaultCacheBytes = 64 << 20
 
+// Journal receives every mutation of a Store, in apply order, before the
+// mutation takes effect (write-ahead discipline: a mutation whose journal
+// append fails is not applied). Calls arrive under the store's lock, so an
+// implementation sees them strictly serialized per store. The journal
+// decides which namespaces are durable — internal/wal skips scratch ("#")
+// arrays, for example.
+type Journal interface {
+	JournalPut(arrayName string, key array.ChunkKey, enc []byte, hash uint64) error
+	JournalDelete(arrayName string, key array.ChunkKey) error
+	JournalDropArray(arrayName string) error
+}
+
+// DurabilityError wraps a journal/fsync/close failure of the durable layer.
+// Mutators surface it instead of applying the mutation, and the maintenance
+// commit path propagates it as-is so callers can errors.As for it.
+type DurabilityError struct {
+	Op  string // the store operation that failed: "put", "delete", "drop-array", "sync", "close"
+	Err error
+}
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("storage: durability failure during %s: %v", e.Op, e.Err)
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
 // Store is one node's chunk storage. It is safe for concurrent use.
 //
 // Besides the resident chunks, the store keeps a bounded LRU "sideline"
@@ -41,7 +67,8 @@ type Store struct {
 	byArray map[string]map[string]bool
 	bytes   int64
 
-	cache *ContentCache // sideline cache of displaced encodings
+	cache   *ContentCache // sideline cache of displaced encodings
+	journal Journal       // optional write-ahead journal; nil = RAM-only
 }
 
 // NewStore returns an empty store.
@@ -62,6 +89,20 @@ func storeKey(arrayName string, key array.ChunkKey) string {
 // the NUL separator; chunk key bytes after the first NUL are irrelevant).
 func arrayOf(k string) string {
 	return k[:strings.IndexByte(k, 0)]
+}
+
+// chunkKeyOf recovers the chunk key from a store key.
+func chunkKeyOf(k string) array.ChunkKey {
+	return array.ChunkKey(k[strings.IndexByte(k, 0)+1:])
+}
+
+// SetJournal installs (or clears, with nil) the store's write-ahead
+// journal. Install before the store takes traffic: the journal only sees
+// mutations made after it is set.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
 }
 
 // indexAddLocked records k under its array. Caller holds s.mu.
@@ -99,8 +140,14 @@ func (s *Store) cacheLookup(hash uint64, size int64) ([]byte, bool) {
 }
 
 // putLocked installs an encoding under k, sidelining any replaced version.
-// Caller holds s.mu.
-func (s *Store) putLocked(k string, buf []byte, hash uint64) {
+// The mutation is journaled first; if the journal append fails nothing is
+// installed. Caller holds s.mu.
+func (s *Store) putLocked(k string, buf []byte, hash uint64) error {
+	if s.journal != nil {
+		if err := s.journal.JournalPut(arrayOf(k), chunkKeyOf(k), buf, hash); err != nil {
+			return &DurabilityError{Op: "put", Err: err}
+		}
+	}
 	if old, ok := s.chunks[k]; ok {
 		s.bytes -= int64(len(old))
 		s.sideline(old)
@@ -109,27 +156,28 @@ func (s *Store) putLocked(k string, buf []byte, hash uint64) {
 	s.hashes[k] = hash
 	s.indexAddLocked(k)
 	s.bytes += int64(len(buf))
+	return nil
 }
 
 // Put serializes and stores the chunk under the array name, replacing any
 // previous version.
-func (s *Store) Put(arrayName string, c *array.Chunk) {
+func (s *Store) Put(arrayName string, c *array.Chunk) error {
 	buf := array.EncodeChunk(c)
 	k := storeKey(arrayName, c.Key())
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.putLocked(k, buf, array.HashChunkBytes(buf))
+	return s.putLocked(k, buf, array.HashChunkBytes(buf))
 }
 
 // PutEncoded stores an already-serialized ACH1 encoding verbatim. The
 // transport server uses it to land wire payloads without a decode/encode
 // round trip when the bytes are already canonical.
-func (s *Store) PutEncoded(arrayName string, key array.ChunkKey, buf []byte) {
+func (s *Store) PutEncoded(arrayName string, key array.ChunkKey, buf []byte) error {
 	k := storeKey(arrayName, key)
 	h := array.HashChunkBytes(buf)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.putLocked(k, buf, h)
+	return s.putLocked(k, buf, h)
 }
 
 // Hash returns the content hash of the resident encoding of a chunk.
@@ -157,7 +205,12 @@ func (s *Store) TryAdopt(arrayName string, key array.ChunkKey, hash uint64, size
 		}
 	}
 	if buf, ok := s.cacheLookup(hash, size); ok {
-		s.putLocked(k, buf, hash)
+		// An adoption that cannot be journaled is declined rather than
+		// failed: the caller falls back to a full ship, whose Put surfaces
+		// the durability error.
+		if s.putLocked(k, buf, hash) != nil {
+			return 0, false
+		}
 		return int64(len(buf)), true
 	}
 	return 0, false
@@ -183,7 +236,9 @@ func (s *Store) Patch(arrayName string, key array.ChunkKey, baseHash uint64, del
 		return false, err
 	}
 	out := array.EncodeChunk(c)
-	s.putLocked(k, out, array.HashChunkBytes(out))
+	if err := s.putLocked(k, out, array.HashChunkBytes(out)); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
@@ -218,20 +273,25 @@ func (s *Store) Has(arrayName string, key array.ChunkKey) bool {
 }
 
 // Delete evicts a chunk, reporting whether it was resident.
-func (s *Store) Delete(arrayName string, key array.ChunkKey) bool {
+func (s *Store) Delete(arrayName string, key array.ChunkKey) (bool, error) {
 	k := storeKey(arrayName, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	buf, ok := s.chunks[k]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if s.journal != nil {
+		if err := s.journal.JournalDelete(arrayName, key); err != nil {
+			return false, &DurabilityError{Op: "delete", Err: err}
+		}
 	}
 	s.bytes -= int64(len(buf))
 	delete(s.chunks, k)
 	delete(s.hashes, k)
 	s.indexRemoveLocked(k)
 	s.sideline(buf)
-	return true
+	return true, nil
 }
 
 // Merge folds src's cells into the resident chunk with the same coordinate,
@@ -244,8 +304,7 @@ func (s *Store) Merge(arrayName string, src *array.Chunk, merge func(dst, src *a
 	buf, ok := s.chunks[k]
 	if !ok {
 		out := array.EncodeChunk(src)
-		s.putLocked(k, out, array.HashChunkBytes(out))
-		return nil
+		return s.putLocked(k, out, array.HashChunkBytes(out))
 	}
 	dst, err := array.DecodeChunk(buf)
 	if err != nil {
@@ -255,8 +314,7 @@ func (s *Store) Merge(arrayName string, src *array.Chunk, merge func(dst, src *a
 		return err
 	}
 	out := array.EncodeChunk(dst)
-	s.putLocked(k, out, array.HashChunkBytes(out))
-	return nil
+	return s.putLocked(k, out, array.HashChunkBytes(out))
 }
 
 // NumChunks returns the number of resident chunks across all arrays.
@@ -288,9 +346,14 @@ func (s *Store) Keys(arrayName string) []array.ChunkKey {
 
 // DropArray evicts every chunk of the named array and returns how many were
 // dropped.
-func (s *Store) DropArray(arrayName string) int {
+func (s *Store) DropArray(arrayName string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.journal != nil && len(s.byArray[arrayName]) > 0 {
+		if err := s.journal.JournalDropArray(arrayName); err != nil {
+			return 0, &DurabilityError{Op: "drop-array", Err: err}
+		}
+	}
 	n := 0
 	for k := range s.byArray[arrayName] {
 		buf := s.chunks[k]
@@ -301,7 +364,34 @@ func (s *Store) DropArray(arrayName string) int {
 		n++
 	}
 	delete(s.byArray, arrayName)
-	return n
+	return n, nil
+}
+
+// EachEncoded calls fn for every resident chunk in deterministic
+// (array, key) order with its canonical encoding and content hash. The
+// encoding is the store's own buffer: read-only. The durable layer uses
+// this to checkpoint a store's full state.
+func (s *Store) EachEncoded(fn func(arrayName string, key array.ChunkKey, enc []byte, hash uint64) error) error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.chunks))
+	for k := range s.chunks {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.mu.RLock()
+		buf, ok := s.chunks[k]
+		hash := s.hashes[k]
+		s.mu.RUnlock()
+		if !ok { // deleted between snapshot and visit
+			continue
+		}
+		if err := fn(arrayOf(k), chunkKeyOf(k), buf, hash); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CacheBytes returns the sideline content cache's current footprint.

@@ -68,7 +68,7 @@ func TestStoreMissingChunk(t *testing.T) {
 	if st.Has("A", array.ChunkCoord{0, 0}.Key()) {
 		t.Error("missing chunk must not be resident")
 	}
-	if st.Delete("A", array.ChunkCoord{0, 0}.Key()) {
+	if ok, _ := st.Delete("A", array.ChunkCoord{0, 0}.Key()); ok {
 		t.Error("deleting missing chunk must report false")
 	}
 }
@@ -83,7 +83,7 @@ func TestStoreArrayNamespaces(t *testing.T) {
 	if st.NumChunks() != 2 {
 		t.Errorf("NumChunks = %d, want 2", st.NumChunks())
 	}
-	if n := st.DropArray("A"); n != 1 {
+	if n, _ := st.DropArray("A"); n != 1 {
 		t.Errorf("DropArray = %d, want 1", n)
 	}
 	if st.Has("A", c.Key()) || !st.Has("B", c.Key()) {

@@ -230,6 +230,14 @@ type Message struct {
 	Demotions     int64 // heavy→light transitions
 	MemoHits      int64 // cached-join-state hits
 	MemoMisses    int64 // cached-join-state misses
+	// Durable-store counters (SnapshotReply; zero when the daemon runs
+	// in-memory).
+	DurCommits     int64 // commit barriers written
+	DurRollbacks   int64 // rollback barriers written
+	DurCheckpoints int64 // checkpoint compactions
+	DurWALBytes    int64 // bytes appended to WALs
+	DurSegBytes    int64 // chunk-body bytes appended to segments
+	DurSyncs       int64 // fsyncs issued
 }
 
 // appendStr appends a u32-length-prefixed string.
@@ -351,7 +359,9 @@ func appendPayload(buf []byte, m *Message) []byte {
 			m.CacheHits, m.CacheMisses, m.CacheBytes, m.Queries, m.Rejected,
 			m.HeavyChunks, m.LightChunks, m.PendingChunks, m.PendingCells,
 			m.Deferred, m.LazyMats, m.Drained, m.Promotions, m.Demotions,
-			m.MemoHits, m.MemoMisses} {
+			m.MemoHits, m.MemoMisses,
+			m.DurCommits, m.DurRollbacks, m.DurCheckpoints, m.DurWALBytes,
+			m.DurSegBytes, m.DurSyncs} {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
 	}
@@ -533,7 +543,9 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 			&m.CacheHits, &m.CacheMisses, &m.CacheBytes, &m.Queries, &m.Rejected,
 			&m.HeavyChunks, &m.LightChunks, &m.PendingChunks, &m.PendingCells,
 			&m.Deferred, &m.LazyMats, &m.Drained, &m.Promotions, &m.Demotions,
-			&m.MemoHits, &m.MemoMisses} {
+			&m.MemoHits, &m.MemoMisses,
+			&m.DurCommits, &m.DurRollbacks, &m.DurCheckpoints, &m.DurWALBytes,
+			&m.DurSegBytes, &m.DurSyncs} {
 			*p = int64(r.u64())
 		}
 	default:

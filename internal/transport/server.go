@@ -126,11 +126,13 @@ type NodeServer struct {
 	cfg   ServerConfig
 	stats serverCounters
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	views  map[string]*view.Definition
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	views    map[string]*view.Definition
+	closed   bool
+	draining bool
+	drainDL  time.Time
 
 	wg sync.WaitGroup
 }
@@ -223,6 +225,38 @@ func (s *NodeServer) Close() error {
 	return err
 }
 
+// Drain gracefully winds the server down: it stops accepting new
+// connections immediately and gives live connections a grace window to
+// finish the requests already on the wire, after which their reads time
+// out and the connection goroutines exit. It returns once every
+// connection has drained. Call Close afterwards to release the rest.
+func (s *NodeServer) Drain(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.drainDL = time.Now().Add(grace)
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	dl := s.drainDL
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Wake connections blocked in a read; SetReadDeadline applies to a
+	// currently-blocked Read too.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(dl)
+	}
+	s.wg.Wait()
+}
+
 func (s *NodeServer) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -256,10 +290,24 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 	}()
 	counted := &countingConn{Conn: conn, in: &s.stats.bytesIn, out: &s.stats.bytesOut}
 	for {
+		var deadline time.Time
 		if d := s.cfg.idle(); d > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
-				return
-			}
+			deadline = time.Now().Add(d)
+		}
+		// The deadline is set under mu so it serializes against Drain:
+		// a draining server's grace deadline can never be overwritten by a
+		// fresh idle deadline.
+		s.mu.Lock()
+		if s.draining && (deadline.IsZero() || s.drainDL.Before(deadline)) {
+			deadline = s.drainDL
+		}
+		var dlErr error
+		if !deadline.IsZero() {
+			dlErr = conn.SetReadDeadline(deadline)
+		}
+		s.mu.Unlock()
+		if dlErr != nil {
+			return
 		}
 		req, rraw, rwire, err := ReadMessageOpt(counted)
 		if err != nil {
@@ -312,7 +360,9 @@ func (s *NodeServer) handle(req *Message) *Message {
 		if err != nil {
 			return errMsg("put %s: %v", req.Array, err)
 		}
-		s.store.Put(req.Array, c)
+		if err := s.store.Put(req.Array, c); err != nil {
+			return errMsg("put %s: %v", req.Array, err)
+		}
 		return &Message{Type: MsgOK}
 
 	case MsgGetChunk:
@@ -326,7 +376,11 @@ func (s *NodeServer) handle(req *Message) *Message {
 		return &Message{Type: MsgBool, Flag: s.store.Has(req.Array, req.Key)}
 
 	case MsgDeleteChunk:
-		return &Message{Type: MsgBool, Flag: s.store.Delete(req.Array, req.Key)}
+		ok, err := s.store.Delete(req.Array, req.Key)
+		if err != nil {
+			return errMsg("delete %s: %v", req.Array, err)
+		}
+		return &Message{Type: MsgBool, Flag: ok}
 
 	case MsgMergeDelta:
 		src, err := array.DecodeChunk(req.Chunk)
@@ -347,7 +401,11 @@ func (s *NodeServer) handle(req *Message) *Message {
 		return &Message{Type: MsgKeyList, KeyList: s.store.Keys(req.Array)}
 
 	case MsgDropArray:
-		return &Message{Type: MsgCount, Count: int64(s.store.DropArray(req.Array))}
+		n, err := s.store.DropArray(req.Array)
+		if err != nil {
+			return errMsg("drop %s: %v", req.Array, err)
+		}
+		return &Message{Type: MsgCount, Count: int64(n)}
 
 	case MsgStats:
 		return &Message{Type: MsgStatsReply,
@@ -403,7 +461,9 @@ func (s *NodeServer) handle(req *Message) *Message {
 		// DecodePayload cloned every item's Data, so the store may retain
 		// the buffers after the pooled frame is reused.
 		for _, it := range req.Items {
-			s.store.PutEncoded(it.Array, it.Key, it.Data)
+			if err := s.store.PutEncoded(it.Array, it.Key, it.Data); err != nil {
+				return errMsg("put %s: %v", it.Array, err)
+			}
 		}
 		return &Message{Type: MsgOK}
 

@@ -1,0 +1,493 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+	"github.com/arrayview/arrayview/internal/storage"
+)
+
+// A full maintenance run over a fault-free FaultFS must reopen to exactly
+// the final state, with one barrier per batch.
+func TestDurableRoundTrip(t *testing.T) {
+	data, def := testData(t)
+	fs := NewMemFS()
+
+	d, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("fresh directory must recover nothing")
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	wantBase, wantView := gatherState(t, cl, def)
+	if got, want := d.Seq(), uint64(len(data.Batches)); got != want {
+		t.Errorf("barrier seq = %d, want %d", got, want)
+	}
+	cs := d.Counters().Snapshot()
+	if cs.Commits != int64(len(data.Batches)) || cs.Syncs == 0 || cs.WALBytes == 0 {
+		t.Errorf("counters off: %+v", cs)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, rec2, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 == nil {
+		t.Fatal("no state recovered")
+	}
+	if rec2.Seq != uint64(len(data.Batches)) || rec2.Kind != "commit" {
+		t.Errorf("recovered barrier %d/%s, want %d/commit", rec2.Seq, rec2.Kind, len(data.Batches))
+	}
+	cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatal("recovered state differs from pre-restart state")
+	}
+	// The recovered cluster keeps maintaining: attach and run a batch
+	// replay-free sanity pass (fresh deltas only exist in data.Batches, so
+	// re-apply nothing; just verify Attach checkpoints cleanly).
+	if err := d2.Attach(cl2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The core recovery contract: kill -9 at ANY write/sync/syncdir boundary
+// after Attach recovers either pre-batch or post-batch state of the batch
+// in flight — never a hybrid. The sweep samples crash points across the
+// whole run.
+func TestDurableCrashMatrix(t *testing.T) {
+	data, def := testData(t)
+
+	// Measure a fault-free run to size the op space.
+	probe := NewMemFS()
+	d, _, err := Open(probe, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("probe batch %d: %v", i, err)
+		}
+	}
+	opsTotal := probe.Ops()
+	if opsTotal <= opsAttach {
+		t.Fatalf("workload issued no durable ops (%d..%d)", opsAttach, opsTotal)
+	}
+
+	// Clean-replay oracle per committed-batch count.
+	oracles := make([]*arrayPair, len(data.Batches)+1)
+	for k := 0; k <= len(data.Batches); k++ {
+		b, v := cleanReplay(t, data, def, k)
+		oracles[k] = &arrayPair{b, v}
+	}
+
+	const samples = 14
+	span := opsTotal - opsAttach
+	for s := 0; s < samples; s++ {
+		crashAt := opsAttach + 1 + span*int64(s)/samples
+		fs := NewFaultFS(FaultPlan{Seed: int64(1000 + s), CrashAtOp: crashAt})
+		dc, rec, err := Open(fs, testNodes, Options{})
+		if err != nil {
+			t.Fatalf("crash@%d: open: %v", crashAt, err)
+		}
+		if rec != nil {
+			t.Fatalf("crash@%d: fresh fs recovered state", crashAt)
+		}
+		clc := buildCluster(t, data, def)
+		mc := newMaintainer(t, clc, def)
+		if err := dc.Attach(clc); err != nil {
+			t.Fatalf("crash@%d: attach: %v", crashAt, err)
+		}
+		acked := 0
+		for _, b := range data.Batches {
+			if _, err := mc.ApplyBatch(b); err != nil {
+				break
+			}
+			acked++
+		}
+		if !fs.Crashed() && acked == len(data.Batches) {
+			// Op counts drift slightly run to run (worker scheduling);
+			// a late crash point can land beyond the run. Still verify
+			// the full round trip.
+			fs.Crash()
+		}
+		fs.Restart()
+
+		d2, rec2, err := Open(fs, testNodes, Options{})
+		if err != nil {
+			t.Fatalf("crash@%d: recovery open: %v", crashAt, err)
+		}
+		if rec2 == nil {
+			t.Fatalf("crash@%d: no state recovered (attach checkpoint was durable)", crashAt)
+		}
+		cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec2.Install(cl2); err != nil {
+			t.Fatalf("crash@%d: install: %v", crashAt, err)
+		}
+		gotBase, gotView := gatherState(t, cl2, def)
+		match := -1
+		for _, k := range []int{acked, acked + 1} {
+			if k < 0 || k > len(data.Batches) {
+				continue
+			}
+			if sameArray(gotBase, oracles[k].base) && sameArray(gotView, oracles[k].view) {
+				match = k
+				break
+			}
+		}
+		if match < 0 {
+			t.Errorf("crash@%d: recovered state is a hybrid (acked %d batches)", crashAt, acked)
+		}
+		_ = d2
+		_ = dc
+	}
+}
+
+// A sync failure during the commit barrier must surface as a typed
+// DurabilityError through maintain's commit path, roll the batch back, and
+// leave the durable state recoverable at the pre-batch barrier.
+func TestDurableSyncErrorPropagates(t *testing.T) {
+	data, def := testData(t)
+
+	probe := NewMemFS()
+	dp, _, err := Open(probe, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clp := buildCluster(t, data, def)
+	if err := dp.Attach(clp); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+
+	fs := NewFaultFS(FaultPlan{Seed: 99, FailSyncAtOp: opsAttach + 1})
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.ApplyBatch(data.Batches[0])
+	if err == nil {
+		t.Fatal("batch must fail when the barrier fsync fails")
+	}
+	var de *storage.DurabilityError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v does not unwrap to *storage.DurabilityError", err)
+	}
+	if de.Op != "sync" {
+		t.Errorf("DurabilityError op = %q, want sync", de.Op)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("error chain %v lost the injected cause", err)
+	}
+
+	// The fault fired once; the batch retries cleanly and the final state
+	// round-trips.
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("retry batch %d: %v", i, err)
+		}
+	}
+	wantBase, wantView := gatherState(t, cl, def)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, _ := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err := rec.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatal("state after injected sync failure does not round-trip")
+	}
+}
+
+// A short write while journaling a store mutation must fail that mutation
+// with a typed DurabilityError — the write-ahead contract: a chunk whose
+// journal record could not be appended is never installed.
+func TestDurableShortWriteFailsPut(t *testing.T) {
+	data, def := testData(t)
+
+	probe := NewMemFS()
+	dp, _, err := Open(probe, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clp := buildCluster(t, data, def)
+	if err := dp.Attach(clp); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+
+	fs := NewFaultFS(FaultPlan{Seed: 5, ShortWriteAtOp: opsAttach + 1})
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	// Re-put a resident base chunk: the journal append is the next write
+	// and gets torn.
+	alpha := def.Alpha.Name
+	var fired bool
+	for i := 0; i < testNodes && !fired; i++ {
+		st := cl.Node(i).Store
+		for _, k := range st.Keys(alpha) {
+			ch, err := st.Get(alpha, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = st.Put(alpha, ch)
+			if err == nil {
+				continue
+			}
+			var de *storage.DurabilityError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %v does not unwrap to *storage.DurabilityError", err)
+			}
+			if de.Op != "put" {
+				t.Errorf("DurabilityError op = %q, want put", de.Op)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("error chain %v lost the injected cause", err)
+			}
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("short write never fired")
+	}
+	// If the tear hit the WAL (not the segment), the journal fail-stops and
+	// Close must surface that — typed, not swallowed.
+	if err := d.Close(); err != nil {
+		var de *storage.DurabilityError
+		if !errors.As(err, &de) {
+			t.Fatalf("close error %v does not unwrap to *storage.DurabilityError", err)
+		}
+	}
+}
+
+// A short write during maintenance itself is either absorbed (the dedup
+// offer declines and the wire layer re-ships the chunk in full) or fails
+// the batch; in both cases the durable state must match a clean replay of
+// exactly the acked batches.
+func TestDurableShortWriteDuringBatch(t *testing.T) {
+	data, def := testData(t)
+
+	probe := NewMemFS()
+	dp, _, err := Open(probe, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clp := buildCluster(t, data, def)
+	if err := dp.Attach(clp); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+
+	fs := NewFaultFS(FaultPlan{Seed: 5, ShortWriteAtOp: opsAttach + 1})
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	if _, err := m.ApplyBatch(data.Batches[0]); err == nil {
+		acked = 1
+	} else {
+		var de *storage.DurabilityError
+		if !errors.As(err, &de) {
+			t.Fatalf("failed batch error %v does not unwrap to *storage.DurabilityError", err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, _ := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err := rec.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	wantBase, wantView := cleanReplay(t, data, def, acked)
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatalf("durable state does not match clean replay of %d acked batches", acked)
+	}
+}
+
+// Checkpoint compaction: with a tiny threshold every barrier triggers a
+// fresh generation; state still round-trips and old generations are gone.
+func TestDurableCheckpointCompaction(t *testing.T) {
+	data, def := testData(t)
+	fs := NewMemFS()
+	d, _, err := Open(fs, testNodes, Options{CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if got := d.Counters().Snapshot().Checkpoints; got < int64(len(data.Batches)) {
+		t.Errorf("expected a checkpoint per barrier, got %d", got)
+	}
+	wantBase, wantView := gatherState(t, cl, def)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := 0
+	for _, n := range names {
+		if len(n) > 4 && n[:4] == "gen-" {
+			gens++
+		}
+	}
+	if gens != 1 {
+		t.Errorf("compaction left %d generations (%v), want 1", gens, names)
+	}
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no state recovered after compaction")
+	}
+	cl2, _ := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err := rec.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatal("compacted state does not round-trip")
+	}
+}
+
+// Deferred light-chunk deltas (the adaptive pending log) survive a kill -9
+// and still materialize in batch order on touch: recovered lazy state must
+// equal an all-eager replay.
+func TestDurablePendingLogSurvivesRestart(t *testing.T) {
+	data, def := testData(t)
+	cfg := maintain.AdaptiveConfig{HeavyThreshold: math.MaxFloat64, Hysteresis: 0.5}
+
+	fs := NewMemFS()
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	am, err := maintain.NewAdaptiveMaintainer(cl, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.Inner().SetPlacements(testPlacement(), testPlacement())
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	deferred := 0
+	for i, b := range data.Batches {
+		rep, err := am.ApplyBatch(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		deferred += rep.LightChunks
+	}
+	if deferred == 0 {
+		t.Fatal("workload produced no deferred chunks; test is vacuous")
+	}
+
+	fs.Crash() // kill -9
+
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no state recovered")
+	}
+	cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Catalog().Pending().Stats().Entries == 0 {
+		t.Fatal("pending log did not survive the restart")
+	}
+	am2, err := maintain.NewAdaptiveMaintainer(cl2, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am2.Inner().SetPlacements(testPlacement(), testPlacement())
+	if err := am2.EnsureFresh(context.Background()); err != nil {
+		t.Fatalf("materializing recovered pending log: %v", err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	wantBase, wantView := cleanReplay(t, data, def, len(data.Batches))
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatal("recovered lazy state diverges from all-eager replay")
+	}
+}

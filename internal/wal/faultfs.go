@@ -1,0 +1,398 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Injected faults and crash-state errors of the FaultFS.
+var (
+	// ErrCrashed is returned by every operation after a scheduled crash
+	// fired: the "process" is dead until Restart.
+	ErrCrashed = errors.New("wal: filesystem crashed")
+	// ErrInjected is the base error of scheduled sync/write faults.
+	ErrInjected = errors.New("wal: injected fault")
+)
+
+// FaultPlan is a deterministic fault schedule for a FaultFS. Operations
+// (writes and syncs, in issue order across all files) are numbered from 1;
+// an op index of 0 disables that fault. The same seed and schedule always
+// reproduce the same failure, mirroring cluster.FaultFabric.
+type FaultPlan struct {
+	Seed int64
+	// CrashAtOp simulates kill -9 immediately before the numbered
+	// operation: unsynced suffixes are torn away (see Crash) and every
+	// operation from then on returns ErrCrashed.
+	CrashAtOp int64
+	// FailSyncAtOp makes the numbered operation, if it is a Sync, fail
+	// with ErrInjected without making anything durable. If the numbered
+	// op is not a Sync, the next Sync at or after it fails.
+	FailSyncAtOp int64
+	// ShortWriteAtOp makes the numbered operation, if it is a Write,
+	// persist only a seeded prefix of the buffer and return ErrInjected.
+	// If the numbered op is not a Write, the next Write at or after it
+	// fails.
+	ShortWriteAtOp int64
+}
+
+// memFile is one in-memory file with durability tracking: data holds the
+// full written contents, durable the length of the prefix guaranteed to
+// survive a crash (advanced by Sync), entryDurable whether the directory
+// entry itself survives (set by SyncDir on the parent).
+type memFile struct {
+	data         []byte
+	durable      int
+	entryDurable bool
+	// prev is the durable entry this file displaced via Rename: until the
+	// parent directory is synced, a crash reverts to it (POSIX rename is
+	// atomic — a crash shows old or new, never neither).
+	prev *memFile
+}
+
+// FaultFS is an in-memory FS with durability tracking and seeded fault
+// injection — the filesystem analogue of cluster.FaultFabric. A fault-free
+// FaultFS (NewMemFS) is an exact in-memory filesystem whose Crash method
+// still models kill -9 truthfully: only fsynced prefixes survive, plus a
+// seeded torn tail of whatever unsynced bytes happened to reach the disk.
+type FaultFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	rng     *rand.Rand
+	plan    FaultPlan
+	ops     int64
+	crashed bool
+}
+
+// NewMemFS returns an in-memory FS with no scheduled faults.
+func NewMemFS() *FaultFS { return NewFaultFS(FaultPlan{}) }
+
+// NewFaultFS returns an in-memory FS executing the given fault plan.
+func NewFaultFS(plan FaultPlan) *FaultFS {
+	return &FaultFS{
+		files: make(map[string]*memFile),
+		dirs:  map[string]bool{".": true},
+		rng:   rand.New(rand.NewSource(plan.Seed ^ 0x1e3779b97f4a7c15)),
+		plan:  plan,
+	}
+}
+
+// Ops returns how many write/sync operations have been issued, so a test
+// can measure a fault-free run and then schedule crashes inside [1, Ops].
+func (m *FaultFS) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// TotalBytes returns the bytes currently resident across all files — the
+// on-disk footprint an operator would see, which checkpoints compact.
+func (m *FaultFS) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, f := range m.files {
+		n += int64(len(f.data))
+	}
+	return n
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (m *FaultFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// step numbers one write/sync operation and fires the crash fault.
+// Caller holds m.mu. Returns an error if the fs is (now) crashed.
+func (m *FaultFS) step() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if m.plan.CrashAtOp > 0 && m.ops >= m.plan.CrashAtOp {
+		m.crashLocked()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Crash simulates kill -9: files whose directory entry was never synced
+// vanish; every other file keeps its synced prefix plus a seeded torn tail
+// of the unsynced suffix (possibly with flipped bits, as a real torn
+// sector would show). The FS then behaves as freshly restarted: surviving
+// contents are durable and new operations are accepted.
+func (m *FaultFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashLocked()
+	m.crashed = false // restarted
+}
+
+// ScheduleCrash arms (or, with 0, disarms) the crash fault at the given
+// absolute op index, so a test can chain several crash/recover cycles on
+// one FS — including crashes in the middle of recovery itself.
+func (m *FaultFS) ScheduleCrash(op int64) {
+	m.mu.Lock()
+	m.plan.CrashAtOp = op
+	m.mu.Unlock()
+}
+
+// Restart clears the crashed flag after a scheduled crash fired, so the
+// same FS can be reopened for recovery.
+func (m *FaultFS) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+}
+
+func (m *FaultFS) crashLocked() {
+	m.crashed = true
+	m.plan.CrashAtOp = 0 // fire once
+	for name, f := range m.files {
+		if !f.entryDurable {
+			if f.prev != nil {
+				m.files[name] = f.prev // unsynced rename reverts
+			} else {
+				delete(m.files, name)
+			}
+			continue
+		}
+		tail := len(f.data) - f.durable
+		if tail > 0 {
+			// A seeded fraction of the unsynced suffix made it out of the
+			// page cache; corrupt up to its last 4 bytes to model a torn
+			// sector.
+			kept := m.rng.Intn(tail + 1)
+			f.data = f.data[:f.durable+kept]
+			for i := 0; i < 4 && kept > 0 && m.rng.Intn(2) == 0; i++ {
+				p := f.durable + m.rng.Intn(kept)
+				f.data[p] ^= byte(1 << m.rng.Intn(8))
+			}
+		}
+		f.durable = len(f.data)
+		f.entryDurable = true // whatever survived is on disk now
+		f.prev = nil
+	}
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	name string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return 0, err
+	}
+	mf, ok := m.files[f.name]
+	if !ok {
+		return 0, fmt.Errorf("wal: write to removed file %s", f.name)
+	}
+	if m.plan.ShortWriteAtOp > 0 && m.ops >= m.plan.ShortWriteAtOp {
+		m.plan.ShortWriteAtOp = 0 // fire once
+		n := 0
+		if len(p) > 0 {
+			n = m.rng.Intn(len(p))
+		}
+		mf.data = append(mf.data, p[:n]...)
+		return n, fmt.Errorf("%w: short write of %s (%d of %d bytes)", ErrInjected, f.name, n, len(p))
+	}
+	mf.data = append(mf.data, p...)
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	if m.plan.FailSyncAtOp > 0 && m.ops >= m.plan.FailSyncAtOp {
+		m.plan.FailSyncAtOp = 0 // fire once
+		return fmt.Errorf("%w: fsync of %s failed", ErrInjected, f.name)
+	}
+	if mf, ok := m.files[f.name]; ok {
+		mf.durable = len(mf.data)
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (m *FaultFS) Create(name string) (File, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[path.Dir(name)] {
+		return nil, fmt.Errorf("wal: create %s: parent directory missing", name)
+	}
+	m.files[name] = &memFile{}
+	return &faultFile{fs: m, name: name}, nil
+}
+
+func (m *FaultFS) ReadFile(name string) ([]byte, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: %s: %w", name, errNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// errNotExist matches the os package's sentinel so Open's fresh-directory
+// probe works identically over OSFS and FaultFS.
+var errNotExist = iofs.ErrNotExist
+
+func (m *FaultFS) ReadDir(name string) ([]string, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[name] {
+		return nil, fmt.Errorf("wal: dir %s: %w", name, errNotExist)
+	}
+	seen := map[string]bool{}
+	for f := range m.files {
+		if path.Dir(f) == name {
+			seen[path.Base(f)] = true
+		}
+	}
+	for d := range m.dirs {
+		if d != name && path.Dir(d) == name {
+			seen[path.Base(d)] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *FaultFS) Remove(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: %w", name, errNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *FaultFS) RemoveAll(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	prefix := name + "/"
+	for f := range m.files {
+		if f == name || strings.HasPrefix(f, prefix) {
+			delete(m.files, f)
+		}
+	}
+	for d := range m.dirs {
+		if d == name || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+func (m *FaultFS) Rename(oldName, newName string) error {
+	oldName, newName = path.Clean(oldName), path.Clean(newName)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: %w", oldName, errNotExist)
+	}
+	delete(m.files, oldName)
+	// The rename itself is a directory mutation: it survives a crash only
+	// once the parent directory is synced; until then a crash reverts to
+	// the durable entry it displaced (if any).
+	var prev *memFile
+	if old, ok := m.files[newName]; ok {
+		if old.entryDurable {
+			prev = old
+		} else {
+			prev = old.prev
+		}
+	}
+	m.files[newName] = &memFile{data: f.data, durable: f.durable, entryDurable: false, prev: prev}
+	return nil
+}
+
+func (m *FaultFS) MkdirAll(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	for d := name; ; d = path.Dir(d) {
+		m.dirs[d] = true
+		if d == "." || d == "/" {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *FaultFS) SyncDir(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	if !m.dirs[name] {
+		return fmt.Errorf("wal: sync dir %s: %w", name, errNotExist)
+	}
+	for f, mf := range m.files {
+		if path.Dir(f) == name {
+			mf.entryDurable = true
+			mf.prev = nil
+		}
+	}
+	return nil
+}

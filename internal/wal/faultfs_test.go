@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func write(t *testing.T, fs *FaultFS, name, data string, sync bool) File {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFaultFSCrashDurability(t *testing.T) {
+	fs := NewFaultFS(FaultPlan{Seed: 3})
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	synced := write(t, fs, "d/synced", "hello world", true)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Entry durable, but these bytes were never fsynced — only a torn
+	// prefix of them may survive.
+	if _, err := synced.Write([]byte("; torn tail")); err != nil {
+		t.Fatal(err)
+	}
+	// Created after the directory sync: the entries themselves are not
+	// durable, so both vanish — even the one with fsynced contents.
+	write(t, fs, "d/unsynced-entry", "gone", false)
+	write(t, fs, "d/after-dirsync", "entry never synced", true)
+
+	fs.Crash()
+
+	got, err := fs.ReadFile("d/synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("hello world")) {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if len(got) > len("hello world; torn tail") {
+		t.Fatalf("crash grew the file: %q", got)
+	}
+	for _, name := range []string{"d/unsynced-entry", "d/after-dirsync"} {
+		if _, err := fs.ReadFile(name); !errors.Is(err, errNotExist) {
+			t.Fatalf("%s should have vanished, got err %v", name, err)
+		}
+	}
+}
+
+// Rename is old-or-new, never neither: before the parent directory syncs,
+// a crash reverts to the durable entry the rename displaced.
+func TestFaultFSRenameCrashRevert(t *testing.T) {
+	fs := NewFaultFS(FaultPlan{Seed: 9})
+	write(t, fs, "CURRENT", "gen-1", true)
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	write(t, fs, "CURRENT.tmp", "gen-2", true)
+	if err := fs.Rename("CURRENT.tmp", "CURRENT"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, err := fs.ReadFile("CURRENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "gen-1" {
+		t.Fatalf("unsynced rename should revert to gen-1, got %q", got)
+	}
+
+	// Same flip with the directory synced sticks.
+	write(t, fs, "CURRENT.tmp", "gen-2", true)
+	if err := fs.Rename("CURRENT.tmp", "CURRENT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got, _ := fs.ReadFile("CURRENT"); string(got) != "gen-2" {
+		t.Fatalf("synced rename should stick at gen-2, got %q", got)
+	}
+	if _, err := fs.ReadFile("CURRENT.tmp"); !errors.Is(err, errNotExist) {
+		t.Fatalf("rename source should be gone, got err %v", err)
+	}
+}
+
+func TestFaultFSInjectedFaults(t *testing.T) {
+	// Op 1 is the write below: it persists only a prefix and errors.
+	fs := NewFaultFS(FaultPlan{Seed: 5, ShortWriteAtOp: 1})
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || n >= 10 {
+		t.Fatalf("want injected short write, got n=%d err=%v", n, err)
+	}
+	if got, _ := fs.ReadFile("f"); len(got) != n {
+		t.Fatalf("file holds %d bytes, write reported %d", len(got), n)
+	}
+
+	fs = NewFaultFS(FaultPlan{Seed: 5, FailSyncAtOp: 2})
+	f, _ = fs.Create("f")
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fsync failure, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fault must fire once, got %v", err)
+	}
+
+	fs = NewFaultFS(FaultPlan{Seed: 5, CrashAtOp: 2})
+	f, _ = fs.Create("f")
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash on op 2, got %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	if _, err := fs.ReadFile("f"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("all ops must fail until Restart")
+	}
+	fs.Restart()
+	if _, err := fs.ReadFile("f"); !errors.Is(err, errNotExist) {
+		t.Fatalf("unsynced-entry file should be gone after crash, got %v", err)
+	}
+}

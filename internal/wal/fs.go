@@ -1,0 +1,97 @@
+// Package wal is the durable half of the chunk store: append-only segment
+// files holding ACH1 chunk encodings, per-node write-ahead journals of
+// store mutations, and a coordinator meta log of commit/rollback barriers
+// carrying catalog and pending-log snapshots. Recovery replays the
+// journals up to the last barrier's consistent cut, so a crash at any
+// point restores either the pre-batch or the post-batch state of every
+// committed maintenance batch — never a hybrid.
+//
+// All file traffic goes through the FS interface so the same code runs on
+// the real filesystem (OSFS) and on the in-memory FaultFS, which tracks
+// exactly which byte prefixes were fsynced and can simulate a kill -9 with
+// torn tails, short writes, and fsync failures on a seeded schedule.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem slice the durable store needs. Paths use forward
+// slashes and are relative to the FS root.
+type FS interface {
+	// Create truncates/creates a file for appending.
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the entry names of a directory, sorted. A missing
+	// directory is an error.
+	ReadDir(name string) ([]string, error)
+	Remove(name string) error
+	// RemoveAll removes a file or directory tree; missing is not an error.
+	RemoveAll(name string) error
+	Rename(oldName, newName string) error
+	MkdirAll(name string) error
+	// SyncDir makes a directory's entries (creates, renames) durable.
+	SyncDir(name string) error
+}
+
+// File is an append-only file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS implements FS on the real filesystem under a root directory.
+type OSFS struct{ Root string }
+
+// NewOSFS returns an FS rooted at dir.
+func NewOSFS(dir string) *OSFS { return &OSFS{Root: dir} }
+
+func (o *OSFS) path(name string) string {
+	return filepath.Join(o.Root, filepath.FromSlash(name))
+}
+
+func (o *OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(o.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (o *OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(o.path(name)) }
+
+func (o *OSFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(o.path(name))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (o *OSFS) Remove(name string) error    { return os.Remove(o.path(name)) }
+func (o *OSFS) RemoveAll(name string) error { return os.RemoveAll(o.path(name)) }
+func (o *OSFS) Rename(oldName, newName string) error {
+	return os.Rename(o.path(oldName), o.path(newName))
+}
+func (o *OSFS) MkdirAll(name string) error { return os.MkdirAll(o.path(name), 0o755) }
+
+func (o *OSFS) SyncDir(name string) error {
+	d, err := os.Open(o.path(name))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/cluster"
+)
+
+// Meta records carry full catalog and pending-log snapshots, JSON-encoded
+// in deterministic order. Chunk keys are raw big-endian coordinate bytes —
+// not valid UTF-8 — so they travel as []byte (base64 under encoding/json).
+
+// metaRecord is one barrier in the coordinator meta log. Every record is a
+// self-contained consistent cut: recovery needs only the last valid one.
+type metaRecord struct {
+	// Kind is "commit", "rollback", or "checkpoint" (the base record a
+	// fresh generation starts with). All three mark consistent cuts.
+	Kind string
+	// Seq is the monotonic barrier number, continued across checkpoints.
+	Seq uint64
+	// Epoch is the epoch counter to fast-forward to on recovery.
+	Epoch uint64
+	// Cuts holds each worker journal's replayable WAL length.
+	Cuts []int64
+	// Catalog and Pending snapshot the durable coordinator state.
+	Catalog []catArray
+	Pending []pendingRec
+}
+
+type catArray struct {
+	Name   string
+	Schema *array.Schema
+	Chunks []catChunk
+}
+
+type catChunk struct {
+	Key      []byte
+	Home     int
+	Size     int64
+	Cells    int
+	Replicas []int
+	BBox     *array.Region `json:",omitempty"`
+	Hash     *uint64       `json:",omitempty"`
+	EncSize  int64         `json:",omitempty"`
+}
+
+type pendingRec struct {
+	Seq   int
+	Key   []byte
+	Epoch uint64
+	Chunk []byte // ACH1 encoding
+}
+
+// exportCatalog snapshots every durable (non-scratch) array of the
+// catalog, deterministically ordered.
+func exportCatalog(cat *cluster.Catalog) []catArray {
+	names := cat.Names()
+	sort.Strings(names)
+	out := make([]catArray, 0, len(names))
+	for _, name := range names {
+		if !durableArray(name) {
+			continue
+		}
+		m, ok := cat.SnapshotMeta(name)
+		if !ok {
+			continue
+		}
+		keys := make([]array.ChunkKey, 0, len(m.Home))
+		for k := range m.Home {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		ca := catArray{Name: name, Schema: m.Schema, Chunks: make([]catChunk, 0, len(keys))}
+		for _, k := range keys {
+			cc := catChunk{
+				Key:   []byte(k),
+				Home:  m.Home[k],
+				Size:  m.Size[k],
+				Cells: m.Cells[k],
+			}
+			for r := range m.Replicas[k] {
+				cc.Replicas = append(cc.Replicas, r)
+			}
+			sort.Ints(cc.Replicas)
+			if bb, ok := m.BBox[k]; ok {
+				bb := bb
+				cc.BBox = &bb
+			}
+			if h, ok := m.Hash[k]; ok {
+				h := h
+				cc.Hash = &h
+				cc.EncSize = m.EncSize[k]
+			}
+			ca.Chunks = append(ca.Chunks, cc)
+		}
+		out = append(out, ca)
+	}
+	return out
+}
+
+// exportPending snapshots the catalog's pending-delta log.
+func exportPending(cat *cluster.Catalog) []pendingRec {
+	entries := cat.Pending().Entries()
+	out := make([]pendingRec, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, pendingRec{
+			Seq:   e.Seq,
+			Key:   []byte(e.Key),
+			Epoch: e.Epoch,
+			Chunk: array.EncodeChunk(e.Chunk),
+		})
+	}
+	return out
+}
+
+// importPending rebuilds the pending log from a snapshot.
+func importPending(cat *cluster.Catalog, recs []pendingRec) error {
+	entries := make([]cluster.PendingEntry, 0, len(recs))
+	for _, r := range recs {
+		ch, err := array.DecodeChunk(r.Chunk)
+		if err != nil {
+			return fmt.Errorf("wal: restore pending entry seq %d: %w", r.Seq, err)
+		}
+		entries = append(entries, cluster.PendingEntry{
+			Seq:   r.Seq,
+			Key:   array.ChunkKey(r.Key),
+			Epoch: r.Epoch,
+			Chunk: ch,
+		})
+	}
+	cat.Pending().Reset(entries)
+	return nil
+}
