@@ -126,13 +126,17 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 			return fmt.Errorf("recovery: %w", err)
 		}
 		// The recovered catalog already holds the base, the view, and the
-		// pending log; resume maintenance after the batches whose commit
-		// barriers survived.
-		applied = int(rec.Seq)
+		// pending log; resume the input feed at the durable applied-batch
+		// cursor. Barrier Seq is NOT a batch index — adaptive and streamed
+		// maintenance write extra barriers (deferred-delta appends,
+		// materializations, rollback/retry pairs) — so only retiring
+		// barriers advance Applied.
+		applied = int(rec.Applied)
 		if applied > len(data.Batches) {
 			applied = len(data.Batches)
 		}
-		fmt.Printf("recovered %s at barrier %d (%s), epoch %d\n", dataDir, rec.Seq, rec.Kind, rec.Epoch)
+		fmt.Printf("recovered %s at barrier %d (%s), %d batches applied, epoch %d\n",
+			dataDir, rec.Seq, rec.Kind, rec.Applied, rec.Epoch)
 	} else {
 		if err := cl.LoadArray(data.Base, &cluster.RoundRobin{}); err != nil {
 			return err
@@ -235,21 +239,31 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 				return
 			case <-time.After(interval):
 			}
+			var before uint64
+			if dur != nil {
+				before = dur.Applied()
+			}
 			if am != nil {
-				rep, err := am.ApplyBatch(b)
-				if err != nil {
+				if rep, err := am.ApplyBatch(b); err != nil {
 					fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", n, err)
-					continue
+				} else {
+					fmt.Printf("batch %d/%d committed; epoch %d (%d eager, %d deferred)\n",
+						n, total, cl.Epochs().Current(), rep.HeavyChunks, rep.LightChunks)
 				}
-				fmt.Printf("batch %d/%d committed; epoch %d (%d eager, %d deferred)\n",
-					n, total, cl.Epochs().Current(), rep.HeavyChunks, rep.LightChunks)
-				continue
-			}
-			if _, err := m.ApplyBatch(b); err != nil {
+			} else if _, err := m.ApplyBatch(b); err != nil {
 				fmt.Fprintf(os.Stderr, "ivmserve: batch %d failed (rolled back): %v\n", n, err)
-				continue
+			} else {
+				fmt.Printf("batch %d/%d committed; epoch %d\n", n, total, cl.Epochs().Current())
 			}
-			fmt.Printf("batch %d/%d committed; epoch %d\n", n, total, cl.Epochs().Current())
+			if dur != nil && dur.Applied() == before {
+				// The batch terminated without a retiring barrier — it
+				// failed (rolled back) or was a no-op that wrote no barrier
+				// at all. Record the skip so a restart resumes after it
+				// rather than replaying it against state that has moved on.
+				if err := dur.RetireBarrier(); err != nil {
+					fmt.Fprintf(os.Stderr, "ivmserve: batch %d skip barrier: %v\n", n, err)
+				}
+			}
 		}
 		fmt.Printf("maintenance drained: %d batches applied\n", len(toRun))
 		if am != nil {

@@ -58,9 +58,12 @@ func TestSigtermLosesNoCommittedBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := int(rec.Seq)
+	k := int(rec.Applied)
 	if k > len(data.Batches) {
-		t.Fatalf("recovered %d barriers for %d batches", k, len(data.Batches))
+		t.Fatalf("recovered applied cursor %d for %d batches", k, len(data.Batches))
+	}
+	if rec.Seq < rec.Applied {
+		t.Fatalf("barrier seq %d behind applied cursor %d", rec.Seq, rec.Applied)
 	}
 
 	got, err := spec.Cluster()
@@ -116,7 +119,7 @@ func TestSigtermLosesNoCommittedBatches(t *testing.T) {
 	for {
 		time.Sleep(200 * time.Millisecond)
 		_, rec2, err := wal.Open(wal.NewOSFS(dir), spec.Nodes, wal.Options{})
-		if err == nil && rec2 != nil && int(rec2.Seq) >= len(data.Batches) {
+		if err == nil && rec2 != nil && int(rec2.Applied) >= len(data.Batches) {
 			break
 		}
 		if time.Now().After(deadline) {

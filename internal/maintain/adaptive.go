@@ -257,16 +257,50 @@ func (a *AdaptiveMaintainer) ApplyBatch(delta *array.Array) (*AdaptiveReport, er
 	// the cross-batch pairs the sequential schedule would); only closures
 	// with repeated chunk keys, where overwrite order is load-bearing, pay
 	// for separate per-seq pre-applies.
+	// The fence runs first, against the pre-batch pending log only; the
+	// batch's own deferred deltas then enter the log *before* the eager
+	// part runs, so the eager part's single retiring commit barrier
+	// snapshots the whole input batch atomically — heavy chunks folded
+	// into the stores, light chunks in the pending log. Appending after
+	// the eager commit (the old order) left a crash window between the two
+	// barriers of one input batch in which the lights were silently lost.
+	var folded []cluster.PendingEntry
 	if rep.HeavyChunks > 0 {
-		folded, err := a.fenceConflicts(rep, heavy)
-		if err != nil {
+		var err error
+		if folded, err = a.fenceConflicts(rep, heavy); err != nil {
 			return nil, err
 		}
-		hr, err := a.m.apply(heavy, nil, false, false)
+	}
+	epoch := a.m.cl.Epochs().Current()
+	for _, c := range light {
+		a.pending().Append(cluster.PendingEntry{Seq: seq, Key: c.Key(), Chunk: c.Clone(), Epoch: epoch})
+	}
+	if a.cfg.Counters != nil {
+		a.cfg.Counters.Deferred.Add(int64(len(light)))
+	}
+	// takeLight undoes the appends when the batch fails: the keys were
+	// fresh, never pending before, so Take removes exactly them — a failed
+	// batch leaves the deferred state exactly as it found it.
+	takeLight := func() {
+		if len(light) == 0 {
+			return
+		}
+		lightKeys := make([]array.ChunkKey, len(light))
+		for i, c := range light {
+			lightKeys[i] = c.Key()
+		}
+		a.pending().Take(lightKeys)
+		if a.cfg.Counters != nil {
+			a.cfg.Counters.Deferred.Add(-int64(len(light)))
+		}
+	}
+	if rep.HeavyChunks > 0 {
+		hr, err := a.m.apply(heavy, nil, false, false, true)
 		if err != nil {
-			// The eager part rolled back; the folded pending entries rode in
-			// it, so they go back to the log too — a failed batch must leave
-			// the deferred state exactly as it found it.
+			// The eager part rolled back; the batch's own light appends come
+			// out of the log, and the folded pending entries that rode in
+			// the eager part go back into it.
+			takeLight()
 			if len(folded) > 0 {
 				a.pending().Restore(folded)
 				if a.cfg.Counters != nil {
@@ -276,33 +310,11 @@ func (a *AdaptiveMaintainer) ApplyBatch(delta *array.Array) (*AdaptiveReport, er
 			return nil, err
 		}
 		rep.Heavy = hr
-	}
-
-	// Deferred deltas are appended only after the eager part committed: a
-	// failed batch rolls back with zero pending appends, keeping rollback
-	// exactness for free.
-	epoch := a.m.cl.Epochs().Current()
-	for _, c := range light {
-		a.pending().Append(cluster.PendingEntry{Seq: seq, Key: c.Key(), Chunk: c.Clone(), Epoch: epoch})
-	}
-	if a.cfg.Counters != nil {
-		a.cfg.Counters.Deferred.Add(int64(len(light)))
-	}
-	// The appends land after the eager part's commit barrier (an all-light
-	// batch commits nothing eagerly at all), so they need their own durable
-	// barrier before the batch is acked. On failure the appends are taken
-	// back out — the keys were fresh, never pending before, so Take removes
-	// exactly them — keeping memory level with the recovery point.
-	if len(light) > 0 && a.m.cl.Durable() != nil {
-		if err := durableCommit(a.m.cl); err != nil {
-			lightKeys := make([]array.ChunkKey, len(light))
-			for i, c := range light {
-				lightKeys[i] = c.Key()
-			}
-			a.pending().Take(lightKeys)
-			if a.cfg.Counters != nil {
-				a.cfg.Counters.Deferred.Add(-int64(len(light)))
-			}
+	} else if len(light) > 0 && a.m.cl.Durable() != nil {
+		// All-light batch: nothing commits eagerly, so the appends need
+		// their own retiring barrier before the batch is acked.
+		if err := durableCommit(a.m.cl, true); err != nil {
+			takeLight()
 			return nil, err
 		}
 	}
@@ -355,7 +367,7 @@ func (a *AdaptiveMaintainer) ApplyDelete(del *array.Array) (*AdaptiveReport, err
 	if err := a.materializeKeys(rep, a.pending().Keys()); err != nil {
 		return nil, err
 	}
-	hr, err := a.m.apply(del, nil, true, false)
+	hr, err := a.m.apply(del, nil, true, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -653,7 +665,7 @@ func (a *AdaptiveMaintainer) materializeKeys(rep *AdaptiveReport, keys []array.C
 		if len(rest) > 0 {
 			a.pending().Restore(rest)
 		}
-		dr, err := a.m.apply(batch, nil, false, true)
+		dr, err := a.m.apply(batch, nil, false, true, false)
 		if err != nil {
 			// This seq rolled back; put it back too (the rest already is).
 			a.pending().Restore(group)

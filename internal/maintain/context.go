@@ -73,6 +73,15 @@ type Context struct {
 	// suffix so concurrently staged partials never collide.
 	ScratchSuffix string
 
+	// RetireOnCommit marks this batch's durable commit barrier as retiring
+	// one top-level input batch: the barrier advances the applied-batch
+	// cursor (wal.Recovered.Applied) that restart resume indexes the input
+	// feed with. Top-level entry points set it; internal applies — the
+	// adaptive layer's pending-log materializations, fence pre-applies,
+	// promotions — leave it false, because their barriers replay batches
+	// that already retired. Rollback barriers never retire regardless.
+	RetireOnCommit bool
+
 	viewHints map[array.ChunkKey]int
 }
 

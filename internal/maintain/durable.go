@@ -6,17 +6,30 @@ import (
 	"github.com/arrayview/arrayview/internal/cluster"
 )
 
+// retiringSink is the optional capability of a durable sink that tracks
+// an applied input-batch cursor (implemented by wal.Durable). Kept as a
+// local assertion so cluster.DurableSink stays wal-free.
+type retiringSink interface {
+	CommitBarrierRetire() error
+}
+
 // durableCommit drives the cluster's durable sink (if one is installed)
 // through a commit barrier: every store mutation and catalog/pending change
 // of the batch becomes the crash-recovery point. A barrier failure fails
 // the batch — the caller aborts, restoring in-memory state, so memory never
-// runs ahead of what a restart would recover.
-func durableCommit(cl *cluster.Cluster) error {
+// runs ahead of what a restart would recover. With retire set the barrier
+// additionally advances the sink's applied input-batch cursor (see
+// Context.RetireOnCommit).
+func durableCommit(cl *cluster.Cluster, retire bool) error {
 	d := cl.Durable()
 	if d == nil {
 		return nil
 	}
-	if err := d.CommitBarrier(); err != nil {
+	barrier := d.CommitBarrier
+	if rs, ok := d.(retiringSink); ok && retire {
+		barrier = rs.CommitBarrierRetire
+	}
+	if err := barrier(); err != nil {
 		return fmt.Errorf("maintain: durable commit barrier: %w", err)
 	}
 	return nil

@@ -145,7 +145,7 @@ func (s *Staged) Commit() error {
 	// barrier (when a sink is installed) fsyncs the batch's journaled writes
 	// and appends the commit cut. On failure the caller aborts, rolling the
 	// in-memory commit back, so acked state never outruns recoverable state.
-	return durableCommit(s.ctx.Cluster)
+	return durableCommit(s.ctx.Cluster, s.ctx.RetireOnCommit)
 }
 
 // Cleanup tears down the batch's scratch state best-effort.

@@ -157,7 +157,7 @@ func (m *Maintainer) ApplyBatch(delta *array.Array) (*Report, error) {
 	if !m.def.SelfJoin() {
 		return nil, fmt.Errorf("maintain: view %s joins two arrays; use ApplyBatch2", m.def.Name)
 	}
-	return m.apply(delta, nil, false, false)
+	return m.apply(delta, nil, false, false, true)
 }
 
 // ApplyDelete incrementally maintains the view under a batch of deletions
@@ -171,7 +171,7 @@ func (m *Maintainer) ApplyDelete(del *array.Array) (*Report, error) {
 	if !m.def.Retractable() {
 		return nil, fmt.Errorf("maintain: view %s has non-retractable aggregates (MIN/MAX)", m.def.Name)
 	}
-	return m.apply(del, nil, true, false)
+	return m.apply(del, nil, true, false, true)
 }
 
 // ApplyBatch2 maintains a two-array view under simultaneous insertions to
@@ -180,15 +180,17 @@ func (m *Maintainer) ApplyBatch2(dAlpha, dBeta *array.Array) (*Report, error) {
 	if m.def.SelfJoin() {
 		return nil, fmt.Errorf("maintain: view %s is a self join; use ApplyBatch", m.def.Name)
 	}
-	return m.apply(dAlpha, dBeta, false, false)
+	return m.apply(dAlpha, dBeta, false, false, true)
 }
 
 // apply runs one staged maintenance batch. ephemeral batches — the
 // adaptive layer's pending-log materializations — skip the planner's
 // history window: their pairs replay activity from original batches in
 // bulk, and letting a large coalesced drain haunt the window would inflate
-// every subsequent solve's scoring pass.
-func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting, ephemeral bool) (*Report, error) {
+// every subsequent solve's scoring pass. retire marks the batch's durable
+// commit barrier as consuming one top-level input batch (see
+// Context.RetireOnCommit); ephemeral replays pass false.
+func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting, ephemeral, retire bool) (*Report, error) {
 	m.batchSeq++
 	deltaAlphaName := fmt.Sprintf("%s#delta%d", m.def.Alpha.Name, m.batchSeq)
 	deltaBetaName := deltaAlphaName
@@ -257,6 +259,7 @@ func (m *Maintainer) apply(dAlpha, dBeta *array.Array, deleting, ephemeral bool)
 	ctx.ArrayPlacement = m.arrayPlacement
 	ctx.ViewPlacement = m.viewPlacement
 	ctx.Deleting = deleting
+	ctx.RetireOnCommit = retire
 	ctx.JoinMemo = m.memo
 
 	planStart := time.Now()

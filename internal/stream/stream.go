@@ -488,6 +488,7 @@ func (g *Graph) sourceWork(b *batch) {
 	ctx.ArrayPlacement = g.cfg.ArrayPlacement
 	ctx.ViewPlacement = g.cfg.ViewPlacement
 	ctx.ScratchSuffix = fmt.Sprintf("-s%d", b.seq)
+	ctx.RetireOnCommit = true // every graph batch is one input batch
 	ctx.Trace = obs.NewTrace()
 	ctx.Ctx = g.runCtx
 	if g.cfg.Adaptive != nil {
@@ -599,10 +600,28 @@ func (g *Graph) catchUpTransfers(b *batch) error {
 	return nil
 }
 
+// appliedSink is the optional capability of a durable sink that tracks the
+// applied input-batch cursor (implemented by wal.Durable). The sink uses it
+// to record batches that terminated without a retiring commit barrier, so
+// restart resume stays aligned with admission order.
+type appliedSink interface {
+	Applied() uint64
+	RetireBarrier() error
+}
+
 // sinkWork is the merge/commit sink: the only stage that commits, aborts, or
 // publishes epochs, in admission order. Failed batches are rolled back and
 // retried as isolated batch-at-a-time runs with a bounded budget.
 func (g *Graph) sinkWork(b *batch) {
+	// The sink is the only stage that writes barriers, so comparing the
+	// applied cursor across this batch's terminal handling is race-free.
+	var as appliedSink
+	var before uint64
+	if d := g.cl.Durable(); d != nil {
+		if s, ok := d.(appliedSink); ok {
+			as, before = s, s.Applied()
+		}
+	}
 	if b.err == nil && b.staged != nil {
 		b.staged.CaptureSnapshots()
 		if err := b.staged.Commit(); err != nil {
@@ -633,6 +652,15 @@ func (g *Graph) sinkWork(b *batch) {
 			g.retries.Add(1)
 			b.err = g.runIsolated(b)
 		}
+	}
+	if as != nil && as.Applied() == before {
+		// The batch is terminal without a retiring commit barrier — every
+		// attempt failed, or it never reached its barrier. Record the
+		// consumed input batch (best-effort) so a restart resumes after it
+		// instead of replaying it out of admission order; if even this
+		// barrier fails, resume re-runs the batch from clean pre-batch
+		// state, which is safe.
+		_ = as.RetireBarrier()
 	}
 	g.finish(b)
 }
@@ -670,6 +698,7 @@ func (g *Graph) runIsolated(b *batch) error {
 	ctx.ArrayPlacement = g.cfg.ArrayPlacement
 	ctx.ViewPlacement = g.cfg.ViewPlacement
 	ctx.ScratchSuffix = fmt.Sprintf("-s%d", seq)
+	ctx.RetireOnCommit = true // retries still consume the same input batch
 	ctx.Trace = obs.NewTrace()
 	if b.ctx != nil && b.ctx.Trace != nil {
 		ctx.Trace = b.ctx.Trace

@@ -249,10 +249,12 @@ func (s *NodeServer) Drain(grace time.Duration) {
 	if ln != nil {
 		ln.Close()
 	}
-	// Wake connections blocked in a read; SetReadDeadline applies to a
-	// currently-blocked Read too.
+	// Wake connections blocked in either direction: SetDeadline applies to
+	// a currently-blocked Read AND a currently-blocked Write, so a peer
+	// that stopped reading (full TCP window mid-response) cannot pin a
+	// connection goroutine past the grace window.
 	for _, c := range conns {
-		_ = c.SetReadDeadline(dl)
+		_ = c.SetDeadline(dl)
 	}
 	s.wg.Wait()
 }
@@ -322,8 +324,20 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 		if resp.Type == MsgErr {
 			s.stats.errors.Add(1)
 		}
+		// Like the read deadline above, the write deadline is clamped to the
+		// drain grace under mu, so a response started after Drain cannot
+		// block past the grace window behind a peer that stopped reading.
+		var wdl time.Time
 		if d := s.cfg.write(); d > 0 {
-			if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			wdl = time.Now().Add(d)
+		}
+		s.mu.Lock()
+		if s.draining && (wdl.IsZero() || s.drainDL.Before(wdl)) {
+			wdl = s.drainDL
+		}
+		s.mu.Unlock()
+		if !wdl.IsZero() {
+			if err := conn.SetWriteDeadline(wdl); err != nil {
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"errors"
 	"strings"
 	"testing"
@@ -185,5 +186,60 @@ func TestClientSurvivesServerSideIdleClose(t *testing.T) {
 	time.Sleep(200 * time.Millisecond) // let the server drop the pooled conn
 	if _, err := c.Do(&Message{Type: MsgPing}); err != nil {
 		t.Fatalf("request after idle close: %v", err)
+	}
+}
+
+// A peer that stops reading (full TCP window mid-response) must not pin a
+// draining server: the grace deadline applies to blocked writes too, so
+// Drain returns even when the per-response write deadline is disabled.
+func TestDrainUnblocksStuckWrite(t *testing.T) {
+	store := storage.NewStore()
+	// A multi-megabyte chunk so one response overflows the socket buffers.
+	schema := array.MustSchema("B",
+		[]array.Dimension{{Name: "i", Start: 0, End: 1 << 20, ChunkSize: 1 << 20}},
+		[]array.Attribute{{Name: "v", Type: array.Float64}})
+	big := array.New(schema)
+	for i := 0; i < 1<<18; i++ {
+		if err := big.Set(array.Point{int64(i)}, array.Tuple{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ch *array.Chunk
+	big.EachChunk(func(c *array.Chunk) bool { ch = c; return false })
+	if err := store.Put("B", ch); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNodeServer(store, &ServerConfig{WriteTimeout: -1})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10) // tiny receive window: stop ACKing early
+	}
+	// Pipeline requests and never read a byte of any response: the server's
+	// response writes fill the socket buffers and block.
+	for i := 0; i < 8; i++ {
+		if _, _, err := WriteMessageOpt(conn, &Message{Type: MsgGetChunk, Array: "B", Key: ch.Key()}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let a response write block
+
+	done := make(chan struct{})
+	go func() {
+		srv.Drain(200 * time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned while a response write was blocked")
 	}
 }

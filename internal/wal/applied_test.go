@@ -1,0 +1,341 @@
+package wal
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/cluster"
+	"github.com/arrayview/arrayview/internal/maintain"
+)
+
+// The applied-batch cursor counts input batches, not barriers: adaptive
+// maintenance writes extra barriers (pending-log materializations on query
+// touch), and after a crash the cursor — not Seq — is the resume index
+// into the input feed.
+func TestDurableAppliedCursorCountsBatchesNotBarriers(t *testing.T) {
+	data, def := testData(t)
+	cfg := maintain.AdaptiveConfig{HeavyThreshold: math.MaxFloat64, Hysteresis: 0.5}
+
+	fs := NewMemFS()
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	am, err := maintain.NewAdaptiveMaintainer(cl, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.Inner().SetPlacements(testPlacement(), testPlacement())
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	deferred := 0
+	for i, b := range data.Batches {
+		rep, err := am.ApplyBatch(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		deferred += rep.LightChunks
+		if i == len(data.Batches)/2 {
+			// Query-driven materialization mid-run: commits extra barriers
+			// that must NOT advance the applied cursor.
+			if err := am.EnsureFresh(context.Background()); err != nil {
+				t.Fatalf("mid-run EnsureFresh: %v", err)
+			}
+		}
+	}
+	if deferred == 0 {
+		t.Fatal("workload produced no deferred chunks; test is vacuous")
+	}
+	if got, want := d.Applied(), uint64(len(data.Batches)); got != want {
+		t.Fatalf("applied cursor = %d, want %d", got, want)
+	}
+	if d.Seq() <= d.Applied() {
+		t.Fatalf("seq %d should exceed applied %d after materialization barriers", d.Seq(), d.Applied())
+	}
+
+	fs.Crash() // kill -9
+
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no state recovered")
+	}
+	if got, want := rec.Applied, uint64(len(data.Batches)); got != want {
+		t.Fatalf("recovered applied cursor = %d, want %d", got, want)
+	}
+	if rec.Seq <= rec.Applied {
+		t.Fatalf("recovered seq %d should exceed applied %d", rec.Seq, rec.Applied)
+	}
+	// Resuming at the cursor means re-applying nothing: recovered state +
+	// materialization must already equal the all-eager replay.
+	cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Install(cl2); err != nil {
+		t.Fatal(err)
+	}
+	am2, err := maintain.NewAdaptiveMaintainer(cl2, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am2.Inner().SetPlacements(testPlacement(), testPlacement())
+	if err := am2.EnsureFresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gotBase, gotView := gatherState(t, cl2, def)
+	wantBase, wantView := cleanReplay(t, data, def, len(data.Batches))
+	if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+		t.Fatal("recovered state at full applied cursor diverges from all-eager replay")
+	}
+}
+
+// RetireBarrier records a consumed-but-not-committed input batch (a skip):
+// the cursor advances without a commit, and the record survives restart.
+func TestDurableRetireBarrierRecordsSkippedBatch(t *testing.T) {
+	data, def := testData(t)
+	fs := NewMemFS()
+	d, _, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CommitBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Applied(); got != 0 {
+		t.Fatalf("plain commit advanced the cursor to %d", got)
+	}
+	if err := d.RetireBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Applied(); got != 1 {
+		t.Fatalf("skip barrier left cursor at %d, want 1", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(fs, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "skip" || rec.Applied != 1 {
+		t.Fatalf("recovered barrier %s/applied=%d, want skip/1", rec.Kind, rec.Applied)
+	}
+}
+
+// Crash anywhere during an adaptive run, then resume the input feed at the
+// recovered applied cursor: no committed batch may replay twice and no
+// acked batch may be lost — the resumed run must converge to the all-eager
+// replay of the full feed. This is the restart path ivmserve takes with
+// -adaptive, where barrier Seq and batch index diverge.
+func TestDurableAdaptiveResumeFromAppliedCursor(t *testing.T) {
+	data, def := testData(t)
+	cfg := maintain.AdaptiveConfig{HeavyThreshold: math.MaxFloat64, Hysteresis: 0.5}
+
+	// Fault-free probe sizes the op space.
+	probe := NewMemFS()
+	d, _, err := Open(probe, testNodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	am, err := maintain.NewAdaptiveMaintainer(cl, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.Inner().SetPlacements(testPlacement(), testPlacement())
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+	deferred := 0
+	for i, b := range data.Batches {
+		rep, err := am.ApplyBatch(b)
+		if err != nil {
+			t.Fatalf("probe batch %d: %v", i, err)
+		}
+		deferred += rep.LightChunks
+	}
+	opsTotal := probe.Ops()
+	if deferred == 0 {
+		t.Fatal("workload produced no deferred chunks; test is vacuous")
+	}
+
+	wantBase, wantView := cleanReplay(t, data, def, len(data.Batches))
+
+	const samples = 10
+	span := opsTotal - opsAttach
+	for s := 0; s < samples; s++ {
+		crashAt := opsAttach + 1 + span*int64(s)/samples
+		fs := NewFaultFS(FaultPlan{Seed: int64(7000 + s), CrashAtOp: crashAt})
+		dc, _, err := Open(fs, testNodes, Options{})
+		if err != nil {
+			t.Fatalf("crash@%d: open: %v", crashAt, err)
+		}
+		clc := buildCluster(t, data, def)
+		amc, err := maintain.NewAdaptiveMaintainer(clc, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amc.Inner().SetPlacements(testPlacement(), testPlacement())
+		if err := dc.Attach(clc); err != nil {
+			t.Fatalf("crash@%d: attach: %v", crashAt, err)
+		}
+		acked := 0
+		for _, b := range data.Batches {
+			if _, err := amc.ApplyBatch(b); err != nil {
+				break
+			}
+			acked++
+		}
+		if !fs.Crashed() {
+			fs.Crash() // crash point landed beyond this run's ops
+		}
+		fs.Restart()
+
+		_, rec, err := Open(fs, testNodes, Options{})
+		if err != nil {
+			t.Fatalf("crash@%d: recovery open: %v", crashAt, err)
+		}
+		if rec == nil {
+			t.Fatalf("crash@%d: no state recovered", crashAt)
+		}
+		applied := int(rec.Applied)
+		if applied > len(data.Batches) {
+			t.Fatalf("crash@%d: cursor %d beyond the %d-batch feed", crashAt, applied, len(data.Batches))
+		}
+		// An acked batch's retiring barrier was synced before the ack, so
+		// the recovered cursor can never trail the acks (a batch that
+		// failed *after* its barrier may push it one past).
+		if applied < acked {
+			t.Fatalf("crash@%d: recovered cursor %d lost acked batches (%d acked)", crashAt, applied, acked)
+		}
+		cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Install(cl2); err != nil {
+			t.Fatalf("crash@%d: install: %v", crashAt, err)
+		}
+		am2, err := maintain.NewAdaptiveMaintainer(cl2, def, maintain.Strategies()["reassign"], maintain.DefaultParams(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am2.Inner().SetPlacements(testPlacement(), testPlacement())
+		for i := applied; i < len(data.Batches); i++ {
+			if _, err := am2.ApplyBatch(data.Batches[i]); err != nil {
+				t.Fatalf("crash@%d: resumed batch %d: %v", crashAt, i, err)
+			}
+		}
+		if err := am2.EnsureFresh(context.Background()); err != nil {
+			t.Fatalf("crash@%d: resumed EnsureFresh: %v", crashAt, err)
+		}
+		gotBase, gotView := gatherState(t, cl2, def)
+		if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+			t.Errorf("crash@%d: resume from cursor %d diverges from all-eager replay (%d acked)", crashAt, applied, acked)
+		}
+	}
+}
+
+// A sync failure anywhere — in particular mid-checkpoint, after the
+// journals were already reset to the next generation — must never let a
+// later ack outrun recoverable state. Checkpoint failures latch the store
+// fail-stop; the acked set and the recovered state must agree exactly at
+// every injection point.
+func TestDurableCheckpointFailureLatchesFailStop(t *testing.T) {
+	data, def := testData(t)
+
+	// Probe with compaction on every barrier: most sync ops land inside
+	// checkpoints.
+	probe := NewMemFS()
+	d, _, err := Open(probe, testNodes, Options{CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := buildCluster(t, data, def)
+	m := newMaintainer(t, cl, def)
+	if err := d.Attach(cl); err != nil {
+		t.Fatal(err)
+	}
+	opsAttach := probe.Ops()
+	for i, b := range data.Batches {
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("probe batch %d: %v", i, err)
+		}
+	}
+	opsTotal := probe.Ops()
+
+	const samples = 10
+	span := opsTotal - opsAttach
+	latched := 0
+	for s := 0; s < samples; s++ {
+		failAt := opsAttach + 1 + span*int64(s)/samples
+		fs := NewFaultFS(FaultPlan{Seed: int64(8000 + s), FailSyncAtOp: failAt})
+		dc, _, err := Open(fs, testNodes, Options{CompactBytes: 1})
+		if err != nil {
+			t.Fatalf("fail@%d: open: %v", failAt, err)
+		}
+		clc := buildCluster(t, data, def)
+		mc := newMaintainer(t, clc, def)
+		if err := dc.Attach(clc); err != nil {
+			continue // fault fired inside the attach checkpoint
+		}
+		var ackedIdx []int
+		sawErr := false
+		for i, b := range data.Batches {
+			if _, err := mc.ApplyBatch(b); err != nil {
+				sawErr = true
+				continue
+			}
+			ackedIdx = append(ackedIdx, i)
+		}
+		if sawErr && dc.CommitBarrier() != nil {
+			latched++ // fail-stop: the store refuses further barriers
+		}
+		fs.Crash()
+		fs.Restart()
+
+		_, rec, err := Open(fs, testNodes, Options{})
+		if err != nil {
+			t.Fatalf("fail@%d: recovery open: %v", failAt, err)
+		}
+		if rec == nil {
+			t.Fatalf("fail@%d: no state recovered", failAt)
+		}
+		if got, want := rec.Applied, uint64(len(ackedIdx)); got != want {
+			t.Errorf("fail@%d: recovered cursor %d, want %d (one per acked batch)", failAt, got, want)
+		}
+		cl2, err := cluster.New(testNodes, cluster.WithWorkersPerNode(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Install(cl2); err != nil {
+			t.Fatalf("fail@%d: install: %v", failAt, err)
+		}
+		// Oracle: clean replay of exactly the acked subset.
+		clw := buildCluster(t, data, def)
+		mw := newMaintainer(t, clw, def)
+		for _, i := range ackedIdx {
+			if _, err := mw.ApplyBatch(data.Batches[i]); err != nil {
+				t.Fatalf("fail@%d: oracle replay of batch %d: %v", failAt, i, err)
+			}
+		}
+		gotBase, gotView := gatherState(t, cl2, def)
+		wantBase, wantView := gatherState(t, clw, def)
+		if !sameArray(gotBase, wantBase) || !sameArray(gotView, wantView) {
+			t.Errorf("fail@%d: recovered state does not match clean replay of the %d acked batches", failAt, len(ackedIdx))
+		}
+	}
+	if latched == 0 {
+		t.Error("no sample latched the store fail-stop; sweep missed every checkpoint failure")
+	}
+}

@@ -53,6 +53,14 @@ type Durable struct {
 	metaOff  int64
 	metaBase int64
 	seq      uint64
+	applied  uint64
+	// failed latches the store fail-stop once its on-disk layout may no
+	// longer match what recovery would read — a torn meta append, or any
+	// mid-checkpoint failure (journals already reset to the next
+	// generation while CURRENT still names the old one). Every subsequent
+	// barrier and Sync fails until the store is reopened, so an ack can
+	// never outrun recoverable state.
+	failed error
 }
 
 // Recovered is the state read back from disk by Open: per-node chunk
@@ -63,6 +71,12 @@ type Recovered struct {
 	// it), Kind is what the last one was.
 	Seq  uint64
 	Kind string
+	// Applied counts the top-level input batches durably consumed before
+	// the crash — the resume cursor into the input feed. Unlike Seq it is
+	// immune to extra barriers (deferred-delta appends, pending-log
+	// materializations, rollback/retry pairs), which carry it forward
+	// without advancing it.
+	Applied uint64
 	// Epoch is the epoch counter to fast-forward to.
 	Epoch uint64
 	// Nodes maps, per worker node, array name → chunk key → encoding.
@@ -121,6 +135,7 @@ func Open(fs FS, nodes int, opts Options) (*Durable, *Recovered, error) {
 	r := &Recovered{
 		Seq:     rec.Seq,
 		Kind:    rec.Kind,
+		Applied: rec.Applied,
 		Epoch:   rec.Epoch,
 		Nodes:   make([]map[string]map[array.ChunkKey][]byte, nodes),
 		catalog: rec.Catalog,
@@ -144,6 +159,7 @@ func Open(fs FS, nodes int, opts Options) (*Durable, *Recovered, error) {
 	}
 	d.gen = gen
 	d.seq = rec.Seq
+	d.applied = rec.Applied
 	return d, r, nil
 }
 
@@ -234,6 +250,16 @@ func (d *Durable) Seq() uint64 {
 	return d.seq
 }
 
+// Applied returns the durable applied-input-batch cursor: how many
+// top-level batches have been retired by a barrier. Batch consumers
+// compare it across an apply to detect batches that terminated without
+// retiring (see RetireBarrier).
+func (d *Durable) Applied() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied
+}
+
 // Attach binds the durable store to the cluster: it checkpoints the
 // cluster's current state into a fresh generation (which also compacts
 // away the recovered logs), installs a journal on every worker store, and
@@ -273,17 +299,36 @@ func (d *Durable) Attach(cl *cluster.Cluster) error {
 // CommitBarrier makes the current cluster state the durable recovery
 // point. The maintenance layer calls it after every successful batch
 // commit (and after deferring deltas to the pending log).
-func (d *Durable) CommitBarrier() error { return d.barrier("commit") }
+func (d *Durable) CommitBarrier() error { return d.barrier("commit", false) }
+
+// CommitBarrierRetire is CommitBarrier plus advancing the applied-batch
+// cursor: this barrier marks one top-level input batch fully durable.
+// The maintenance layer issues it for batches flagged RetireOnCommit and
+// the plain CommitBarrier for everything else (pending-log
+// materializations, the eager half of a split batch, promotions).
+func (d *Durable) CommitBarrierRetire() error { return d.barrier("commit", true) }
 
 // RollbackBarrier records a rollback boundary: same consistent-cut
 // mechanics as a commit, marking the restored pre-batch state durable.
-func (d *Durable) RollbackBarrier() error { return d.barrier("rollback") }
+// It never advances the applied cursor — a rolled-back batch was not
+// consumed.
+func (d *Durable) RollbackBarrier() error { return d.barrier("rollback", false) }
 
-func (d *Durable) barrier(kind string) error {
+// RetireBarrier records that one input batch terminated without a
+// retiring commit of its own — it failed and was skipped, or was a no-op
+// that wrote no barrier at all. Batch consumers (the serve loop, the
+// stream sink) call it when Applied did not advance across a terminal
+// batch, keeping the resume cursor aligned with the input sequence.
+func (d *Durable) RetireBarrier() error { return d.barrier("skip", true) }
+
+func (d *Durable) barrier(kind string, retire bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.cl == nil {
 		return &storage.DurabilityError{Op: "sync", Err: fmt.Errorf("wal: barrier before Attach")}
+	}
+	if d.failed != nil {
+		return &storage.DurabilityError{Op: "sync", Err: d.failed}
 	}
 	cuts := make([]int64, len(d.journals))
 	for i, j := range d.journals {
@@ -293,6 +338,10 @@ func (d *Durable) barrier(kind string) error {
 		}
 		cuts[i] = c
 	}
+	applied := d.applied
+	if retire {
+		applied++
+	}
 	// Epochs publish right after commit/rollback returns, so the barrier
 	// names the epoch about to be published; FastForward is max-based, so
 	// overshooting by one on paths that skip the publish is harmless.
@@ -300,6 +349,7 @@ func (d *Durable) barrier(kind string) error {
 	rec := metaRecord{
 		Kind:    kind,
 		Seq:     d.seq + 1,
+		Applied: applied,
 		Epoch:   epoch,
 		Cuts:    cuts,
 		Catalog: exportCatalog(d.cl.Catalog()),
@@ -309,33 +359,44 @@ func (d *Durable) barrier(kind string) error {
 		return &storage.DurabilityError{Op: "sync", Err: err}
 	}
 	d.seq++
+	d.applied = applied
 	if kind == "commit" {
 		d.counters.Commits.Add(1)
 	} else {
 		d.counters.Rollbacks.Add(1)
 	}
+	// The barrier's record is already synced above — the commit point is
+	// durable in the current generation — so a failed compaction
+	// checkpoint must NOT fail the barrier: the caller would roll back
+	// in-memory state that recovery resurrects. It latches the store
+	// fail-stop instead (see checkpointLocked), failing every subsequent
+	// barrier until reopen.
 	if d.growthLocked() > d.opts.CompactBytes {
-		if err := d.checkpointLocked(epoch); err != nil {
-			return &storage.DurabilityError{Op: "sync", Err: err}
-		}
+		_ = d.checkpointLocked(epoch)
 	}
 	return nil
 }
 
-// appendMetaLocked frames, writes, and fsyncs one meta record.
+// appendMetaLocked frames, writes, and fsyncs one meta record. A torn
+// write latches the store fail-stop (partial frame bytes would corrupt
+// every later append); a failed fsync does not — the bytes are intact,
+// only not yet durable, so the barrier is retryable (mirroring the
+// per-node journal convention).
 func (d *Durable) appendMetaLocked(rec metaRecord) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	buf := appendFrame(nil, payload)
-	if _, err := d.meta.Write(buf); err != nil {
-		return fmt.Errorf("wal: meta append: %w", err)
+	n, err := d.meta.Write(buf)
+	d.metaOff += int64(n)
+	if err != nil {
+		d.failed = fmt.Errorf("wal: meta log torn at %d: %w", d.metaOff, err)
+		return d.failed
 	}
 	if err := d.meta.Sync(); err != nil {
 		return fmt.Errorf("wal: meta fsync: %w", err)
 	}
-	d.metaOff += int64(len(buf))
 	d.counters.WALBytes.Add(int64(len(buf)))
 	d.counters.Syncs.Add(1)
 	return nil
@@ -350,14 +411,33 @@ func (d *Durable) growthLocked() int64 {
 	return total
 }
 
-// checkpointLocked writes the cluster's full current state into a fresh
-// generation and flips CURRENT to it: per-node segments/journals rebuilt
-// from the live stores (content-hash dedup intact), a meta log opened with
-// one base barrier, tmp+rename+dirsync for the manifest flip, and the old
-// generation removed. Crash-safe at every step — until the CURRENT rename
-// is synced, recovery still uses the previous generation, and a stray
-// half-written generation is cleared on the next attempt.
+// checkpointLocked writes a new generation and latches the store
+// fail-stop if anything goes wrong partway: the journals are reset to the
+// new generation's files early, so a later failure (Create, SyncDir, the
+// CURRENT flip, the base barrier) leaves them pointing at gen-N+1 while
+// CURRENT still names gen-N — a subsequent barrier would then ack cuts
+// recovery can never read. A crash instead of an error is fine at every
+// step (recovery uses the old generation until the CURRENT rename is
+// synced); it is only *continuing in-process* that must be fenced.
+// Reopening recovers from the still-valid old generation.
 func (d *Durable) checkpointLocked(epoch uint64) error {
+	if err := d.writeCheckpointLocked(epoch); err != nil {
+		if d.failed == nil {
+			d.failed = fmt.Errorf("wal: checkpoint failed midway: %w", err)
+		}
+		return err
+	}
+	return nil
+}
+
+// writeCheckpointLocked writes the cluster's full current state into a
+// fresh generation and flips CURRENT to it: per-node segments/journals
+// rebuilt from the live stores (content-hash dedup intact), a meta log
+// opened with one base barrier, tmp+rename+dirsync for the manifest flip,
+// and the old generation removed. Crash-safe at every step — until the
+// CURRENT rename is synced, recovery still uses the previous generation,
+// and a stray half-written generation is cleared on the next attempt.
+func (d *Durable) writeCheckpointLocked(epoch uint64) error {
 	newGen := d.gen + 1
 	dir := fmt.Sprintf("gen-%d", newGen)
 	_ = d.fs.RemoveAll(dir) // stray from an earlier crashed checkpoint
@@ -397,6 +477,7 @@ func (d *Durable) checkpointLocked(epoch uint64) error {
 	rec := metaRecord{
 		Kind:    "checkpoint",
 		Seq:     d.seq,
+		Applied: d.applied,
 		Epoch:   epoch,
 		Cuts:    cuts,
 		Catalog: exportCatalog(d.cl.Catalog()),
@@ -447,6 +528,9 @@ func (d *Durable) checkpointLocked(epoch uint64) error {
 func (d *Durable) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed != nil {
+		return &storage.DurabilityError{Op: "sync", Err: d.failed}
+	}
 	for _, j := range d.journals {
 		if _, err := j.sync(); err != nil {
 			return &storage.DurabilityError{Op: "sync", Err: err}

@@ -38,6 +38,9 @@ func TestDurableRoundTrip(t *testing.T) {
 	if got, want := d.Seq(), uint64(len(data.Batches)); got != want {
 		t.Errorf("barrier seq = %d, want %d", got, want)
 	}
+	if got, want := d.Applied(), uint64(len(data.Batches)); got != want {
+		t.Errorf("applied cursor = %d, want %d", got, want)
+	}
 	cs := d.Counters().Snapshot()
 	if cs.Commits != int64(len(data.Batches)) || cs.Syncs == 0 || cs.WALBytes == 0 {
 		t.Errorf("counters off: %+v", cs)

@@ -15,11 +15,19 @@ import (
 // metaRecord is one barrier in the coordinator meta log. Every record is a
 // self-contained consistent cut: recovery needs only the last valid one.
 type metaRecord struct {
-	// Kind is "commit", "rollback", or "checkpoint" (the base record a
-	// fresh generation starts with). All three mark consistent cuts.
+	// Kind is "commit", "rollback", "skip" (a consumed input batch that
+	// wrote no retiring commit of its own), or "checkpoint" (the base
+	// record a fresh generation starts with). All four mark consistent
+	// cuts.
 	Kind string
 	// Seq is the monotonic barrier number, continued across checkpoints.
 	Seq uint64
+	// Applied counts top-level input batches durably consumed: retiring
+	// commit barriers and skip barriers advance it, everything else
+	// (rollbacks, materialization commits, extra barriers) carries it
+	// forward unchanged. Restart resume indexes the input feed with it —
+	// never with Seq, which counts barriers, not batches.
+	Applied uint64
 	// Epoch is the epoch counter to fast-forward to on recovery.
 	Epoch uint64
 	// Cuts holds each worker journal's replayable WAL length.
