@@ -226,6 +226,14 @@ func run(experiment, dataset, mode, scale string, nodes int, seed int64, jsonDir
 				return err
 			}
 			record(name, r)
+			// The repeated-shape mix A/Bs the query fast path: the same
+			// schedule served cold and cached, with the per-round oracle
+			// audit live.
+			mr, err := bench.ServeMix(out, mkSpec(ds, ms[0]), 4, 0)
+			if err != nil {
+				return err
+			}
+			record(name, mr)
 			return nil
 		case "skew":
 			// Heavy-light adaptive maintenance on the pointing-skew ladder:

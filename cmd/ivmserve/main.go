@@ -54,18 +54,23 @@ func main() {
 		queue    = flag.Int("queue", 0, "admission queue depth (default 2x concurrency)")
 		qtimeout = flag.Duration("qtimeout", 0, "per-query deadline (default 30s)")
 		dataDir  = flag.String("data-dir", "", "WAL-backed durable chunk store directory; recovers committed state on startup (in-process stores only)")
+		vcache   = flag.Int64("view-cache", 0, "assembled-view cache budget in bytes (default 256MiB; negative disables view caching)")
+		joinW    = flag.Int("join-workers", 0, "snapshot-join fan-out width (default GOMAXPROCS; 1 forces serial)")
+		coldPath = flag.Bool("no-fastpath", false, "disable the query fast path (view cache, plan memo, parallel joins)")
 	)
 	flag.Parse()
 
 	if err := run(*dataset, *modeName, *strategy, *small, *distrib, *connect,
-		*listen, *metrics, *dataDir, *interval, *streamed, *adaptive, *batches, *conc, *queue, *qtimeout); err != nil {
+		*listen, *metrics, *dataDir, *interval, *streamed, *adaptive, *batches, *conc, *queue, *qtimeout,
+		*vcache, *joinW, *coldPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ivmserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset, modeName, strategy string, small, distrib bool, connect,
-	listen, metrics, dataDir string, interval time.Duration, streamed, adaptive bool, batches, conc, queue int, qtimeout time.Duration) error {
+	listen, metrics, dataDir string, interval time.Duration, streamed, adaptive bool, batches, conc, queue int, qtimeout time.Duration,
+	vcache int64, joinWorkers int, noFastPath bool) error {
 	if dataDir != "" && distrib {
 		return fmt.Errorf("-data-dir journals in-process stores; it cannot be combined with -distributed")
 	}
@@ -182,9 +187,12 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	}
 
 	srv := serve.NewServer(eng, &serve.Config{
-		MaxConcurrent: conc,
-		QueueDepth:    queue,
-		QueryTimeout:  qtimeout,
+		MaxConcurrent:   conc,
+		QueueDepth:      queue,
+		QueryTimeout:    qtimeout,
+		ViewCacheBytes:  vcache,
+		JoinWorkers:     joinWorkers,
+		DisableFastPath: noFastPath,
 	})
 	if am != nil {
 		srv.SetFresh(am.EnsureFresh, counters)
@@ -293,6 +301,11 @@ func run(dataset, modeName, strategy string, small, distrib bool, connect,
 	st := srv.Stats()
 	fmt.Printf("final: epoch=%d queries=%d rejected=%d cache-hit-rate=%.2f retained=%dB\n",
 		st.Epoch, st.Queries, st.Rejected, st.HitRate(), st.RetainedBytes)
+	if fp := st.FastPath; fp.ViewHits+fp.ViewMisses+fp.MemoHits+fp.MemoMisses > 0 {
+		fmt.Printf("fast path: view=%d/%d hits/misses (%dB cached, %d evicted, %d invalidated) memo=%d/%d solves-skipped=%d\n",
+			fp.ViewHits, fp.ViewMisses, fp.ViewBytes, fp.ViewEvictions, fp.ViewInvalidations,
+			fp.MemoHits, fp.MemoMisses, fp.SolveSkips)
+	}
 	if dur != nil {
 		d := st.Durable
 		fmt.Printf("durable: commits=%d rollbacks=%d checkpoints=%d wal=%dB seg=%dB fsyncs=%d\n",

@@ -120,6 +120,10 @@ func runClient(dataset, modeName string, small bool, addr, querySpec, qmode stri
 		d := st.Durable
 		fmt.Printf("durable: commits=%d rollbacks=%d checkpoints=%d wal=%d bytes seg=%d bytes fsyncs=%d\n",
 			d.Commits, d.Rollbacks, d.Checkpoints, d.WALBytes, d.SegBytes, d.Syncs)
+		fp := st.FastPath
+		fmt.Printf("fast path: view=%d/%d hits/misses resident=%d bytes evicted=%d invalidated=%d memo=%d/%d hits/misses solves-skipped=%d\n",
+			fp.ViewHits, fp.ViewMisses, fp.ViewBytes, fp.ViewEvictions,
+			fp.ViewInvalidations, fp.MemoHits, fp.MemoMisses, fp.SolveSkips)
 	}
 	if querySpec == "" {
 		if !stats {

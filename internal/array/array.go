@@ -11,6 +11,12 @@ import (
 type Array struct {
 	schema *Schema
 	chunks map[ChunkKey]*Chunk
+	// borrowed marks chunks shared with a base array by ShallowClone.
+	// Mutating methods clone a borrowed chunk before touching it
+	// (copy-on-write), so the base is never modified through the clone. Nil
+	// for arrays that own every chunk, which keeps the ownership check a
+	// nil-map lookup on the hot paths.
+	borrowed map[ChunkKey]bool
 }
 
 // New creates an empty array with the given schema.
@@ -45,6 +51,8 @@ func (a *Array) Set(p Point, t Tuple) error {
 	if !ok {
 		c = NewChunk(a.schema, cc)
 		a.chunks[key] = c
+	} else {
+		c = a.ensureOwned(key)
 	}
 	return c.Set(p, t)
 }
@@ -71,6 +79,11 @@ func (a *Array) Delete(p Point) bool {
 	if !ok {
 		return false
 	}
+	// Probe the shared copy first so a miss never pays a clone.
+	if _, occupied := c.Get(p); !occupied {
+		return false
+	}
+	c = a.ensureOwned(key)
 	deleted := c.Delete(p)
 	if deleted && c.NumCells() == 0 {
 		delete(a.chunks, key)
@@ -88,7 +101,11 @@ func (a *Array) ChunkByKey(k ChunkKey) *Chunk { return a.chunks[k] }
 
 // PutChunk installs (or replaces) a chunk. The chunk must belong to a
 // compatible schema slot; callers are trusted on region alignment.
-func (a *Array) PutChunk(c *Chunk) { a.chunks[c.Key()] = c }
+func (a *Array) PutChunk(c *Chunk) {
+	key := c.Key()
+	a.chunks[key] = c
+	delete(a.borrowed, key)
+}
 
 // MergeChunk merges src's cells into the resident chunk with the same
 // coordinate, creating it first if absent.
@@ -98,6 +115,9 @@ func (a *Array) MergeChunk(src *Chunk) error {
 	if !ok {
 		a.chunks[key] = src.Clone()
 		return nil
+	}
+	if a.borrowed[key] {
+		c = a.ensureOwned(key)
 	}
 	return c.MergeFrom(src)
 }
@@ -143,6 +163,70 @@ func (a *Array) Clone() *Array {
 		out.chunks[k] = c.Clone()
 	}
 	return out
+}
+
+// ShallowClone returns a copy-on-write overlay over this array: the clone
+// shares every chunk with the base and clones a chunk privately the first
+// time one of its own mutating methods (Set, Delete, MergeChunk) touches it,
+// so the base is never modified through the clone.
+//
+// The contract is one-directional and read-frozen: the base must not be
+// mutated while clones are alive (the clone would observe the change), and
+// code that mutates tuples in place after Get — rather than through Set —
+// must call EnsureOwned on the affected chunk first, because Get returns the
+// stored tuple and an in-place update would write through to the shared
+// chunk. Taking concurrent ShallowClones of one immutable base is safe: the
+// base is only read.
+func (a *Array) ShallowClone() *Array {
+	out := &Array{
+		schema:   a.schema,
+		chunks:   make(map[ChunkKey]*Chunk, len(a.chunks)),
+		borrowed: make(map[ChunkKey]bool, len(a.chunks)),
+	}
+	for k, c := range a.chunks {
+		out.chunks[k] = c
+		out.borrowed[k] = true
+	}
+	return out
+}
+
+// ensureOwned clones the chunk under key if it is still shared with a
+// ShallowClone base, and returns the (now private) resident chunk. A nil
+// return means the key is unoccupied.
+func (a *Array) ensureOwned(key ChunkKey) *Chunk {
+	c, ok := a.chunks[key]
+	if !ok {
+		return nil
+	}
+	if a.borrowed[key] {
+		c = c.Clone()
+		a.chunks[key] = c
+		delete(a.borrowed, key)
+	}
+	return c
+}
+
+// EnsureOwned makes the chunk under key private to this array, cloning it if
+// it is shared with a ShallowClone base. Callers that mutate tuples in place
+// after Get (additive state merges) must call this for every chunk they will
+// touch before reading the tuples. A no-op for unoccupied or already-owned
+// chunks.
+func (a *Array) EnsureOwned(key ChunkKey) { a.ensureOwned(key) }
+
+// Owned reports whether the chunk under key is private to this array (true
+// for unoccupied keys). Shared chunks come from ShallowClone.
+func (a *Array) Owned(key ChunkKey) bool { return !a.borrowed[key] }
+
+// Warm pre-builds every chunk's lazily derived caches (sorted-offset index,
+// bounding box, content hash). A chunk is not safe for concurrent use
+// because even read-side iteration may build those caches; after Warm, an
+// array that is never mutated again can serve any number of concurrent
+// readers — the property the assembled-view cache relies on to share one
+// decoded base across queries.
+func (a *Array) Warm() {
+	for _, c := range a.chunks {
+		c.Warm()
+	}
 }
 
 // Equal reports whether two arrays hold identical cells, comparing tuple

@@ -215,6 +215,16 @@ func (c *Chunk) EachSortedInto(buf Point, fn func(p Point, t Tuple) bool) {
 	}
 }
 
+// Warm builds every lazily derived cache — the sorted-offset index, the
+// bounding box, and the content hash — so subsequent reads (iteration,
+// pruning, encoding) mutate nothing. A warmed chunk that is never mutated
+// again is safe for concurrent readers.
+func (c *Chunk) Warm() {
+	c.index()
+	c.BoundingBox()
+	c.ContentHash()
+}
+
 // Clone returns a deep copy of the chunk. Derived caches are not copied;
 // the clone rebuilds them on first use.
 func (c *Chunk) Clone() *Chunk {

@@ -1,0 +1,154 @@
+package array
+
+import (
+	"sync"
+	"testing"
+)
+
+func cowSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema("base", []Dimension{
+		{Name: "x", Start: 0, End: 15, ChunkSize: 4},
+		{Name: "y", Start: 0, End: 15, ChunkSize: 4},
+	}, []Attribute{{Name: "v"}})
+}
+
+func TestShallowCloneSetDoesNotMutateBase(t *testing.T) {
+	s := cowSchema(t)
+	base := New(s)
+	if err := base.Set(Point{1, 1}, Tuple{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Set(Point{9, 9}, Tuple{20}); err != nil {
+		t.Fatal(err)
+	}
+	base.Warm()
+
+	cl := base.ShallowClone()
+	if cl.Owned(s.ChunkCoordOf(Point{1, 1}).Key()) {
+		t.Fatal("freshly cloned chunk should be shared")
+	}
+	if err := cl.Set(Point{1, 2}, Tuple{99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set(Point{1, 1}, Tuple{11}); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Owned(s.ChunkCoordOf(Point{1, 1}).Key()) {
+		t.Fatal("mutated chunk should be owned after Set")
+	}
+	// The base must be untouched.
+	if tup, ok := base.Get(Point{1, 1}); !ok || tup[0] != 10 {
+		t.Fatalf("base mutated through clone: got %v", tup)
+	}
+	if _, ok := base.Get(Point{1, 2}); ok {
+		t.Fatal("base gained a cell through clone")
+	}
+	// The untouched chunk is still shared — same pointer.
+	k2 := s.ChunkCoordOf(Point{9, 9}).Key()
+	if base.ChunkByKey(k2) != cl.ChunkByKey(k2) {
+		t.Fatal("untouched chunk should still be shared")
+	}
+	if tup, ok := cl.Get(Point{1, 1}); !ok || tup[0] != 11 {
+		t.Fatalf("clone lost its write: got %v", tup)
+	}
+}
+
+func TestShallowCloneDeleteAndMergeChunk(t *testing.T) {
+	s := cowSchema(t)
+	base := New(s)
+	for _, p := range []Point{{0, 0}, {0, 1}, {8, 8}} {
+		if err := base.Set(p, Tuple{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := base.ShallowClone()
+	if !cl.Delete(Point{0, 0}) {
+		t.Fatal("delete should succeed")
+	}
+	if cl.Delete(Point{3, 3}) {
+		t.Fatal("deleting an empty cell should report false")
+	}
+	if _, ok := base.Get(Point{0, 0}); !ok {
+		t.Fatal("delete leaked into base")
+	}
+
+	src := NewChunk(s, s.ChunkCoordOf(Point{8, 8}))
+	if err := src.Set(Point{8, 9}, Tuple{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MergeChunk(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base.Get(Point{8, 9}); ok {
+		t.Fatal("MergeChunk leaked into base")
+	}
+	if tup, ok := cl.Get(Point{8, 9}); !ok || tup[0] != 7 {
+		t.Fatalf("clone missing merged cell: %v", tup)
+	}
+}
+
+func TestEnsureOwnedGuardsInPlaceTupleWrites(t *testing.T) {
+	s := cowSchema(t)
+	base := New(s)
+	if err := base.Set(Point{2, 2}, Tuple{5}); err != nil {
+		t.Fatal(err)
+	}
+	cl := base.ShallowClone()
+	key := s.ChunkCoordOf(Point{2, 2}).Key()
+	cl.EnsureOwned(key)
+	tup, _ := cl.Get(Point{2, 2})
+	tup[0] = 42 // in-place state merge, as view.MergeDelta does
+	if got, _ := base.Get(Point{2, 2}); got[0] != 5 {
+		t.Fatalf("in-place write reached the base: %v", got)
+	}
+	if got, _ := cl.Get(Point{2, 2}); got[0] != 42 {
+		t.Fatalf("in-place write lost on clone: %v", got)
+	}
+}
+
+// TestWarmedBaseConcurrentReaders drives the assembled-view cache's sharing
+// pattern under the race detector: one warmed base, many goroutines taking
+// shallow clones, iterating (which would build lazy caches on a cold chunk),
+// and merging their own deltas.
+func TestWarmedBaseConcurrentReaders(t *testing.T) {
+	s := cowSchema(t)
+	base := New(s)
+	for x := int64(0); x < 16; x += 2 {
+		for y := int64(0); y < 16; y += 3 {
+			if err := base.Set(Point{x, y}, Tuple{float64(x + y)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base.Warm()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := base.ShallowClone()
+			n := 0
+			cl.EachCell(func(p Point, tup Tuple) bool { n++; return true })
+			cl.EachChunk(func(c *Chunk) bool {
+				c.BoundingBox()
+				c.ContentHash()
+				return true
+			})
+			key := s.ChunkCoordOf(Point{0, 0}).Key()
+			cl.EnsureOwned(key)
+			if tup, ok := cl.Get(Point{0, 0}); ok {
+				tup[0] += float64(g)
+			}
+			_ = cl.Set(Point{1, 1}, Tuple{float64(g)})
+		}(g)
+	}
+	wg.Wait()
+	if tup, _ := base.Get(Point{0, 0}); tup[0] != 0 {
+		t.Fatalf("base mutated by readers: %v", tup)
+	}
+	if _, ok := base.Get(Point{1, 1}); ok {
+		t.Fatal("base gained cells from readers")
+	}
+}

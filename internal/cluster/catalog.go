@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/arrayview/arrayview/internal/array"
 )
@@ -56,11 +57,24 @@ func newArrayMeta(s *array.Schema) *ArrayMeta {
 type Catalog struct {
 	mu     sync.RWMutex
 	arrays map[string]*ArrayMeta
+	// layout counts catalog mutations: every operation that can change what
+	// a placement solve or pair enumeration would see (chunk set, homes,
+	// sizes, replicas, restores) bumps it. Plan memos key on the value, so
+	// a stale plan can never be served after the layout moves.
+	layout atomic.Uint64
 	// pending is the adaptive path's pending-delta log (see pending.go),
 	// created lazily by Pending(). It has its own lock; the catalog only
 	// guards the pointer.
 	pending *PendingLog
 }
+
+// LayoutVersion returns the current mutation counter. Two calls returning
+// the same value bracket a window with no catalog mutations, which is what
+// makes a layout-keyed plan memo sound.
+func (c *Catalog) LayoutVersion() uint64 { return c.layout.Load() }
+
+// bumpLayout advances the mutation counter; called by every mutator.
+func (c *Catalog) bumpLayout() { c.layout.Add(1) }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -76,6 +90,7 @@ func (c *Catalog) Register(s *array.Schema) error {
 		return fmt.Errorf("cluster: array %q already registered", s.Name)
 	}
 	c.arrays[s.Name] = newArrayMeta(s)
+	c.bumpLayout()
 	return nil
 }
 
@@ -84,6 +99,7 @@ func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.arrays, name)
+	c.bumpLayout()
 }
 
 // Schema returns the schema of the named array, or nil.
@@ -125,6 +141,7 @@ func (c *Catalog) SetChunk(name string, key array.ChunkKey, home int, size int64
 	m.Replicas[key] = map[int]bool{home: true}
 	delete(m.Hash, key)
 	delete(m.EncSize, key)
+	c.bumpLayout()
 	return nil
 }
 
@@ -141,6 +158,7 @@ func (c *Catalog) SetChunkHash(name string, key array.ChunkKey, hash uint64, enc
 	}
 	m.Hash[key] = hash
 	m.EncSize[key] = encSize
+	c.bumpLayout()
 	return nil
 }
 
@@ -202,6 +220,7 @@ func (c *Catalog) SetChunkBBox(name string, key array.ChunkKey, bb array.Region)
 		return err
 	}
 	m.BBox[key] = bb.Clone()
+	c.bumpLayout()
 	return nil
 }
 
@@ -231,6 +250,7 @@ func (c *Catalog) AddReplica(name string, key array.ChunkKey, node int) error {
 		m.Replicas[key] = reps
 	}
 	reps[node] = true
+	c.bumpLayout()
 	return nil
 }
 
@@ -245,6 +265,7 @@ func (c *Catalog) RemoveReplica(name string, key array.ChunkKey, node int) {
 		return
 	}
 	delete(m.Replicas[key], node)
+	c.bumpLayout()
 }
 
 // HasReplica reports whether node holds a copy of the chunk (the home node
@@ -294,6 +315,7 @@ func (c *Catalog) DropChunk(name string, key array.ChunkKey) {
 	delete(m.BBox, key)
 	delete(m.Hash, key)
 	delete(m.EncSize, key)
+	c.bumpLayout()
 }
 
 // Rehome changes the home node of a chunk. The new home must already hold a
@@ -317,6 +339,7 @@ func (c *Catalog) Rehome(name string, key array.ChunkKey, node int, requireRepli
 		m.Replicas[key] = make(map[int]bool)
 	}
 	m.Replicas[key][node] = true
+	c.bumpLayout()
 	return nil
 }
 
@@ -336,6 +359,7 @@ func (c *Catalog) ClearReplicas(name string) {
 		}
 		m.Replicas[key] = map[int]bool{m.Home[key]: true}
 	}
+	c.bumpLayout()
 }
 
 // SnapshotMeta deep-copies the catalog entry of one array, for restoration
@@ -360,6 +384,7 @@ func (c *Catalog) RestoreMeta(name string, m *ArrayMeta) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.arrays[name] = copyArrayMeta(m)
+	c.bumpLayout()
 }
 
 // chunkMetaSnap is the pre-batch catalog entry of one chunk, or its
@@ -478,6 +503,7 @@ func (c *Catalog) RestoreMetaScoped(p *MetaPatch) {
 			delete(m.EncSize, k)
 		}
 	}
+	c.bumpLayout()
 }
 
 func copyArrayMeta(m *ArrayMeta) *ArrayMeta {

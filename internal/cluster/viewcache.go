@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
+)
+
+// DefaultViewCacheBytes is the serve daemon's default assembled-view cache
+// budget. A cached view is the fully decoded merge of every view chunk, so
+// the budget is measured in decoded cell bytes, not encodings.
+const DefaultViewCacheBytes = 256 << 20
+
+// viewKey identifies one cached assembled view. The epoch is part of the
+// key, so an entry can never be served to a reader pinned at a different
+// epoch: invalidation is purely memory reclaim, never a correctness event.
+type viewKey struct {
+	name  string
+	epoch uint64
+}
+
+// viewEntry is one cached assembled view. The builder publishes arr/err and
+// closes ready exactly once; afterwards arr is warmed and never mutated, so
+// any number of concurrent readers may share it (via Array.ShallowClone for
+// paths that need to overlay writes).
+type viewEntry struct {
+	key   viewKey
+	ready chan struct{}
+	arr   *array.Array
+	bytes int64
+	err   error
+
+	// pins counts readers currently holding the entry (including waiters
+	// blocked on ready). stale marks the entry for removal once pins drains
+	// to zero — set by InvalidateBefore when an epoch publish outruns a
+	// long-running reader.
+	pins  int
+	stale bool
+}
+
+// ViewCache caches decoded, merged view arrays keyed by (view, epoch). The
+// gather-decode-merge work of assembling a view from its chunks is the
+// dominant per-answer cost once plans are memoized; the cache pays it once
+// per epoch and shares the warmed result across all concurrent answers at
+// that epoch. Lookups singleflight: the first reader of a (view, epoch)
+// builds while later readers block on the entry, so a burst of identical
+// queries triggers one gather.
+//
+// Entries are refcounted. Capacity eviction and epoch invalidation only
+// drop unpinned entries; a pinned entry marked stale is reclaimed by its
+// last Release. A nil *ViewCache is valid and falls through to an uncached
+// gather.
+type ViewCache struct {
+	maxBytes int64
+	ctrs     *obs.FastPathCounters
+
+	mu      sync.Mutex
+	entries map[viewKey]*viewEntry
+	bytes   int64
+}
+
+// NewViewCache returns a cache bounded to maxBytes of decoded view data
+// (DefaultViewCacheBytes if <= 0). ctrs may be nil.
+func NewViewCache(maxBytes int64, ctrs *obs.FastPathCounters) *ViewCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultViewCacheBytes
+	}
+	return &ViewCache{
+		maxBytes: maxBytes,
+		ctrs:     ctrs,
+		entries:  make(map[viewKey]*viewEntry),
+	}
+}
+
+// Bytes returns the decoded bytes currently cached.
+func (vc *ViewCache) Bytes() int64 {
+	if vc == nil {
+		return 0
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.bytes
+}
+
+// Acquire returns the assembled view of the named array as of the
+// snapshot's epoch, plus a release func the caller must invoke when done
+// reading. The returned array is shared and warmed: callers must not mutate
+// it — overlay writes through array.ShallowClone instead. On a nil cache
+// the view is gathered fresh (caller-owned, release is a no-op).
+func (vc *ViewCache) Acquire(name string, snap *Snapshot, rc *ReadCache) (*array.Array, func(), error) {
+	if vc == nil {
+		arr, err := snap.GatherCached(name, rc)
+		return arr, func() {}, err
+	}
+	k := viewKey{name: name, epoch: snap.Epoch()}
+	vc.mu.Lock()
+	if e, ok := vc.entries[k]; ok {
+		e.pins++
+		vc.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The builder already removed the failed entry; dropping our
+			// pin needs no map or byte accounting.
+			vc.mu.Lock()
+			e.pins--
+			vc.mu.Unlock()
+			return nil, nil, e.err
+		}
+		if vc.ctrs != nil {
+			vc.ctrs.ViewHits.Add(1)
+		}
+		return e.arr, func() { vc.release(e) }, nil
+	}
+	e := &viewEntry{key: k, ready: make(chan struct{}), pins: 1}
+	vc.entries[k] = e
+	vc.mu.Unlock()
+	if vc.ctrs != nil {
+		vc.ctrs.ViewMisses.Add(1)
+	}
+
+	arr, err := snap.GatherCached(name, rc)
+	if err == nil {
+		// Build every lazy per-chunk cache now, while the array is still
+		// private: after ready closes the array serves concurrent readers
+		// and must never be written again.
+		arr.Warm()
+	}
+	vc.mu.Lock()
+	if err != nil {
+		e.err = err
+		delete(vc.entries, k)
+		close(e.ready)
+		vc.mu.Unlock()
+		return nil, nil, err
+	}
+	e.arr = arr
+	e.bytes = decodedArrayBytes(arr)
+	vc.bytes += e.bytes
+	vc.evictLocked()
+	vc.storeBytesLocked()
+	close(e.ready)
+	vc.mu.Unlock()
+	return arr, func() { vc.release(e) }, nil
+}
+
+// release drops one pin and reclaims the entry if it went stale while
+// pinned.
+func (vc *ViewCache) release(e *viewEntry) {
+	vc.mu.Lock()
+	e.pins--
+	if e.pins <= 0 && e.stale {
+		if cur, ok := vc.entries[e.key]; ok && cur == e {
+			delete(vc.entries, e.key)
+			vc.bytes -= e.bytes
+			vc.storeBytesLocked()
+		}
+	}
+	vc.mu.Unlock()
+}
+
+// InvalidateBefore drops every cached view whose epoch is older than epoch.
+// Pinned entries are marked stale and reclaimed by their last Release, so a
+// reader mid-answer keeps its (still-correct, epoch-keyed) view while new
+// readers at the fresh epoch rebuild. Wired to Epochs.OnPublish by the
+// serve daemon.
+func (vc *ViewCache) InvalidateBefore(epoch uint64) {
+	if vc == nil {
+		return
+	}
+	vc.mu.Lock()
+	for k, e := range vc.entries {
+		if k.epoch >= epoch {
+			continue
+		}
+		e.stale = true
+		if e.pins == 0 {
+			delete(vc.entries, k)
+			vc.bytes -= e.bytes
+			if vc.ctrs != nil {
+				vc.ctrs.ViewInvalidations.Add(1)
+			}
+		}
+	}
+	vc.storeBytesLocked()
+	vc.mu.Unlock()
+}
+
+// evictLocked enforces the byte budget: unpinned entries go first, oldest
+// epoch first, so the entries most likely to be invalidated next are the
+// ones sacrificed.
+func (vc *ViewCache) evictLocked() {
+	if vc.bytes <= vc.maxBytes {
+		return
+	}
+	cands := make([]*viewEntry, 0, len(vc.entries))
+	for _, e := range vc.entries {
+		if e.pins == 0 {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key.epoch != cands[j].key.epoch {
+			return cands[i].key.epoch < cands[j].key.epoch
+		}
+		return cands[i].key.name < cands[j].key.name
+	})
+	for _, e := range cands {
+		if vc.bytes <= vc.maxBytes {
+			return
+		}
+		delete(vc.entries, e.key)
+		vc.bytes -= e.bytes
+		if vc.ctrs != nil {
+			vc.ctrs.ViewEvictions.Add(1)
+		}
+	}
+}
+
+func (vc *ViewCache) storeBytesLocked() {
+	if vc.ctrs != nil {
+		vc.ctrs.ViewBytes.Store(vc.bytes)
+	}
+}
+
+// decodedArrayBytes sums the in-memory cell payload of every chunk.
+func decodedArrayBytes(a *array.Array) int64 {
+	var n int64
+	a.EachChunk(func(c *array.Chunk) bool {
+		n += c.SizeBytes()
+		return true
+	})
+	return n
+}

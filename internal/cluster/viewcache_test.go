@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/arrayview/arrayview/internal/array"
+	"github.com/arrayview/arrayview/internal/obs"
+)
+
+func TestViewCacheHitSharesOneGather(t *testing.T) {
+	cl, _ := epochCluster(t)
+	ctrs := &obs.FastPathCounters{}
+	vc := NewViewCache(0, ctrs)
+
+	snap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	a1, rel1, err := vc.Acquire("A", snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, rel2, err := vc.Acquire("A", snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("same (view, epoch) should share one assembled array")
+	}
+	s := ctrs.Snapshot()
+	if s.ViewMisses != 1 || s.ViewHits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", s.ViewHits, s.ViewMisses)
+	}
+	if s.ViewBytes <= 0 || vc.Bytes() != s.ViewBytes {
+		t.Fatalf("byte gauge %d vs cache %d", s.ViewBytes, vc.Bytes())
+	}
+	rel1()
+	rel2()
+}
+
+func TestViewCacheSingleflight(t *testing.T) {
+	cl, _ := epochCluster(t)
+	ctrs := &obs.FastPathCounters{}
+	vc := NewViewCache(0, ctrs)
+	snap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+
+	var wg sync.WaitGroup
+	arrs := make([]*array.Array, 8)
+	for i := range arrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, rel, err := vc.Acquire("A", snap, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			a.EachCell(func(p array.Point, tup array.Tuple) bool { return true })
+			arrs[i] = a
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	for _, a := range arrs[1:] {
+		if a != arrs[0] {
+			t.Fatal("concurrent acquires returned different arrays")
+		}
+	}
+	if s := ctrs.Snapshot(); s.ViewMisses != 1 {
+		t.Fatalf("misses = %d, want exactly one builder", s.ViewMisses)
+	}
+}
+
+func TestViewCacheInvalidationOnPublish(t *testing.T) {
+	cl, _ := epochCluster(t)
+	ctrs := &obs.FastPathCounters{}
+	vc := NewViewCache(0, ctrs)
+	cl.Epochs().OnPublish(vc.InvalidateBefore)
+
+	oldSnap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldSnap.Release()
+	oldArr, oldRel, err := vc.Acquire("A", oldSnap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit: overwrite one chunk, publish epoch 2. The pinned old entry is
+	// marked stale but survives until its release.
+	mod := array.New(fig1Schema())
+	if err := mod.Set(array.Point{1, 2}, array.Tuple{99, 99}); err != nil {
+		t.Fatal(err)
+	}
+	newCh := mod.ChunkByKey(mod.ChunkKeys()[0])
+	overwriteChunk(t, cl, "A", newCh.Key(), newCh)
+
+	// The old view still answers its epoch's content.
+	if tup, ok := oldArr.Get(array.Point{1, 2}); ok && tup[0] == 99 {
+		t.Fatalf("stale pinned view observed the new commit: %v", tup)
+	}
+
+	newSnap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newSnap.Release()
+	newArr, newRel, err := vc.Acquire("A", newSnap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newRel()
+	if newArr == oldArr {
+		t.Fatal("epoch 2 acquire returned the epoch 1 view")
+	}
+	if tup, ok := newArr.Get(array.Point{1, 2}); !ok || tup[0] != 99 {
+		t.Fatalf("epoch 2 view missing committed write: %v (ok=%v)", tup, ok)
+	}
+
+	// Releasing the stale pin reclaims its bytes; only the fresh entry stays.
+	before := vc.Bytes()
+	oldRel()
+	if after := vc.Bytes(); after >= before {
+		t.Fatalf("stale entry not reclaimed on release: bytes %d -> %d", before, after)
+	}
+}
+
+func TestViewCacheEviction(t *testing.T) {
+	cl, _ := epochCluster(t)
+	ctrs := &obs.FastPathCounters{}
+	vc := NewViewCache(1, ctrs) // budget far below one view
+
+	snap, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	_, rel, err := vc.Acquire("A", snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	// The entry was pinned during build, so it survives until a later
+	// insert triggers eviction. Publish a new epoch and acquire again.
+	cl.Epochs().Publish()
+	snap2, err := cl.Epochs().Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap2.Release()
+	_, rel2, err := vc.Acquire("A", snap2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if s := ctrs.Snapshot(); s.ViewEvictions == 0 {
+		t.Fatal("over-budget cache never evicted")
+	}
+}

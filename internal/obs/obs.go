@@ -177,6 +177,51 @@ func (d *DurableCounters) Snapshot() DurableSnapshot {
 	}
 }
 
+// FastPathCounters is the observability surface of the query answer fast
+// path: the epoch-keyed assembled-view cache, the shape-keyed plan memo,
+// and the placement solves both let the server skip. ViewBytes is a gauge
+// (Store); the rest accumulate (Add).
+type FastPathCounters struct {
+	ViewHits          Counter // answers served from a cached assembled view
+	ViewMisses        Counter // answers that had to gather + decode the view
+	ViewBytes         Counter // gauge: bytes currently pinned by cached views
+	ViewEvictions     Counter // cached views dropped for capacity
+	ViewInvalidations Counter // cached views dropped by an epoch publish
+	MemoHits          Counter // plan/decision memo hits (shape fingerprint)
+	MemoMisses        Counter // plan/decision memo misses
+	SolveSkips        Counter // placement solves skipped thanks to the memo
+}
+
+// FastPathSnapshot is a point-in-time copy of FastPathCounters.
+type FastPathSnapshot struct {
+	ViewHits          int64
+	ViewMisses        int64
+	ViewBytes         int64
+	ViewEvictions     int64
+	ViewInvalidations int64
+	MemoHits          int64
+	MemoMisses        int64
+	SolveSkips        int64
+}
+
+// Snapshot copies the current values. Nil-safe: a nil receiver (fast path
+// disabled) snapshots to zeros.
+func (f *FastPathCounters) Snapshot() FastPathSnapshot {
+	if f == nil {
+		return FastPathSnapshot{}
+	}
+	return FastPathSnapshot{
+		ViewHits:          f.ViewHits.Load(),
+		ViewMisses:        f.ViewMisses.Load(),
+		ViewBytes:         f.ViewBytes.Load(),
+		ViewEvictions:     f.ViewEvictions.Load(),
+		ViewInvalidations: f.ViewInvalidations.Load(),
+		MemoHits:          f.MemoHits.Load(),
+		MemoMisses:        f.MemoMisses.Load(),
+		SolveSkips:        f.SolveSkips.Load(),
+	}
+}
+
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
 func (s CacheSnapshot) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -47,6 +47,24 @@ type Choice struct {
 	// DeltaCard and QueryCard are |Δ| and |query shape|; their ratio is the
 	// paper's rule-of-thumb predictor.
 	DeltaCard, QueryCard int64
+	// Delta is the positional symmetric difference of the view and query
+	// shapes, computed once per decision and carried here so the answer
+	// paths never re-derive it. Nil means the query shape IS the view shape.
+	Delta *shape.Shape
+	// plus and minus are Delta's signed halves (see splitDelta).
+	plus, minus *shape.Shape
+}
+
+// signOf returns the signed-evaluation weight of a Δ offset: +1 for offsets
+// the query adds, −1 for offsets only the view has.
+func (ch *Choice) signOf(off []int64) float64 {
+	if ch.plus != nil && ch.plus.Contains(off) {
+		return 1
+	}
+	if ch.minus != nil && ch.minus.Contains(off) {
+		return -1
+	}
+	return 0
 }
 
 // Result is an answered query.
@@ -73,6 +91,10 @@ type Engine struct {
 	// snapshot readers are unaffected; an error fails the query rather
 	// than silently answering stale.
 	Fresh func(context.Context) error
+	// Fast, when non-nil, enables the serving accelerators: the epoch-keyed
+	// assembled-view cache, the shape-keyed decision memo, and the parallel
+	// snapshot join. Nil keeps every answer on the cold path.
+	Fast *FastPath
 }
 
 // NewEngine validates and returns an engine.
@@ -95,38 +117,7 @@ func (e *Engine) Decide(queryShape *shape.Shape) (Choice, error) {
 // DecideCtx is Decide with cancellation: a server deadline expiring between
 // planning steps aborts the decision.
 func (e *Engine) DecideCtx(ctx context.Context, queryShape *shape.Shape) (Choice, error) {
-	// The query shape is caller-supplied: an arity mismatch is a bad query,
-	// not a broken invariant, so it surfaces as an error.
-	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
-	if err != nil {
-		return Choice{}, err
-	}
-	ch := Choice{QueryCard: queryShape.Card()}
-	if delta == nil {
-		// The query IS the view; the differential path is free.
-		ch.UseView = true
-		return ch, nil
-	}
-	ch.DeltaCard = delta.Card()
-
-	if err := ctx.Err(); err != nil {
-		return Choice{}, err
-	}
-	viewCost, _, err := e.planViewPath(delta)
-	if err != nil {
-		return Choice{}, err
-	}
-	if err := ctx.Err(); err != nil {
-		return Choice{}, err
-	}
-	completeCost, _, err := e.planPath(queryShape, pathComplete)
-	if err != nil {
-		return Choice{}, err
-	}
-	ch.ViewCost = viewCost
-	ch.CompleteCost = completeCost
-	ch.UseView = viewCost <= completeCost
-	return ch, nil
+	return e.decideForMode(ctx, queryShape, Auto)
 }
 
 // Answer evaluates the query, deciding the path per mode.
@@ -154,23 +145,101 @@ func (e *Engine) AnswerCtx(ctx context.Context, queryShape *shape.Shape, mode Mo
 	return e.answerComplete(ctx, queryShape, ch)
 }
 
-// decideForMode prices the paths only when the mode actually needs the cost
-// model; a forced mode skips planning entirely.
+// decideForMode derives the Δ decomposition and, under Auto, prices both
+// paths; forced modes skip planning entirely. With a FastPath attached, the
+// decomposition is memoized per query-shape fingerprint and the plan costs
+// per catalog layout version, so a repeated shape over an unchanged layout
+// runs no placement solves at all.
 func (e *Engine) decideForMode(ctx context.Context, queryShape *shape.Shape, mode Mode) (Choice, error) {
-	if mode == Auto {
-		return e.DecideCtx(ctx, queryShape)
-	}
-	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	ent, err := e.deltaEntry(queryShape)
 	if err != nil {
 		return Choice{}, err
 	}
-	ch := Choice{QueryCard: queryShape.Card(), UseView: mode == ForceView}
-	if delta == nil {
-		ch.UseView = true
-	} else {
-		ch.DeltaCard = delta.Card()
+	ch := Choice{
+		QueryCard: queryShape.Card(),
+		DeltaCard: ent.deltaCard,
+		Delta:     ent.delta,
+		plus:      ent.plus,
+		minus:     ent.minus,
 	}
+	if ent.delta == nil {
+		// The query IS the view; the differential path is free.
+		ch.UseView = true
+		return ch, nil
+	}
+	if mode != Auto {
+		ch.UseView = mode == ForceView
+		return ch, nil
+	}
+	f := e.Fast
+	layout := e.Cluster.Catalog().LayoutVersion()
+	if f != nil {
+		if viewCost, completeCost, ok := f.costs(ent, layout); ok {
+			if f.Counters != nil {
+				f.Counters.SolveSkips.Add(solvesPerDecision)
+			}
+			ch.ViewCost = viewCost
+			ch.CompleteCost = completeCost
+			ch.UseView = viewCost <= completeCost
+			return ch, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Choice{}, err
+	}
+	viewCost, _, err := e.planViewPath(ent.delta)
+	if err != nil {
+		return Choice{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Choice{}, err
+	}
+	completeCost, _, err := e.planPath(queryShape, pathComplete)
+	if err != nil {
+		return Choice{}, err
+	}
+	if f != nil {
+		f.setCosts(ent, layout, viewCost, completeCost)
+	}
+	ch.ViewCost = viewCost
+	ch.CompleteCost = completeCost
+	ch.UseView = viewCost <= completeCost
 	return ch, nil
+}
+
+// deltaEntry computes (or recalls) the layout-independent half of a
+// decision: the Δ shape and its signed split. The query shape is
+// caller-supplied, so an arity mismatch is a bad query, not a broken
+// invariant — it surfaces as an error.
+func (e *Engine) deltaEntry(queryShape *shape.Shape) (*decideEntry, error) {
+	f := e.Fast
+	fp := ""
+	if f != nil {
+		var err error
+		if fp, err = queryShape.Fingerprint(); err != nil {
+			// Not memoizable (no buildable spec); fall through uncached.
+			fp = ""
+		} else if ent := f.lookupDecide(fp); ent != nil {
+			f.countMemo(true)
+			return ent, nil
+		}
+	}
+	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
+	if err != nil {
+		return nil, err
+	}
+	ent := &decideEntry{delta: delta}
+	if delta != nil {
+		ent.deltaCard = delta.Card()
+		if ent.plus, ent.minus, err = splitDelta(queryShape, delta); err != nil {
+			return nil, err
+		}
+	}
+	if f != nil && fp != "" {
+		f.countMemo(false)
+		ent = f.storeDecide(fp, ent)
+	}
+	return ent, nil
 }
 
 // answerComplete runs the full similarity join over the base array.
@@ -194,36 +263,29 @@ func (e *Engine) answerWithView(ctx context.Context, queryShape *shape.Shape, ch
 	if err != nil {
 		return nil, err
 	}
+	// Chunk-granularity copy: the gathered chunks may alias store copies and
+	// the signed merge below mutates state tuples in place, so the result
+	// array needs its own chunks — but cloning them wholesale beats the old
+	// per-cell Set loop, which paid a point-to-chunk lookup per view cell.
 	out := array.New(e.Def.Schema())
-	vw.EachCell(func(p array.Point, t array.Tuple) bool {
-		_ = out.Set(p, t)
-		return true
+	vw.EachChunk(func(c *array.Chunk) bool {
+		err = out.MergeChunk(c)
+		return err == nil
 	})
-	delta, err := shape.DeltaChecked(e.Def.Pred.Shape, queryShape)
 	if err != nil {
 		return nil, err
 	}
-	if delta == nil {
+	if ch.Delta == nil {
 		return &Result{Array: out, Choice: ch, Ledger: e.Cluster.NewLedger()}, nil
 	}
-	_, plan, err := e.planViewPath(delta)
+	_, plan, err := e.planViewPath(ch.Delta)
 	if err != nil {
 		return nil, err
 	}
 	// Signed evaluation: offsets the query adds contribute +1, offsets only
 	// the view has contribute −1.
-	plus, minus := splitDelta(queryShape, delta)
-	pred := simjoin.NewPred(delta, e.Def.Pred.Mapping)
-	signOf := func(off []int64) float64 {
-		if plus != nil && plus.Contains(off) {
-			return 1
-		}
-		if minus != nil && minus.Contains(off) {
-			return -1
-		}
-		return 0
-	}
-	diff, ledger, err := e.execute(ctx, plan, pred, signOf)
+	pred := simjoin.NewPred(ch.Delta, e.Def.Pred.Mapping)
+	diff, ledger, err := e.execute(ctx, plan, pred, ch.signOf)
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +296,10 @@ func (e *Engine) answerWithView(ctx context.Context, queryShape *shape.Shape, ch
 }
 
 // splitDelta partitions the Δ shape into its signed halves: offsets in the
-// query shape add, the rest (view-only offsets) subtract.
-func splitDelta(queryShape, delta *shape.Shape) (plus, minus *shape.Shape) {
+// query shape add, the rest (view-only offsets) subtract. A Δ offset that
+// fails to rebuild as a shape is a real error — swallowing it would make
+// signOf silently treat those offsets as 0 and corrupt the answer.
+func splitDelta(queryShape, delta *shape.Shape) (plus, minus *shape.Shape, err error) {
 	var plusOffs, minusOffs [][]int64
 	for _, off := range delta.Offsets() {
 		if queryShape.Contains(off) {
@@ -245,12 +309,16 @@ func splitDelta(queryShape, delta *shape.Shape) (plus, minus *shape.Shape) {
 		}
 	}
 	if len(plusOffs) > 0 {
-		plus, _ = shape.FromOffsets("delta+", plusOffs)
+		if plus, err = shape.FromOffsets("delta+", plusOffs); err != nil {
+			return nil, nil, fmt.Errorf("query: building signed delta half: %w", err)
+		}
 	}
 	if len(minusOffs) > 0 {
-		minus, _ = shape.FromOffsets("delta-", minusOffs)
+		if minus, err = shape.FromOffsets("delta-", minusOffs); err != nil {
+			return nil, nil, fmt.Errorf("query: building signed delta half: %w", err)
+		}
 	}
-	return plus, minus
+	return plus, minus, nil
 }
 
 // pathKind selects how a query path assembles its result.

@@ -243,7 +243,10 @@ func TestNewEngineValidation(t *testing.T) {
 func TestSplitDelta(t *testing.T) {
 	vShape, qShape := shape.L1(2, 1), shape.Linf(2, 1)
 	delta := shape.Delta(vShape, qShape)
-	plus, minus := splitDelta(qShape, delta)
+	plus, minus, err := splitDelta(qShape, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plus == nil || plus.Card() != 4 {
 		t.Fatalf("plus = %v, want the 4 corners", plus)
 	}
@@ -252,7 +255,10 @@ func TestSplitDelta(t *testing.T) {
 	}
 	// Reverse direction: view L∞(1), query L1(1): 4 minus offsets.
 	delta2 := shape.Delta(qShape, vShape)
-	plus2, minus2 := splitDelta(vShape, delta2)
+	plus2, minus2, err := splitDelta(vShape, delta2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plus2 != nil || minus2 == nil || minus2.Card() != 4 {
 		t.Fatalf("reverse split = %v / %v", plus2, minus2)
 	}

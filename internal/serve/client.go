@@ -118,6 +118,16 @@ func (c *Client) Stats() (Stats, error) {
 			SegBytes:    resp.DurSegBytes,
 			Syncs:       resp.DurSyncs,
 		},
+		FastPath: obs.FastPathSnapshot{
+			ViewHits:          resp.FPViewHits,
+			ViewMisses:        resp.FPViewMisses,
+			ViewBytes:         resp.FPViewBytes,
+			ViewEvictions:     resp.FPViewEvictions,
+			ViewInvalidations: resp.FPViewInvalidations,
+			MemoHits:          resp.FPMemoHits,
+			MemoMisses:        resp.FPMemoMisses,
+			SolveSkips:        resp.FPSolveSkips,
+		},
 	}, nil
 }
 

@@ -37,6 +37,16 @@ type Config struct {
 	// defaults (5 minutes / 30 seconds).
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
+	// ViewCacheBytes caps the epoch-keyed assembled-view cache (default
+	// cluster.DefaultViewCacheBytes; negative disables view caching while
+	// keeping the plan memo).
+	ViewCacheBytes int64
+	// JoinWorkers is the snapshot-join fan-out width (<= 0 means
+	// GOMAXPROCS, 1 forces the serial kernel).
+	JoinWorkers int
+	// DisableFastPath turns off every serving accelerator — view cache,
+	// plan memo, and parallel joins — for A/B comparison.
+	DisableFastPath bool
 }
 
 func (c *Config) maxConcurrent() int {
@@ -102,6 +112,9 @@ type Stats struct {
 	// Durable carries the WAL-backed chunk store's counters when the
 	// daemon persists its state (all zero for an in-memory daemon).
 	Durable obs.DurableSnapshot
+	// FastPath carries the query fast path's counters (all zero when the
+	// daemon serves cold).
+	FastPath obs.FastPathSnapshot
 }
 
 // HitRate returns the cache hit fraction, 0 before any lookup.
@@ -137,6 +150,8 @@ type Server struct {
 	adaptive *obs.AdaptiveCounters
 	// durable, when set, feeds Stats().Durable.
 	durable *obs.DurableCounters
+	// fpCtrs, when set, feeds Stats().FastPath.
+	fpCtrs *obs.FastPathCounters
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -161,6 +176,22 @@ func NewServer(eng *query.Engine, cfg *Config) *Server {
 	}
 	if es := eng.Cluster.Epochs(); !es.Enabled() {
 		es.Enable()
+	}
+	if !s.cfg.DisableFastPath {
+		s.fpCtrs = &obs.FastPathCounters{}
+		f := query.NewFastPath(s.cfg.ViewCacheBytes, s.fpCtrs)
+		if s.cfg.ViewCacheBytes < 0 {
+			f.Views = nil
+		}
+		f.JoinWorkers = s.cfg.JoinWorkers
+		// The daemon serves from the fast-path engine; invalidation rides
+		// every epoch publish so a cached view can never cross a commit.
+		fe := *eng
+		fe.Fast = f
+		s.eng = &fe
+		if f.Views != nil {
+			eng.Cluster.Epochs().OnPublish(f.Views.InvalidateBefore)
+		}
 	}
 	return s
 }
@@ -200,6 +231,7 @@ func (s *Server) Stats() Stats {
 	st.Queries, st.Rejected = s.lim.Counters()
 	st.Adaptive = s.adaptive.Snapshot()
 	st.Durable = s.durable.Snapshot()
+	st.FastPath = s.fpCtrs.Snapshot()
 	return st
 }
 
@@ -403,6 +435,15 @@ func (s *Server) handle(req *transport.Message) *transport.Message {
 			DurWALBytes:    st.Durable.WALBytes,
 			DurSegBytes:    st.Durable.SegBytes,
 			DurSyncs:       st.Durable.Syncs,
+
+			FPViewHits:          st.FastPath.ViewHits,
+			FPViewMisses:        st.FastPath.ViewMisses,
+			FPViewBytes:         st.FastPath.ViewBytes,
+			FPViewEvictions:     st.FastPath.ViewEvictions,
+			FPViewInvalidations: st.FastPath.ViewInvalidations,
+			FPMemoHits:          st.FastPath.MemoHits,
+			FPMemoMisses:        st.FastPath.MemoMisses,
+			FPSolveSkips:        st.FastPath.SolveSkips,
 		}
 
 	default:

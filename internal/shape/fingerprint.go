@@ -1,0 +1,77 @@
+package shape
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical structural identity string for the shape:
+// two shapes with the same fingerprint contain exactly the same offsets.
+// The fingerprint is derived from the shape's constructive Spec — display
+// names are excluded, offset lists are sorted, and Embed windows are
+// serialized in dimension order — so the same query shape arriving twice
+// (rebuilt from the wire each time) keys to one memo entry. Shapes without
+// a buildable Spec (no provenance, oversized box) return an error; callers
+// should treat that as "not memoizable" rather than a failed query.
+func (s *Shape) Fingerprint() (string, error) {
+	sp, err := s.Spec()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := fingerprintSpec(&b, sp); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func fingerprintSpec(b *strings.Builder, sp *Spec) error {
+	switch sp.Kind {
+	case SpecL1:
+		fmt.Fprintf(b, "l1:%d:%d", sp.Dims, sp.Radius)
+	case SpecL2:
+		fmt.Fprintf(b, "l2:%d:%d", sp.Dims, sp.Radius)
+	case SpecLinf:
+		fmt.Fprintf(b, "linf:%d:%d", sp.Dims, sp.Radius)
+	case SpecOffsets:
+		offs := cloneOffsets(sp.Offsets)
+		SortOffsets(offs)
+		b.WriteString("offs:")
+		for i, off := range offs {
+			// Duplicates are tolerated by FromOffsets but counted once;
+			// collapse them here so the identity is truly structural.
+			if i > 0 && equalI64(off, offs[i-1]) {
+				continue
+			}
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			for j, v := range off {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(b, "%d", v)
+			}
+		}
+	case SpecEmbed:
+		fmt.Fprintf(b, "embed:%d:%v:", sp.Dims, sp.EmbedDims)
+		dims := make([]int, 0, len(sp.Window))
+		for d := range sp.Window {
+			dims = append(dims, d)
+		}
+		sort.Ints(dims)
+		for _, d := range dims {
+			w := sp.Window[d]
+			fmt.Fprintf(b, "w%d=[%d,%d];", d, w[0], w[1])
+		}
+		b.WriteByte('(')
+		if err := fingerprintSpec(b, sp.Inner); err != nil {
+			return err
+		}
+		b.WriteByte(')')
+	default:
+		return fmt.Errorf("shape: unknown spec kind %d", int(sp.Kind))
+	}
+	return nil
+}

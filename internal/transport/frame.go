@@ -238,6 +238,16 @@ type Message struct {
 	DurWALBytes    int64 // bytes appended to WALs
 	DurSegBytes    int64 // chunk-body bytes appended to segments
 	DurSyncs       int64 // fsyncs issued
+	// Query fast-path counters (SnapshotReply; zero when the daemon serves
+	// cold).
+	FPViewHits          int64 // answers served from a cached assembled view
+	FPViewMisses        int64 // answers that gathered the view cold
+	FPViewBytes         int64 // bytes pinned by cached views
+	FPViewEvictions     int64 // cached views dropped for capacity
+	FPViewInvalidations int64 // cached views dropped by epoch publish
+	FPMemoHits          int64 // plan-memo hits
+	FPMemoMisses        int64 // plan-memo misses
+	FPSolveSkips        int64 // placement solves skipped via the memo
 }
 
 // appendStr appends a u32-length-prefixed string.
@@ -361,7 +371,10 @@ func appendPayload(buf []byte, m *Message) []byte {
 			m.Deferred, m.LazyMats, m.Drained, m.Promotions, m.Demotions,
 			m.MemoHits, m.MemoMisses,
 			m.DurCommits, m.DurRollbacks, m.DurCheckpoints, m.DurWALBytes,
-			m.DurSegBytes, m.DurSyncs} {
+			m.DurSegBytes, m.DurSyncs,
+			m.FPViewHits, m.FPViewMisses, m.FPViewBytes, m.FPViewEvictions,
+			m.FPViewInvalidations, m.FPMemoHits, m.FPMemoMisses,
+			m.FPSolveSkips} {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
 	}
@@ -545,7 +558,10 @@ func DecodePayload(t MsgType, payload []byte) (*Message, error) {
 			&m.Deferred, &m.LazyMats, &m.Drained, &m.Promotions, &m.Demotions,
 			&m.MemoHits, &m.MemoMisses,
 			&m.DurCommits, &m.DurRollbacks, &m.DurCheckpoints, &m.DurWALBytes,
-			&m.DurSegBytes, &m.DurSyncs} {
+			&m.DurSegBytes, &m.DurSyncs,
+			&m.FPViewHits, &m.FPViewMisses, &m.FPViewBytes, &m.FPViewEvictions,
+			&m.FPViewInvalidations, &m.FPMemoHits, &m.FPMemoMisses,
+			&m.FPSolveSkips} {
 			*p = int64(r.u64())
 		}
 	default:

@@ -135,6 +135,20 @@ func genMessage(t MsgType, r *rand.Rand) *Message {
 		m.Demotions = int64(r.Uint64())
 		m.MemoHits = int64(r.Uint64())
 		m.MemoMisses = int64(r.Uint64())
+		m.DurCommits = int64(r.Uint64())
+		m.DurRollbacks = int64(r.Uint64())
+		m.DurCheckpoints = int64(r.Uint64())
+		m.DurWALBytes = int64(r.Uint64())
+		m.DurSegBytes = int64(r.Uint64())
+		m.DurSyncs = int64(r.Uint64())
+		m.FPViewHits = int64(r.Uint64())
+		m.FPViewMisses = int64(r.Uint64())
+		m.FPViewBytes = int64(r.Uint64())
+		m.FPViewEvictions = int64(r.Uint64())
+		m.FPViewInvalidations = int64(r.Uint64())
+		m.FPMemoHits = int64(r.Uint64())
+		m.FPMemoMisses = int64(r.Uint64())
+		m.FPSolveSkips = int64(r.Uint64())
 	default:
 		panic("unhandled type in generator: " + t.String())
 	}
@@ -164,6 +178,18 @@ func equalMessages(a, b *Message) bool {
 		a.Drained != b.Drained || a.Promotions != b.Promotions ||
 		a.Demotions != b.Demotions ||
 		a.MemoHits != b.MemoHits || a.MemoMisses != b.MemoMisses {
+		return false
+	}
+	if a.DurCommits != b.DurCommits || a.DurRollbacks != b.DurRollbacks ||
+		a.DurCheckpoints != b.DurCheckpoints || a.DurWALBytes != b.DurWALBytes ||
+		a.DurSegBytes != b.DurSegBytes || a.DurSyncs != b.DurSyncs {
+		return false
+	}
+	if a.FPViewHits != b.FPViewHits || a.FPViewMisses != b.FPViewMisses ||
+		a.FPViewBytes != b.FPViewBytes || a.FPViewEvictions != b.FPViewEvictions ||
+		a.FPViewInvalidations != b.FPViewInvalidations ||
+		a.FPMemoHits != b.FPMemoHits || a.FPMemoMisses != b.FPMemoMisses ||
+		a.FPSolveSkips != b.FPSolveSkips {
 		return false
 	}
 	if len(a.Items) != len(b.Items) {
